@@ -1,0 +1,105 @@
+// Section 5 — cardinality repairs: cost of the delta transformation plus
+// the attribute-update repair of (D#, IC#), on a workload where one cheap
+// deletion resolves many violations (the semantics' motivating case) and on
+// a scaled Example-5.4-style key-violation workload.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "constraints/parser.h"
+#include "repair/cardinality.h"
+
+using namespace dbrepair;  // NOLINT(build/namespaces)
+
+namespace {
+
+// Employees: a few low earners each contradicting many high earners of the
+// same department.
+struct EmpWorkload {
+  std::shared_ptr<const Schema> schema;
+  Database db;
+  std::vector<DenialConstraint> ics;
+};
+
+EmpWorkload MakeEmpWorkload(size_t departments, size_t per_department) {
+  auto schema = std::make_shared<Schema>();
+  Status st = schema->AddRelation(
+      RelationSchema("Emp",
+                     {AttributeDef{"ID", Type::kInt64, false, 1.0},
+                      AttributeDef{"Dept", Type::kInt64, false, 1.0},
+                      AttributeDef{"Salary", Type::kInt64, false, 1.0}},
+                     {"ID"}));
+  if (!st.ok()) std::abort();
+  Database db(schema);
+  Rng rng(7);
+  int64_t id = 0;
+  for (size_t d = 0; d < departments; ++d) {
+    // One offender...
+    auto r = db.Insert("Emp", {Value::Int(id++), Value::Int((int64_t)d),
+                               Value::Int(10)});
+    if (!r.ok()) std::abort();
+    // ...and many conforming high earners.
+    for (size_t i = 1; i < per_department; ++i) {
+      r = db.Insert("Emp",
+                    {Value::Int(id++), Value::Int((int64_t)d),
+                     Value::Int(60 + (int64_t)rng.Uniform(40))});
+      if (!r.ok()) std::abort();
+    }
+  }
+  auto ics = ParseConstraintSet(
+      ":- Emp(x, d, s1), Emp(y, d, s2), s1 < 50, s2 > 50\n");
+  if (!ics.ok()) std::abort();
+  return EmpWorkload{schema, std::move(db), std::move(*ics)};
+}
+
+void BM_CardinalityRepairEmp(benchmark::State& state) {
+  const auto departments = static_cast<size_t>(state.range(0));
+  const auto per_department = static_cast<size_t>(state.range(1));
+  const EmpWorkload workload =
+      MakeEmpWorkload(departments, per_department);
+  size_t deletions = 0;
+  for (auto _ : state) {
+    CardinalityOptions options;
+    options.repair.solver = SolverKind::kModifiedGreedy;
+    auto outcome = CardinalityRepair(workload.db, workload.ics, options);
+    if (!outcome.ok()) {
+      state.SkipWithError(outcome.status().ToString().c_str());
+      return;
+    }
+    deletions = outcome->deletions;
+    benchmark::DoNotOptimize(outcome->repaired.TotalTuples());
+  }
+  state.counters["tuples"] = static_cast<double>(workload.db.TotalTuples());
+  state.counters["deletions"] = static_cast<double>(deletions);
+}
+
+void BM_CardinalityTransformOnly(benchmark::State& state) {
+  const auto departments = static_cast<size_t>(state.range(0));
+  const EmpWorkload workload = MakeEmpWorkload(departments, 20);
+  for (auto _ : state) {
+    auto problem = BuildCardinalityProblem(workload.db, workload.ics);
+    if (!problem.ok()) {
+      state.SkipWithError(problem.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(problem->db_sharp.TotalTuples());
+  }
+  state.counters["tuples"] = static_cast<double>(workload.db.TotalTuples());
+}
+
+}  // namespace
+
+// (departments, employees per department): deletions == departments.
+BENCHMARK(BM_CardinalityRepairEmp)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({10, 20})
+    ->Args({50, 20})
+    ->Args({200, 20})
+    ->Args({50, 100})
+    ->Args({20, 500});
+BENCHMARK(BM_CardinalityTransformOnly)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(100)
+    ->Arg(1000);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Census repair: the paper's motivating application (Franconi et al. [11]).
+//
+// Generates a synthetic census with household forms violating semantic
+// restrictions (too many children, under-age heads, earning infants, car
+// limits), shows that the degree of inconsistency stays bounded by the
+// household size — the regime where the modified greedy is O(n log n) — and
+// repairs it with every solver, comparing quality and speed.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/timer.h"
+#include "gen/census.h"
+#include "repair/repairer.h"
+
+using namespace dbrepair;  // NOLINT(build/namespaces): example code.
+
+int main(int argc, char** argv) {
+  CensusOptions gen;
+  gen.num_households = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2000;
+  gen.inconsistency_ratio = 0.3;
+  gen.seed = 42;
+
+  auto workload = GenerateCensus(gen);
+  if (!workload.ok()) {
+    std::cerr << workload.status().ToString() << "\n";
+    return 1;
+  }
+  std::printf("census instance: %zu households, %zu tuples total\n",
+              gen.num_households, workload->db.TotalTuples());
+  std::printf("constraints:\n");
+  for (const DenialConstraint& ic : workload->ics) {
+    std::printf("  %s\n", ic.ToString().c_str());
+  }
+
+  std::printf("\n%-16s %10s %10s %12s %12s %9s\n", "solver", "violations",
+              "updates", "cover w", "Delta(D,D')", "solve ms");
+  for (const SolverKind kind :
+       {SolverKind::kGreedy, SolverKind::kModifiedGreedy, SolverKind::kLayer,
+        SolverKind::kModifiedLayer}) {
+    RepairOptions options;
+    options.solver = kind;
+    Timer timer;
+    auto outcome = RepairDatabase(workload->db, workload->ics, options);
+    if (!outcome.ok()) {
+      std::cerr << outcome.status().ToString() << "\n";
+      return 1;
+    }
+    const RepairStats& stats = outcome->stats;
+    std::printf("%-16s %10zu %10zu %12.3f %12.3f %9.2f\n",
+                SolverKindName(kind), stats.num_violations,
+                stats.num_updates, stats.cover_weight, stats.distance,
+                stats.solve_seconds * 1e3);
+    if (kind == SolverKind::kGreedy) {
+      std::printf("  (degree of inconsistency Deg(D, IC) = %u, bounded by "
+                  "household size)\n",
+                  stats.max_degree);
+    }
+  }
+  return 0;
+}

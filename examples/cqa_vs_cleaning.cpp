@@ -1,0 +1,98 @@
+// CQA vs cleaning: the introduction's two ways to live with inconsistency.
+// Data cleaning materialises one repair; consistent query answering keeps
+// the inconsistent database and answers with what holds in *every* repair.
+// This example runs both on the paper's Example 1.1 instance.
+
+#include <cstdio>
+#include <iostream>
+
+#include "cqa/cqa.h"
+#include "gen/paper_example.h"
+#include "repair/repairer.h"
+#include "sql/executor.h"
+
+using namespace dbrepair;  // NOLINT(build/namespaces): example code.
+
+namespace {
+
+int Fail(const Status& status) {
+  std::cerr << status.ToString() << "\n";
+  return 1;
+}
+
+void PrintCqa(const CqaResult& result) {
+  for (const ClassifiedRow& row : result.rows) {
+    std::string values;
+    for (const Value& v : row.values) {
+      if (!values.empty()) values += ", ";
+      values += v.ToString();
+    }
+    std::printf("  [%s] %s\n",
+                row.kind == AnswerKind::kCertain ? "certain " : "possible",
+                values.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  const GeneratedWorkload w = MakePaperTableExample();
+  auto bound = BindAll(w.db.schema(), w.ics);
+  if (!bound.ok()) return Fail(bound.status());
+
+  const char* queries[] = {
+      "SELECT ID FROM Paper WHERE EF = 1",
+      "SELECT ID FROM Paper WHERE PRC >= 50",
+      "SELECT PRC FROM Paper WHERE ID = 'B1'",
+  };
+
+  std::printf("== Consistent query answering over the dirty instance ==\n");
+  for (const char* sql : queries) {
+    std::printf("%s\n", sql);
+    auto answers = ConsistentAnswers(w.db, *bound, sql);
+    if (!answers.ok()) return Fail(answers.status());
+    PrintCqa(*answers);
+  }
+
+  std::printf("\n== The same queries after cleaning (one repair) ==\n");
+  RepairOptions options;
+  options.solver = SolverKind::kExact;
+  auto outcome = RepairDatabase(w.db, w.ics, options);
+  if (!outcome.ok()) return Fail(outcome.status());
+  for (const char* sql : queries) {
+    std::printf("%s\n", sql);
+    auto rows = Query(outcome->repaired, sql);
+    if (!rows.ok()) return Fail(rows.status());
+    for (const auto& row : rows->rows) {
+      std::string values;
+      for (const Value& v : row) {
+        if (!values.empty()) values += ", ";
+        values += v.ToString();
+      }
+      std::printf("  %s\n", values.c_str());
+    }
+    if (rows->rows.empty()) std::printf("  (no rows)\n");
+  }
+  // Scalar aggregation under repairs (Arenas et al., the paper's ref [2]):
+  // report the glb/lub interval instead of a single number.
+  std::printf("\n== Range-consistent aggregates over the dirty instance ==\n");
+  const char* agg_queries[] = {
+      "SELECT COUNT(*) FROM Paper WHERE EF = 1",
+      "SELECT SUM(PRC) FROM Paper",
+      "SELECT MIN(PRC) FROM Paper",
+      "SELECT MAX(PRC) FROM Paper",
+  };
+  for (const char* sql : agg_queries) {
+    auto range = AggregateConsistentRange(w.db, *bound, sql);
+    if (!range.ok()) return Fail(range.status());
+    std::printf("%s\n  in every repair: [%s, %s]%s\n", sql,
+                range->lower.is_null() ? "?" : range->lower.ToString().c_str(),
+                range->upper.is_null() ? "?" : range->upper.ToString().c_str(),
+                range->may_be_empty ? " (may be empty)" : "");
+  }
+
+  std::printf(
+      "\nCleaning committed to one repair; CQA kept every certain answer "
+      "and\nflagged the rest as merely possible.\n");
+  return 0;
+}

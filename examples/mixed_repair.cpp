@@ -1,0 +1,47 @@
+// Mixed repairs (the conclusion's extension): combine tuple deletions with
+// attribute updates by making both the delta markers and ordinary numeric
+// attributes flexible. Deletion cost is the per-relation alpha_delta knob:
+// sweeping it moves the repair continuously from "update everything" to
+// "delete everything".
+
+#include <cstdio>
+#include <iostream>
+
+#include "gen/client_buy.h"
+#include "repair/mixed.h"
+
+using namespace dbrepair;  // NOLINT(build/namespaces): example code.
+
+int main() {
+  ClientBuyOptions gen;
+  gen.num_clients = 500;
+  gen.inconsistency_ratio = 0.3;
+  gen.seed = 11;
+  auto workload = GenerateClientBuy(gen);
+  if (!workload.ok()) {
+    std::cerr << workload.status().ToString() << "\n";
+    return 1;
+  }
+  std::printf("Client/Buy instance: %zu tuples\n",
+              workload->db.TotalTuples());
+  std::printf("\n%12s %10s %10s %12s %14s\n", "alpha_delta", "deletions",
+              "updates", "Delta(D,D')", "tuples kept");
+
+  for (const double alpha : {0.2, 1.0, 3.0, 10.0, 100.0}) {
+    MixedRepairOptions options;
+    options.default_delta_alpha = alpha;
+    auto outcome = MixedRepair(workload->db, workload->ics, options);
+    if (!outcome.ok()) {
+      std::cerr << outcome.status().ToString() << "\n";
+      return 1;
+    }
+    std::printf("%12.1f %10zu %10zu %12.1f %14zu\n", alpha,
+                outcome->deletions, outcome->value_updates,
+                outcome->stats.distance, outcome->repaired.TotalTuples());
+  }
+  std::printf(
+      "\nLow alpha_delta deletes offending tuples outright; high "
+      "alpha_delta\nfalls back to the attribute-update repairs of "
+      "Section 3.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+#include "catalog/schema.h"
+
+#include <set>
+
+namespace dbrepair {
+
+RelationSchema::RelationSchema(std::string name,
+                               std::vector<AttributeDef> attributes,
+                               std::vector<std::string> key_attributes)
+    : name_(std::move(name)),
+      attributes_(std::move(attributes)),
+      key_attributes_(std::move(key_attributes)) {
+  for (const std::string& key : key_attributes_) {
+    if (auto pos = FindAttribute(key)) key_positions_.push_back(*pos);
+  }
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].flexible) flexible_positions_.push_back(i);
+  }
+}
+
+std::optional<size_t> RelationSchema::FindAttribute(
+    std::string_view name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Status RelationSchema::Validate() const {
+  if (name_.empty()) return Status::InvalidArgument("relation name is empty");
+  if (attributes_.empty()) {
+    return Status::InvalidArgument("relation '" + name_ +
+                                   "' has no attributes");
+  }
+  std::set<std::string> seen;
+  for (const AttributeDef& attr : attributes_) {
+    if (attr.name.empty()) {
+      return Status::InvalidArgument("relation '" + name_ +
+                                     "' has an attribute with empty name");
+    }
+    if (!seen.insert(attr.name).second) {
+      return Status::InvalidArgument("relation '" + name_ +
+                                     "' has duplicate attribute '" +
+                                     attr.name + "'");
+    }
+    if (attr.flexible) {
+      if (attr.type != Type::kInt64) {
+        return Status::InvalidArgument(
+            "flexible attribute '" + name_ + "." + attr.name +
+            "' must be INT (flexible attributes take values in Z)");
+      }
+      if (!(attr.alpha > 0.0)) {
+        return Status::InvalidArgument("flexible attribute '" + name_ + "." +
+                                       attr.name +
+                                       "' must have positive weight alpha");
+      }
+    }
+  }
+  if (key_attributes_.empty()) {
+    return Status::InvalidArgument("relation '" + name_ +
+                                   "' has no primary key");
+  }
+  if (key_positions_.size() != key_attributes_.size()) {
+    return Status::InvalidArgument("relation '" + name_ +
+                                   "' has a key over unknown attributes");
+  }
+  std::set<std::string> key_seen;
+  for (const std::string& key : key_attributes_) {
+    if (!key_seen.insert(key).second) {
+      return Status::InvalidArgument("relation '" + name_ +
+                                     "' repeats key attribute '" + key + "'");
+    }
+  }
+  for (size_t pos : key_positions_) {
+    if (attributes_[pos].flexible) {
+      return Status::InvalidArgument(
+          "key attribute '" + name_ + "." + attributes_[pos].name +
+          "' cannot be flexible (F and K_R must be disjoint)");
+    }
+  }
+  return Status::OK();
+}
+
+Status Schema::AddRelation(RelationSchema relation) {
+  DBREPAIR_RETURN_IF_ERROR(relation.Validate());
+  if (index_.count(relation.name()) > 0) {
+    return Status::AlreadyExists("relation '" + relation.name() +
+                                 "' already in schema");
+  }
+  index_.emplace(relation.name(), relations_.size());
+  relations_.push_back(std::move(relation));
+  return Status::OK();
+}
+
+const RelationSchema* Schema::FindRelation(std::string_view name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) return nullptr;
+  return &relations_[it->second];
+}
+
+size_t Schema::TotalFlexibleAttributes() const {
+  size_t total = 0;
+  for (const RelationSchema& rel : relations_) {
+    total += rel.flexible_positions().size();
+  }
+  return total;
+}
+
+}  // namespace dbrepair

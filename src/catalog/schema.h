@@ -1,0 +1,98 @@
+#ifndef DBREPAIR_CATALOG_SCHEMA_H_
+#define DBREPAIR_CATALOG_SCHEMA_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/value.h"
+#include "common/status.h"
+
+namespace dbrepair {
+
+/// Definition of one attribute (column) of a relation.
+///
+/// A *flexible* attribute (paper Section 2, the set F) is one a repair is
+/// allowed to modify; it must be integer-typed and carries the weight
+/// `alpha` used by the weighted distance Delta (Definition 2.1). Attributes
+/// outside F are *hard* and keep their original values in every repair
+/// candidate (Definition 2.2(b)).
+struct AttributeDef {
+  std::string name;
+  Type type = Type::kInt64;
+  bool flexible = false;
+  /// Weight alpha_A in the Delta-distance; meaningful only when flexible.
+  double alpha = 1.0;
+};
+
+/// Schema of one relation: name, attributes, and the primary key K_R.
+///
+/// Invariants enforced by Validate():
+///  * attribute names are unique and non-empty;
+///  * the key is a non-empty subset of the attributes;
+///  * no key attribute is flexible (paper: F intersect K_R = empty);
+///  * flexible attributes are kInt64 with alpha > 0.
+class RelationSchema {
+ public:
+  RelationSchema() = default;
+  RelationSchema(std::string name, std::vector<AttributeDef> attributes,
+                 std::vector<std::string> key_attributes);
+
+  const std::string& name() const { return name_; }
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+  size_t arity() const { return attributes_.size(); }
+
+  /// Names of the primary-key attributes, in declaration order.
+  const std::vector<std::string>& key_attributes() const {
+    return key_attributes_;
+  }
+  /// Positions of the primary-key attributes within attributes().
+  const std::vector<size_t>& key_positions() const { return key_positions_; }
+
+  /// Index of attribute `name`, or nullopt.
+  std::optional<size_t> FindAttribute(std::string_view name) const;
+
+  const AttributeDef& attribute(size_t index) const {
+    return attributes_[index];
+  }
+
+  /// Positions of the flexible attributes.
+  const std::vector<size_t>& flexible_positions() const {
+    return flexible_positions_;
+  }
+
+  /// Checks the class invariants listed above.
+  Status Validate() const;
+
+ private:
+  std::string name_;
+  std::vector<AttributeDef> attributes_;
+  std::vector<std::string> key_attributes_;
+  std::vector<size_t> key_positions_;
+  std::vector<size_t> flexible_positions_;
+};
+
+/// The database schema Sigma: a catalog of relation schemas.
+class Schema {
+ public:
+  /// Adds a relation; fails on duplicate names or invalid relation schemas.
+  Status AddRelation(RelationSchema relation);
+
+  /// Looks up a relation by name.
+  const RelationSchema* FindRelation(std::string_view name) const;
+
+  const std::vector<RelationSchema>& relations() const { return relations_; }
+
+  /// Total number of flexible attributes across all relations (|F|).
+  size_t TotalFlexibleAttributes() const;
+
+ private:
+  std::vector<RelationSchema> relations_;
+  std::map<std::string, size_t, std::less<>> index_;
+};
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_CATALOG_SCHEMA_H_

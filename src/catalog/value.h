@@ -1,0 +1,98 @@
+#ifndef DBREPAIR_CATALOG_VALUE_H_
+#define DBREPAIR_CATALOG_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace dbrepair {
+
+/// Column types. Flexible attributes (those a repair may change) must be
+/// kInt64: the paper's framework fixes integer domains for flexible
+/// attributes (Section 2, "flexible attributes ... take values in Z").
+enum class Type {
+  kInt64,
+  kDouble,
+  kString,
+};
+
+/// Returns "INT" / "DOUBLE" / "STRING".
+const char* TypeName(Type type);
+
+/// Parses "INT" / "DOUBLE" / "STRING" (case-insensitive).
+Result<Type> ParseType(std::string_view name);
+
+/// A single attribute value: a null marker or one of the supported types.
+///
+/// Values are ordered within a type (ints and doubles compare numerically
+/// with each other; strings compare lexicographically). Comparing a string
+/// against a number is an error the callers rule out at schema-check time.
+class Value {
+ public:
+  /// Constructs a NULL value.
+  Value() : storage_(Null{}) {}
+  /// Constructs an integer value.
+  static Value Int(int64_t v) { return Value(Storage(v)); }
+  /// Constructs a double value.
+  static Value Double(double v) { return Value(Storage(v)); }
+  /// Constructs a string value.
+  static Value String(std::string v) { return Value(Storage(std::move(v))); }
+
+  bool is_null() const { return std::holds_alternative<Null>(storage_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(storage_); }
+  bool is_double() const { return std::holds_alternative<double>(storage_); }
+  bool is_string() const {
+    return std::holds_alternative<std::string>(storage_);
+  }
+
+  /// The held integer. Requires is_int().
+  int64_t AsInt() const { return std::get<int64_t>(storage_); }
+  /// The held double. Requires is_double().
+  double AsDouble() const { return std::get<double>(storage_); }
+  /// The held string. Requires is_string().
+  const std::string& AsString() const {
+    return std::get<std::string>(storage_);
+  }
+
+  /// Numeric view: int promoted to double. Requires is_int() || is_double().
+  double AsNumeric() const {
+    return is_int() ? static_cast<double>(AsInt()) : AsDouble();
+  }
+
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Three-way comparison: -1, 0, +1. NULL sorts before everything;
+  /// numbers before strings.
+  int Compare(const Value& other) const;
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Renders the value for dumps and debugging ("NULL", 42, 1.5, 'abc').
+  std::string ToString() const;
+
+  /// Hash compatible with operator== (ints and equal-valued doubles that
+  /// are integral hash alike).
+  size_t Hash() const;
+
+ private:
+  struct Null {
+    bool operator==(const Null&) const { return true; }
+  };
+  using Storage = std::variant<Null, int64_t, double, std::string>;
+
+  explicit Value(Storage s) : storage_(std::move(s)) {}
+
+  Storage storage_;
+};
+
+/// std::hash adapter for Value, for use in unordered containers.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_CATALOG_VALUE_H_

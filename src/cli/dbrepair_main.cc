@@ -1,0 +1,274 @@
+// Command-line repair tool: the end-to-end pipeline of the paper's Figure-1
+// architecture driven by a configuration file.
+//
+// Usage:
+//   dbrepair [repair] <config> [--solver S] [--distance L1|L2] [--mode M]
+//            [--output PATH] [--quiet] [--report]
+//   dbrepair check <config> [--quiet]     detect violations; exit 3 if any
+//   dbrepair explain <config>             print locality analysis + SQL views
+//   dbrepair query <config> <SQL>         run a SELECT against the data
+//
+// The config declares the schema (flexible attributes + weights), the data
+// CSVs, the denial constraints, and defaults for solver/distance/export
+// mode; the flags override the config.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "constraints/locality.h"
+#include "constraints/violation_engine.h"
+#include "io/config.h"
+#include "io/csv.h"
+#include "io/export.h"
+#include "io/report.h"
+#include "repair/repairer.h"
+#include "sql/executor.h"
+#include "sql/views.h"
+
+namespace {
+
+int Fail(const dbrepair::Status& status) {
+  std::cerr << "dbrepair: " << status.ToString() << "\n";
+  return 1;
+}
+
+void PrintUsage() {
+  std::cerr
+      << "usage: dbrepair [repair] <config> [--solver greedy|modified-greedy"
+         "|lazy-greedy|layer|modified-layer|exact]\n"
+         "                [--distance L1|L2] [--mode update|insert|dump]\n"
+         "                [--output PATH] [--quiet] [--report]\n"
+         "       dbrepair check <config> [--quiet]\n"
+         "       dbrepair explain <config>\n"
+         "       dbrepair query <config> <SQL>\n";
+}
+
+}  // namespace
+
+namespace dbrepair {
+namespace {
+
+Result<Database> LoadData(const RepairConfig& config, bool quiet) {
+  Database db(config.schema);
+  for (const auto& [relation, path] : config.data_files) {
+    DBREPAIR_ASSIGN_OR_RETURN(const size_t loaded,
+                              LoadCsvFile(&db, relation, path));
+    if (!quiet) {
+      std::cerr << "loaded " << loaded << " tuples into " << relation
+                << " from " << path << "\n";
+    }
+  }
+  return db;
+}
+
+int RunCheck(const RepairConfig& config, bool quiet) {
+  auto db = LoadData(config, quiet);
+  if (!db.ok()) return Fail(db.status());
+  auto bound = BindAll(*config.schema, config.constraints);
+  if (!bound.ok()) return Fail(bound.status());
+  ViolationEngine engine(*db, *bound);
+  auto violations = engine.FindViolations();
+  if (!violations.ok()) return Fail(violations.status());
+  const DegreeInfo degrees = ComputeDegrees(*violations);
+  std::printf("violation sets: %zu, inconsistent tuples: %zu, "
+              "Deg(D, IC) = %u\n",
+              violations->size(), degrees.per_tuple.size(),
+              degrees.max_degree);
+  for (const BoundConstraint& ic : *bound) {
+    size_t count = 0;
+    for (const ViolationSet& v : *violations) {
+      if (v.ic_index == ic.ic_index) ++count;
+    }
+    std::printf("  %-20s %zu\n", ic.name.c_str(), count);
+  }
+  return violations->empty() ? 0 : 3;
+}
+
+int RunExplain(const RepairConfig& config) {
+  auto bound = BindAll(*config.schema, config.constraints);
+  if (!bound.ok()) return Fail(bound.status());
+  const LocalityReport locality = CheckLocality(*config.schema, *bound);
+  std::printf("locality: %s\n", locality.local ? "local" : "NOT local");
+  for (const std::string& problem : locality.problems) {
+    std::printf("  problem: %s\n", problem.c_str());
+  }
+  for (const BoundConstraint& ic : *bound) {
+    auto sql = DenialToSql(*config.schema, ic);
+    if (!sql.ok()) return Fail(sql.status());
+    std::printf("%s: %s\n  view: %s\n", ic.name.c_str(),
+                config.constraints[ic.ic_index].ToString().c_str(),
+                sql->c_str());
+  }
+  std::printf("flexible comparisons (drive the mono-local fixes):\n");
+  for (const FlexibleComparison& cmp : locality.flexible_comparisons) {
+    const RelationSchema& rel = config.schema->relations()[cmp.relation];
+    std::printf("  ic%u: %s.%s %s %lld\n", cmp.ic_index + 1,
+                rel.name().c_str(), rel.attribute(cmp.attribute).name.c_str(),
+                CompareOpName(cmp.op), static_cast<long long>(cmp.bound));
+  }
+  return 0;
+}
+
+int RunQuery(const RepairConfig& config, const std::string& sql) {
+  auto db = LoadData(config, /*quiet=*/true);
+  if (!db.ok()) return Fail(db.status());
+  auto result = Query(*db, sql);
+  if (!result.ok()) return Fail(result.status());
+  for (size_t i = 0; i < result->columns.size(); ++i) {
+    std::printf("%s%s", i > 0 ? "\t" : "", result->columns[i].c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : result->rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      std::printf("%s%s", i > 0 ? "\t" : "", row[i].ToString().c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int RunRepair(RepairConfig config, int argc, char** argv, int arg_start) {
+  bool quiet = false;
+  bool report = false;
+  for (int i = arg_start; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (arg == "--solver") {
+      const char* v = next();
+      if (v == nullptr) {
+        return Fail(Status::InvalidArgument("--solver needs a value"));
+      }
+      auto solver = ParseSolverKind(v);
+      if (!solver.ok()) return Fail(solver.status());
+      config.solver = solver.value();
+    } else if (arg == "--distance") {
+      const char* v = next();
+      if (v == nullptr) {
+        return Fail(Status::InvalidArgument("--distance needs a value"));
+      }
+      auto distance = ParseDistanceKind(v);
+      if (!distance.ok()) return Fail(distance.status());
+      config.distance = distance.value();
+    } else if (arg == "--mode") {
+      const char* v = next();
+      if (v == nullptr) {
+        return Fail(Status::InvalidArgument("--mode needs a value"));
+      }
+      auto mode = ParseExportMode(v);
+      if (!mode.ok()) return Fail(mode.status());
+      config.mode = mode.value();
+    } else if (arg == "--output") {
+      const char* v = next();
+      if (v == nullptr) {
+        return Fail(Status::InvalidArgument("--output needs a value"));
+      }
+      config.output_path = v;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--report") {
+      report = true;
+    } else {
+      PrintUsage();
+      return 2;
+    }
+  }
+
+  auto db = LoadData(config, quiet);
+  if (!db.ok()) return Fail(db.status());
+
+  RepairOptions options;
+  options.solver = config.solver;
+  options.distance = config.distance;
+  auto outcome = RepairDatabase(*db, config.constraints, options);
+  if (!outcome.ok()) return Fail(outcome.status());
+  if (report) {
+    std::cerr << FormatRepairReport(*db, outcome.value());
+  }
+  const RepairStats& stats = outcome.value().stats;
+  if (!quiet) {
+    std::fprintf(stderr,
+                 "solver=%s violations=%zu candidate_fixes=%zu chosen=%zu "
+                 "updates=%zu max_degree=%u cover_weight=%.6g "
+                 "distance=%.6g build=%.3fs solve=%.3fs\n",
+                 SolverKindName(config.solver), stats.num_violations,
+                 stats.num_candidate_fixes, stats.num_chosen_fixes,
+                 stats.num_updates, stats.max_degree, stats.cover_weight,
+                 stats.distance, stats.build_seconds, stats.solve_seconds);
+  }
+
+  auto exported = ExportRepair(outcome.value().repaired,
+                               outcome.value().updates, config.mode);
+  if (!exported.ok()) return Fail(exported.status());
+  if (config.output_path.empty()) {
+    std::cout << exported.value();
+  } else {
+    const Status st = WriteTextFile(config.output_path, exported.value());
+    if (!st.ok()) return Fail(st);
+    if (!quiet) {
+      std::cerr << "wrote " << ExportModeName(config.mode) << " export to "
+                << config.output_path << "\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dbrepair
+
+int main(int argc, char** argv) {
+  using namespace dbrepair;  // NOLINT(build/namespaces): CLI entry point.
+
+  if (argc < 2) {
+    PrintUsage();
+    return 2;
+  }
+
+  // Subcommand dispatch; a path as the first argument means `repair`.
+  std::string command = argv[1];
+  int config_arg = 1;
+  if (command == "repair" || command == "check" || command == "explain" ||
+      command == "query") {
+    if (argc < 3) {
+      PrintUsage();
+      return 2;
+    }
+    config_arg = 2;
+  } else {
+    command = "repair";
+  }
+
+  auto config = LoadConfigFile(argv[config_arg]);
+  if (!config.ok()) return Fail(config.status());
+
+  if (command == "check") {
+    bool quiet = false;
+    for (int i = config_arg + 1; i < argc; ++i) {
+      if (std::string(argv[i]) == "--quiet") {
+        quiet = true;
+      } else {
+        PrintUsage();
+        return 2;
+      }
+    }
+    return RunCheck(*config, quiet);
+  }
+  if (command == "explain") {
+    if (config_arg + 1 < argc) {
+      PrintUsage();
+      return 2;
+    }
+    return RunExplain(*config);
+  }
+  if (command == "query") {
+    if (config_arg + 2 != argc) {
+      PrintUsage();
+      return 2;
+    }
+    return RunQuery(*config, argv[config_arg + 1]);
+  }
+  return RunRepair(std::move(*config), argc, argv, config_arg + 1);
+}

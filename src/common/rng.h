@@ -1,0 +1,88 @@
+#ifndef DBREPAIR_COMMON_RNG_H_
+#define DBREPAIR_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstdint>
+
+namespace dbrepair {
+
+/// Deterministic, seedable pseudo-random number generator
+/// (xoshiro256** with a SplitMix64 seeding stage).
+///
+/// All workload generators take an explicit `Rng` so that every experiment is
+/// reproducible from its seed; nothing in the library reads global entropy.
+class Rng {
+ public:
+  /// Seeds the generator. Two `Rng`s built from the same seed produce the
+  /// same stream.
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 expansion of the single seed word into the 256-bit state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t Uniform(uint64_t bound) {
+    assert(bound > 0);
+    // Lemire's nearly-divisionless bounded generation with rejection.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      const uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  int64_t UniformInRange(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    const auto span = static_cast<uint64_t>(hi - lo) + 1;
+    // span == 0 means the full int64 range wrapped around; use a raw draw.
+    if (span == 0) return static_cast<int64_t>(Next());
+    return lo + static_cast<int64_t>(Uniform(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability `p` of returning true.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_COMMON_RNG_H_

@@ -1,0 +1,32 @@
+#ifndef DBREPAIR_COMMON_TIMER_H_
+#define DBREPAIR_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace dbrepair {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harnesses to time the
+/// MWSCP solver + mapping components (the quantities Figure 3 reports).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset(), in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_COMMON_TIMER_H_

@@ -1,0 +1,268 @@
+#include "constraints/ast.h"
+
+#include <map>
+
+namespace dbrepair {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool EvalCompare(const Value& lhs, CompareOp op, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return false;
+  // Mixed string/number comparisons never hold; the binder rejects them for
+  // constants, but join chains could still produce them at runtime.
+  const bool lhs_num = lhs.is_int() || lhs.is_double();
+  const bool rhs_num = rhs.is_int() || rhs.is_double();
+  if (lhs_num != rhs_num) return op == CompareOp::kNe;
+  const int cmp = lhs.Compare(rhs);
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+std::string Term::ToString() const {
+  if (is_variable()) return variable;
+  return constant.ToString();
+}
+
+std::string RelationAtom::ToString() const {
+  std::string out = relation + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::string BuiltinAtom::ToString() const {
+  return lhs.ToString() + " " + CompareOpName(op) + " " + rhs.ToString();
+}
+
+std::string DenialConstraint::ToString() const {
+  std::string out;
+  if (!name.empty()) out += name + ": ";
+  out += ":- ";
+  bool first = true;
+  for (const RelationAtom& atom : atoms) {
+    if (!first) out += ", ";
+    out += atom.ToString();
+    first = false;
+  }
+  for (const BuiltinAtom& builtin : builtins) {
+    if (!first) out += ", ";
+    out += builtin.ToString();
+    first = false;
+  }
+  return out;
+}
+
+namespace {
+
+// True if a constant of this Value kind can live in a column of `type`.
+bool ConstantFitsColumn(const Value& v, Type type) {
+  if (v.is_null()) return true;
+  switch (type) {
+    case Type::kInt64:
+      return v.is_int();
+    case Type::kDouble:
+      return v.is_int() || v.is_double();
+    case Type::kString:
+      return v.is_string();
+  }
+  return false;
+}
+
+bool IsOrderOp(CompareOp op) {
+  return op == CompareOp::kLt || op == CompareOp::kLe ||
+         op == CompareOp::kGt || op == CompareOp::kGe;
+}
+
+}  // namespace
+
+Result<BoundConstraint> BindConstraint(const Schema& schema,
+                                       const DenialConstraint& ic) {
+  BoundConstraint bound;
+  bound.name = ic.name;
+  if (ic.atoms.empty()) {
+    return Status::InvalidArgument("constraint '" + ic.name +
+                                   "' has no relation atoms");
+  }
+
+  std::map<std::string, int32_t> var_ids;
+  auto intern_var = [&](const std::string& name) {
+    const auto [it, inserted] =
+        var_ids.emplace(name, static_cast<int32_t>(bound.var_names.size()));
+    if (inserted) {
+      bound.var_names.push_back(name);
+      bound.var_occurrences.emplace_back();
+    }
+    return it->second;
+  };
+
+  // Resolve relation atoms.
+  for (uint32_t a = 0; a < ic.atoms.size(); ++a) {
+    const RelationAtom& atom = ic.atoms[a];
+    const RelationSchema* rel = schema.FindRelation(atom.relation);
+    if (rel == nullptr) {
+      return Status::NotFound("constraint '" + ic.name +
+                              "' references unknown relation '" +
+                              atom.relation + "'");
+    }
+    if (atom.args.size() != rel->arity()) {
+      return Status::InvalidArgument(
+          "constraint '" + ic.name + "': atom " + atom.ToString() +
+          " has arity " + std::to_string(atom.args.size()) + ", relation '" +
+          atom.relation + "' has arity " + std::to_string(rel->arity()));
+    }
+    BoundAtom bound_atom;
+    // Locate the relation index in the catalog.
+    uint32_t rel_index = 0;
+    for (uint32_t i = 0; i < schema.relations().size(); ++i) {
+      if (&schema.relations()[i] == rel) rel_index = i;
+    }
+    bound_atom.relation_index = rel_index;
+    bound_atom.var_ids.resize(atom.args.size(), -1);
+    bound_atom.constants.resize(atom.args.size());
+    for (uint32_t pos = 0; pos < atom.args.size(); ++pos) {
+      const Term& arg = atom.args[pos];
+      if (arg.is_variable()) {
+        const int32_t id = intern_var(arg.variable);
+        bound_atom.var_ids[pos] = id;
+        bound.var_occurrences[id].push_back(VariableOccurrence{a, pos});
+      } else {
+        if (!ConstantFitsColumn(arg.constant, rel->attribute(pos).type)) {
+          return Status::InvalidArgument(
+              "constraint '" + ic.name + "': constant " +
+              arg.constant.ToString() + " does not fit column '" +
+              rel->name() + "." + rel->attribute(pos).name + "' of type " +
+              TypeName(rel->attribute(pos).type));
+        }
+        bound_atom.constants[pos] = arg.constant;
+      }
+    }
+    bound.atoms.push_back(std::move(bound_atom));
+  }
+
+  // Determines the column type a variable binds to (first occurrence).
+  auto var_type = [&](int32_t id) {
+    const VariableOccurrence& occ = bound.var_occurrences[id].front();
+    const uint32_t rel_index = bound.atoms[occ.atom].relation_index;
+    return schema.relations()[rel_index].attribute(occ.position).type;
+  };
+
+  // Resolve built-ins.
+  for (const BuiltinAtom& builtin : ic.builtins) {
+    BuiltinAtom normal = builtin;
+    // Normalise so the variable (if only one) is on the left.
+    if (!normal.lhs.is_variable() && normal.rhs.is_variable()) {
+      std::swap(normal.lhs, normal.rhs);
+      switch (normal.op) {
+        case CompareOp::kLt:
+          normal.op = CompareOp::kGt;
+          break;
+        case CompareOp::kLe:
+          normal.op = CompareOp::kGe;
+          break;
+        case CompareOp::kGt:
+          normal.op = CompareOp::kLt;
+          break;
+        case CompareOp::kGe:
+          normal.op = CompareOp::kLe;
+          break;
+        default:
+          break;  // = and != are symmetric.
+      }
+    }
+    if (!normal.lhs.is_variable()) {
+      return Status::InvalidArgument("constraint '" + ic.name +
+                                     "': built-in " + builtin.ToString() +
+                                     " compares two constants");
+    }
+    const auto lhs_it = var_ids.find(normal.lhs.variable);
+    if (lhs_it == var_ids.end()) {
+      return Status::InvalidArgument(
+          "constraint '" + ic.name + "': built-in variable '" +
+          normal.lhs.variable + "' does not occur in any relation atom");
+    }
+    BoundBuiltin bb;
+    bb.lhs_var = lhs_it->second;
+    bb.op = normal.op;
+    if (normal.rhs.is_variable()) {
+      const auto rhs_it = var_ids.find(normal.rhs.variable);
+      if (rhs_it == var_ids.end()) {
+        return Status::InvalidArgument(
+            "constraint '" + ic.name + "': built-in variable '" +
+            normal.rhs.variable + "' does not occur in any relation atom");
+      }
+      if (normal.op != CompareOp::kEq && normal.op != CompareOp::kNe) {
+        return Status::InvalidArgument(
+            "constraint '" + ic.name + "': built-in " + builtin.ToString() +
+            " uses an order comparison between variables; linear denials "
+            "allow only x = y and x != y between variables");
+      }
+      bb.rhs_is_var = true;
+      bb.rhs_var = rhs_it->second;
+    } else {
+      bb.rhs_is_var = false;
+      bb.rhs_const = normal.rhs.constant;
+      const Type lhs_type = var_type(bb.lhs_var);
+      if (IsOrderOp(normal.op) && lhs_type == Type::kString) {
+        return Status::InvalidArgument(
+            "constraint '" + ic.name + "': built-in " + builtin.ToString() +
+            " applies an order comparison to a string attribute");
+      }
+      if (!ConstantFitsColumn(bb.rhs_const, lhs_type)) {
+        return Status::InvalidArgument(
+            "constraint '" + ic.name + "': built-in " + builtin.ToString() +
+            " compares a " + TypeName(lhs_type) + " attribute with " +
+            bb.rhs_const.ToString());
+      }
+    }
+    bound.builtins.push_back(std::move(bb));
+  }
+  return bound;
+}
+
+Result<std::vector<BoundConstraint>> BindAll(
+    const Schema& schema, const std::vector<DenialConstraint>& ics) {
+  std::vector<BoundConstraint> out;
+  out.reserve(ics.size());
+  for (uint32_t i = 0; i < ics.size(); ++i) {
+    DBREPAIR_ASSIGN_OR_RETURN(BoundConstraint bc,
+                              BindConstraint(schema, ics[i]));
+    bc.ic_index = i;
+    if (bc.name.empty()) bc.name = "ic" + std::to_string(i + 1);
+    out.push_back(std::move(bc));
+  }
+  return out;
+}
+
+}  // namespace dbrepair

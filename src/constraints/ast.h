@@ -1,0 +1,132 @@
+#ifndef DBREPAIR_CONSTRAINTS_AST_H_
+#define DBREPAIR_CONSTRAINTS_AST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/value.h"
+#include "common/status.h"
+
+namespace dbrepair {
+
+/// Comparison operators allowed in linear denial constraints.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// "=", "!=", "<", "<=", ">", ">=".
+const char* CompareOpName(CompareOp op);
+
+/// Evaluates `lhs op rhs`. Numbers compare numerically (int/double mix ok);
+/// strings compare lexicographically; NULL compares false under every
+/// operator (SQL-like semantics: a NULL never participates in a violation).
+bool EvalCompare(const Value& lhs, CompareOp op, const Value& rhs);
+
+/// A term in an atom: a variable or a constant.
+struct Term {
+  enum class Kind { kVariable, kConstant };
+
+  static Term Var(std::string name) {
+    Term t;
+    t.kind = Kind::kVariable;
+    t.variable = std::move(name);
+    return t;
+  }
+  static Term Const(Value v) {
+    Term t;
+    t.kind = Kind::kConstant;
+    t.constant = std::move(v);
+    return t;
+  }
+
+  bool is_variable() const { return kind == Kind::kVariable; }
+
+  std::string ToString() const;
+
+  Kind kind = Kind::kVariable;
+  std::string variable;
+  Value constant;
+};
+
+/// A database atom R(t1, ..., tk) appearing in a denial body.
+struct RelationAtom {
+  std::string relation;
+  std::vector<Term> args;
+
+  std::string ToString() const;
+};
+
+/// A built-in atom `lhs op rhs`. The linear denial grammar (paper Sec. 2)
+/// allows x op c for any op, and x = y / x != y between variables.
+struct BuiltinAtom {
+  Term lhs;
+  CompareOp op = CompareOp::kEq;
+  Term rhs;
+
+  std::string ToString() const;
+};
+
+/// A linear denial constraint: forall xbar NOT(A_1 and ... and A_m).
+/// The body is the conjunction of relation atoms and built-ins; the database
+/// satisfies the constraint iff the body has no satisfying assignment.
+struct DenialConstraint {
+  std::string name;
+  std::vector<RelationAtom> atoms;
+  std::vector<BuiltinAtom> builtins;
+
+  /// Datalog-denial rendering, e.g. "ic1: :- Paper(x,y,z,w), y > 0, z < 50".
+  std::string ToString() const;
+};
+
+/// A relation atom resolved against a schema: relation index plus, per
+/// argument position, either a variable id or a constant.
+struct BoundAtom {
+  uint32_t relation_index = 0;
+  /// var_ids[i] >= 0: argument i is variable var_ids[i];
+  /// var_ids[i] == -1: argument i is constants[i].
+  std::vector<int32_t> var_ids;
+  std::vector<Value> constants;
+};
+
+/// A built-in resolved to variable ids. The binder normalises the shape so
+/// the left side is always a variable.
+struct BoundBuiltin {
+  int32_t lhs_var = -1;
+  CompareOp op = CompareOp::kEq;
+  bool rhs_is_var = false;
+  int32_t rhs_var = -1;
+  Value rhs_const;
+};
+
+/// One place a variable occurs inside the relation atoms.
+struct VariableOccurrence {
+  uint32_t atom = 0;
+  uint32_t position = 0;
+};
+
+/// A denial constraint bound to a schema, ready for evaluation.
+struct BoundConstraint {
+  std::string name;
+  /// Index of this constraint within its IC set (assigned by BindAll).
+  uint32_t ic_index = 0;
+  std::vector<BoundAtom> atoms;
+  std::vector<BoundBuiltin> builtins;
+  std::vector<std::string> var_names;
+  /// var id -> all (atom, position) pairs where the variable occurs.
+  std::vector<std::vector<VariableOccurrence>> var_occurrences;
+};
+
+/// Resolves `ic` against `schema`: checks relation names, arities, constant
+/// types, that every built-in variable occurs in some relation atom (safety),
+/// that order comparisons apply only to numeric attributes, and that
+/// variable-variable built-ins use only = and != (linear denial grammar).
+Result<BoundConstraint> BindConstraint(const Schema& schema,
+                                       const DenialConstraint& ic);
+
+/// Binds every constraint, assigning ic_index by position.
+Result<std::vector<BoundConstraint>> BindAll(
+    const Schema& schema, const std::vector<DenialConstraint>& ics);
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_CONSTRAINTS_AST_H_

@@ -1,0 +1,165 @@
+#include "constraints/locality.h"
+
+#include <map>
+#include <set>
+
+namespace dbrepair {
+namespace {
+
+// Identifies an attribute globally: (relation index, attribute position).
+using AttrId = std::pair<uint32_t, uint32_t>;
+
+std::string AttrName(const Schema& schema, AttrId id) {
+  const RelationSchema& rel = schema.relations()[id.first];
+  return rel.name() + "." + rel.attribute(id.second).name;
+}
+
+bool IsFlexible(const Schema& schema, AttrId id) {
+  return schema.relations()[id.first].attribute(id.second).flexible;
+}
+
+// All attributes a variable binds to inside the constraint's atoms.
+std::vector<AttrId> BoundAttributes(const BoundConstraint& ic,
+                                    int32_t var_id) {
+  std::vector<AttrId> out;
+  for (const VariableOccurrence& occ : ic.var_occurrences[var_id]) {
+    out.emplace_back(ic.atoms[occ.atom].relation_index, occ.position);
+  }
+  return out;
+}
+
+}  // namespace
+
+LocalityReport CheckLocality(const Schema& schema,
+                             const std::vector<BoundConstraint>& ics) {
+  LocalityReport report;
+  // Direction sets per flexible attribute for condition (c): which of <, >
+  // appear across the whole IC set.
+  std::map<AttrId, std::set<CompareOp>> directions;
+
+  auto problem = [&](const BoundConstraint& ic, std::string why) {
+    report.problems.push_back("constraint '" + ic.name + "': " +
+                              std::move(why));
+  };
+
+  for (const BoundConstraint& ic : ics) {
+    // ---- Condition (a): joins and equalities only on hard attributes. ----
+    // Join variables: more than one occurrence inside relation atoms.
+    for (size_t v = 0; v < ic.var_occurrences.size(); ++v) {
+      if (ic.var_occurrences[v].size() < 2) continue;
+      for (const AttrId& attr : BoundAttributes(ic, static_cast<int32_t>(v))) {
+        if (IsFlexible(schema, attr)) {
+          problem(ic, "join variable '" + ic.var_names[v] +
+                          "' binds flexible attribute " +
+                          AttrName(schema, attr) +
+                          " (condition (a): join attributes must be hard)");
+        }
+      }
+    }
+    // Constants embedded in atom arguments are implicit equality atoms.
+    for (const BoundAtom& atom : ic.atoms) {
+      for (uint32_t pos = 0; pos < atom.var_ids.size(); ++pos) {
+        if (atom.var_ids[pos] >= 0) continue;
+        const AttrId attr{atom.relation_index, pos};
+        if (IsFlexible(schema, attr)) {
+          problem(ic,
+                  "constant argument fixes flexible attribute " +
+                      AttrName(schema, attr) +
+                      " (condition (a): equality attributes must be hard)");
+        }
+      }
+    }
+    // Built-ins.
+    bool has_flexible_builtin = false;
+    for (const BoundBuiltin& builtin : ic.builtins) {
+      const std::vector<AttrId> lhs_attrs = BoundAttributes(ic, builtin.lhs_var);
+      if (builtin.rhs_is_var) {
+        // x = y or x != y between variables: condition (a) (the != case is
+        // folded in conservatively; see header).
+        std::vector<AttrId> all = lhs_attrs;
+        const std::vector<AttrId> rhs_attrs =
+            BoundAttributes(ic, builtin.rhs_var);
+        all.insert(all.end(), rhs_attrs.begin(), rhs_attrs.end());
+        for (const AttrId& attr : all) {
+          if (IsFlexible(schema, attr)) {
+            problem(ic, std::string("variable-variable built-in '") +
+                            ic.var_names[builtin.lhs_var] + " " +
+                            CompareOpName(builtin.op) + " " +
+                            ic.var_names[builtin.rhs_var] +
+                            "' touches flexible attribute " +
+                            AttrName(schema, attr) + " (condition (a))");
+          }
+        }
+        continue;
+      }
+      // Variable-constant built-in.
+      for (const AttrId& attr : lhs_attrs) {
+        const bool flexible = IsFlexible(schema, attr);
+        if (!flexible) continue;
+        has_flexible_builtin = true;
+        switch (builtin.op) {
+          case CompareOp::kEq:
+            problem(ic, "equality built-in on flexible attribute " +
+                            AttrName(schema, attr) + " (condition (a))");
+            break;
+          case CompareOp::kNe:
+            // != expands to both < and > (footnote 2), violating (c).
+            problem(ic, "disequality built-in on flexible attribute " +
+                            AttrName(schema, attr) +
+                            " expands to both < and > (condition (c))");
+            break;
+          case CompareOp::kLt:
+          case CompareOp::kLe: {
+            const int64_t c = builtin.rhs_const.AsInt() +
+                              (builtin.op == CompareOp::kLe ? 1 : 0);
+            directions[attr].insert(CompareOp::kLt);
+            report.flexible_comparisons.push_back(FlexibleComparison{
+                ic.ic_index, attr.first, attr.second, CompareOp::kLt, c});
+            break;
+          }
+          case CompareOp::kGt:
+          case CompareOp::kGe: {
+            const int64_t c = builtin.rhs_const.AsInt() -
+                              (builtin.op == CompareOp::kGe ? 1 : 0);
+            directions[attr].insert(CompareOp::kGt);
+            report.flexible_comparisons.push_back(FlexibleComparison{
+                ic.ic_index, attr.first, attr.second, CompareOp::kGt, c});
+            break;
+          }
+        }
+      }
+    }
+    // ---- Condition (b): at least one flexible attribute in built-ins. ----
+    if (!has_flexible_builtin) {
+      problem(ic,
+              "no flexible attribute occurs in the built-ins "
+              "(condition (b): A_B(ic) must intersect F)");
+    }
+  }
+
+  // ---- Condition (c): no flexible attribute with both < and >. ----
+  for (const auto& [attr, ops] : directions) {
+    if (ops.count(CompareOp::kLt) > 0 && ops.count(CompareOp::kGt) > 0) {
+      report.problems.push_back(
+          "flexible attribute " + AttrName(schema, attr) +
+          " appears across IC in both A < c and A > c comparisons "
+          "(condition (c))");
+    }
+  }
+
+  report.local = report.problems.empty();
+  return report;
+}
+
+Status EnsureLocal(const Schema& schema,
+                   const std::vector<BoundConstraint>& ics) {
+  const LocalityReport report = CheckLocality(schema, ics);
+  if (report.local) return Status::OK();
+  std::string msg = "IC set is not local:";
+  for (const std::string& p : report.problems) {
+    msg += "\n  - " + p;
+  }
+  return Status::ConstraintNotLocal(std::move(msg));
+}
+
+}  // namespace dbrepair

@@ -1,0 +1,66 @@
+#ifndef DBREPAIR_CONSTRAINTS_LOCALITY_H_
+#define DBREPAIR_CONSTRAINTS_LOCALITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "constraints/ast.h"
+
+namespace dbrepair {
+
+/// One comparison `A < c` / `A > c` on a flexible attribute, normalised to a
+/// strict operator over the integer domain (footnote 2 / Definition 2.8(1):
+/// `A <= c` becomes `A < c+1`, `A >= c` becomes `A > c-1`).
+///
+/// These drive mono-local fix construction: `MLF(t, ic, A)` replaces A with
+/// Min of the `<` bounds or Max of the `>` bounds of ic on A (Def. 2.8(2)).
+struct FlexibleComparison {
+  uint32_t ic_index = 0;
+  uint32_t relation = 0;
+  uint32_t attribute = 0;
+  /// kLt or kGt only.
+  CompareOp op = CompareOp::kLt;
+  /// Normalised strict bound c.
+  int64_t bound = 0;
+};
+
+/// Result of the locality analysis over an IC set (paper Section 2):
+/// a set of linear denials is *local* when
+///  (a) attributes participating in equality atoms or joins are hard;
+///  (b) every ic mentions at least one flexible attribute in its built-ins;
+///  (c) no flexible attribute appears across IC both in `A < c1` and
+///      `A > c2` comparisons (after normalising <=, >=, != to <, >).
+/// Locality guarantees local fixes never create new inconsistencies, so a
+/// repair always exists and the set-cover reduction is sound.
+///
+/// Two deliberate readings, documented here because the paper is terse:
+///  * Condition (c) is checked on *flexible* attributes only. The paper's
+///    Section-5 claim that IC# is always local ("the only flexible
+///    attributes are the delta and they are always compared with >")
+///    requires this reading: hard attributes of IC# may freely mix < and >.
+///  * `x != y` between variables is folded into condition (a): a fix that
+///    changes a flexible attribute appearing in a disequality could create
+///    brand-new violations, which locality is meant to exclude.
+struct LocalityReport {
+  bool local = false;
+  /// Human-readable reasons when !local.
+  std::vector<std::string> problems;
+  /// All normalised comparisons on flexible attributes (valid also when the
+  /// set is not local, for diagnostics).
+  std::vector<FlexibleComparison> flexible_comparisons;
+};
+
+/// Runs the locality analysis on already-bound constraints.
+LocalityReport CheckLocality(const Schema& schema,
+                             const std::vector<BoundConstraint>& ics);
+
+/// Returns OK when local, otherwise kConstraintNotLocal with all reasons.
+Status EnsureLocal(const Schema& schema,
+                   const std::vector<BoundConstraint>& ics);
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_CONSTRAINTS_LOCALITY_H_

@@ -1,0 +1,334 @@
+#include "constraints/parser.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace dbrepair {
+namespace {
+
+enum class TokKind {
+  kIdent,
+  kNumber,
+  kString,
+  kLParen,
+  kRParen,
+  kComma,
+  kColon,
+  kColonDash,  // ":-"
+  kOp,         // comparison operator
+  kDot,
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  CompareOp op = CompareOp::kEq;
+  size_t offset = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      SkipWhitespace();
+      Token tok;
+      tok.offset = pos_;
+      if (pos_ >= input_.size()) {
+        tok.kind = TokKind::kEnd;
+        out.push_back(tok);
+        return out;
+      }
+      const char c = input_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        const size_t start = pos_;
+        while (pos_ < input_.size() &&
+               (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+                input_[pos_] == '_')) {
+          ++pos_;
+        }
+        tok.kind = TokKind::kIdent;
+        tok.text = std::string(input_.substr(start, pos_ - start));
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '-' && pos_ + 1 < input_.size() &&
+                  std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])))) {
+        const size_t start = pos_;
+        ++pos_;  // sign or first digit
+        while (pos_ < input_.size() &&
+               (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
+                input_[pos_] == '.')) {
+          ++pos_;
+        }
+        tok.kind = TokKind::kNumber;
+        tok.text = std::string(input_.substr(start, pos_ - start));
+      } else if (c == '\'') {
+        ++pos_;
+        const size_t start = pos_;
+        while (pos_ < input_.size() && input_[pos_] != '\'') ++pos_;
+        if (pos_ >= input_.size()) {
+          return Status::ParseError("unterminated string literal");
+        }
+        tok.kind = TokKind::kString;
+        tok.text = std::string(input_.substr(start, pos_ - start));
+        ++pos_;  // closing quote
+      } else {
+        switch (c) {
+          case '(':
+            tok.kind = TokKind::kLParen;
+            ++pos_;
+            break;
+          case ')':
+            tok.kind = TokKind::kRParen;
+            ++pos_;
+            break;
+          case ',':
+            tok.kind = TokKind::kComma;
+            ++pos_;
+            break;
+          case '.':
+            tok.kind = TokKind::kDot;
+            ++pos_;
+            break;
+          case ':':
+            if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '-') {
+              tok.kind = TokKind::kColonDash;
+              pos_ += 2;
+            } else {
+              tok.kind = TokKind::kColon;
+              ++pos_;
+            }
+            break;
+          case '<':
+            tok.kind = TokKind::kOp;
+            if (Peek1() == '=') {
+              tok.op = CompareOp::kLe;
+              pos_ += 2;
+            } else if (Peek1() == '>') {
+              tok.op = CompareOp::kNe;
+              pos_ += 2;
+            } else {
+              tok.op = CompareOp::kLt;
+              ++pos_;
+            }
+            break;
+          case '>':
+            tok.kind = TokKind::kOp;
+            if (Peek1() == '=') {
+              tok.op = CompareOp::kGe;
+              pos_ += 2;
+            } else {
+              tok.op = CompareOp::kGt;
+              ++pos_;
+            }
+            break;
+          case '=':
+            tok.kind = TokKind::kOp;
+            tok.op = CompareOp::kEq;
+            ++pos_;
+            break;
+          case '!':
+            if (Peek1() == '=') {
+              tok.kind = TokKind::kOp;
+              tok.op = CompareOp::kNe;
+              pos_ += 2;
+            } else {
+              return Status::ParseError("unexpected '!' at offset " +
+                                        std::to_string(pos_));
+            }
+            break;
+          default:
+            return Status::ParseError(std::string("unexpected character '") +
+                                      c + "' at offset " +
+                                      std::to_string(pos_));
+        }
+      }
+      out.push_back(std::move(tok));
+    }
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char Peek1() const {
+    return pos_ + 1 < input_.size() ? input_[pos_ + 1] : '\0';
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<DenialConstraint> Parse() {
+    DenialConstraint ic;
+    // Optional "name :" prefix, recognised only when followed by ':-' or
+    // an identifier that is not immediately a full body.
+    if (Cur().kind == TokKind::kIdent && Next().kind == TokKind::kColon) {
+      ic.name = Cur().text;
+      Advance();
+      Advance();
+    }
+    bool not_form = false;
+    if (Cur().kind == TokKind::kColonDash) {
+      Advance();
+    } else if (Cur().kind == TokKind::kIdent &&
+               ToLower(Cur().text) == "not") {
+      Advance();
+      if (Cur().kind != TokKind::kLParen) {
+        return Status::ParseError("expected '(' after NOT");
+      }
+      Advance();
+      not_form = true;
+    } else {
+      return Status::ParseError(
+          "constraint must start with ':-' or 'NOT(' (after an optional "
+          "'name:' prefix)");
+    }
+
+    DBREPAIR_RETURN_IF_ERROR(ParseConjunct(&ic));
+    while (true) {
+      if (Cur().kind == TokKind::kComma) {
+        Advance();
+        DBREPAIR_RETURN_IF_ERROR(ParseConjunct(&ic));
+        continue;
+      }
+      if (Cur().kind == TokKind::kIdent && ToLower(Cur().text) == "and") {
+        Advance();
+        DBREPAIR_RETURN_IF_ERROR(ParseConjunct(&ic));
+        continue;
+      }
+      break;
+    }
+    if (not_form) {
+      if (Cur().kind != TokKind::kRParen) {
+        return Status::ParseError("expected ')' closing NOT(...)");
+      }
+      Advance();
+    }
+    if (Cur().kind == TokKind::kDot) Advance();
+    if (Cur().kind != TokKind::kEnd) {
+      return Status::ParseError("trailing input after constraint at offset " +
+                                std::to_string(Cur().offset));
+    }
+    if (ic.atoms.empty()) {
+      return Status::ParseError("constraint has no relation atoms");
+    }
+    return ic;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[index_]; }
+  const Token& Next() const {
+    return index_ + 1 < tokens_.size() ? tokens_[index_ + 1] : tokens_.back();
+  }
+  void Advance() {
+    if (index_ + 1 < tokens_.size()) ++index_;
+  }
+
+  Result<Term> ParseTerm() {
+    const Token& tok = Cur();
+    switch (tok.kind) {
+      case TokKind::kIdent: {
+        Term t = Term::Var(tok.text);
+        Advance();
+        return t;
+      }
+      case TokKind::kNumber: {
+        std::string text = tok.text;
+        Advance();
+        if (text.find('.') != std::string::npos) {
+          DBREPAIR_ASSIGN_OR_RETURN(const double d, ParseDouble(text));
+          return Term::Const(Value::Double(d));
+        }
+        DBREPAIR_ASSIGN_OR_RETURN(const int64_t i, ParseInt64(text));
+        return Term::Const(Value::Int(i));
+      }
+      case TokKind::kString: {
+        Term t = Term::Const(Value::String(tok.text));
+        Advance();
+        return t;
+      }
+      default:
+        return Status::ParseError("expected a term at offset " +
+                                  std::to_string(tok.offset));
+    }
+  }
+
+  Status ParseConjunct(DenialConstraint* ic) {
+    // Relation atom: IDENT '(' ... ')'.
+    if (Cur().kind == TokKind::kIdent && Next().kind == TokKind::kLParen) {
+      RelationAtom atom;
+      atom.relation = Cur().text;
+      Advance();
+      Advance();  // '('
+      if (Cur().kind == TokKind::kRParen) {
+        return Status::ParseError("relation atom '" + atom.relation +
+                                  "()' has no arguments");
+      }
+      while (true) {
+        DBREPAIR_ASSIGN_OR_RETURN(Term t, ParseTerm());
+        atom.args.push_back(std::move(t));
+        if (Cur().kind == TokKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      if (Cur().kind != TokKind::kRParen) {
+        return Status::ParseError("expected ')' closing atom '" +
+                                  atom.relation + "(...'");
+      }
+      Advance();
+      ic->atoms.push_back(std::move(atom));
+      return Status::OK();
+    }
+    // Built-in: term OP term.
+    BuiltinAtom builtin;
+    DBREPAIR_ASSIGN_OR_RETURN(builtin.lhs, ParseTerm());
+    if (Cur().kind != TokKind::kOp) {
+      return Status::ParseError("expected a comparison operator at offset " +
+                                std::to_string(Cur().offset));
+    }
+    builtin.op = Cur().op;
+    Advance();
+    DBREPAIR_ASSIGN_OR_RETURN(builtin.rhs, ParseTerm());
+    ic->builtins.push_back(std::move(builtin));
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t index_ = 0;
+};
+
+}  // namespace
+
+Result<DenialConstraint> ParseConstraint(std::string_view text) {
+  Lexer lexer(text);
+  DBREPAIR_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+Result<std::vector<DenialConstraint>> ParseConstraintSet(
+    std::string_view text) {
+  std::vector<DenialConstraint> out;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    const std::string_view line = TrimWhitespace(raw_line);
+    if (line.empty() || line[0] == '#' || StartsWith(line, "--")) continue;
+    DBREPAIR_ASSIGN_OR_RETURN(DenialConstraint ic, ParseConstraint(line));
+    out.push_back(std::move(ic));
+  }
+  return out;
+}
+
+}  // namespace dbrepair

@@ -1,0 +1,33 @@
+#ifndef DBREPAIR_CONSTRAINTS_PARSER_H_
+#define DBREPAIR_CONSTRAINTS_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "constraints/ast.h"
+
+namespace dbrepair {
+
+/// Parses one linear denial constraint from a Datalog-style denial:
+///
+///   ic1: :- Paper(x, y, z, w), y > 0, z < 50
+///
+/// Also accepted: a `NOT( ... )` body with `,` or `AND` separators, e.g.
+///
+///   ic2: NOT(Paper(x, y, z, w) AND y > 0 AND w < 1)
+///
+/// Terms: identifiers are variables, numeric literals are INT/DOUBLE
+/// constants, single-quoted literals are STRING constants. Comparison
+/// operators: = != <> < <= > >=. The leading "name:" is optional and a
+/// trailing '.' is allowed.
+Result<DenialConstraint> ParseConstraint(std::string_view text);
+
+/// Parses a whole constraint program: one constraint per non-empty line.
+/// Lines starting with '#' or '--' are comments.
+Result<std::vector<DenialConstraint>> ParseConstraintSet(
+    std::string_view text);
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_CONSTRAINTS_PARSER_H_

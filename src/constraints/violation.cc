@@ -1,0 +1,33 @@
+#include "constraints/violation.h"
+
+#include <algorithm>
+
+namespace dbrepair {
+
+bool ViolationSet::Contains(TupleRef ref) const {
+  return std::binary_search(tuples.begin(), tuples.end(), ref);
+}
+
+std::string ViolationSet::ToString() const {
+  std::string out = "ic" + std::to_string(ic_index + 1) + ": {";
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "R" + std::to_string(tuples[i].relation) + "[" +
+           std::to_string(tuples[i].row) + "]";
+  }
+  out += "}";
+  return out;
+}
+
+DegreeInfo ComputeDegrees(const std::vector<ViolationSet>& violations) {
+  DegreeInfo info;
+  for (const ViolationSet& v : violations) {
+    for (const TupleRef& t : v.tuples) {
+      const uint32_t deg = ++info.per_tuple[t];
+      info.max_degree = std::max(info.max_degree, deg);
+    }
+  }
+  return info;
+}
+
+}  // namespace dbrepair

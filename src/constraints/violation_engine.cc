@@ -1,0 +1,530 @@
+#include "constraints/violation_engine.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+namespace dbrepair {
+
+namespace {
+
+// Union-find over variable ids, used to merge explicit `x = y` built-ins
+// into join classes.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int32_t Find(int32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(int32_t a, int32_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<int32_t> parent_;
+};
+
+// A built-in rewritten onto variable classes for plan execution.
+struct PlannedBuiltin {
+  int32_t lhs_class = -1;
+  CompareOp op = CompareOp::kEq;
+  bool rhs_is_var = false;
+  int32_t rhs_class = -1;
+  const Value* rhs_const = nullptr;
+};
+
+}  // namespace
+
+// Holds per-plan rewritten built-ins outside the header-visible Plan to keep
+// the header lean; keyed by position in `steps[*].builtins`.
+struct PlanBuiltins {
+  std::vector<PlannedBuiltin> builtins;
+};
+
+ViolationEngine::ViolationEngine(const Database& db,
+                                 const std::vector<BoundConstraint>& ics,
+                                 ViolationEngineOptions options)
+    : db_(db), ics_(ics), options_(options) {}
+
+ViolationEngine::Plan ViolationEngine::BuildPlan(const BoundConstraint& ic,
+                                                 int forced_first_atom) {
+  Plan plan;
+  plan.ic = &ic;
+  const size_t num_vars = ic.var_names.size();
+  plan.num_classes = num_vars;
+
+  UnionFind uf(num_vars);
+  for (const BoundBuiltin& b : ic.builtins) {
+    if (b.rhs_is_var && b.op == CompareOp::kEq) uf.Union(b.lhs_var, b.rhs_var);
+  }
+
+  // ---- Choose the atom order greedily, guided by table statistics. ----
+  const size_t num_atoms = ic.atoms.size();
+  std::vector<bool> used(num_atoms, false);
+  std::vector<bool> class_bound(num_vars, false);
+  std::vector<uint32_t> order;
+  order.reserve(num_atoms);
+
+  auto atom_classes = [&](uint32_t a) {
+    std::vector<int32_t> classes;
+    for (int32_t vid : ic.atoms[a].var_ids) {
+      if (vid >= 0) classes.push_back(uf.Find(vid));
+    }
+    return classes;
+  };
+
+  // Estimated scan output of atom `a` alone: row count discounted by the
+  // selectivity of its constant arguments and of the var-constant built-ins
+  // its variables anchor (uniform-range model; see storage/statistics.h).
+  auto estimated_rows = [&](uint32_t a) {
+    const BoundAtom& atom = ic.atoms[a];
+    const TableStats& stats = GetStats(atom.relation_index);
+    double est = static_cast<double>(stats.row_count);
+    for (uint32_t pos = 0; pos < atom.var_ids.size(); ++pos) {
+      if (atom.var_ids[pos] < 0) {
+        est *= EstimateSelectivity(stats, pos, CompareOp::kEq,
+                                   atom.constants[pos]);
+      }
+    }
+    for (const BoundBuiltin& b : ic.builtins) {
+      if (b.rhs_is_var) continue;
+      for (const VariableOccurrence& occ : ic.var_occurrences[b.lhs_var]) {
+        if (occ.atom == a) {
+          est *= EstimateSelectivity(stats, occ.position, b.op, b.rhs_const);
+          break;  // one discount per built-in
+        }
+      }
+    }
+    return est;
+  };
+
+  for (size_t round = 0; round < num_atoms; ++round) {
+    int best = -1;
+    // Lexicographic score: more indexable join columns, then the smaller
+    // estimated scan output, then the lower atom index (determinism).
+    long best_joins = -1;
+    double best_est = 0.0;
+    if (round == 0 && forced_first_atom >= 0) best = forced_first_atom;
+    for (uint32_t a = 0; best < 0 && a < num_atoms; ++a) {
+      if (used[a]) continue;
+      long joins = 0;
+      for (int32_t vid : ic.atoms[a].var_ids) {
+        if (vid >= 0 && class_bound[uf.Find(vid)]) ++joins;
+      }
+      const double est = estimated_rows(a);
+      const bool better =
+          joins > best_joins ||
+          (joins == best_joins && (best < 0 || est < best_est));
+      if (better) {
+        best = static_cast<int>(a);
+        best_joins = joins;
+        best_est = est;
+      }
+    }
+    used[best] = true;
+    order.push_back(static_cast<uint32_t>(best));
+    for (int32_t cls : atom_classes(static_cast<uint32_t>(best))) {
+      class_bound[cls] = true;
+    }
+  }
+
+  // ---- Build the steps along that order. ----
+  std::fill(class_bound.begin(), class_bound.end(), false);
+  std::vector<int> first_bind_depth(num_vars, -1);
+  for (size_t depth = 0; depth < order.size(); ++depth) {
+    const uint32_t a = order[depth];
+    const BoundAtom& atom = ic.atoms[a];
+    AtomStep step;
+    step.atom_index = a;
+    std::vector<bool> bound_this_atom(num_vars, false);
+    for (uint32_t pos = 0; pos < atom.var_ids.size(); ++pos) {
+      const int32_t vid = atom.var_ids[pos];
+      if (vid < 0) {
+        step.const_positions.push_back(pos);
+        continue;
+      }
+      const int32_t cls = uf.Find(vid);
+      if (class_bound[cls]) {
+        // Bound by an earlier atom: usable as a hash-index column.
+        step.index_positions.push_back(pos);
+        step.index_classes.push_back(cls);
+      } else if (bound_this_atom[cls]) {
+        // Duplicate within this atom: a row-local equality check.
+        step.join_positions.emplace_back(pos, cls);
+      } else {
+        step.bind_positions.emplace_back(pos, cls);
+        bound_this_atom[cls] = true;
+        if (first_bind_depth[cls] < 0) {
+          first_bind_depth[cls] = static_cast<int>(depth);
+        }
+      }
+    }
+    for (uint32_t pos = 0; pos < atom.var_ids.size(); ++pos) {
+      const int32_t vid = atom.var_ids[pos];
+      if (vid >= 0) class_bound[uf.Find(vid)] = true;
+    }
+    plan.steps.push_back(std::move(step));
+  }
+
+  // ---- Schedule the built-ins at their earliest evaluable depth. ----
+  // Built-in b gets a slot in `steps[d].builtins` holding an index into the
+  // PlannedBuiltin vector the executor rebuilds (same construction order).
+  uint32_t planned_index = 0;
+  for (const BoundBuiltin& b : ic.builtins) {
+    if (b.rhs_is_var && b.op == CompareOp::kEq) continue;  // merged.
+    int depth = first_bind_depth[uf.Find(b.lhs_var)];
+    if (b.rhs_is_var) {
+      depth = std::max(depth, first_bind_depth[uf.Find(b.rhs_var)]);
+    }
+    AtomStep& step = plan.steps[static_cast<size_t>(depth)];
+    step.builtins.push_back(planned_index);
+    ++planned_index;
+
+    // Ordered-index pushdown: a var-constant range built-in anchored at
+    // this step's atom can drive a B+-tree range scan when the step has no
+    // hash-join columns (hash joins are more selective and take priority).
+    const bool order_op = b.op == CompareOp::kLt || b.op == CompareOp::kLe ||
+                          b.op == CompareOp::kGt || b.op == CompareOp::kGe;
+    if (b.rhs_is_var || !order_op || !step.index_positions.empty() ||
+        step.range_position >= 0) {
+      continue;
+    }
+    const int32_t cls = uf.Find(b.lhs_var);
+    for (const auto& [pos, bound_cls] : step.bind_positions) {
+      if (bound_cls != cls) continue;
+      const uint32_t rel = ic.atoms[step.atom_index].relation_index;
+      const Table& table = db_.table(rel);
+      // A range scan returns rows in key order (cache-hostile) and
+      // materialises the id list, so it only beats the sequential scan when
+      // the predicate is selective.
+      constexpr double kIndexSelectivityThreshold = 0.15;
+      const double selectivity =
+          EstimateSelectivity(GetStats(rel), pos, b.op, b.rhs_const);
+      if (selectivity < kIndexSelectivityThreshold &&
+          table.FindOrderedIndex(pos) != nullptr) {
+        step.range_position = static_cast<int32_t>(pos);
+        step.range_op = b.op;
+        step.range_bound = b.rhs_const;
+      }
+      break;
+    }
+  }
+  return plan;
+}
+
+const ViolationEngine::HashIndex& ViolationEngine::GetIndex(
+    uint32_t relation, const std::vector<uint32_t>& positions) {
+  const auto key = std::make_pair(relation, positions);
+  const auto it = index_cache_.find(key);
+  if (it != index_cache_.end()) return it->second;
+  HashIndex index;
+  const Table& table = db_.table(relation);
+  index.reserve(table.size());
+  std::vector<Value> probe;
+  probe.reserve(positions.size());
+  for (uint32_t row = 0; row < table.size(); ++row) {
+    probe.clear();
+    for (uint32_t pos : positions) probe.push_back(table.row(row).value(pos));
+    index[probe].push_back(row);
+  }
+  return index_cache_.emplace(key, std::move(index)).first->second;
+}
+
+const TableStats& ViolationEngine::GetStats(uint32_t relation) {
+  const auto it = stats_cache_.find(relation);
+  if (it != stats_cache_.end()) return it->second;
+  return stats_cache_.emplace(relation, ComputeTableStats(db_.table(relation)))
+      .first->second;
+}
+
+Status ViolationEngine::ExecuteInto(
+    const Plan& plan, const AtomRowBounds* bounds,
+    std::unordered_set<ViolationSet, ViolationSetHash>* dedupe_out) {
+  const BoundConstraint& ic = *plan.ic;
+
+  // Rebuild the planned built-ins in the same order BuildPlan indexed them.
+  std::vector<PlannedBuiltin> builtins;
+  {
+    UnionFind uf(ic.var_names.size());
+    for (const BoundBuiltin& b : ic.builtins) {
+      if (b.rhs_is_var && b.op == CompareOp::kEq) {
+        uf.Union(b.lhs_var, b.rhs_var);
+      }
+    }
+    for (const BoundBuiltin& b : ic.builtins) {
+      if (b.rhs_is_var && b.op == CompareOp::kEq) continue;
+      PlannedBuiltin pb;
+      pb.lhs_class = uf.Find(b.lhs_var);
+      pb.op = b.op;
+      pb.rhs_is_var = b.rhs_is_var;
+      if (b.rhs_is_var) {
+        pb.rhs_class = uf.Find(b.rhs_var);
+      } else {
+        pb.rhs_const = &b.rhs_const;
+      }
+      builtins.push_back(pb);
+    }
+  }
+
+  std::vector<const Value*> binding(plan.num_classes, nullptr);
+  std::vector<TupleRef> current(plan.steps.size());
+  std::unordered_set<ViolationSet, ViolationSetHash>& dedupe = *dedupe_out;
+
+  // Iterative-recursive evaluation via an explicit lambda.
+  Status status = Status::OK();
+  auto recurse = [&](auto&& self, size_t depth) -> bool {  // false = abort
+    if (depth == plan.steps.size()) {
+      ViolationSet vs;
+      vs.ic_index = ic.ic_index;
+      vs.tuples = current;
+      std::sort(vs.tuples.begin(), vs.tuples.end());
+      vs.tuples.erase(std::unique(vs.tuples.begin(), vs.tuples.end()),
+                      vs.tuples.end());
+      if (dedupe.insert(std::move(vs)).second &&
+          dedupe.size() > options_.max_violation_sets) {
+        status = Status::ResourceExhausted(
+            "violation-set enumeration exceeded max_violation_sets = " +
+            std::to_string(options_.max_violation_sets));
+        return false;
+      }
+      return true;
+    }
+    const AtomStep& step = plan.steps[depth];
+    const BoundAtom& atom = ic.atoms[step.atom_index];
+    const Table& table = db_.table(atom.relation_index);
+
+    // Candidate rows: hash index on join columns, then B+-tree range scan,
+    // then full scan.
+    const std::vector<uint32_t>* rows = nullptr;
+    std::vector<uint32_t> scan_rows;
+    if (!step.index_positions.empty()) {
+      std::vector<Value> key;
+      key.reserve(step.index_classes.size());
+      for (int32_t cls : step.index_classes) key.push_back(*binding[cls]);
+      const HashIndex& index =
+          GetIndex(atom.relation_index, step.index_positions);
+      const auto it = index.find(key);
+      if (it == index.end()) return true;  // no matching rows
+      rows = &it->second;
+    } else if (step.range_position >= 0) {
+      const BTreeIndex* btree = table.FindOrderedIndex(
+          static_cast<size_t>(step.range_position));
+      const bool upper = step.range_op == CompareOp::kLt ||
+                         step.range_op == CompareOp::kLe;
+      const bool strict = step.range_op == CompareOp::kLt ||
+                          step.range_op == CompareOp::kGt;
+      scan_rows = upper ? btree->RangeScan(std::nullopt, false,
+                                           step.range_bound, strict)
+                        : btree->RangeScan(step.range_bound, strict,
+                                           std::nullopt, false);
+      rows = &scan_rows;
+    } else {
+      scan_rows.resize(table.size());
+      std::iota(scan_rows.begin(), scan_rows.end(), 0);
+      rows = &scan_rows;
+    }
+
+    const auto [min_row, max_row] =
+        bounds != nullptr ? (*bounds)[step.atom_index]
+                          : std::make_pair(0u, UINT32_MAX);
+    if (rows == &scan_rows && step.range_position < 0 &&
+        (min_row > 0 || max_row < table.size())) {
+      // Full scan with row bounds: walk only the bounded range.
+      const uint32_t lo = min_row;
+      const uint32_t hi = std::min<uint32_t>(
+          max_row, static_cast<uint32_t>(table.size()));
+      scan_rows.clear();
+      for (uint32_t r = lo; r < hi; ++r) scan_rows.push_back(r);
+    }
+    for (const uint32_t row : *rows) {
+      if (row < min_row || row >= max_row) continue;
+      const Tuple& tuple = table.row(row);
+      bool ok = true;
+      for (uint32_t pos : step.const_positions) {
+        if (!(tuple.value(pos) == atom.constants[pos])) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      for (const auto& [pos, cls] : step.join_positions) {
+        if (!(tuple.value(pos) == *binding[cls])) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      for (const auto& [pos, cls] : step.bind_positions) {
+        binding[cls] = &tuple.value(pos);
+      }
+      for (const uint32_t b : step.builtins) {
+        const PlannedBuiltin& pb = builtins[b];
+        const Value& rhs =
+            pb.rhs_is_var ? *binding[pb.rhs_class] : *pb.rhs_const;
+        if (!EvalCompare(*binding[pb.lhs_class], pb.op, rhs)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      current[depth] = TupleRef{atom.relation_index, row};
+      if (!self(self, depth + 1)) return false;
+    }
+    return true;
+  };
+  recurse(recurse, 0);
+  return status;
+}
+
+void ViolationEngine::EmitMinimal(
+    const std::unordered_set<ViolationSet, ViolationSetHash>& dedupe,
+    std::vector<ViolationSet>* out) {
+  // ---- Minimality filter (Definition 2.4). ----
+  // A candidate set is dropped when a proper subset is also a violation set.
+  for (const ViolationSet& vs : dedupe) {
+    const size_t k = vs.tuples.size();
+    bool minimal = true;
+    if (k > 1 && k <= 16) {
+      for (uint32_t mask = 1; mask + 1 < (1u << k) && minimal; ++mask) {
+        ViolationSet sub;
+        sub.ic_index = vs.ic_index;
+        for (size_t i = 0; i < k; ++i) {
+          if (mask & (1u << i)) sub.tuples.push_back(vs.tuples[i]);
+        }
+        if (dedupe.count(sub) > 0) minimal = false;
+      }
+    }
+    if (minimal) out->push_back(vs);
+  }
+}
+
+void ViolationEngine::SortViolations(std::vector<ViolationSet>* out) {
+  std::sort(out->begin(), out->end(),
+            [](const ViolationSet& a, const ViolationSet& b) {
+              if (a.ic_index != b.ic_index) return a.ic_index < b.ic_index;
+              return a.tuples < b.tuples;
+            });
+}
+
+Result<std::vector<ViolationSet>> ViolationEngine::FindViolations() {
+  std::vector<ViolationSet> out;
+  for (const BoundConstraint& ic : ics_) {
+    const Plan plan = BuildPlan(ic);
+    std::unordered_set<ViolationSet, ViolationSetHash> dedupe;
+    DBREPAIR_RETURN_IF_ERROR(ExecuteInto(plan, nullptr, &dedupe));
+    EmitMinimal(dedupe, &out);
+  }
+  SortViolations(&out);
+  return out;
+}
+
+Result<std::vector<ViolationSet>> ViolationEngine::FindViolationsSince(
+    const std::vector<uint32_t>& first_new_row) {
+  if (first_new_row.size() != db_.relation_count()) {
+    return Status::InvalidArgument(
+        "first_new_row must have one entry per relation");
+  }
+  std::vector<ViolationSet> out;
+  for (const BoundConstraint& ic : ics_) {
+    std::unordered_set<ViolationSet, ViolationSetHash> dedupe;
+    // Delta-join partition by the first atom bound to a new tuple: atoms
+    // before the pivot see only old rows, the pivot only new rows, the rest
+    // everything. Every assignment with >= 1 new tuple lands in exactly one
+    // pivot run.
+    for (size_t pivot = 0; pivot < ic.atoms.size(); ++pivot) {
+      const Plan pivot_plan = BuildPlan(ic, static_cast<int>(pivot));
+      AtomRowBounds bounds(ic.atoms.size(),
+                           std::make_pair(0u, UINT32_MAX));
+      bool feasible = true;
+      for (size_t a = 0; a < ic.atoms.size(); ++a) {
+        const uint32_t threshold = first_new_row[ic.atoms[a].relation_index];
+        if (a < pivot) {
+          bounds[a] = {0u, threshold};  // old rows only
+          if (threshold == 0) feasible = false;
+        } else if (a == pivot) {
+          bounds[a] = {threshold, UINT32_MAX};  // new rows only
+          if (threshold >=
+              db_.table(ic.atoms[a].relation_index).size()) {
+            feasible = false;
+          }
+        }
+      }
+      if (!feasible) continue;
+      DBREPAIR_RETURN_IF_ERROR(ExecuteInto(pivot_plan, &bounds, &dedupe));
+    }
+    EmitMinimal(dedupe, &out);
+  }
+  SortViolations(&out);
+  return out;
+}
+
+Result<bool> ViolationEngine::Satisfies(
+    const Database& db, const std::vector<BoundConstraint>& ics) {
+  ViolationEngine engine(db, ics);
+  DBREPAIR_ASSIGN_OR_RETURN(const std::vector<ViolationSet> violations,
+                            engine.FindViolations());
+  return violations.empty();
+}
+
+bool ViolationEngine::SetSatisfies(
+    const BoundConstraint& ic,
+    const std::vector<std::pair<uint32_t, const Tuple*>>& tuples) {
+  const size_t num_vars = ic.var_names.size();
+  std::vector<const Value*> binding(num_vars, nullptr);
+
+  // Built-ins evaluable once all their variables are bound; with every atom
+  // bound at the leaf all are evaluable, but we check eagerly per depth.
+  auto builtin_holds = [&](const BoundBuiltin& b) {
+    const Value* lhs = binding[b.lhs_var];
+    const Value* rhs = b.rhs_is_var ? binding[b.rhs_var] : &b.rhs_const;
+    if (lhs == nullptr || rhs == nullptr) return true;  // not yet bound
+    return EvalCompare(*lhs, b.op, rhs == &b.rhs_const ? b.rhs_const : *rhs);
+  };
+
+  auto recurse = [&](auto&& self, size_t atom_index) -> bool {
+    if (atom_index == ic.atoms.size()) {
+      for (const BoundBuiltin& b : ic.builtins) {
+        if (!builtin_holds(b)) return false;
+      }
+      return true;  // found a satisfying assignment -> the set violates ic
+    }
+    const BoundAtom& atom = ic.atoms[atom_index];
+    for (const auto& [relation, tuple] : tuples) {
+      if (relation != atom.relation_index) continue;
+      if (tuple->arity() != atom.var_ids.size()) continue;
+      bool ok = true;
+      std::vector<int32_t> bound_here;
+      for (uint32_t pos = 0; pos < atom.var_ids.size() && ok; ++pos) {
+        const int32_t vid = atom.var_ids[pos];
+        const Value& v = tuple->value(pos);
+        if (vid < 0) {
+          ok = v == atom.constants[pos];
+        } else if (binding[vid] != nullptr) {
+          ok = v == *binding[vid];
+        } else {
+          binding[vid] = &v;
+          bound_here.push_back(vid);
+        }
+      }
+      if (ok) {
+        // Early built-in pruning with the partial binding.
+        for (const BoundBuiltin& b : ic.builtins) {
+          if (!builtin_holds(b)) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (ok && self(self, atom_index + 1)) return true;
+      for (const int32_t vid : bound_here) binding[vid] = nullptr;
+    }
+    return false;
+  };
+  return !recurse(recurse, 0);
+}
+
+}  // namespace dbrepair

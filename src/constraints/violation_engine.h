@@ -1,0 +1,156 @@
+#ifndef DBREPAIR_CONSTRAINTS_VIOLATION_ENGINE_H_
+#define DBREPAIR_CONSTRAINTS_VIOLATION_ENGINE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "constraints/ast.h"
+#include "constraints/violation.h"
+#include "storage/database.h"
+#include "storage/statistics.h"
+
+namespace dbrepair {
+
+struct ViolationEngineOptions {
+  /// Safety cap on the number of deduplicated violation sets; exceeded
+  /// enumeration returns ResourceExhausted instead of exhausting memory.
+  size_t max_violation_sets = 100'000'000;
+};
+
+/// Enumerates violation sets of linear denial constraints over a Database
+/// (the role Algorithm 2 delegates to SQL views in the paper).
+///
+/// Each constraint body is a conjunctive query with comparison built-ins;
+/// the engine evaluates it with a greedy join order, lazily-built hash
+/// indexes on the join columns, and earliest-possible placement of the
+/// built-in filters. Explicit `x = y` built-ins are merged into variable
+/// equivalence classes so they join with indexes rather than as post-filters.
+class ViolationEngine {
+ public:
+  /// Both `db` and `ics` must outlive the engine.
+  ViolationEngine(const Database& db, const std::vector<BoundConstraint>& ics,
+                  ViolationEngineOptions options = {});
+
+  /// All minimal violation sets (Definition 2.4) of every constraint,
+  /// deduplicated, with non-minimal supersets filtered out.
+  Result<std::vector<ViolationSet>> FindViolations();
+
+  /// Incremental (delta-join) enumeration: only the minimal violation sets
+  /// involving at least one *new* tuple, where rows >= first_new_row[rel]
+  /// of each relation are new (tables are append-only, so a batch insert is
+  /// exactly a row-id suffix). When the pre-batch instance was consistent,
+  /// these are ALL violation sets of the grown instance — found without
+  /// re-joining the old data against itself. Each constraint runs once per
+  /// pivot atom with the standard delta-join partition (atoms before the
+  /// pivot bind old rows, the pivot binds new rows), so no assignment is
+  /// enumerated twice.
+  Result<std::vector<ViolationSet>> FindViolationsSince(
+      const std::vector<uint32_t>& first_new_row);
+
+  /// True iff `db` satisfies every constraint (no violation set exists).
+  static Result<bool> Satisfies(const Database& db,
+                                const std::vector<BoundConstraint>& ics);
+
+  /// Whether the tuple collection satisfies `ic`, i.e. *no* assignment of
+  /// the given tuples (relation index, tuple) to ic's atoms makes the body
+  /// true. Tuples may be used for several atoms (set semantics). This is the
+  /// Algorithm-4 check "(I \ {t}) union {t'} |= ic" where t' is a candidate
+  /// fix that is not stored in the database.
+  static bool SetSatisfies(
+      const BoundConstraint& ic,
+      const std::vector<std::pair<uint32_t, const Tuple*>>& tuples);
+
+ private:
+  // Execution plan step for one atom in the chosen join order.
+  struct AtomStep {
+    uint32_t atom_index = 0;
+    // Positions holding constants, checked against each candidate row.
+    std::vector<uint32_t> const_positions;
+    // Positions whose variable class is first bound by this step.
+    std::vector<std::pair<uint32_t, int32_t>> bind_positions;  // (pos, class)
+    // Positions whose variable class is already bound (join checks). The
+    // subset bound by *earlier atoms* can be served by a hash index.
+    std::vector<std::pair<uint32_t, int32_t>> join_positions;  // (pos, class)
+    // Join positions usable as hash-index key (bound before this atom).
+    std::vector<uint32_t> index_positions;
+    std::vector<int32_t> index_classes;
+    // Built-ins fully bound once this step binds its variables.
+    std::vector<uint32_t> builtins;
+    // Ordered-index range scan: when no hash-join columns exist but a
+    // var-constant range built-in anchors at this atom on a column with a
+    // B+-tree index, the scan walks only the qualifying leaf range. The
+    // built-in also stays in `builtins` (the index range is a superset:
+    // e.g. NULL keys sort low and must still be filtered out).
+    int32_t range_position = -1;
+    CompareOp range_op = CompareOp::kLt;
+    Value range_bound;
+  };
+
+  struct Plan {
+    const BoundConstraint* ic = nullptr;
+    std::vector<AtomStep> steps;
+    size_t num_classes = 0;
+  };
+
+  // Hash index: join-column values -> row ids, cached per (relation, cols).
+  struct VecValueHash {
+    size_t operator()(const std::vector<Value>& vs) const {
+      size_t h = 0x811c9dc5;
+      for (const Value& v : vs) h = h * 1099511628211ULL + v.Hash();
+      return h;
+    }
+  };
+  using HashIndex =
+      std::unordered_map<std::vector<Value>, std::vector<uint32_t>,
+                         VecValueHash>;
+
+  // `forced_first_atom` >= 0 pins that atom to the front of the join
+  // order (used by the delta-join pivots so the batch scan leads).
+  Plan BuildPlan(const BoundConstraint& ic, int forced_first_atom = -1);
+  const HashIndex& GetIndex(uint32_t relation,
+                            const std::vector<uint32_t>& positions);
+  const TableStats& GetStats(uint32_t relation);
+
+  // Per-atom row-id bounds [min, max) used by the delta-join pivots;
+  // nullptr = unrestricted.
+  using AtomRowBounds = std::vector<std::pair<uint32_t, uint32_t>>;
+
+  // Recursive join evaluation; inserts canonical tuple sets into `dedupe`.
+  Status ExecuteInto(
+      const Plan& plan, const AtomRowBounds* bounds,
+      std::unordered_set<ViolationSet, ViolationSetHash>* dedupe);
+
+  // Minimality filter (Definition 2.4): appends the inclusion-minimal sets
+  // of `dedupe` to `out`.
+  static void EmitMinimal(
+      const std::unordered_set<ViolationSet, ViolationSetHash>& dedupe,
+      std::vector<ViolationSet>* out);
+
+  // Shared tail of the Find* entry points: sorts `out` deterministically.
+  static void SortViolations(std::vector<ViolationSet>* out);
+
+  const Database& db_;
+  const std::vector<BoundConstraint>& ics_;
+  ViolationEngineOptions options_;
+
+  struct IndexKeyHash {
+    size_t operator()(const std::pair<uint32_t, std::vector<uint32_t>>& k)
+        const {
+      size_t h = k.first * 0x9e3779b97f4a7c15ULL;
+      for (uint32_t p : k.second) h = h * 31 + p;
+      return h;
+    }
+  };
+  std::unordered_map<std::pair<uint32_t, std::vector<uint32_t>>, HashIndex,
+                     IndexKeyHash>
+      index_cache_;
+  std::unordered_map<uint32_t, TableStats> stats_cache_;
+};
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_CONSTRAINTS_VIOLATION_ENGINE_H_

@@ -1,0 +1,101 @@
+#ifndef DBREPAIR_CQA_CQA_H_
+#define DBREPAIR_CQA_CQA_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "constraints/ast.h"
+#include "sql/ast.h"
+#include "storage/database.h"
+
+namespace dbrepair {
+
+/// Consistent query answering (CQA) over the attribute-update repair space
+/// — the alternative to cleaning that the paper's introduction contrasts:
+/// instead of materialising one repair, answer queries with the tuples that
+/// hold in *every* repair.
+///
+/// Semantics. Every repair replaces an inconsistent tuple t by a
+/// combination of its mono-local fixes (Definition 3.2), so t's value in
+/// any repair lies in t's *combo set*: pick, per flexible attribute, either
+/// the original value or one of the attribute's candidate-fix values.
+/// The classifier evaluates the query over that set:
+///  * a projected row is CERTAIN when some tuple yields it under every
+///    combo (then every repair contains it) — sound: certain rows really
+///    are consistent answers; the approximation may miss rows that arise
+///    from different tuples in different repairs;
+///  * a row is POSSIBLE when some combo of some tuple yields it — complete:
+///    every answer of some repair is listed (the combo set over-approximates
+///    the per-tuple repair states).
+enum class AnswerKind {
+  kCertain,
+  kPossibleOnly,
+};
+
+struct ClassifiedRow {
+  std::vector<Value> values;
+  AnswerKind kind = AnswerKind::kCertain;
+};
+
+struct CqaResult {
+  std::vector<std::string> columns;
+  /// Certain rows first, then possible-only rows; each group ordered by the
+  /// originating tuple.
+  std::vector<ClassifiedRow> rows;
+  /// Tuples whose combo set exceeded the enumeration cap; their rows were
+  /// conservatively classified possible-only.
+  size_t capped_tuples = 0;
+};
+
+struct CqaOptions {
+  /// Upper bound on enumerated fix combinations per tuple.
+  size_t max_combos_per_tuple = 4096;
+};
+
+/// Answers a single-relation selection/projection query (the SQL subset,
+/// one FROM entry, conjunctive WHERE over that relation) under the repair
+/// semantics induced by the local ICs `ics`.
+Result<CqaResult> ConsistentAnswers(const Database& db,
+                                    const std::vector<BoundConstraint>& ics,
+                                    const SelectStatement& query,
+                                    const CqaOptions& options = {});
+
+/// Convenience overload parsing `sql` first.
+Result<CqaResult> ConsistentAnswers(const Database& db,
+                                    const std::vector<BoundConstraint>& ics,
+                                    std::string_view sql,
+                                    const CqaOptions& options = {});
+
+/// Range-consistent answer to a scalar aggregation query — the glb/lub
+/// semantics of Arenas et al. (the paper's reference [2], "Scalar
+/// aggregation in inconsistent databases"): instead of one number, report
+/// an interval that contains the aggregate's value in *every* repair.
+///
+/// The bounds are *sound outer bounds* derived from the per-tuple combo
+/// sets: each tuple contributes its best/worst case independently, so the
+/// interval always contains every repair's value but may not be tight when
+/// fix choices are correlated across tuples. A NULL bound means that side
+/// is undefined (e.g. MIN's upper bound when some repair may select no
+/// rows).
+struct AggregateRange {
+  Value lower;
+  Value upper;
+  /// True when some repair may select no rows at all (MIN/MAX undefined
+  /// there; COUNT may be 0).
+  bool may_be_empty = false;
+  /// Tuples whose combo set exceeded the cap; handled conservatively
+  /// (bounds widened using the per-attribute value ranges).
+  size_t capped_tuples = 0;
+};
+
+/// Supported queries: a single aggregate — COUNT(*) / COUNT(col) /
+/// SUM(col) / MIN(col) / MAX(col) — over one relation with a conjunctive
+/// WHERE (AVG is not supported: its bounds are not decomposable per tuple).
+Result<AggregateRange> AggregateConsistentRange(
+    const Database& db, const std::vector<BoundConstraint>& ics,
+    std::string_view sql, const CqaOptions& options = {});
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_CQA_CQA_H_

@@ -1,0 +1,115 @@
+#include "gen/census.h"
+
+#include "common/rng.h"
+#include "constraints/parser.h"
+
+namespace dbrepair {
+
+std::shared_ptr<const Schema> MakeCensusSchema() {
+  auto schema = std::make_shared<Schema>();
+  {
+    std::vector<AttributeDef> attrs;
+    attrs.push_back(AttributeDef{"HID", Type::kInt64, false, 1.0});
+    attrs.push_back(AttributeDef{"NCHILD", Type::kInt64, true, 1.0});
+    attrs.push_back(AttributeDef{"NCARS", Type::kInt64, true, 0.5});
+    Status st = schema->AddRelation(
+        RelationSchema("Household", std::move(attrs), {"HID"}));
+    (void)st;
+  }
+  {
+    std::vector<AttributeDef> attrs;
+    attrs.push_back(AttributeDef{"HID", Type::kInt64, false, 1.0});
+    attrs.push_back(AttributeDef{"PID", Type::kInt64, false, 1.0});
+    attrs.push_back(AttributeDef{"AGE", Type::kInt64, true, 1.0});
+    attrs.push_back(AttributeDef{"REL", Type::kInt64, false, 1.0});
+    attrs.push_back(AttributeDef{"INC", Type::kInt64, true, 0.1});
+    Status st = schema->AddRelation(
+        RelationSchema("Person", std::move(attrs), {"HID", "PID"}));
+    (void)st;
+  }
+  return schema;
+}
+
+std::vector<DenialConstraint> MakeCensusConstraints() {
+  const char* text =
+      "c1: :- Household(h, nc, cars), nc > 20\n"
+      "c2: :- Household(h, nc, cars), cars > 10\n"
+      "c3: :- Person(h, p, age, 1, inc), age < 16\n"
+      "c4: :- Person(h, p, age, r, inc), age < 14, inc > 0\n"
+      "c5: :- Household(h, nc, cars), Person(h, p, age, r, inc), age < 21, "
+      "cars > 2\n";
+  auto parsed = ParseConstraintSet(text);
+  return std::move(parsed).value();
+}
+
+Result<GeneratedWorkload> GenerateCensus(const CensusOptions& options) {
+  Rng rng(options.seed);
+  Database db(MakeCensusSchema());
+
+  for (size_t h = 0; h < options.num_households; ++h) {
+    const auto hid = static_cast<int64_t>(h + 1);
+    const bool inconsistent = rng.Bernoulli(options.inconsistency_ratio);
+    const size_t members =
+        1 + rng.Uniform(options.max_members > 0 ? options.max_members : 1);
+
+    // Pick which inconsistencies this household carries; an inconsistent
+    // household carries at least one.
+    const bool bad_children = inconsistent && rng.Bernoulli(0.25);
+    bool bad_cars = inconsistent && rng.Bernoulli(0.25);
+    const bool young_head = inconsistent && rng.Bernoulli(0.4);
+    const bool child_income = inconsistent && rng.Bernoulli(0.4);
+    if (inconsistent && !bad_children && !bad_cars && !young_head &&
+        !child_income) {
+      bad_cars = true;
+    }
+
+    const int64_t nchild =
+        bad_children ? rng.UniformInRange(21, 30) : rng.UniformInRange(0, 5);
+    // `young_head && bad_cars` would put NCARS > 10 and cars > 2 in play at
+    // once; that is fine (degree just rises).
+    const int64_t ncars =
+        bad_cars ? rng.UniformInRange(11, 15) : rng.UniformInRange(0, 2);
+    DBREPAIR_RETURN_IF_ERROR(
+        db.Insert("Household",
+                  {Value::Int(hid), Value::Int(nchild), Value::Int(ncars)})
+            .status());
+
+    for (size_t m = 0; m < members; ++m) {
+      const auto pid = static_cast<int64_t>(m + 1);
+      int64_t rel;
+      int64_t age;
+      int64_t income;
+      if (m == 0) {
+        rel = 1;  // head
+        if (young_head) {
+          // Violates c3 when < 16; violates c5 when < 21 and cars > 2.
+          age = rng.UniformInRange(12, 20);
+          if (ncars <= 2 && age >= 16) age = rng.UniformInRange(12, 15);
+        } else {
+          age = rng.UniformInRange(25, 80);
+        }
+        income = rng.UniformInRange(10000, 90000);
+      } else if (m == 1 && members > 2) {
+        rel = 2;  // spouse
+        age = rng.UniformInRange(21, 80);
+        income = rng.UniformInRange(0, 90000);
+      } else {
+        rel = 3;  // child
+        age = rng.UniformInRange(0, 17);
+        if (child_income && age < 14) {
+          income = rng.UniformInRange(1, 500);  // violates c4
+        } else {
+          income = age >= 14 ? rng.UniformInRange(0, 5000) : 0;
+        }
+      }
+      DBREPAIR_RETURN_IF_ERROR(
+          db.Insert("Person",
+                    {Value::Int(hid), Value::Int(pid), Value::Int(age),
+                     Value::Int(rel), Value::Int(income)})
+              .status());
+    }
+  }
+  return GeneratedWorkload{std::move(db), MakeCensusConstraints()};
+}
+
+}  // namespace dbrepair

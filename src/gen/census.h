@@ -1,0 +1,50 @@
+#ifndef DBREPAIR_GEN_CENSUS_H_
+#define DBREPAIR_GEN_CENSUS_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "gen/client_buy.h"  // GeneratedWorkload
+
+namespace dbrepair {
+
+/// Parameters for the census workload motivated in the paper's
+/// introduction (household forms with semantic restrictions). Each tuple
+/// can only be inconsistent together with members of its own household, so
+/// Deg(D, IC) is bounded by the household size — the regime where the
+/// modified greedy runs in O(n log n).
+///
+/// Schema:
+///   Household(HID, NCHILD, NCARS)           key {HID},      F = {NCHILD, NCARS}
+///   Person(HID, PID, AGE, REL, INC)         key {HID, PID}, F = {AGE, INC}
+///     REL: 1 = head, 2 = spouse, 3 = child (hard).
+///
+/// Constraints (all local; one comparison direction per attribute):
+///   c1: :- Household(h, nc, cars), nc > 20           at most 20 children
+///   c2: :- Household(h, nc, cars), cars > 10         at most 10 cars
+///   c3: :- Person(h, p, age, 1, inc), age < 16       head at least 16
+///   c4: :- Person(h, p, age, r, inc), age < 14, inc > 0
+///                                     children under 14 have no income
+///   c5: :- Household(h, nc, cars), Person(h, p, age, r, inc),
+///          age < 21, cars > 2       households with young members own few
+///                                   cars; ties the household tuple to every
+///                                   young member, so Deg grows with (and is
+///                                   bounded by) the household size
+struct CensusOptions {
+  size_t num_households = 1000;
+  size_t max_members = 6;
+  /// Probability a household carries at least one inconsistency.
+  double inconsistency_ratio = 0.3;
+  uint64_t seed = 1;
+};
+
+/// Generates a census instance per `options`. Deterministic in the seed.
+Result<GeneratedWorkload> GenerateCensus(const CensusOptions& options);
+
+std::shared_ptr<const Schema> MakeCensusSchema();
+std::vector<DenialConstraint> MakeCensusConstraints();
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_GEN_CENSUS_H_

@@ -1,0 +1,56 @@
+#ifndef DBREPAIR_GEN_CLIENT_BUY_H_
+#define DBREPAIR_GEN_CLIENT_BUY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "constraints/ast.h"
+#include "storage/database.h"
+
+namespace dbrepair {
+
+/// A generated workload: instance plus its IC set.
+struct GeneratedWorkload {
+  Database db;
+  std::vector<DenialConstraint> ics;
+};
+
+/// Parameters for the paper's Section-4 experimental schema:
+///   Client(ID, A, C)  key {ID},     F = {A, C}
+///   Buy(ID, I, P)     key {ID, I},  F = {P}
+///   ic1: :- Buy(id, i, p), Client(id, a, c), a < 18, p > 25
+///   ic2: :- Client(id, a, c), a < 18, c > 50
+struct ClientBuyOptions {
+  /// Number of Client tuples; Buy adds ~buys_per_client per client.
+  size_t num_clients = 1000;
+  size_t buys_per_client = 2;
+  /// Probability that a client is generated inconsistent (a minor with
+  /// offending credit and/or purchases). The paper used databases with
+  /// "around 30% of tuples involved in inconsistencies".
+  double inconsistency_ratio = 0.3;
+  /// Fraction of inconsistent minors whose credit violates ic2.
+  double credit_violation_ratio = 0.5;
+  /// Fraction of an inconsistent minor's purchases violating ic1.
+  double purchase_violation_ratio = 0.7;
+  /// When > 0, the first `hotspot_clients` inconsistent clients receive
+  /// `hotspot_buys` offending purchases each, driving Deg(D, IC) up for the
+  /// unbounded-degree scaling experiments.
+  size_t hotspot_clients = 0;
+  size_t hotspot_buys = 0;
+  uint64_t seed = 1;
+};
+
+/// Generates a Client/Buy instance per `options`. Deterministic in the seed.
+Result<GeneratedWorkload> GenerateClientBuy(const ClientBuyOptions& options);
+
+/// The Client/Buy schema alone (for loading external data against it).
+std::shared_ptr<const Schema> MakeClientBuySchema();
+
+/// The two constraints of Section 4.
+std::vector<DenialConstraint> MakeClientBuyConstraints();
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_GEN_CLIENT_BUY_H_

@@ -1,0 +1,109 @@
+#include "gen/paper_example.h"
+
+#include "constraints/parser.h"
+
+namespace dbrepair {
+
+namespace {
+
+std::shared_ptr<const Schema> MakePaperSchema(bool with_pub) {
+  auto schema = std::make_shared<Schema>();
+  {
+    std::vector<AttributeDef> attrs;
+    attrs.push_back(AttributeDef{"ID", Type::kString, false, 1.0});
+    attrs.push_back(AttributeDef{"EF", Type::kInt64, true, 1.0});
+    attrs.push_back(AttributeDef{"PRC", Type::kInt64, true, 1.0 / 20.0});
+    attrs.push_back(AttributeDef{"CF", Type::kInt64, true, 0.5});
+    Status st = schema->AddRelation(
+        RelationSchema("Paper", std::move(attrs), {"ID"}));
+    (void)st;
+  }
+  if (with_pub) {
+    std::vector<AttributeDef> attrs;
+    attrs.push_back(AttributeDef{"ID", Type::kInt64, false, 1.0});
+    attrs.push_back(AttributeDef{"PID", Type::kString, false, 1.0});
+    // alpha_Pag = 1/5, not the 1/10 of Example 2.5; see the header comment.
+    attrs.push_back(AttributeDef{"Pag", Type::kInt64, true, 1.0 / 5.0});
+    Status st =
+        schema->AddRelation(RelationSchema("Pub", std::move(attrs), {"ID"}));
+    (void)st;
+  }
+  return schema;
+}
+
+void InsertPaperTuples(Database* db) {
+  auto r1 = db->Insert("Paper", {Value::String("B1"), Value::Int(1),
+                                 Value::Int(40), Value::Int(0)});
+  auto r2 = db->Insert("Paper", {Value::String("C2"), Value::Int(1),
+                                 Value::Int(20), Value::Int(1)});
+  auto r3 = db->Insert("Paper", {Value::String("E3"), Value::Int(1),
+                                 Value::Int(70), Value::Int(1)});
+  (void)r1;
+  (void)r2;
+  (void)r3;
+}
+
+}  // namespace
+
+GeneratedWorkload MakePaperTableExample() {
+  Database db(MakePaperSchema(/*with_pub=*/false));
+  InsertPaperTuples(&db);
+  auto ics = ParseConstraintSet(
+      "ic1: :- Paper(x, y, z, w), y > 0, z < 50\n"
+      "ic2: :- Paper(x, y, z, w), y > 0, w < 1\n");
+  return GeneratedWorkload{std::move(db), std::move(ics).value()};
+}
+
+GeneratedWorkload MakePaperPubExample() {
+  Database db(MakePaperSchema(/*with_pub=*/true));
+  InsertPaperTuples(&db);
+  auto p1 = db.Insert(
+      "Pub", {Value::Int(235), Value::String("B1"), Value::Int(45)});
+  auto p2 = db.Insert(
+      "Pub", {Value::Int(112), Value::String("B1"), Value::Int(30)});
+  auto p3 = db.Insert(
+      "Pub", {Value::Int(100), Value::String("E3"), Value::Int(80)});
+  (void)p1;
+  (void)p2;
+  (void)p3;
+  auto ics = ParseConstraintSet(
+      "ic1: :- Paper(x, y, z, w), y > 0, z < 50\n"
+      "ic2: :- Paper(x, y, z, w), y > 0, w < 1\n"
+      "ic3: :- Pub(x, y, z), Paper(y, u, v, w), z > 40, v < 70\n");
+  return GeneratedWorkload{std::move(db), std::move(ics).value()};
+}
+
+GeneratedWorkload MakeCardinalityExample() {
+  auto schema = std::make_shared<Schema>();
+  {
+    std::vector<AttributeDef> attrs;
+    attrs.push_back(AttributeDef{"A", Type::kInt64, false, 1.0});
+    attrs.push_back(AttributeDef{"B", Type::kString, false, 1.0});
+    Status st = schema->AddRelation(
+        RelationSchema("P", std::move(attrs), {"A", "B"}));
+    (void)st;
+  }
+  {
+    std::vector<AttributeDef> attrs;
+    attrs.push_back(AttributeDef{"C", Type::kString, false, 1.0});
+    attrs.push_back(AttributeDef{"D", Type::kInt64, false, 1.0});
+    Status st = schema->AddRelation(
+        RelationSchema("T", std::move(attrs), {"C", "D"}));
+    (void)st;
+  }
+  Database db(std::move(schema));
+  auto r1 = db.Insert("P", {Value::Int(1), Value::String("b")});
+  auto r2 = db.Insert("P", {Value::Int(1), Value::String("c")});
+  auto r3 = db.Insert("P", {Value::Int(2), Value::String("e")});
+  auto r4 = db.Insert("T", {Value::String("e"), Value::Int(4)});
+  (void)r1;
+  (void)r2;
+  (void)r3;
+  (void)r4;
+  auto ics = ParseConstraintSet(
+      "ic1: :- P(x, y), P(x, z), y != z\n"
+      "ic2: :- P(x, y), T(y, z), z < 5\n");
+  return GeneratedWorkload{std::move(db), std::move(ics).value()};
+}
+
+}  // namespace dbrepair

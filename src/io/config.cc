@@ -1,0 +1,201 @@
+#include "io/config.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "constraints/parser.h"
+
+namespace dbrepair {
+
+Result<SolverKind> ParseSolverKind(std::string_view name) {
+  const std::string lower = ToLower(TrimWhitespace(name));
+  if (lower == "greedy") return SolverKind::kGreedy;
+  if (lower == "modified-greedy" || lower == "modified_greedy") {
+    return SolverKind::kModifiedGreedy;
+  }
+  if (lower == "lazy-greedy" || lower == "lazy_greedy") {
+    return SolverKind::kLazyGreedy;
+  }
+  if (lower == "layer") return SolverKind::kLayer;
+  if (lower == "modified-layer" || lower == "modified_layer") {
+    return SolverKind::kModifiedLayer;
+  }
+  if (lower == "exact") return SolverKind::kExact;
+  return Status::ParseError("unknown solver '" + std::string(name) + "'");
+}
+
+Result<DistanceKind> ParseDistanceKind(std::string_view name) {
+  const std::string lower = ToLower(TrimWhitespace(name));
+  if (lower == "l1") return DistanceKind::kL1;
+  if (lower == "l2") return DistanceKind::kL2;
+  return Status::ParseError("unknown distance '" + std::string(name) +
+                            "' (expected L1 | L2)");
+}
+
+namespace {
+
+// Builder state for one `[relation X]` section.
+struct PendingRelation {
+  std::string name;
+  std::vector<AttributeDef> attributes;
+  std::vector<std::string> key;
+  std::string data_file;
+};
+
+Status ParseAttributeLine(std::string_view line, PendingRelation* rel) {
+  // attribute NAME TYPE [key] [flexible] [weight=W]
+  std::vector<std::string> words;
+  for (const std::string& w : SplitAndTrim(line, ' ')) {
+    if (!w.empty()) words.push_back(w);
+  }
+  if (words.size() < 3 || ToLower(words[0]) != "attribute") {
+    return Status::ParseError("expected 'attribute NAME TYPE ...', got '" +
+                              std::string(line) + "'");
+  }
+  AttributeDef attr;
+  attr.name = words[1];
+  DBREPAIR_ASSIGN_OR_RETURN(attr.type, ParseType(words[2]));
+  bool is_key = false;
+  for (size_t i = 3; i < words.size(); ++i) {
+    const std::string lower = ToLower(words[i]);
+    if (lower == "key") {
+      is_key = true;
+    } else if (lower == "flexible") {
+      attr.flexible = true;
+    } else if (StartsWith(lower, "weight=")) {
+      DBREPAIR_ASSIGN_OR_RETURN(attr.alpha,
+                                ParseDouble(words[i].substr(7)));
+    } else {
+      return Status::ParseError("unknown attribute option '" + words[i] +
+                                "' in '" + std::string(line) + "'");
+    }
+  }
+  if (is_key) rel->key.push_back(attr.name);
+  rel->attributes.push_back(std::move(attr));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<RepairConfig> ParseConfig(std::string_view text) {
+  RepairConfig config;
+  auto schema = std::make_shared<Schema>();
+
+  enum class Section { kNone, kRelation, kConstraints, kRepair };
+  Section section = Section::kNone;
+  PendingRelation pending;
+  bool has_pending = false;
+
+  auto flush_relation = [&]() -> Status {
+    if (!has_pending) return Status::OK();
+    DBREPAIR_RETURN_IF_ERROR(schema->AddRelation(RelationSchema(
+        pending.name, std::move(pending.attributes), std::move(pending.key))));
+    if (!pending.data_file.empty()) {
+      config.data_files[pending.name] = pending.data_file;
+    }
+    pending = PendingRelation{};
+    has_pending = false;
+    return Status::OK();
+  };
+
+  size_t line_number = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_number;
+    const std::string_view line = TrimWhitespace(raw);
+    if (line.empty() || line[0] == '#' || StartsWith(line, "--")) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        return Status::ParseError("line " + std::to_string(line_number) +
+                                  ": unterminated section header");
+      }
+      DBREPAIR_RETURN_IF_ERROR(flush_relation());
+      const std::string_view header =
+          TrimWhitespace(line.substr(1, line.size() - 2));
+      if (StartsWith(ToLower(header), "relation ")) {
+        section = Section::kRelation;
+        pending.name = std::string(TrimWhitespace(header.substr(9)));
+        if (pending.name.empty()) {
+          return Status::ParseError("line " + std::to_string(line_number) +
+                                    ": relation section without a name");
+        }
+        has_pending = true;
+      } else if (ToLower(header) == "constraints") {
+        section = Section::kConstraints;
+      } else if (ToLower(header) == "repair") {
+        section = Section::kRepair;
+      } else {
+        return Status::ParseError("line " + std::to_string(line_number) +
+                                  ": unknown section '[" +
+                                  std::string(header) + "]'");
+      }
+      continue;
+    }
+
+    switch (section) {
+      case Section::kNone:
+        return Status::ParseError("line " + std::to_string(line_number) +
+                                  ": content before any section header");
+      case Section::kRelation: {
+        if (StartsWith(ToLower(line), "data")) {
+          const size_t eq = line.find('=');
+          if (eq == std::string_view::npos) {
+            return Status::ParseError("line " + std::to_string(line_number) +
+                                      ": expected 'data = <path>'");
+          }
+          pending.data_file =
+              std::string(TrimWhitespace(line.substr(eq + 1)));
+        } else {
+          DBREPAIR_RETURN_IF_ERROR(ParseAttributeLine(line, &pending));
+        }
+        break;
+      }
+      case Section::kConstraints: {
+        DBREPAIR_ASSIGN_OR_RETURN(DenialConstraint ic, ParseConstraint(line));
+        config.constraints.push_back(std::move(ic));
+        break;
+      }
+      case Section::kRepair: {
+        const size_t eq = line.find('=');
+        if (eq == std::string_view::npos) {
+          return Status::ParseError("line " + std::to_string(line_number) +
+                                    ": expected 'key = value'");
+        }
+        const std::string key =
+            ToLower(TrimWhitespace(line.substr(0, eq)));
+        const std::string_view value = TrimWhitespace(line.substr(eq + 1));
+        if (key == "solver") {
+          DBREPAIR_ASSIGN_OR_RETURN(config.solver, ParseSolverKind(value));
+        } else if (key == "distance") {
+          DBREPAIR_ASSIGN_OR_RETURN(config.distance,
+                                    ParseDistanceKind(value));
+        } else if (key == "mode") {
+          DBREPAIR_ASSIGN_OR_RETURN(config.mode, ParseExportMode(value));
+        } else if (key == "output") {
+          config.output_path = std::string(value);
+        } else {
+          return Status::ParseError("line " + std::to_string(line_number) +
+                                    ": unknown repair option '" + key + "'");
+        }
+        break;
+      }
+    }
+  }
+  DBREPAIR_RETURN_IF_ERROR(flush_relation());
+  if (schema->relations().empty()) {
+    return Status::ParseError("configuration declares no relations");
+  }
+  config.schema = std::move(schema);
+  return config;
+}
+
+Result<RepairConfig> LoadConfigFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseConfig(buffer.str());
+}
+
+}  // namespace dbrepair

@@ -1,0 +1,66 @@
+#ifndef DBREPAIR_IO_CONFIG_H_
+#define DBREPAIR_IO_CONFIG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "constraints/ast.h"
+#include "io/export.h"
+#include "repair/distance.h"
+#include "repair/setcover/instance.h"
+
+namespace dbrepair {
+
+/// Parsed repair configuration (the configuration file of the paper's
+/// Figure-1 architecture: schema, ICs, flexible attributes + weights, and
+/// the repair/export mode).
+struct RepairConfig {
+  std::shared_ptr<const Schema> schema;
+  std::vector<DenialConstraint> constraints;
+  /// relation name -> CSV path given via `data = ...` lines.
+  std::map<std::string, std::string> data_files;
+  SolverKind solver = SolverKind::kModifiedGreedy;
+  DistanceKind distance = DistanceKind::kL1;
+  ExportMode mode = ExportMode::kDump;
+  /// Empty means stdout.
+  std::string output_path;
+};
+
+/// Parses "greedy" | "modified-greedy" | "layer" | "modified-layer" |
+/// "exact".
+Result<SolverKind> ParseSolverKind(std::string_view name);
+
+/// Parses "L1" | "L2" (case-insensitive).
+Result<DistanceKind> ParseDistanceKind(std::string_view name);
+
+/// Parses a configuration file of the form:
+///
+///   [relation Paper]
+///   attribute ID STRING key
+///   attribute EF INT flexible weight=1
+///   attribute PRC INT flexible weight=0.05
+///   data = data/paper.csv
+///
+///   [constraints]
+///   ic1: :- Paper(x, y, z, w), y > 0, z < 50
+///
+///   [repair]
+///   solver = modified-greedy
+///   distance = L1
+///   mode = dump
+///   output = repaired.txt
+///
+/// `#` and `--` start comment lines. Keys may be composite
+/// (e.g. "key(ID, I)" is expressed by marking both attributes `key`).
+Result<RepairConfig> ParseConfig(std::string_view text);
+
+/// Loads and parses a configuration file from disk.
+Result<RepairConfig> LoadConfigFile(const std::string& path);
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_IO_CONFIG_H_

@@ -1,0 +1,45 @@
+#ifndef DBREPAIR_IO_CSV_H_
+#define DBREPAIR_IO_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace dbrepair {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// When true the first row is a header and must name the relation's
+  /// attributes in order.
+  bool has_header = true;
+};
+
+/// Parses one CSV record, honouring double-quote quoting with "" escapes.
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line,
+                                              char delimiter);
+
+/// Loads CSV `data` into relation `relation` of `db`, converting each field
+/// to the column type. Returns the number of inserted rows.
+Result<size_t> LoadCsvString(Database* db, std::string_view relation,
+                             std::string_view data,
+                             const CsvOptions& options = {});
+
+/// Loads a CSV file (see LoadCsvString).
+Result<size_t> LoadCsvFile(Database* db, std::string_view relation,
+                           const std::string& path,
+                           const CsvOptions& options = {});
+
+/// Serialises one relation as CSV (header + rows).
+Result<std::string> WriteCsvString(const Database& db,
+                                   std::string_view relation,
+                                   const CsvOptions& options = {});
+
+/// Writes one relation to a CSV file.
+Status WriteCsvFile(const Database& db, std::string_view relation,
+                    const std::string& path, const CsvOptions& options = {});
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_IO_CSV_H_

@@ -1,0 +1,38 @@
+#ifndef DBREPAIR_IO_EXPORT_H_
+#define DBREPAIR_IO_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "repair/repair_builder.h"
+#include "storage/database.h"
+
+namespace dbrepair {
+
+/// Repair export modes (the paper's Figure-1 architecture: database update,
+/// database insert, dump into text file).
+enum class ExportMode {
+  /// SQL UPDATE statements patching the original instance in place.
+  kUpdateStatements,
+  /// SQL INSERT statements materialising the full repaired instance.
+  kInsertStatements,
+  /// A human-readable text dump of every relation.
+  kDump,
+};
+
+const char* ExportModeName(ExportMode mode);
+Result<ExportMode> ParseExportMode(std::string_view name);
+
+/// Serialises the repair in the requested mode. `updates` is required for
+/// kUpdateStatements (the minimal patch); the other modes use `repaired`.
+Result<std::string> ExportRepair(const Database& repaired,
+                                 const std::vector<AppliedUpdate>& updates,
+                                 ExportMode mode);
+
+/// Writes `content` to `path`.
+Status WriteTextFile(const std::string& path, std::string_view content);
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_IO_EXPORT_H_

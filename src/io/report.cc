@@ -1,0 +1,69 @@
+#include "io/report.h"
+
+#include <cstdarg>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+namespace dbrepair {
+
+namespace {
+
+std::string Printf(const char* format, ...) {
+  char buffer[512];
+  va_list args;
+  va_start(args, format);
+  vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  return buffer;
+}
+
+}  // namespace
+
+std::string FormatRepairReport(const Database& original,
+                               const RepairOutcome& outcome) {
+  const RepairStats& stats = outcome.stats;
+  std::string out;
+  out += "repair summary\n";
+  out += Printf("  tuples:            %zu\n", original.TotalTuples());
+  out += Printf("  violation sets:    %zu\n", stats.num_violations);
+  out += Printf("  degree Deg(D, IC): %u\n", stats.max_degree);
+  out += Printf("  candidate fixes:   %zu\n", stats.num_candidate_fixes);
+  out += Printf("  chosen fixes:      %zu\n", stats.num_chosen_fixes);
+  out += Printf("  applied updates:   %zu\n", stats.num_updates);
+  out += Printf("  cover weight:      %.6g\n", stats.cover_weight);
+  out += Printf("  Delta(D, D'):      %.6g\n", stats.distance);
+  out += Printf("  build time:        %.3f ms\n", stats.build_seconds * 1e3);
+  out += Printf("  solve time:        %.3f ms\n", stats.solve_seconds * 1e3);
+
+  if (!stats.violations_per_constraint.empty()) {
+    out += "violations per constraint\n";
+    for (const auto& [name, count] : stats.violations_per_constraint) {
+      out += Printf("  %-20s %zu\n", name.c_str(), count);
+    }
+  }
+
+  if (!outcome.updates.empty()) {
+    // Per (relation, attribute): update count and total absolute change.
+    std::map<std::pair<uint32_t, uint32_t>, std::pair<size_t, int64_t>>
+        histogram;
+    for (const AppliedUpdate& update : outcome.updates) {
+      auto& [count, total] =
+          histogram[{update.tuple.relation, update.attribute}];
+      ++count;
+      const int64_t delta = update.new_value - update.old_value;
+      total += delta < 0 ? -delta : delta;
+    }
+    out += "updates per attribute\n";
+    for (const auto& [key, value] : histogram) {
+      const RelationSchema& rel = original.table(key.first).schema();
+      out += Printf("  %-20s %6zu updates, total |change| %" PRId64 "\n",
+                    (rel.name() + "." + rel.attribute(key.second).name)
+                        .c_str(),
+                    value.first, value.second);
+    }
+  }
+  return out;
+}
+
+}  // namespace dbrepair

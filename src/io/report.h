@@ -1,0 +1,20 @@
+#ifndef DBREPAIR_IO_REPORT_H_
+#define DBREPAIR_IO_REPORT_H_
+
+#include <string>
+
+#include "repair/repairer.h"
+#include "storage/database.h"
+
+namespace dbrepair {
+
+/// Renders a human-readable summary of a repair run: headline numbers,
+/// violation-set counts per constraint, and a per-attribute update
+/// histogram with total weighted change. `original` is the pre-repair
+/// instance (for schema/key rendering of the touched tuples).
+std::string FormatRepairReport(const Database& original,
+                               const RepairOutcome& outcome);
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_IO_REPORT_H_

@@ -1,0 +1,42 @@
+#ifndef DBREPAIR_IO_SNAPSHOT_H_
+#define DBREPAIR_IO_SNAPSHOT_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace dbrepair {
+
+/// Binary snapshot of a Database instance: a compact, lossless dump for
+/// persisting generated workloads and repaired instances (much faster to
+/// reload than CSV). The schema itself is NOT serialised — snapshots are
+/// loaded against a schema the caller provides, and the loader verifies
+/// relation names, arities, and value kinds against it.
+///
+/// Format (little-endian):
+///   magic "DBRS", u32 version,
+///   u32 relation count, then per relation:
+///     string name, u64 row count, rows as tagged values
+///     (tag u8: 0 = NULL, 1 = INT + i64, 2 = DOUBLE + f64,
+///      3 = STRING + u32 length + bytes).
+
+/// Serialises `db` to `out`.
+Status WriteSnapshot(const Database& db, std::ostream& out);
+
+/// Serialises `db` to a file at `path`.
+Status WriteSnapshotFile(const Database& db, const std::string& path);
+
+/// Reads a snapshot from `in` into a fresh instance of `schema`.
+Result<Database> ReadSnapshot(std::shared_ptr<const Schema> schema,
+                              std::istream& in);
+
+/// Reads a snapshot file into a fresh instance of `schema`.
+Result<Database> ReadSnapshotFile(std::shared_ptr<const Schema> schema,
+                                  const std::string& path);
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_IO_SNAPSHOT_H_

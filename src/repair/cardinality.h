@@ -1,0 +1,74 @@
+#ifndef DBREPAIR_REPAIR_CARDINALITY_H_
+#define DBREPAIR_REPAIR_CARDINALITY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "constraints/ast.h"
+#include "repair/repairer.h"
+#include "storage/database.h"
+
+namespace dbrepair {
+
+/// Name of the deletion-marker attribute added to every relation.
+inline constexpr char kDeltaAttribute[] = "delta#";
+
+/// Options for the Section-5 transformation.
+struct CardinalityOptions {
+  /// Per-relation weight alpha_{delta_R}; the paper's conclusion notes that
+  /// unequal weights bias which table deletions come from. Missing entries
+  /// default to `default_alpha`.
+  std::map<std::string, double> relation_alpha;
+  double default_alpha = 1.0;
+  /// Options forwarded to the attribute-update repair of D#.
+  RepairOptions repair;
+};
+
+/// The transformed problem (Definition 5.1): D# adds a flexible delta
+/// attribute (value 1) to every relation, the key becomes all original
+/// attributes, and every ic gains a `delta_R > 0` conjunct per atom. IC# is
+/// local by construction regardless of whether IC was.
+struct CardinalityProblem {
+  std::shared_ptr<const Schema> schema_sharp;
+  Database db_sharp;
+  std::vector<DenialConstraint> ics_sharp;
+};
+
+/// Builds (D#, IC#) from (D, IC). `ics` need not be local and `db` needs no
+/// meaningful primary keys (set semantics: duplicate rows are rejected).
+Result<CardinalityProblem> BuildCardinalityProblem(
+    const Database& db, const std::vector<DenialConstraint>& ics,
+    const CardinalityOptions& options = {});
+
+/// Rewrites one constraint for the delta encoding: appends a fresh delta
+/// variable to every atom and a `delta > 0` built-in per atom
+/// (Definition 5.1's IC# construction; also used by mixed repairs).
+DenialConstraint AddDeltaConjuncts(const DenialConstraint& ic);
+
+/// D-down-delta (Definition 5.2): drops rows whose delta is 0 and projects
+/// the delta column away, producing an instance of the original schema.
+Result<Database> ProjectDeltas(const Database& repaired_sharp,
+                               std::shared_ptr<const Schema> original_schema);
+
+/// Outcome of a cardinality (tuple-deletion) repair.
+struct CardinalityOutcome {
+  Database repaired;
+  /// Tuples deleted (delta flipped to 0).
+  size_t deletions = 0;
+  RepairStats stats;
+};
+
+/// End-to-end cardinality repair (Proposition 5.3): transform, run the
+/// attribute-update repair machinery on (D#, IC#), project deltas away.
+/// The number of deletions approximates the minimum within the solver's
+/// factor.
+Result<CardinalityOutcome> CardinalityRepair(
+    const Database& db, const std::vector<DenialConstraint>& ics,
+    const CardinalityOptions& options = {});
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_REPAIR_CARDINALITY_H_

@@ -1,0 +1,49 @@
+#include "repair/distance.h"
+
+namespace dbrepair {
+
+double DistanceFunction::TupleDistance(const RelationSchema& schema,
+                                       const Tuple& a, const Tuple& b) const {
+  double total = 0.0;
+  for (const size_t pos : schema.flexible_positions()) {
+    const Value& va = a.value(pos);
+    const Value& vb = b.value(pos);
+    if (va.is_null() && vb.is_null()) continue;
+    const double da = va.is_null() ? 0.0 : va.AsNumeric();
+    const double db = vb.is_null() ? 0.0 : vb.AsNumeric();
+    total += schema.attribute(pos).alpha * ScalarDistance(da, db);
+  }
+  return total;
+}
+
+Result<double> DistanceFunction::DatabaseDistance(
+    const Database& d, const Database& d_prime) const {
+  if (&d.schema() != &d_prime.schema()) {
+    return Status::InvalidArgument(
+        "Delta-distance requires both instances to share one schema");
+  }
+  double total = 0.0;
+  for (size_t r = 0; r < d.relation_count(); ++r) {
+    const Table& ta = d.table(r);
+    const Table& tb = d_prime.table(r);
+    if (ta.size() != tb.size()) {
+      return Status::InvalidArgument(
+          "Delta-distance requires the same key set per relation; '" +
+          ta.schema().name() + "' differs in cardinality");
+    }
+    const RelationSchema& schema = ta.schema();
+    for (size_t row = 0; row < ta.size(); ++row) {
+      // Match by key: extract the key of ta's row and look it up in tb.
+      std::vector<Value> key;
+      key.reserve(schema.key_positions().size());
+      for (const size_t pos : schema.key_positions()) {
+        key.push_back(ta.row(row).value(pos));
+      }
+      DBREPAIR_ASSIGN_OR_RETURN(const size_t other_row, tb.LookupByKey(key));
+      total += TupleDistance(schema, ta.row(row), tb.row(other_row));
+    }
+  }
+  return total;
+}
+
+}  // namespace dbrepair

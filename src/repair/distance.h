@@ -1,0 +1,51 @@
+#ifndef DBREPAIR_REPAIR_DISTANCE_H_
+#define DBREPAIR_REPAIR_DISTANCE_H_
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "storage/database.h"
+#include "storage/tuple.h"
+
+namespace dbrepair {
+
+/// The scalar distance Dist used inside the Delta-distance (Definition 2.1).
+/// Any function monotone in |a - b| keeps the paper's results valid; the two
+/// the paper names are provided.
+enum class DistanceKind {
+  kL1,  ///< "city distance": |a - b|
+  kL2,  ///< "euclidean distance": (a - b)^2
+};
+
+/// Weighted distance between values, tuples, and database instances.
+class DistanceFunction {
+ public:
+  explicit DistanceFunction(DistanceKind kind = DistanceKind::kL1)
+      : kind_(kind) {}
+
+  DistanceKind kind() const { return kind_; }
+
+  /// Dist(a, b): |a-b| for L1, (a-b)^2 for L2.
+  double ScalarDistance(double a, double b) const {
+    const double d = a > b ? a - b : b - a;
+    return kind_ == DistanceKind::kL1 ? d : d * d;
+  }
+
+  /// Delta({t},{t'}): sum over flexible attributes of
+  /// alpha_A * Dist(t.A, t'.A). Both tuples must belong to `schema`.
+  double TupleDistance(const RelationSchema& schema, const Tuple& a,
+                       const Tuple& b) const;
+
+  /// Delta(D, D') per Definition 2.1: tuples are matched by primary key
+  /// (repairs keep val(K_R) fixed), and flexible-attribute differences are
+  /// accumulated. Errors if the instances have different schemas or key
+  /// sets.
+  Result<double> DatabaseDistance(const Database& d,
+                                  const Database& d_prime) const;
+
+ private:
+  DistanceKind kind_;
+};
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_REPAIR_DISTANCE_H_

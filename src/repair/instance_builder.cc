@@ -1,0 +1,159 @@
+#include "repair/instance_builder.h"
+
+#include <map>
+#include <tuple>
+#include <unordered_map>
+
+#include "constraints/locality.h"
+
+namespace dbrepair {
+
+namespace {
+
+// Key for candidate-fix deduplication: (tuple, attribute, new value).
+struct FixKey {
+  uint64_t tuple_packed;
+  uint32_t attribute;
+  int64_t value;
+
+  bool operator==(const FixKey& o) const {
+    return tuple_packed == o.tuple_packed && attribute == o.attribute &&
+           value == o.value;
+  }
+};
+
+struct FixKeyHash {
+  size_t operator()(const FixKey& k) const {
+    size_t h = k.tuple_packed * 0x9e3779b97f4a7c15ULL;
+    h ^= (k.attribute + 0x9e3779b9U) + (h << 6) + (h >> 2);
+    h ^= std::hash<int64_t>{}(k.value) + (h << 6) + (h >> 2);
+    return h;
+  }
+};
+
+}  // namespace
+
+Result<RepairProblem> BuildRepairProblem(
+    const Database& db, const std::vector<BoundConstraint>& ics,
+    const DistanceFunction& distance, const BuildOptions& options) {
+  RepairProblem problem;
+
+  // ---- Algorithm 2: the violation-set array A. ----
+  ViolationEngine engine(db, ics, options.engine);
+  DBREPAIR_ASSIGN_OR_RETURN(problem.violations, engine.FindViolations());
+  problem.degrees = ComputeDegrees(problem.violations);
+
+  // ---- Algorithm 3: candidate mono-local fixes. ----
+  // Comparisons of each ic on each flexible attribute, grouped.
+  const LocalityReport locality = CheckLocality(db.schema(), ics);
+  using GroupKey = std::tuple<uint32_t, uint32_t, uint32_t>;  // ic, rel, attr
+  std::map<GroupKey, std::vector<FlexibleComparison>> groups;
+  // Flexible attributes each (ic, relation) constrains.
+  std::map<std::pair<uint32_t, uint32_t>, std::vector<uint32_t>> ic_rel_attrs;
+  for (const FlexibleComparison& cmp : locality.flexible_comparisons) {
+    auto& group = groups[{cmp.ic_index, cmp.relation, cmp.attribute}];
+    if (group.empty()) {
+      ic_rel_attrs[{cmp.ic_index, cmp.relation}].push_back(cmp.attribute);
+    }
+    group.push_back(cmp);
+  }
+
+  std::unordered_map<FixKey, uint32_t, FixKeyHash> fix_ids;
+  std::unordered_map<TupleRef, std::vector<uint32_t>, TupleRefHash>
+      tuple_fixes;
+  for (const ViolationSet& v : problem.violations) {
+    for (const TupleRef t : v.tuples) {
+      const auto attrs_it = ic_rel_attrs.find({v.ic_index, t.relation});
+      if (attrs_it == ic_rel_attrs.end()) continue;
+      for (const uint32_t attr : attrs_it->second) {
+        const auto group_it = groups.find({v.ic_index, t.relation, attr});
+        const std::optional<int64_t> new_value =
+            MonoLocalFixValue(group_it->second);
+        if (!new_value.has_value()) continue;  // non-local ic; skip.
+        const Value& current = db.tuple(t).value(attr);
+        if (current.is_int() && current.AsInt() == *new_value) {
+          continue;  // MLF(t, ic, A) == t changes nothing, solves nothing.
+        }
+        const int64_t old_value = current.is_int() ? current.AsInt() : 0;
+        const FixKey key{t.Packed(), attr, *new_value};
+        if (fix_ids.count(key) > 0) continue;
+        const uint32_t id = static_cast<uint32_t>(problem.fixes.size());
+        fix_ids.emplace(key, id);
+        CandidateFix fix;
+        fix.tuple = t;
+        fix.attribute = attr;
+        fix.old_value = old_value;
+        fix.new_value = *new_value;
+        const double alpha =
+            db.schema().relations()[t.relation].attribute(attr).alpha;
+        fix.weight = alpha * distance.ScalarDistance(
+                                 static_cast<double>(old_value),
+                                 static_cast<double>(*new_value));
+        problem.fixes.push_back(std::move(fix));
+        tuple_fixes[t].push_back(id);
+      }
+    }
+  }
+
+  // ---- Algorithm 4: link candidates to the violation sets they solve. ----
+  // Materialise each fixed tuple once.
+  std::vector<Tuple> fixed_tuples;
+  fixed_tuples.reserve(problem.fixes.size());
+  for (const CandidateFix& fix : problem.fixes) {
+    Tuple fixed = db.tuple(fix.tuple);
+    fixed.set_value(fix.attribute, Value::Int(fix.new_value));
+    fixed_tuples.push_back(std::move(fixed));
+  }
+
+  std::vector<std::pair<uint32_t, const Tuple*>> members;
+  for (uint32_t vid = 0; vid < problem.violations.size(); ++vid) {
+    const ViolationSet& v = problem.violations[vid];
+    const BoundConstraint& ic = ics[v.ic_index];
+    members.clear();
+    for (const TupleRef t : v.tuples) {
+      members.emplace_back(t.relation, &db.tuple(t));
+    }
+    for (size_t j = 0; j < v.tuples.size(); ++j) {
+      const auto fixes_it = tuple_fixes.find(v.tuples[j]);
+      if (fixes_it == tuple_fixes.end()) continue;
+      const Tuple* original = members[j].second;
+      for (const uint32_t f : fixes_it->second) {
+        members[j].second = &fixed_tuples[f];
+        if (ViolationEngine::SetSatisfies(ic, members)) {
+          problem.fixes[f].solved.push_back(vid);
+        }
+      }
+      members[j].second = original;
+    }
+  }
+
+  // ---- Definition 3.1: the pure MWSCP view. ----
+  // Drop candidates with empty S(t, t') (Definition 2.6(b)), remapping ids.
+  std::vector<CandidateFix> kept;
+  kept.reserve(problem.fixes.size());
+  for (CandidateFix& fix : problem.fixes) {
+    if (!fix.solved.empty()) kept.push_back(std::move(fix));
+  }
+  problem.fixes = std::move(kept);
+
+  problem.instance.num_elements = problem.violations.size();
+  problem.instance.weights.reserve(problem.fixes.size());
+  problem.instance.sets.reserve(problem.fixes.size());
+  for (const CandidateFix& fix : problem.fixes) {
+    problem.instance.weights.push_back(fix.weight);
+    problem.instance.sets.push_back(fix.solved);
+  }
+  problem.instance.BuildLinks();
+
+  for (uint32_t e = 0; e < problem.instance.num_elements; ++e) {
+    if (problem.instance.element_sets[e].empty()) {
+      return Status::Internal(
+          "violation set " + problem.violations[e].ToString() +
+          " is solvable by no mono-local fix; the IC set is not local "
+          "(run EnsureLocal to diagnose)");
+    }
+  }
+  return problem;
+}
+
+}  // namespace dbrepair

@@ -1,0 +1,52 @@
+#ifndef DBREPAIR_REPAIR_INSTANCE_BUILDER_H_
+#define DBREPAIR_REPAIR_INSTANCE_BUILDER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "constraints/ast.h"
+#include "constraints/violation.h"
+#include "constraints/violation_engine.h"
+#include "repair/distance.h"
+#include "repair/mono_local_fix.h"
+#include "repair/setcover/instance.h"
+#include "storage/database.h"
+
+namespace dbrepair {
+
+/// Everything the solvers and the repair constructor need: the violation
+/// array A (Algorithm 2), the candidate mono-local fixes with their solved
+/// links (Algorithms 3+4), and the pure MWSCP view of them
+/// (Definition 3.1).
+struct RepairProblem {
+  std::vector<ViolationSet> violations;
+  std::vector<CandidateFix> fixes;
+  SetCoverInstance instance;
+  DegreeInfo degrees;
+};
+
+struct BuildOptions {
+  ViolationEngineOptions engine;
+};
+
+/// Builds the MWSCP instance (U, S, w)^(D, IC) of Definition 3.1:
+///  1. enumerate violation sets (Algorithm 2);
+///  2. for every ic, relation R in ic, flexible attribute A of R in ic's
+///     built-ins, and tuple t of R occurring in a violation of ic, compute
+///     MLF(t, ic, A) (Algorithm 3); candidates are deduplicated on
+///     (tuple, attribute, new value) — MLF(t, ic1, A) and MLF(t, ic2, A)
+///     may coincide and must become one set-cover column;
+///  3. link each candidate t' of tuple t against every violation set I
+///     containing t, keeping I in S(t, t') iff (I \ {t}) union {t'}
+///     satisfies I's constraint (Algorithm 4);
+///  4. drop candidates whose S(t, t') is empty (Definition 2.6(b)).
+///
+/// Fails with Internal if some violation set ends up coverable by no fix —
+/// impossible for a local IC set, so callers should EnsureLocal first.
+Result<RepairProblem> BuildRepairProblem(
+    const Database& db, const std::vector<BoundConstraint>& ics,
+    const DistanceFunction& distance, const BuildOptions& options = {});
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_REPAIR_INSTANCE_BUILDER_H_

@@ -1,0 +1,50 @@
+#ifndef DBREPAIR_REPAIR_MIXED_H_
+#define DBREPAIR_REPAIR_MIXED_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "constraints/ast.h"
+#include "repair/repairer.h"
+#include "storage/database.h"
+
+namespace dbrepair {
+
+/// Options for mixed repairs (the paper's conclusion: "combine tuple
+/// deletions with tuple updates by using as flexible attributes not only
+/// delta_R but other attributes").
+struct MixedRepairOptions {
+  /// Weight alpha_{delta_R} per relation: the cost of deleting one tuple of
+  /// R. Missing entries default to `default_delta_alpha`. Raising it makes
+  /// attribute updates preferable to deletions, and vice versa.
+  std::map<std::string, double> relation_delta_alpha;
+  double default_delta_alpha = 1.0;
+  RepairOptions repair;
+};
+
+/// Outcome of a mixed repair: updated values and/or deleted tuples.
+struct MixedRepairOutcome {
+  Database repaired;
+  size_t deletions = 0;
+  size_t value_updates = 0;
+  RepairStats stats;
+};
+
+/// Repairs `db` by the cheapest combination of attribute updates (on the
+/// schema's flexible attributes, as usual) and tuple deletions (via a
+/// flexible `delta#` column appended to every relation, with every ic
+/// rewritten to carry `delta > 0` conjuncts).
+///
+/// Unlike the pure cardinality transform, the original keys and flexible
+/// attributes are kept, so the IC set must be local over them (checked
+/// unless options.repair.require_local is false); the delta conjuncts
+/// preserve locality.
+Result<MixedRepairOutcome> MixedRepair(const Database& db,
+                                       const std::vector<DenialConstraint>& ics,
+                                       const MixedRepairOptions& options = {});
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_REPAIR_MIXED_H_

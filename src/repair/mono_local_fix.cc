@@ -1,0 +1,27 @@
+#include "repair/mono_local_fix.h"
+
+#include <algorithm>
+
+namespace dbrepair {
+
+std::optional<int64_t> MonoLocalFixValue(
+    const std::vector<FlexibleComparison>& comparisons) {
+  if (comparisons.empty()) return std::nullopt;
+  bool has_lt = false;
+  bool has_gt = false;
+  int64_t min_lt = 0;
+  int64_t max_gt = 0;
+  for (const FlexibleComparison& cmp : comparisons) {
+    if (cmp.op == CompareOp::kLt) {
+      min_lt = has_lt ? std::min(min_lt, cmp.bound) : cmp.bound;
+      has_lt = true;
+    } else {
+      max_gt = has_gt ? std::max(max_gt, cmp.bound) : cmp.bound;
+      has_gt = true;
+    }
+  }
+  if (has_lt == has_gt) return std::nullopt;  // mixed or neither: not local.
+  return has_lt ? min_lt : max_gt;
+}
+
+}  // namespace dbrepair

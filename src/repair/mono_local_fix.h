@@ -1,0 +1,41 @@
+#ifndef DBREPAIR_REPAIR_MONO_LOCAL_FIX_H_
+#define DBREPAIR_REPAIR_MONO_LOCAL_FIX_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "constraints/locality.h"
+#include "storage/tuple.h"
+
+namespace dbrepair {
+
+/// A candidate mono-local fix (Definition 2.6/2.8): change exactly one
+/// flexible attribute of one tuple to `new_value`. Candidates are
+/// deduplicated on (tuple, attribute, new_value); `solved` is S(t, t') — the
+/// violation sets (by index into the global violation list) the fix solves,
+/// filled by the Algorithm-4 linking pass.
+struct CandidateFix {
+  TupleRef tuple;
+  uint32_t attribute = 0;
+  int64_t old_value = 0;
+  int64_t new_value = 0;
+  /// Delta({t}, {t'}) = alpha_A * Dist(old, new): the MWSCP set weight.
+  double weight = 0.0;
+  /// Indices of the violation sets solved by this fix.
+  std::vector<uint32_t> solved;
+};
+
+/// Computes the mono-local fix value MLF(t, ic, A) of Definition 2.8 given
+/// the normalised comparisons of one constraint on one attribute:
+///  * all comparisons `A < c_i`  -> Min{c_i}   (raise A to just satisfy)
+///  * all comparisons `A > c_i`  -> Max{c_i}   (lower A to just satisfy)
+/// Mixed directions cannot occur for local ICs (condition (c)); if they do,
+/// nullopt is returned. `comparisons` must be non-empty and all refer to the
+/// same (ic, relation, attribute).
+std::optional<int64_t> MonoLocalFixValue(
+    const std::vector<FlexibleComparison>& comparisons);
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_REPAIR_MONO_LOCAL_FIX_H_

@@ -1,0 +1,42 @@
+#include "repair/repair_builder.h"
+
+#include <map>
+#include <utility>
+
+namespace dbrepair {
+
+Result<Database> ApplyCover(const Database& db, const RepairProblem& problem,
+                            const SetCoverSolution& cover,
+                            std::vector<AppliedUpdate>* applied) {
+  // (tuple, attribute) -> chosen fix id, keeping the higher-weight fix when
+  // the cover holds several fixes for one attribute (subsumption rule).
+  std::map<std::pair<uint64_t, uint32_t>, uint32_t> updates;
+  for (const uint32_t set_id : cover.chosen) {
+    if (set_id >= problem.fixes.size()) {
+      return Status::InvalidArgument("cover references unknown set id " +
+                                     std::to_string(set_id));
+    }
+    const CandidateFix& fix = problem.fixes[set_id];
+    const auto key = std::make_pair(fix.tuple.Packed(), fix.attribute);
+    const auto [it, inserted] = updates.emplace(key, set_id);
+    if (!inserted && problem.fixes[it->second].weight < fix.weight) {
+      it->second = set_id;
+    }
+  }
+
+  Database repaired = db.Clone();
+  for (const auto& [key, fix_id] : updates) {
+    const CandidateFix& fix = problem.fixes[fix_id];
+    DBREPAIR_RETURN_IF_ERROR(
+        repaired.mutable_table(fix.tuple.relation)
+            .UpdateValue(fix.tuple.row, fix.attribute,
+                         Value::Int(fix.new_value)));
+    if (applied != nullptr) {
+      applied->push_back(AppliedUpdate{fix.tuple, fix.attribute,
+                                       fix.old_value, fix.new_value});
+    }
+  }
+  return repaired;
+}
+
+}  // namespace dbrepair

@@ -1,0 +1,34 @@
+#ifndef DBREPAIR_REPAIR_REPAIR_BUILDER_H_
+#define DBREPAIR_REPAIR_REPAIR_BUILDER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "repair/instance_builder.h"
+#include "repair/setcover/instance.h"
+#include "storage/database.h"
+
+namespace dbrepair {
+
+/// One attribute update applied while materialising a repair.
+struct AppliedUpdate {
+  TupleRef tuple;
+  uint32_t attribute = 0;
+  int64_t old_value = 0;
+  int64_t new_value = 0;
+};
+
+/// Materialises the repair D(C) of Definition 3.2 from a set cover:
+///  * fixes of one tuple touching different attributes are combined into a
+///    single local fix (Definition 3.2(a));
+///  * if a cover holds two fixes for the same (tuple, attribute) — possible
+///    in non-optimal covers — the higher-weight fix subsumes the other
+///    (Section 3, remark after Algorithm 1);
+///  * the resulting updates are applied to a clone of `db`.
+Result<Database> ApplyCover(const Database& db, const RepairProblem& problem,
+                            const SetCoverSolution& cover,
+                            std::vector<AppliedUpdate>* applied = nullptr);
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_REPAIR_REPAIR_BUILDER_H_

@@ -1,0 +1,79 @@
+#include "repair/repairer.h"
+
+#include "common/timer.h"
+#include "constraints/locality.h"
+#include "constraints/violation_engine.h"
+#include "repair/setcover/prune.h"
+
+namespace dbrepair {
+
+Result<RepairOutcome> RepairDatabaseBound(
+    const Database& db, const std::vector<BoundConstraint>& ics,
+    const RepairOptions& options) {
+  if (options.require_local) {
+    DBREPAIR_RETURN_IF_ERROR(EnsureLocal(db.schema(), ics));
+  }
+  const DistanceFunction distance(options.distance);
+
+  Timer timer;
+  DBREPAIR_ASSIGN_OR_RETURN(
+      const RepairProblem problem,
+      BuildRepairProblem(db, ics, distance, options.build));
+  const double build_seconds = timer.ElapsedSeconds();
+
+  timer.Reset();
+  DBREPAIR_ASSIGN_OR_RETURN(SetCoverSolution cover,
+                            SolveSetCover(options.solver, problem.instance));
+  if (options.prune_cover) {
+    cover = PruneRedundantSets(problem.instance, cover);
+  }
+  const double solve_seconds = timer.ElapsedSeconds();
+
+  timer.Reset();
+  std::vector<AppliedUpdate> updates;
+  DBREPAIR_ASSIGN_OR_RETURN(Database repaired,
+                            ApplyCover(db, problem, cover, &updates));
+  const double apply_seconds = timer.ElapsedSeconds();
+
+  if (options.verify) {
+    DBREPAIR_ASSIGN_OR_RETURN(const bool consistent,
+                              ViolationEngine::Satisfies(repaired, ics));
+    if (!consistent) {
+      return Status::Internal(
+          "produced instance still violates the constraints; the IC set is "
+          "not local");
+    }
+  }
+
+  RepairOutcome outcome{std::move(repaired), RepairStats{}, std::move(updates)};
+  outcome.stats.num_violations = problem.violations.size();
+  outcome.stats.violations_per_constraint.reserve(ics.size());
+  for (const BoundConstraint& ic : ics) {
+    size_t count = 0;
+    for (const ViolationSet& v : problem.violations) {
+      if (v.ic_index == ic.ic_index) ++count;
+    }
+    outcome.stats.violations_per_constraint.emplace_back(ic.name, count);
+  }
+  outcome.stats.num_candidate_fixes = problem.fixes.size();
+  outcome.stats.num_chosen_fixes = cover.chosen.size();
+  outcome.stats.num_updates = outcome.updates.size();
+  outcome.stats.max_degree = problem.degrees.max_degree;
+  outcome.stats.cover_weight = cover.weight;
+  DBREPAIR_ASSIGN_OR_RETURN(outcome.stats.distance,
+                            distance.DatabaseDistance(db, outcome.repaired));
+  outcome.stats.build_seconds = build_seconds;
+  outcome.stats.solve_seconds = solve_seconds;
+  outcome.stats.apply_seconds = apply_seconds;
+  return outcome;
+}
+
+Result<RepairOutcome> RepairDatabase(const Database& db,
+                                     const std::vector<DenialConstraint>& ics,
+                                     const RepairOptions& options) {
+  DBREPAIR_ASSIGN_OR_RETURN(const std::vector<BoundConstraint> bound,
+                            BindAll(db.schema(), ics));
+  return RepairDatabaseBound(db, bound, options);
+}
+
+}  // namespace dbrepair

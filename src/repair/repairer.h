@@ -1,0 +1,75 @@
+#ifndef DBREPAIR_REPAIR_REPAIRER_H_
+#define DBREPAIR_REPAIR_REPAIRER_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "constraints/ast.h"
+#include "repair/distance.h"
+#include "repair/instance_builder.h"
+#include "repair/repair_builder.h"
+#include "repair/setcover/instance.h"
+#include "repair/setcover/solvers.h"
+#include "storage/database.h"
+
+namespace dbrepair {
+
+/// Configuration of the end-to-end repair pipeline (Algorithm 6).
+struct RepairOptions {
+  SolverKind solver = SolverKind::kModifiedGreedy;
+  DistanceKind distance = DistanceKind::kL1;
+  /// Re-run the violation engine on the produced repair and fail if any
+  /// violation remains (should never trigger for local ICs).
+  bool verify = true;
+  /// Reject non-local IC sets up front. Disable only for experiments that
+  /// deliberately feed non-local constraints.
+  bool require_local = true;
+  /// Post-process the cover with PruneRedundantSets before materialising
+  /// the repair (never worsens the distance; an ablation of the pipeline).
+  bool prune_cover = false;
+  BuildOptions build;
+};
+
+/// Statistics the pipeline gathers along the way.
+struct RepairStats {
+  size_t num_violations = 0;
+  /// Violation-set count per constraint, in IC order: (name, count).
+  std::vector<std::pair<std::string, size_t>> violations_per_constraint;
+  size_t num_candidate_fixes = 0;
+  size_t num_chosen_fixes = 0;
+  size_t num_updates = 0;
+  uint32_t max_degree = 0;  ///< Deg(D, IC)
+  double cover_weight = 0.0;
+  double distance = 0.0;  ///< Delta(D, D') of the produced repair
+  double build_seconds = 0.0;
+  double solve_seconds = 0.0;
+  double apply_seconds = 0.0;
+};
+
+/// The pipeline's output: the repaired instance plus diagnostics.
+struct RepairOutcome {
+  Database repaired;
+  RepairStats stats;
+  std::vector<AppliedUpdate> updates;
+};
+
+/// End-to-end attribute-update repair (Algorithm 6):
+/// bind -> check locality -> build MWSCP (Algorithms 2-4) -> solve
+/// (Algorithm 1/5, layer, or exact) -> materialise D(C) (Definition 3.2)
+/// -> verify.
+///
+/// Returns an approximate repair: a consistent instance whose distance to
+/// `db` is within the solver's approximation factor of the optimum.
+Result<RepairOutcome> RepairDatabase(const Database& db,
+                                     const std::vector<DenialConstraint>& ics,
+                                     const RepairOptions& options = {});
+
+/// Variant taking pre-bound constraints (skips parsing/binding).
+Result<RepairOutcome> RepairDatabaseBound(
+    const Database& db, const std::vector<BoundConstraint>& ics,
+    const RepairOptions& options = {});
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_REPAIR_REPAIRER_H_

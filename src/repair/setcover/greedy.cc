@@ -1,0 +1,60 @@
+#include <algorithm>
+
+#include "repair/setcover/solvers.h"
+
+namespace dbrepair {
+
+Result<SetCoverSolution> GreedySetCover(const SetCoverInstance& instance) {
+  SetCoverSolution solution;
+  const size_t num_sets = instance.num_sets();
+
+  // Residual sets: elements not yet covered, per set (the paper's
+  // "S <- S \ M" step materialised).
+  std::vector<std::vector<uint32_t>> residual = instance.sets;
+  std::vector<bool> alive(num_sets, true);
+  std::vector<bool> covered(instance.num_elements, false);
+  size_t remaining = instance.num_elements;
+
+  while (remaining > 0) {
+    ++solution.iterations;
+    // Scan every alive set for the smallest effective weight w(s)/|s|.
+    int best = -1;
+    double best_eff = 0.0;
+    for (uint32_t s = 0; s < num_sets; ++s) {
+      if (!alive[s] || residual[s].empty()) continue;
+      const double eff =
+          instance.weights[s] / static_cast<double>(residual[s].size());
+      if (best < 0 || eff < best_eff ||
+          (eff == best_eff && s < static_cast<uint32_t>(best))) {
+        best = static_cast<int>(s);
+        best_eff = eff;
+      }
+    }
+    if (best < 0) {
+      return Status::Internal(
+          "greedy: uncovered elements remain but no usable set (infeasible "
+          "instance)");
+    }
+    const auto chosen = static_cast<uint32_t>(best);
+    solution.chosen.push_back(chosen);
+    solution.weight += instance.weights[chosen];
+    alive[chosen] = false;
+    for (const uint32_t e : residual[chosen]) {
+      if (!covered[e]) {
+        covered[e] = true;
+        --remaining;
+      }
+    }
+    // Remove the newly covered elements from every other residual set.
+    for (uint32_t s = 0; s < num_sets; ++s) {
+      if (!alive[s] || residual[s].empty()) continue;
+      auto& elems = residual[s];
+      elems.erase(std::remove_if(elems.begin(), elems.end(),
+                                 [&](uint32_t e) { return covered[e]; }),
+                  elems.end());
+    }
+  }
+  return solution;
+}
+
+}  // namespace dbrepair

@@ -1,0 +1,133 @@
+#ifndef DBREPAIR_REPAIR_SETCOVER_INDEXED_HEAP_H_
+#define DBREPAIR_REPAIR_SETCOVER_INDEXED_HEAP_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dbrepair {
+
+/// Binary min-heap over (key, id) with position handles, supporting
+/// arbitrary key updates and removals in O(log n).
+///
+/// This is the priority queue P of Algorithms 3/5. The paper restores the
+/// heap with "up-heap for every updated element"; note that covering
+/// elements *shrinks* sets, so the effective weight w(s)/|s| *rises* and the
+/// entry must sift *down* in a min-heap. Update() therefore sifts in
+/// whichever direction the new key requires (documented deviation, see
+/// DESIGN.md item 1).
+///
+/// Ties break on the smaller id so the modified greedy picks exactly the set
+/// the textbook greedy (Algorithm 1) picks.
+class IndexedHeap {
+ public:
+  /// `capacity` is the exclusive upper bound on ids.
+  explicit IndexedHeap(size_t capacity) : pos_(capacity, -1) {}
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+  bool Contains(uint32_t id) const { return pos_[id] >= 0; }
+
+  /// Key currently stored for `id`. Requires Contains(id).
+  double KeyOf(uint32_t id) const { return heap_[pos_[id]].key; }
+
+  /// Inserts `id` with `key`. `id` must not be present.
+  void Push(uint32_t id, double key) {
+    assert(pos_[id] < 0);
+    heap_.push_back(Entry{key, id});
+    pos_[id] = static_cast<int32_t>(heap_.size()) - 1;
+    SiftUp(heap_.size() - 1);
+  }
+
+  /// Minimum entry as (id, key). Requires !empty().
+  std::pair<uint32_t, double> Top() const {
+    return {heap_.front().id, heap_.front().key};
+  }
+
+  /// Removes the minimum entry.
+  void Pop() { RemoveAt(0); }
+
+  /// Removes `id`. Requires Contains(id).
+  void Remove(uint32_t id) {
+    assert(pos_[id] >= 0);
+    RemoveAt(static_cast<size_t>(pos_[id]));
+  }
+
+  /// Changes the key of `id`, restoring the heap property in either
+  /// direction. Requires Contains(id).
+  void Update(uint32_t id, double new_key) {
+    const auto at = static_cast<size_t>(pos_[id]);
+    const double old_key = heap_[at].key;
+    heap_[at].key = new_key;
+    if (Less(Entry{new_key, id}, Entry{old_key, id})) {
+      SiftUp(at);
+    } else {
+      SiftDown(at);
+    }
+  }
+
+ private:
+  struct Entry {
+    double key;
+    uint32_t id;
+  };
+
+  static bool Less(const Entry& a, const Entry& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.id < b.id;
+  }
+
+  void Place(size_t at, Entry e) {
+    heap_[at] = e;
+    pos_[e.id] = static_cast<int32_t>(at);
+  }
+
+  void SiftUp(size_t at) {
+    Entry moving = heap_[at];
+    while (at > 0) {
+      const size_t parent = (at - 1) / 2;
+      if (!Less(moving, heap_[parent])) break;
+      Place(at, heap_[parent]);
+      at = parent;
+    }
+    Place(at, moving);
+  }
+
+  void SiftDown(size_t at) {
+    Entry moving = heap_[at];
+    const size_t n = heap_.size();
+    while (true) {
+      const size_t left = 2 * at + 1;
+      if (left >= n) break;
+      size_t child = left;
+      const size_t right = left + 1;
+      if (right < n && Less(heap_[right], heap_[left])) child = right;
+      if (!Less(heap_[child], moving)) break;
+      Place(at, heap_[child]);
+      at = child;
+    }
+    Place(at, moving);
+  }
+
+  void RemoveAt(size_t at) {
+    pos_[heap_[at].id] = -1;
+    const Entry last = heap_.back();
+    heap_.pop_back();
+    if (at < heap_.size()) {
+      // Re-seat the displaced entry; it may need to move either way.
+      heap_[at] = last;
+      pos_[last.id] = static_cast<int32_t>(at);
+      SiftUp(at);
+      SiftDown(static_cast<size_t>(pos_[last.id]));
+    }
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<int32_t> pos_;
+};
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_REPAIR_SETCOVER_INDEXED_HEAP_H_

@@ -1,0 +1,101 @@
+#include "repair/setcover/instance.h"
+
+#include <algorithm>
+
+namespace dbrepair {
+
+void SetCoverInstance::BuildLinks() {
+  element_sets.assign(num_elements, {});
+  for (uint32_t s = 0; s < sets.size(); ++s) {
+    for (const uint32_t e : sets[s]) element_sets[e].push_back(s);
+  }
+}
+
+Status SetCoverInstance::Validate() const {
+  if (weights.size() != sets.size()) {
+    return Status::Internal("set cover instance: |weights| != |sets|");
+  }
+  for (uint32_t s = 0; s < sets.size(); ++s) {
+    if (weights[s] < 0.0) {
+      return Status::Internal("set cover instance: negative weight at set " +
+                              std::to_string(s));
+    }
+    if (!std::is_sorted(sets[s].begin(), sets[s].end())) {
+      return Status::Internal("set cover instance: set " + std::to_string(s) +
+                              " is not sorted");
+    }
+    if (std::adjacent_find(sets[s].begin(), sets[s].end()) != sets[s].end()) {
+      return Status::Internal("set cover instance: set " + std::to_string(s) +
+                              " has duplicate elements");
+    }
+    for (const uint32_t e : sets[s]) {
+      if (e >= num_elements) {
+        return Status::Internal(
+            "set cover instance: element id out of range in set " +
+            std::to_string(s));
+      }
+    }
+  }
+  if (element_sets.size() != num_elements) {
+    return Status::Internal(
+        "set cover instance: element links not built (call BuildLinks)");
+  }
+  std::vector<uint32_t> counted(num_elements, 0);
+  for (uint32_t s = 0; s < sets.size(); ++s) {
+    for (const uint32_t e : sets[s]) ++counted[e];
+  }
+  for (uint32_t e = 0; e < num_elements; ++e) {
+    if (counted[e] == 0) {
+      return Status::Internal("set cover instance: element " +
+                              std::to_string(e) +
+                              " is covered by no set (infeasible)");
+    }
+    if (counted[e] != element_sets[e].size()) {
+      return Status::Internal("set cover instance: stale links at element " +
+                              std::to_string(e));
+    }
+  }
+  return Status::OK();
+}
+
+size_t SetCoverInstance::MaxFrequency() const {
+  size_t f = 0;
+  for (const auto& links : element_sets) f = std::max(f, links.size());
+  return f;
+}
+
+double SetCoverInstance::SelectionWeight(
+    const std::vector<uint32_t>& chosen) const {
+  double total = 0.0;
+  for (const uint32_t s : chosen) total += weights[s];
+  return total;
+}
+
+bool SetCoverInstance::IsCover(const std::vector<uint32_t>& chosen) const {
+  std::vector<bool> covered(num_elements, false);
+  for (const uint32_t s : chosen) {
+    for (const uint32_t e : sets[s]) covered[e] = true;
+  }
+  return std::all_of(covered.begin(), covered.end(),
+                     [](bool c) { return c; });
+}
+
+const char* SolverKindName(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kGreedy:
+      return "greedy";
+    case SolverKind::kModifiedGreedy:
+      return "modified-greedy";
+    case SolverKind::kLazyGreedy:
+      return "lazy-greedy";
+    case SolverKind::kLayer:
+      return "layer";
+    case SolverKind::kModifiedLayer:
+      return "modified-layer";
+    case SolverKind::kExact:
+      return "exact";
+  }
+  return "unknown";
+}
+
+}  // namespace dbrepair

@@ -1,0 +1,66 @@
+#ifndef DBREPAIR_REPAIR_SETCOVER_INSTANCE_H_
+#define DBREPAIR_REPAIR_SETCOVER_INSTANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dbrepair {
+
+/// A Minimum-Weight Set-Cover instance (U, S, w) (Definition 3.1 view):
+/// elements are violation-set ids, sets are candidate-fix ids. The instance
+/// also stores the element->sets cross links (the Algorithm-4 structure) so
+/// the modified algorithms can update incrementally.
+struct SetCoverInstance {
+  size_t num_elements = 0;
+  /// Per-set weight w(S_i) >= 0.
+  std::vector<double> weights;
+  /// Per-set sorted element ids.
+  std::vector<std::vector<uint32_t>> sets;
+  /// Per-element set ids containing it; filled by BuildLinks().
+  std::vector<std::vector<uint32_t>> element_sets;
+
+  size_t num_sets() const { return sets.size(); }
+
+  /// Populates element_sets from sets.
+  void BuildLinks();
+
+  /// Structural checks: ids in range, links consistent, weights
+  /// non-negative, every element covered by at least one set (feasibility).
+  Status Validate() const;
+
+  /// Maximum frequency f: the largest number of sets any element occurs in.
+  /// The layer algorithm approximates within factor f.
+  size_t MaxFrequency() const;
+
+  /// Total weight of the given set selection.
+  double SelectionWeight(const std::vector<uint32_t>& chosen) const;
+
+  /// True iff `chosen` covers every element.
+  bool IsCover(const std::vector<uint32_t>& chosen) const;
+};
+
+/// A solver's output: chosen set ids (in selection order) and their weight.
+struct SetCoverSolution {
+  std::vector<uint32_t> chosen;
+  double weight = 0.0;
+  /// Number of main-loop iterations the solver performed (for diagnostics).
+  uint64_t iterations = 0;
+};
+
+/// Which approximation algorithm to run.
+enum class SolverKind {
+  kGreedy,          ///< Algorithm 1: textbook greedy, O(n^2)-O(n^3).
+  kModifiedGreedy,  ///< Algorithm 5: heap + links, O(n log n) bounded degree.
+  kLazyGreedy,      ///< Greedy with lazy key reevaluation; same cover.
+  kLayer,           ///< Layering (Hochbaum/Vazirani), f-approximation.
+  kModifiedLayer,   ///< Layering on the linked structure, event-driven.
+  kExact,           ///< Branch & bound; exponential, small instances only.
+};
+
+const char* SolverKindName(SolverKind kind);
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_REPAIR_SETCOVER_INSTANCE_H_

@@ -1,0 +1,161 @@
+#include <algorithm>
+
+#include "repair/setcover/indexed_heap.h"
+#include "repair/setcover/solvers.h"
+
+namespace dbrepair {
+
+Result<SetCoverSolution> LayerSetCover(const SetCoverInstance& instance,
+                                       const LayerOptions& options) {
+  SetCoverSolution solution;
+  const size_t num_sets = instance.num_sets();
+
+  std::vector<std::vector<uint32_t>> residual = instance.sets;
+  std::vector<double> w_res = instance.weights;
+  std::vector<bool> alive(num_sets, true);
+  std::vector<bool> covered(instance.num_elements, false);
+  size_t remaining = instance.num_elements;
+
+  // Per-set absolute tolerance for "the residual weight reached zero".
+  std::vector<double> tol(num_sets);
+  for (uint32_t s = 0; s < num_sets; ++s) {
+    tol[s] = 1e-9 * (instance.weights[s] + 1.0);
+  }
+
+  while (remaining > 0) {
+    ++solution.iterations;
+    // c = min effective residual weight over alive sets (one scan).
+    int best = -1;
+    double c = 0.0;
+    for (uint32_t s = 0; s < num_sets; ++s) {
+      if (!alive[s] || residual[s].empty()) continue;
+      const double eff = w_res[s] / static_cast<double>(residual[s].size());
+      if (best < 0 || eff < c) {
+        best = static_cast<int>(s);
+        c = eff;
+      }
+    }
+    if (best < 0) {
+      return Status::Internal(
+          "layer: uncovered elements remain but no usable set (infeasible "
+          "instance)");
+    }
+    // Subtract c * |s| from every alive set's residual weight.
+    for (uint32_t s = 0; s < num_sets; ++s) {
+      if (!alive[s] || residual[s].empty()) continue;
+      w_res[s] -= c * static_cast<double>(residual[s].size());
+    }
+    // Add the tight sets. The paper's literal rule adds *all* of them; the
+    // refined variant re-checks that a set still has uncovered elements
+    // after the earlier tight sets of this same batch claimed theirs.
+    for (uint32_t s = 0; s < num_sets; ++s) {
+      if (!alive[s] || residual[s].empty() || w_res[s] > tol[s]) continue;
+      alive[s] = false;
+      if (!options.add_redundant_tight_sets) {
+        auto& elems = residual[s];
+        elems.erase(std::remove_if(elems.begin(), elems.end(),
+                                   [&](uint32_t e) { return covered[e]; }),
+                    elems.end());
+        if (elems.empty()) continue;  // refined: skip the useless set
+      }
+      solution.chosen.push_back(s);
+      solution.weight += instance.weights[s];
+      for (const uint32_t e : residual[s]) {
+        if (!covered[e]) {
+          covered[e] = true;
+          --remaining;
+        }
+      }
+    }
+    // Remove the newly covered elements from every remaining residual set.
+    for (uint32_t s = 0; s < num_sets; ++s) {
+      if (!alive[s] || residual[s].empty()) continue;
+      auto& elems = residual[s];
+      elems.erase(std::remove_if(elems.begin(), elems.end(),
+                                 [&](uint32_t e) { return covered[e]; }),
+                  elems.end());
+      if (elems.empty()) alive[s] = false;
+    }
+  }
+  return solution;
+}
+
+Result<SetCoverSolution> ModifiedLayerSetCover(
+    const SetCoverInstance& instance, const LayerOptions& options) {
+  SetCoverSolution solution;
+  const size_t num_sets = instance.num_sets();
+  if (instance.element_sets.size() != instance.num_elements) {
+    return Status::Internal(
+        "modified layer requires element links (call BuildLinks)");
+  }
+
+  // Primal-dual (event-driven) formulation of layering: every uncovered
+  // element pays at unit rate; set s becomes *tight* at the time its
+  // uncovered elements have jointly paid w(s). The heap orders tightening
+  // events; covering elements changes only the rates of linked sets.
+  std::vector<uint32_t> uncovered_count(num_sets);
+  std::vector<double> slack(num_sets);  // unpaid weight at last settle
+  std::vector<double> settled_at(num_sets, 0.0);
+  IndexedHeap heap(num_sets);
+  for (uint32_t s = 0; s < num_sets; ++s) {
+    uncovered_count[s] = static_cast<uint32_t>(instance.sets[s].size());
+    slack[s] = instance.weights[s];
+    if (uncovered_count[s] > 0) {
+      heap.Push(s, slack[s] / uncovered_count[s]);
+    }
+  }
+
+  std::vector<bool> covered(instance.num_elements, false);
+  size_t remaining = instance.num_elements;
+  double now = 0.0;
+
+  auto choose = [&](uint32_t s) {
+    solution.chosen.push_back(s);
+    solution.weight += instance.weights[s];
+  };
+
+  while (remaining > 0) {
+    ++solution.iterations;
+    if (heap.empty()) {
+      return Status::Internal(
+          "modified layer: uncovered elements remain but the queue is empty "
+          "(infeasible instance)");
+    }
+    const auto [chosen, tight_time] = heap.Top();
+    heap.Pop();
+    now = std::max(now, tight_time);
+    // A set tight "now" belongs to the same batch as earlier pops at this
+    // time; equality is tested with a scale-aware tolerance.
+    const double batch_tol = 1e-9 * (now + 1.0);
+    choose(chosen);
+
+    for (const uint32_t e : instance.sets[chosen]) {
+      if (covered[e]) continue;
+      covered[e] = true;
+      --remaining;
+      for (const uint32_t other : instance.element_sets[e]) {
+        if (other == chosen || !heap.Contains(other)) continue;
+        // Settle the payment stream up to `now`, then slow the rate.
+        slack[other] -= static_cast<double>(uncovered_count[other]) *
+                        (now - settled_at[other]);
+        if (slack[other] < 0.0) slack[other] = 0.0;
+        settled_at[other] = now;
+        if (--uncovered_count[other] == 0) {
+          // The set can no longer tighten. Under the paper's literal batch
+          // rule it still joins the cover if it was already tight in this
+          // batch (its scheduled tight-time is "now").
+          if (options.add_redundant_tight_sets &&
+              heap.KeyOf(other) <= now + batch_tol) {
+            choose(other);
+          }
+          heap.Remove(other);
+        } else {
+          heap.Update(other, now + slack[other] / uncovered_count[other]);
+        }
+      }
+    }
+  }
+  return solution;
+}
+
+}  // namespace dbrepair

@@ -1,0 +1,90 @@
+#include <queue>
+#include <vector>
+
+#include "repair/setcover/solvers.h"
+
+namespace dbrepair {
+
+namespace {
+
+struct LazyEntry {
+  double key;
+  uint32_t id;
+};
+
+struct LazyEntryGreater {
+  bool operator()(const LazyEntry& a, const LazyEntry& b) const {
+    if (a.key != b.key) return a.key > b.key;
+    return a.id > b.id;
+  }
+};
+
+}  // namespace
+
+Result<SetCoverSolution> LazyGreedySetCover(const SetCoverInstance& instance) {
+  SetCoverSolution solution;
+  const size_t num_sets = instance.num_sets();
+
+  std::vector<bool> covered(instance.num_elements, false);
+  std::vector<bool> alive(num_sets, true);
+  size_t remaining = instance.num_elements;
+
+  // Current uncovered count of a set, recomputed by scanning its elements —
+  // the lazy strategy needs no element->set reverse links at all.
+  auto uncovered = [&](uint32_t s) {
+    size_t count = 0;
+    for (const uint32_t e : instance.sets[s]) {
+      if (!covered[e]) ++count;
+    }
+    return count;
+  };
+
+  std::priority_queue<LazyEntry, std::vector<LazyEntry>, LazyEntryGreater>
+      queue;
+  for (uint32_t s = 0; s < num_sets; ++s) {
+    if (!instance.sets[s].empty()) {
+      queue.push(LazyEntry{
+          instance.weights[s] / static_cast<double>(instance.sets[s].size()),
+          s});
+    }
+  }
+
+  while (remaining > 0) {
+    if (queue.empty()) {
+      return Status::Internal(
+          "lazy greedy: uncovered elements remain but the queue is empty "
+          "(infeasible instance)");
+    }
+    const LazyEntry entry = queue.top();
+    queue.pop();
+    if (!alive[entry.id]) continue;  // stale duplicate of a chosen set
+    const size_t count = uncovered(entry.id);
+    if (count == 0) {
+      alive[entry.id] = false;
+      continue;
+    }
+    const double key =
+        instance.weights[entry.id] / static_cast<double>(count);
+    if (key != entry.key) {
+      // Stale: effective weights only rise, so reinsert with the fresh key.
+      queue.push(LazyEntry{key, entry.id});
+      continue;
+    }
+    // Fresh and minimal: every other stored key is >= entry.key and true
+    // keys only exceed stored ones, so this is the eager greedy's argmin
+    // (ties resolve to the smaller id through the comparator).
+    ++solution.iterations;
+    solution.chosen.push_back(entry.id);
+    solution.weight += instance.weights[entry.id];
+    alive[entry.id] = false;
+    for (const uint32_t e : instance.sets[entry.id]) {
+      if (!covered[e]) {
+        covered[e] = true;
+        --remaining;
+      }
+    }
+  }
+  return solution;
+}
+
+}  // namespace dbrepair

@@ -1,0 +1,59 @@
+#include "repair/setcover/indexed_heap.h"
+#include "repair/setcover/solvers.h"
+
+namespace dbrepair {
+
+Result<SetCoverSolution> ModifiedGreedySetCover(
+    const SetCoverInstance& instance) {
+  SetCoverSolution solution;
+  const size_t num_sets = instance.num_sets();
+  if (instance.element_sets.size() != instance.num_elements) {
+    return Status::Internal(
+        "modified greedy requires element links (call BuildLinks)");
+  }
+
+  std::vector<uint32_t> uncovered_count(num_sets);
+  IndexedHeap heap(num_sets);
+  for (uint32_t s = 0; s < num_sets; ++s) {
+    uncovered_count[s] = static_cast<uint32_t>(instance.sets[s].size());
+    if (uncovered_count[s] > 0) {
+      heap.Push(s, instance.weights[s] / uncovered_count[s]);
+    }
+  }
+
+  std::vector<bool> covered(instance.num_elements, false);
+  size_t remaining = instance.num_elements;
+
+  while (remaining > 0) {
+    ++solution.iterations;
+    if (heap.empty()) {
+      return Status::Internal(
+          "modified greedy: uncovered elements remain but the queue is "
+          "empty (infeasible instance)");
+    }
+    const auto [chosen, eff] = heap.Top();
+    (void)eff;
+    heap.Pop();
+    solution.chosen.push_back(chosen);
+    solution.weight += instance.weights[chosen];
+
+    for (const uint32_t e : instance.sets[chosen]) {
+      if (covered[e]) continue;
+      covered[e] = true;
+      --remaining;
+      // Reprice every other set containing e via the element links.
+      for (const uint32_t other : instance.element_sets[e]) {
+        if (other == chosen || !heap.Contains(other)) continue;
+        if (--uncovered_count[other] == 0) {
+          heap.Remove(other);
+        } else {
+          heap.Update(other,
+                      instance.weights[other] / uncovered_count[other]);
+        }
+      }
+    }
+  }
+  return solution;
+}
+
+}  // namespace dbrepair

@@ -1,0 +1,48 @@
+#include "repair/setcover/prune.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace dbrepair {
+
+SetCoverSolution PruneRedundantSets(const SetCoverInstance& instance,
+                                    const SetCoverSolution& solution) {
+  std::vector<uint32_t> coverage(instance.num_elements, 0);
+  for (const uint32_t s : solution.chosen) {
+    for (const uint32_t e : instance.sets[s]) ++coverage[e];
+  }
+
+  std::vector<uint32_t> order = solution.chosen;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (instance.weights[a] != instance.weights[b]) {
+      return instance.weights[a] > instance.weights[b];
+    }
+    return a < b;
+  });
+
+  std::vector<bool> removed(instance.num_sets(), false);
+  for (const uint32_t s : order) {
+    bool redundant = true;
+    for (const uint32_t e : instance.sets[s]) {
+      if (coverage[e] < 2) {
+        redundant = false;
+        break;
+      }
+    }
+    if (!redundant) continue;
+    removed[s] = true;
+    for (const uint32_t e : instance.sets[s]) --coverage[e];
+  }
+
+  SetCoverSolution pruned;
+  pruned.iterations = solution.iterations;
+  for (const uint32_t s : solution.chosen) {
+    if (!removed[s]) {
+      pruned.chosen.push_back(s);
+      pruned.weight += instance.weights[s];
+    }
+  }
+  return pruned;
+}
+
+}  // namespace dbrepair

@@ -1,0 +1,75 @@
+#include "sql/ast.h"
+
+namespace dbrepair {
+
+std::string SqlExpr::ToString() const {
+  if (kind == Kind::kColumn) return column.ToString();
+  return literal.ToString();
+}
+
+std::string SqlComparison::ToString() const {
+  return lhs.ToString() + " " + CompareOpName(op) + " " + rhs.ToString();
+}
+
+std::string AggregateExpr::ToString() const {
+  const char* name = "COUNT";
+  switch (func) {
+    case Func::kCount:
+      name = "COUNT";
+      break;
+    case Func::kSum:
+      name = "SUM";
+      break;
+    case Func::kMin:
+      name = "MIN";
+      break;
+    case Func::kMax:
+      name = "MAX";
+      break;
+    case Func::kAvg:
+      name = "AVG";
+      break;
+  }
+  return std::string(name) + "(" + (star ? "*" : column.ToString()) + ")";
+}
+
+std::string SelectStatement::ToString() const {
+  std::string out = "SELECT ";
+  if (select_all) {
+    out += "*";
+  } else if (!aggregates.empty()) {
+    for (size_t i = 0; i < aggregates.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += aggregates[i].ToString();
+    }
+  } else {
+    for (size_t i = 0; i < select.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += select[i].ToString();
+    }
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += from[i].table;
+    if (!from[i].alias.empty()) out += " " + from[i].alias;
+  }
+  if (!where.empty()) {
+    out += " WHERE ";
+    for (size_t i = 0; i < where.size(); ++i) {
+      if (i > 0) out += " AND ";
+      out += where[i].ToString();
+    }
+  }
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += order_by[i].column.ToString();
+      if (!order_by[i].ascending) out += " DESC";
+    }
+  }
+  return out;
+}
+
+}  // namespace dbrepair

@@ -1,0 +1,106 @@
+#ifndef DBREPAIR_SQL_AST_H_
+#define DBREPAIR_SQL_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/value.h"
+#include "constraints/ast.h"  // CompareOp
+
+namespace dbrepair {
+
+/// A column reference, optionally qualified: `t0.PRC` or `PRC`.
+struct ColumnRef {
+  std::string table_alias;  // empty = unqualified
+  std::string column;
+
+  std::string ToString() const {
+    return table_alias.empty() ? column : table_alias + "." + column;
+  }
+};
+
+/// A scalar expression in this SQL subset: a column or a literal.
+struct SqlExpr {
+  enum class Kind { kColumn, kLiteral };
+  Kind kind = Kind::kColumn;
+  ColumnRef column;
+  Value literal;
+
+  static SqlExpr Column(ColumnRef ref) {
+    SqlExpr e;
+    e.kind = Kind::kColumn;
+    e.column = std::move(ref);
+    return e;
+  }
+  static SqlExpr Literal(Value v) {
+    SqlExpr e;
+    e.kind = Kind::kLiteral;
+    e.literal = std::move(v);
+    return e;
+  }
+
+  std::string ToString() const;
+};
+
+/// One conjunct of the WHERE clause: `expr op expr`.
+struct SqlComparison {
+  SqlExpr lhs;
+  CompareOp op = CompareOp::kEq;
+  SqlExpr rhs;
+
+  std::string ToString() const;
+};
+
+/// A FROM entry: `Paper t0` (alias optional; defaults to the table name).
+struct TableRef {
+  std::string table;
+  std::string alias;
+
+  const std::string& effective_alias() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+struct OrderByItem {
+  ColumnRef column;
+  bool ascending = true;
+};
+
+/// A scalar aggregate in the select list: COUNT(*) / COUNT(col) / SUM /
+/// MIN / MAX / AVG. Aggregates cannot mix with plain columns (no GROUP BY
+/// in this subset); a query with aggregates returns exactly one row.
+struct AggregateExpr {
+  enum class Func { kCount, kSum, kMin, kMax, kAvg };
+  Func func = Func::kCount;
+  /// COUNT(*) has star = true and ignores `column`.
+  bool star = false;
+  ColumnRef column;
+
+  std::string ToString() const;
+};
+
+/// The supported statement shape:
+///   SELECT <* | col[, col]*> FROM t [alias][, t [alias]]*
+///   [WHERE cmp [AND cmp]*] [ORDER BY col [ASC|DESC][, ...]]
+struct SelectStatement {
+  bool select_all = false;
+  std::vector<ColumnRef> select;
+  /// Non-empty for aggregate queries; then select is empty and
+  /// select_all is false.
+  std::vector<AggregateExpr> aggregates;
+  std::vector<TableRef> from;
+  std::vector<SqlComparison> where;
+  std::vector<OrderByItem> order_by;
+
+  std::string ToString() const;
+};
+
+/// Query output: column headers plus materialised rows.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+};
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_SQL_AST_H_

@@ -1,0 +1,488 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "sql/parser.h"
+
+namespace dbrepair {
+namespace {
+
+// A column resolved to (FROM-entry index, attribute position).
+struct ResolvedColumn {
+  uint32_t entry = 0;
+  uint32_t position = 0;
+};
+
+// A WHERE conjunct with resolved sides.
+struct ResolvedComparison {
+  bool lhs_is_column = false;
+  ResolvedColumn lhs;
+  Value lhs_literal;
+  CompareOp op = CompareOp::kEq;
+  bool rhs_is_column = false;
+  ResolvedColumn rhs;
+  Value rhs_literal;
+};
+
+struct VecValueHash {
+  size_t operator()(const std::vector<Value>& vs) const {
+    size_t h = 0x811c9dc5;
+    for (const Value& v : vs) h = h * 1099511628211ULL + v.Hash();
+    return h;
+  }
+};
+using HashIndex =
+    std::unordered_map<std::vector<Value>, std::vector<uint32_t>,
+                       VecValueHash>;
+
+class SelectExecutor {
+ public:
+  SelectExecutor(const Database& db, const SelectStatement& stmt)
+      : db_(db), stmt_(stmt) {}
+
+  Result<ResultSet> Run() {
+    DBREPAIR_RETURN_IF_ERROR(ResolveFrom());
+    DBREPAIR_RETURN_IF_ERROR(ResolveSelectAndOrder());
+    DBREPAIR_RETURN_IF_ERROR(ResolveWhere());
+    ChooseOrder();
+    DBREPAIR_RETURN_IF_ERROR(BuildPlan());
+    Execute();
+    SortRows();
+    if (!stmt_.aggregates.empty()) Aggregate();
+    ResultSet out;
+    out.columns = std::move(column_names_);
+    out.rows = std::move(rows_);
+    return out;
+  }
+
+ private:
+  // ---- Resolution. ----
+
+  Status ResolveFrom() {
+    for (const TableRef& ref : stmt_.from) {
+      const Table* table = db_.FindTable(ref.table);
+      if (table == nullptr) {
+        return Status::NotFound("unknown table '" + ref.table + "'");
+      }
+      const std::string& alias = ref.effective_alias();
+      if (alias_to_entry_.count(alias) > 0) {
+        return Status::InvalidArgument("duplicate table alias '" + alias +
+                                       "'");
+      }
+      alias_to_entry_[alias] = static_cast<uint32_t>(tables_.size());
+      tables_.push_back(table);
+    }
+    return Status::OK();
+  }
+
+  Result<ResolvedColumn> Resolve(const ColumnRef& ref) const {
+    if (!ref.table_alias.empty()) {
+      const auto it = alias_to_entry_.find(ref.table_alias);
+      if (it == alias_to_entry_.end()) {
+        return Status::NotFound("unknown table alias '" + ref.table_alias +
+                                "'");
+      }
+      const auto pos = tables_[it->second]->schema().FindAttribute(ref.column);
+      if (!pos.has_value()) {
+        return Status::NotFound("no column '" + ref.column + "' in '" +
+                                ref.table_alias + "'");
+      }
+      return ResolvedColumn{it->second, static_cast<uint32_t>(*pos)};
+    }
+    // Unqualified: must be unique across the FROM entries.
+    ResolvedColumn found;
+    int hits = 0;
+    for (uint32_t e = 0; e < tables_.size(); ++e) {
+      const auto pos = tables_[e]->schema().FindAttribute(ref.column);
+      if (pos.has_value()) {
+        found = ResolvedColumn{e, static_cast<uint32_t>(*pos)};
+        ++hits;
+      }
+    }
+    if (hits == 0) {
+      return Status::NotFound("unknown column '" + ref.column + "'");
+    }
+    if (hits > 1) {
+      return Status::InvalidArgument("ambiguous column '" + ref.column +
+                                     "'");
+    }
+    return found;
+  }
+
+  Status ResolveSelectAndOrder() {
+    if (!stmt_.aggregates.empty()) {
+      if (!stmt_.order_by.empty()) {
+        return Status::InvalidArgument(
+            "ORDER BY cannot combine with aggregates (single-row result)");
+      }
+      for (const AggregateExpr& agg : stmt_.aggregates) {
+        column_names_.push_back(agg.ToString());
+        if (agg.star) {
+          // COUNT(*): the collected value is ignored; any column serves.
+          projection_.push_back(ResolvedColumn{0, 0});
+        } else {
+          DBREPAIR_ASSIGN_OR_RETURN(const ResolvedColumn col,
+                                    Resolve(agg.column));
+          projection_.push_back(col);
+        }
+      }
+      return Status::OK();
+    }
+    if (stmt_.select_all) {
+      for (uint32_t e = 0; e < tables_.size(); ++e) {
+        const RelationSchema& schema = tables_[e]->schema();
+        for (uint32_t pos = 0; pos < schema.arity(); ++pos) {
+          projection_.push_back(ResolvedColumn{e, pos});
+          column_names_.push_back(
+              tables_.size() > 1
+                  ? stmt_.from[e].effective_alias() + "." +
+                        schema.attribute(pos).name
+                  : schema.attribute(pos).name);
+        }
+      }
+    } else {
+      for (const ColumnRef& ref : stmt_.select) {
+        DBREPAIR_ASSIGN_OR_RETURN(const ResolvedColumn col, Resolve(ref));
+        projection_.push_back(col);
+        column_names_.push_back(ref.ToString());
+      }
+    }
+    for (const OrderByItem& item : stmt_.order_by) {
+      DBREPAIR_ASSIGN_OR_RETURN(const ResolvedColumn col,
+                                Resolve(item.column));
+      order_columns_.push_back(col);
+      order_ascending_.push_back(item.ascending);
+    }
+    return Status::OK();
+  }
+
+  Status ResolveWhere() {
+    for (const SqlComparison& cmp : stmt_.where) {
+      ResolvedComparison resolved;
+      resolved.op = cmp.op;
+      if (cmp.lhs.kind == SqlExpr::Kind::kColumn) {
+        resolved.lhs_is_column = true;
+        DBREPAIR_ASSIGN_OR_RETURN(resolved.lhs, Resolve(cmp.lhs.column));
+      } else {
+        resolved.lhs_literal = cmp.lhs.literal;
+      }
+      if (cmp.rhs.kind == SqlExpr::Kind::kColumn) {
+        resolved.rhs_is_column = true;
+        DBREPAIR_ASSIGN_OR_RETURN(resolved.rhs, Resolve(cmp.rhs.column));
+      } else {
+        resolved.rhs_literal = cmp.rhs.literal;
+      }
+      comparisons_.push_back(std::move(resolved));
+    }
+    return Status::OK();
+  }
+
+  // ---- Planning. ----
+
+  // Number of single-table predicates on entry e.
+  size_t LocalFilterCount(uint32_t e) const {
+    size_t count = 0;
+    for (const ResolvedComparison& cmp : comparisons_) {
+      const bool lhs_here = cmp.lhs_is_column && cmp.lhs.entry == e;
+      const bool rhs_here = cmp.rhs_is_column && cmp.rhs.entry == e;
+      const bool lhs_lit = !cmp.lhs_is_column;
+      const bool rhs_lit = !cmp.rhs_is_column;
+      if ((lhs_here && (rhs_lit || rhs_here)) || (rhs_here && lhs_lit)) {
+        ++count;
+      }
+    }
+    return count;
+  }
+
+  bool HasEquiJoinWith(uint32_t e, const std::vector<bool>& placed) const {
+    for (const ResolvedComparison& cmp : comparisons_) {
+      if (cmp.op != CompareOp::kEq || !cmp.lhs_is_column ||
+          !cmp.rhs_is_column) {
+        continue;
+      }
+      if (cmp.lhs.entry == e && placed[cmp.rhs.entry]) return true;
+      if (cmp.rhs.entry == e && placed[cmp.lhs.entry]) return true;
+    }
+    return false;
+  }
+
+  void ChooseOrder() {
+    const size_t n = tables_.size();
+    std::vector<bool> placed(n, false);
+    for (size_t round = 0; round < n; ++round) {
+      int best = -1;
+      bool best_joinable = false;
+      size_t best_filters = 0;
+      size_t best_size = 0;
+      for (uint32_t e = 0; e < n; ++e) {
+        if (placed[e]) continue;
+        const bool joinable = round > 0 && HasEquiJoinWith(e, placed);
+        const size_t filters = LocalFilterCount(e);
+        const size_t size = tables_[e]->size();
+        const bool better =
+            best < 0 || (joinable && !best_joinable) ||
+            (joinable == best_joinable &&
+             (filters > best_filters ||
+              (filters == best_filters && size < best_size)));
+        if (better) {
+          best = static_cast<int>(e);
+          best_joinable = joinable;
+          best_filters = filters;
+          best_size = size;
+        }
+      }
+      placed[static_cast<size_t>(best)] = true;
+      order_.push_back(static_cast<uint32_t>(best));
+    }
+  }
+
+  // Per-depth plan: which comparisons to check, which join columns index.
+  struct Step {
+    uint32_t entry = 0;
+    std::vector<uint32_t> comparisons;       // fully bound at this depth
+    std::vector<uint32_t> index_positions;   // this entry's equi-join cols
+    std::vector<ResolvedColumn> index_probe; // bound-side columns
+    HashIndex index;                         // built when probe non-empty
+  };
+
+  // Depth (in order_) at which an entry is bound.
+  std::vector<uint32_t> EntryDepths() const {
+    std::vector<uint32_t> depth(tables_.size(), 0);
+    for (uint32_t d = 0; d < order_.size(); ++d) depth[order_[d]] = d;
+    return depth;
+  }
+
+  Status BuildPlan() {
+    const std::vector<uint32_t> depth_of = EntryDepths();
+    steps_.resize(order_.size());
+    for (uint32_t d = 0; d < order_.size(); ++d) {
+      steps_[d].entry = order_[d];
+    }
+    std::vector<bool> used(comparisons_.size(), false);
+    // Equi-join conjuncts become index lookups at the later side's depth.
+    for (uint32_t c = 0; c < comparisons_.size(); ++c) {
+      const ResolvedComparison& cmp = comparisons_[c];
+      if (cmp.op != CompareOp::kEq || !cmp.lhs_is_column ||
+          !cmp.rhs_is_column || cmp.lhs.entry == cmp.rhs.entry) {
+        continue;
+      }
+      const uint32_t lhs_depth = depth_of[cmp.lhs.entry];
+      const uint32_t rhs_depth = depth_of[cmp.rhs.entry];
+      Step& step = steps_[std::max(lhs_depth, rhs_depth)];
+      const bool lhs_is_late = lhs_depth > rhs_depth;
+      step.index_positions.push_back(lhs_is_late ? cmp.lhs.position
+                                                 : cmp.rhs.position);
+      step.index_probe.push_back(lhs_is_late ? cmp.rhs : cmp.lhs);
+      used[c] = true;
+    }
+    // Everything else is checked at the earliest depth where bound.
+    for (uint32_t c = 0; c < comparisons_.size(); ++c) {
+      if (used[c]) continue;
+      const ResolvedComparison& cmp = comparisons_[c];
+      uint32_t depth = 0;
+      if (cmp.lhs_is_column) depth = std::max(depth, depth_of[cmp.lhs.entry]);
+      if (cmp.rhs_is_column) depth = std::max(depth, depth_of[cmp.rhs.entry]);
+      steps_[depth].comparisons.push_back(c);
+    }
+    // Build the hash indexes for steps with join columns.
+    for (Step& step : steps_) {
+      if (step.index_positions.empty()) continue;
+      const Table& table = *tables_[step.entry];
+      step.index.reserve(table.size());
+      std::vector<Value> key;
+      for (uint32_t row = 0; row < table.size(); ++row) {
+        key.clear();
+        for (const uint32_t pos : step.index_positions) {
+          key.push_back(table.row(row).value(pos));
+        }
+        step.index[key].push_back(row);
+      }
+    }
+    return Status::OK();
+  }
+
+  // ---- Execution. ----
+
+  const Value& ColumnValue(const ResolvedColumn& col) const {
+    return tables_[col.entry]->row(current_rows_[col.entry]).value(
+        col.position);
+  }
+
+  bool ComparisonHolds(const ResolvedComparison& cmp) const {
+    const Value& lhs =
+        cmp.lhs_is_column ? ColumnValue(cmp.lhs) : cmp.lhs_literal;
+    const Value& rhs =
+        cmp.rhs_is_column ? ColumnValue(cmp.rhs) : cmp.rhs_literal;
+    return EvalCompare(lhs, cmp.op, rhs);
+  }
+
+  void Execute() {
+    current_rows_.assign(tables_.size(), 0);
+    Recurse(0);
+  }
+
+  void Recurse(size_t depth) {
+    if (depth == steps_.size()) {
+      std::vector<Value> row;
+      row.reserve(projection_.size());
+      for (const ResolvedColumn& col : projection_) {
+        row.push_back(ColumnValue(col));
+      }
+      if (!order_columns_.empty()) {
+        std::vector<Value> key;
+        key.reserve(order_columns_.size());
+        for (const ResolvedColumn& col : order_columns_) {
+          key.push_back(ColumnValue(col));
+        }
+        sort_keys_.push_back(std::move(key));
+      }
+      rows_.push_back(std::move(row));
+      return;
+    }
+    Step& step = steps_[depth];
+    const Table& table = *tables_[step.entry];
+
+    const std::vector<uint32_t>* rows = nullptr;
+    std::vector<uint32_t> scan;
+    if (!step.index_positions.empty()) {
+      std::vector<Value> key;
+      key.reserve(step.index_probe.size());
+      for (const ResolvedColumn& col : step.index_probe) {
+        key.push_back(ColumnValue(col));
+      }
+      const auto it = step.index.find(key);
+      if (it == step.index.end()) return;
+      rows = &it->second;
+    } else {
+      scan.resize(table.size());
+      std::iota(scan.begin(), scan.end(), 0);
+      rows = &scan;
+    }
+    for (const uint32_t row : *rows) {
+      current_rows_[step.entry] = row;
+      bool ok = true;
+      for (const uint32_t c : step.comparisons) {
+        if (!ComparisonHolds(comparisons_[c])) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) Recurse(depth + 1);
+    }
+  }
+
+  // Folds the collected per-aggregate values into the single result row.
+  // SQL semantics: COUNT of an empty input is 0; SUM/MIN/MAX/AVG are NULL.
+  // COUNT(col), SUM, and AVG skip NULL inputs.
+  void Aggregate() {
+    std::vector<Value> result;
+    result.reserve(stmt_.aggregates.size());
+    for (size_t a = 0; a < stmt_.aggregates.size(); ++a) {
+      const AggregateExpr& agg = stmt_.aggregates[a];
+      if (agg.func == AggregateExpr::Func::kCount && agg.star) {
+        result.push_back(Value::Int(static_cast<int64_t>(rows_.size())));
+        continue;
+      }
+      size_t count = 0;
+      int64_t int_sum = 0;
+      double double_sum = 0.0;
+      bool all_int = true;
+      const Value* min = nullptr;
+      const Value* max = nullptr;
+      for (const std::vector<Value>& row : rows_) {
+        const Value& v = row[a];
+        if (v.is_null()) continue;
+        ++count;
+        if (v.is_int()) {
+          int_sum += v.AsInt();
+          double_sum += static_cast<double>(v.AsInt());
+        } else if (v.is_double()) {
+          all_int = false;
+          double_sum += v.AsDouble();
+        } else {
+          all_int = false;  // strings participate in MIN/MAX/COUNT only
+        }
+        if (min == nullptr || v.Compare(*min) < 0) min = &v;
+        if (max == nullptr || v.Compare(*max) > 0) max = &v;
+      }
+      switch (agg.func) {
+        case AggregateExpr::Func::kCount:
+          result.push_back(Value::Int(static_cast<int64_t>(count)));
+          break;
+        case AggregateExpr::Func::kSum:
+          if (count == 0) {
+            result.push_back(Value());
+          } else {
+            result.push_back(all_int ? Value::Int(int_sum)
+                                     : Value::Double(double_sum));
+          }
+          break;
+        case AggregateExpr::Func::kMin:
+          result.push_back(min != nullptr ? *min : Value());
+          break;
+        case AggregateExpr::Func::kMax:
+          result.push_back(max != nullptr ? *max : Value());
+          break;
+        case AggregateExpr::Func::kAvg:
+          result.push_back(count == 0
+                               ? Value()
+                               : Value::Double(double_sum /
+                                               static_cast<double>(count)));
+          break;
+      }
+    }
+    rows_.clear();
+    rows_.push_back(std::move(result));
+  }
+
+  void SortRows() {
+    if (order_columns_.empty()) return;
+    std::vector<size_t> perm(rows_.size());
+    std::iota(perm.begin(), perm.end(), 0);
+    std::stable_sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+      for (size_t k = 0; k < order_columns_.size(); ++k) {
+        const int cmp = sort_keys_[a][k].Compare(sort_keys_[b][k]);
+        if (cmp != 0) return order_ascending_[k] ? cmp < 0 : cmp > 0;
+      }
+      return false;
+    });
+    std::vector<std::vector<Value>> sorted;
+    sorted.reserve(rows_.size());
+    for (const size_t i : perm) sorted.push_back(std::move(rows_[i]));
+    rows_ = std::move(sorted);
+  }
+
+  const Database& db_;
+  const SelectStatement& stmt_;
+
+  std::vector<const Table*> tables_;
+  std::unordered_map<std::string, uint32_t> alias_to_entry_;
+  std::vector<ResolvedColumn> projection_;
+  std::vector<std::string> column_names_;
+  std::vector<ResolvedComparison> comparisons_;
+  std::vector<ResolvedColumn> order_columns_;
+  std::vector<bool> order_ascending_;
+  std::vector<uint32_t> order_;
+  std::vector<Step> steps_;
+
+  std::vector<uint32_t> current_rows_;
+  std::vector<std::vector<Value>> rows_;
+  std::vector<std::vector<Value>> sort_keys_;
+};
+
+}  // namespace
+
+Result<ResultSet> ExecuteSelect(const Database& db,
+                                const SelectStatement& stmt) {
+  SelectExecutor executor(db, stmt);
+  return executor.Run();
+}
+
+Result<ResultSet> Query(const Database& db, std::string_view sql) {
+  DBREPAIR_ASSIGN_OR_RETURN(const SelectStatement stmt, ParseSelect(sql));
+  return ExecuteSelect(db, stmt);
+}
+
+}  // namespace dbrepair

@@ -1,0 +1,24 @@
+#ifndef DBREPAIR_SQL_EXECUTOR_H_
+#define DBREPAIR_SQL_EXECUTOR_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "storage/database.h"
+
+namespace dbrepair {
+
+/// Evaluates a SELECT over the in-memory database. Joins implied by
+/// cross-table equality conjuncts run as hash joins; single-table
+/// predicates are pushed to their table's scan; the join order is chosen
+/// greedily (filtered/smaller tables first, then hash-joinable ones).
+Result<ResultSet> ExecuteSelect(const Database& db,
+                                const SelectStatement& stmt);
+
+/// Parses and executes `sql` in one step.
+Result<ResultSet> Query(const Database& db, std::string_view sql);
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_SQL_EXECUTOR_H_

@@ -1,0 +1,414 @@
+#include "sql/parser.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace dbrepair {
+namespace {
+
+enum class SqlTokKind {
+  kIdent,
+  kNumber,
+  kString,
+  kComma,
+  kDot,
+  kStar,
+  kLParen,
+  kRParen,
+  kOp,
+  kSemicolon,
+  kEnd,
+};
+
+struct SqlToken {
+  SqlTokKind kind = SqlTokKind::kEnd;
+  std::string text;  // identifier (original case) or literal text
+  CompareOp op = CompareOp::kEq;
+  size_t offset = 0;
+};
+
+class SqlLexer {
+ public:
+  explicit SqlLexer(std::string_view input) : input_(input) {}
+
+  Result<std::vector<SqlToken>> Tokenize() {
+    std::vector<SqlToken> out;
+    while (true) {
+      while (pos_ < input_.size() &&
+             std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+        ++pos_;
+      }
+      SqlToken tok;
+      tok.offset = pos_;
+      if (pos_ >= input_.size()) {
+        out.push_back(tok);
+        return out;
+      }
+      const char c = input_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        const size_t start = pos_;
+        while (pos_ < input_.size() &&
+               (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+                input_[pos_] == '_' || input_[pos_] == '#')) {
+          ++pos_;
+        }
+        tok.kind = SqlTokKind::kIdent;
+        tok.text = std::string(input_.substr(start, pos_ - start));
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '-' && pos_ + 1 < input_.size() &&
+                  std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])))) {
+        const size_t start = pos_;
+        ++pos_;
+        while (pos_ < input_.size() &&
+               (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
+                input_[pos_] == '.')) {
+          ++pos_;
+        }
+        tok.kind = SqlTokKind::kNumber;
+        tok.text = std::string(input_.substr(start, pos_ - start));
+      } else if (c == '\'') {
+        ++pos_;
+        std::string text;
+        bool closed = false;
+        while (pos_ < input_.size()) {
+          if (input_[pos_] == '\'') {
+            if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '\'') {
+              text += '\'';
+              pos_ += 2;
+              continue;
+            }
+            ++pos_;
+            closed = true;
+            break;
+          }
+          text += input_[pos_++];
+        }
+        if (!closed) return Status::ParseError("unterminated SQL string");
+        tok.kind = SqlTokKind::kString;
+        tok.text = std::move(text);
+      } else {
+        switch (c) {
+          case ',':
+            tok.kind = SqlTokKind::kComma;
+            ++pos_;
+            break;
+          case '.':
+            tok.kind = SqlTokKind::kDot;
+            ++pos_;
+            break;
+          case '*':
+            tok.kind = SqlTokKind::kStar;
+            ++pos_;
+            break;
+          case '(':
+            tok.kind = SqlTokKind::kLParen;
+            ++pos_;
+            break;
+          case ')':
+            tok.kind = SqlTokKind::kRParen;
+            ++pos_;
+            break;
+          case ';':
+            tok.kind = SqlTokKind::kSemicolon;
+            ++pos_;
+            break;
+          case '<':
+            tok.kind = SqlTokKind::kOp;
+            if (Peek1() == '=') {
+              tok.op = CompareOp::kLe;
+              pos_ += 2;
+            } else if (Peek1() == '>') {
+              tok.op = CompareOp::kNe;
+              pos_ += 2;
+            } else {
+              tok.op = CompareOp::kLt;
+              ++pos_;
+            }
+            break;
+          case '>':
+            tok.kind = SqlTokKind::kOp;
+            if (Peek1() == '=') {
+              tok.op = CompareOp::kGe;
+              pos_ += 2;
+            } else {
+              tok.op = CompareOp::kGt;
+              ++pos_;
+            }
+            break;
+          case '=':
+            tok.kind = SqlTokKind::kOp;
+            tok.op = CompareOp::kEq;
+            ++pos_;
+            break;
+          case '!':
+            if (Peek1() == '=') {
+              tok.kind = SqlTokKind::kOp;
+              tok.op = CompareOp::kNe;
+              pos_ += 2;
+            } else {
+              return Status::ParseError("unexpected '!' in SQL at offset " +
+                                        std::to_string(pos_));
+            }
+            break;
+          default:
+            return Status::ParseError(std::string("unexpected character '") +
+                                      c + "' in SQL at offset " +
+                                      std::to_string(pos_));
+        }
+      }
+      out.push_back(std::move(tok));
+    }
+  }
+
+ private:
+  char Peek1() const {
+    return pos_ + 1 < input_.size() ? input_[pos_ + 1] : '\0';
+  }
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+class SqlParser {
+ public:
+  explicit SqlParser(std::vector<SqlToken> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Result<SelectStatement> Parse() {
+    SelectStatement stmt;
+    DBREPAIR_RETURN_IF_ERROR(ExpectKeyword("select"));
+    // Select list: '*', aggregates, or plain columns (no mixing).
+    if (Cur().kind == SqlTokKind::kStar) {
+      stmt.select_all = true;
+      Advance();
+    } else {
+      while (true) {
+        if (IsAggregateAt()) {
+          DBREPAIR_ASSIGN_OR_RETURN(AggregateExpr agg, ParseAggregate());
+          stmt.aggregates.push_back(std::move(agg));
+        } else {
+          DBREPAIR_ASSIGN_OR_RETURN(ColumnRef ref, ParseColumnRef());
+          stmt.select.push_back(std::move(ref));
+        }
+        if (Cur().kind == SqlTokKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      if (!stmt.aggregates.empty() && !stmt.select.empty()) {
+        return Status::ParseError(
+            "aggregates cannot mix with plain columns (no GROUP BY in this "
+            "dialect)");
+      }
+    }
+    DBREPAIR_RETURN_IF_ERROR(ExpectKeyword("from"));
+    while (true) {
+      if (Cur().kind != SqlTokKind::kIdent) {
+        return Status::ParseError("expected table name in FROM");
+      }
+      TableRef table;
+      table.table = Cur().text;
+      Advance();
+      if (Cur().kind == SqlTokKind::kIdent && !IsKeyword(Cur().text)) {
+        table.alias = Cur().text;
+        Advance();
+      }
+      stmt.from.push_back(std::move(table));
+      if (Cur().kind == SqlTokKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (IsKeywordAt("where")) {
+      Advance();
+      while (true) {
+        DBREPAIR_ASSIGN_OR_RETURN(SqlComparison cmp, ParseComparison());
+        stmt.where.push_back(std::move(cmp));
+        if (IsKeywordAt("and")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (IsKeywordAt("order")) {
+      Advance();
+      DBREPAIR_RETURN_IF_ERROR(ExpectKeyword("by"));
+      while (true) {
+        OrderByItem item;
+        DBREPAIR_ASSIGN_OR_RETURN(item.column, ParseColumnRef());
+        if (IsKeywordAt("asc")) {
+          Advance();
+        } else if (IsKeywordAt("desc")) {
+          item.ascending = false;
+          Advance();
+        }
+        stmt.order_by.push_back(std::move(item));
+        if (Cur().kind == SqlTokKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (Cur().kind == SqlTokKind::kSemicolon) Advance();
+    if (Cur().kind != SqlTokKind::kEnd) {
+      return Status::ParseError("trailing input after SQL statement at "
+                                "offset " +
+                                std::to_string(Cur().offset));
+    }
+    if (stmt.from.empty()) {
+      return Status::ParseError("FROM clause is empty");
+    }
+    return stmt;
+  }
+
+ private:
+  static bool IsKeyword(const std::string& text) {
+    const std::string lower = ToLower(text);
+    return lower == "select" || lower == "from" || lower == "where" ||
+           lower == "and" || lower == "order" || lower == "by" ||
+           lower == "asc" || lower == "desc";
+  }
+
+  bool IsKeywordAt(const char* keyword) const {
+    return Cur().kind == SqlTokKind::kIdent && ToLower(Cur().text) == keyword;
+  }
+
+  Status ExpectKeyword(const char* keyword) {
+    if (!IsKeywordAt(keyword)) {
+      return Status::ParseError(std::string("expected keyword '") + keyword +
+                                "' at offset " + std::to_string(Cur().offset));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  // True when the cursor sits on `FUNC (` with FUNC an aggregate name.
+  bool IsAggregateAt() const {
+    if (Cur().kind != SqlTokKind::kIdent) return false;
+    const std::string lower = ToLower(Cur().text);
+    if (lower != "count" && lower != "sum" && lower != "min" &&
+        lower != "max" && lower != "avg") {
+      return false;
+    }
+    return Next().kind == SqlTokKind::kLParen;
+  }
+
+  Result<AggregateExpr> ParseAggregate() {
+    AggregateExpr agg;
+    const std::string lower = ToLower(Cur().text);
+    if (lower == "count") {
+      agg.func = AggregateExpr::Func::kCount;
+    } else if (lower == "sum") {
+      agg.func = AggregateExpr::Func::kSum;
+    } else if (lower == "min") {
+      agg.func = AggregateExpr::Func::kMin;
+    } else if (lower == "max") {
+      agg.func = AggregateExpr::Func::kMax;
+    } else {
+      agg.func = AggregateExpr::Func::kAvg;
+    }
+    Advance();  // function name
+    Advance();  // '('
+    if (Cur().kind == SqlTokKind::kStar) {
+      if (agg.func != AggregateExpr::Func::kCount) {
+        return Status::ParseError("'*' is only valid inside COUNT(*)");
+      }
+      agg.star = true;
+      Advance();
+    } else {
+      DBREPAIR_ASSIGN_OR_RETURN(agg.column, ParseColumnRef());
+    }
+    if (Cur().kind != SqlTokKind::kRParen) {
+      return Status::ParseError("expected ')' closing the aggregate");
+    }
+    Advance();
+    return agg;
+  }
+
+  Result<ColumnRef> ParseColumnRef() {
+    if (Cur().kind != SqlTokKind::kIdent || IsKeyword(Cur().text)) {
+      return Status::ParseError("expected a column reference at offset " +
+                                std::to_string(Cur().offset));
+    }
+    ColumnRef ref;
+    ref.column = Cur().text;
+    Advance();
+    if (Cur().kind == SqlTokKind::kDot) {
+      Advance();
+      if (Cur().kind != SqlTokKind::kIdent) {
+        return Status::ParseError("expected column after '.'");
+      }
+      ref.table_alias = std::move(ref.column);
+      ref.column = Cur().text;
+      Advance();
+    }
+    return ref;
+  }
+
+  Result<SqlExpr> ParseExpr() {
+    const SqlToken& tok = Cur();
+    switch (tok.kind) {
+      case SqlTokKind::kIdent: {
+        DBREPAIR_ASSIGN_OR_RETURN(ColumnRef ref, ParseColumnRef());
+        return SqlExpr::Column(std::move(ref));
+      }
+      case SqlTokKind::kNumber: {
+        std::string text = tok.text;
+        Advance();
+        if (text.find('.') != std::string::npos) {
+          DBREPAIR_ASSIGN_OR_RETURN(const double d, ParseDouble(text));
+          return SqlExpr::Literal(Value::Double(d));
+        }
+        DBREPAIR_ASSIGN_OR_RETURN(const int64_t i, ParseInt64(text));
+        return SqlExpr::Literal(Value::Int(i));
+      }
+      case SqlTokKind::kString: {
+        SqlExpr e = SqlExpr::Literal(Value::String(tok.text));
+        Advance();
+        return e;
+      }
+      default:
+        return Status::ParseError("expected an expression at offset " +
+                                  std::to_string(tok.offset));
+    }
+  }
+
+  Result<SqlComparison> ParseComparison() {
+    SqlComparison cmp;
+    DBREPAIR_ASSIGN_OR_RETURN(cmp.lhs, ParseExpr());
+    if (Cur().kind != SqlTokKind::kOp) {
+      return Status::ParseError("expected a comparison operator at offset " +
+                                std::to_string(Cur().offset));
+    }
+    cmp.op = Cur().op;
+    Advance();
+    DBREPAIR_ASSIGN_OR_RETURN(cmp.rhs, ParseExpr());
+    return cmp;
+  }
+
+  const SqlToken& Cur() const { return tokens_[index_]; }
+  const SqlToken& Next() const {
+    return index_ + 1 < tokens_.size() ? tokens_[index_ + 1] : tokens_.back();
+  }
+  void Advance() {
+    if (index_ + 1 < tokens_.size()) ++index_;
+  }
+
+  std::vector<SqlToken> tokens_;
+  size_t index_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStatement> ParseSelect(std::string_view sql) {
+  SqlLexer lexer(sql);
+  DBREPAIR_ASSIGN_OR_RETURN(std::vector<SqlToken> tokens, lexer.Tokenize());
+  SqlParser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace dbrepair

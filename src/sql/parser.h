@@ -1,0 +1,24 @@
+#ifndef DBREPAIR_SQL_PARSER_H_
+#define DBREPAIR_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace dbrepair {
+
+/// Parses the SQL subset used by the violation-set views (Algorithm 2 /
+/// Example 3.6):
+///
+///   SELECT t0.ID, t1.ID FROM Paper t0, Pub t1
+///   WHERE t1.PID = t0.ID AND t1.Pag > 40 AND t0.PRC < 70
+///   ORDER BY t0.ID DESC
+///
+/// Keywords are case-insensitive; string literals use single quotes with ''
+/// escaping; a trailing semicolon is allowed.
+Result<SelectStatement> ParseSelect(std::string_view sql);
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_SQL_PARSER_H_

@@ -1,0 +1,36 @@
+#ifndef DBREPAIR_SQL_VIEWS_H_
+#define DBREPAIR_SQL_VIEWS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "constraints/ast.h"
+#include "constraints/violation.h"
+#include "storage/database.h"
+
+namespace dbrepair {
+
+/// Renders the violation-set view of one denial constraint as SQL
+/// (Algorithm 2 / Example 3.6): a SELECT over the constraint's atoms whose
+/// result is empty iff the constraint holds. The select list carries the
+/// primary-key columns of every atom so each result row identifies the
+/// participating tuples.
+///
+/// Example, for `ic3: :- Pub(x, y, z), Paper(y, u, v, w), z > 40, v < 70`:
+///
+///   SELECT t0.ID, t1.ID FROM Pub t0, Paper t1
+///   WHERE t1.ID = t0.PID AND t0.Pag > 40 AND t1.PRC < 70
+Result<std::string> DenialToSql(const Schema& schema,
+                                const BoundConstraint& ic);
+
+/// Enumerates all minimal violation sets by executing the generated SQL
+/// views and mapping key values back to TupleRefs — the paper's original
+/// architecture (SQL views against the DBMS). Produces exactly the output
+/// of ViolationEngine::FindViolations().
+Result<std::vector<ViolationSet>> FindViolationsViaSql(
+    const Database& db, const std::vector<BoundConstraint>& ics);
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_SQL_VIEWS_H_

@@ -1,0 +1,259 @@
+#include "storage/btree_index.h"
+
+#include <algorithm>
+
+namespace dbrepair {
+
+BTreeIndex BTreeIndex::BulkLoad(
+    std::vector<std::pair<Value, uint32_t>> entries) {
+  BTreeIndex index;
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              const int cmp = a.first.Compare(b.first);
+              if (cmp != 0) return cmp < 0;
+              return a.second < b.second;
+            });
+
+  // Fill leaves at ~75% so early inserts do not split immediately.
+  const size_t per_leaf = kMaxEntries * 3 / 4;
+  std::vector<NodePtr> level;
+  Node* previous_leaf = nullptr;
+  for (size_t begin = 0; begin < entries.size(); begin += per_leaf) {
+    auto leaf = std::make_unique<Node>();
+    leaf->leaf = true;
+    const size_t end = std::min(begin + per_leaf, entries.size());
+    for (size_t i = begin; i < end; ++i) {
+      leaf->entries.push_back(Entry{std::move(entries[i].first),
+                                    entries[i].second});
+    }
+    if (previous_leaf != nullptr) previous_leaf->next = leaf.get();
+    previous_leaf = leaf.get();
+    if (index.first_leaf_ == nullptr) index.first_leaf_ = leaf.get();
+    level.push_back(std::move(leaf));
+  }
+  index.size_ = entries.size();
+  if (level.empty()) {
+    index.root_ = std::make_unique<Node>();
+    index.first_leaf_ = index.root_.get();
+    return index;
+  }
+
+  // Build inner levels bottom-up; separator = smallest key of the right
+  // sibling's subtree.
+  auto smallest_key = [](const Node* node) {
+    while (!node->leaf) node = node->children.front().get();
+    return node->entries.front().key;
+  };
+  const size_t per_inner = kMaxChildren * 3 / 4;
+  while (level.size() > 1) {
+    std::vector<NodePtr> parents;
+    for (size_t begin = 0; begin < level.size(); begin += per_inner) {
+      auto inner = std::make_unique<Node>();
+      inner->leaf = false;
+      const size_t end = std::min(begin + per_inner, level.size());
+      for (size_t i = begin; i < end; ++i) {
+        if (i > begin) {
+          inner->separators.push_back(smallest_key(level[i].get()));
+        }
+        inner->children.push_back(std::move(level[i]));
+      }
+      parents.push_back(std::move(inner));
+    }
+    level = std::move(parents);
+  }
+  index.root_ = std::move(level.front());
+  return index;
+}
+
+const BTreeIndex::Node* BTreeIndex::FindLeaf(const Value& key) const {
+  const Node* node = root_.get();
+  if (node == nullptr) return nullptr;
+  while (!node->leaf) {
+    // Leftmost child whose subtree may contain `key`: the first separator
+    // that is >= key bounds it on the right (equal keys can sit on either
+    // side of an equal separator after splits).
+    size_t idx = 0;
+    while (idx < node->separators.size() &&
+           node->separators[idx].Compare(key) < 0) {
+      ++idx;
+    }
+    node = node->children[idx].get();
+  }
+  return node;
+}
+
+void BTreeIndex::SplitChild(Node* parent, size_t child_index) {
+  Node* child = parent->children[child_index].get();
+  auto sibling = std::make_unique<Node>();
+  sibling->leaf = child->leaf;
+  Value separator;
+  if (child->leaf) {
+    const size_t mid = child->entries.size() / 2;
+    sibling->entries.assign(
+        std::make_move_iterator(child->entries.begin() + mid),
+        std::make_move_iterator(child->entries.end()));
+    child->entries.resize(mid);
+    sibling->next = child->next;
+    child->next = sibling.get();
+    separator = sibling->entries.front().key;
+  } else {
+    const size_t mid = child->separators.size() / 2;
+    separator = child->separators[mid];
+    sibling->separators.assign(
+        std::make_move_iterator(child->separators.begin() + mid + 1),
+        std::make_move_iterator(child->separators.end()));
+    sibling->children.assign(
+        std::make_move_iterator(child->children.begin() + mid + 1),
+        std::make_move_iterator(child->children.end()));
+    child->separators.resize(mid);
+    child->children.resize(mid + 1);
+  }
+  parent->separators.insert(parent->separators.begin() + child_index,
+                            std::move(separator));
+  parent->children.insert(parent->children.begin() + child_index + 1,
+                          std::move(sibling));
+}
+
+void BTreeIndex::Insert(Value key, uint32_t row) {
+  if (root_ == nullptr) {
+    root_ = std::make_unique<Node>();
+    first_leaf_ = root_.get();
+  }
+  auto is_full = [](const Node* node) {
+    return node->leaf ? node->entries.size() >= kMaxEntries
+                      : node->children.size() >= kMaxChildren;
+  };
+  if (is_full(root_.get())) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->children.push_back(std::move(root_));
+    root_ = std::move(new_root);
+    SplitChild(root_.get(), 0);
+  }
+  Node* node = root_.get();
+  while (!node->leaf) {
+    size_t idx = 0;
+    while (idx < node->separators.size() &&
+           node->separators[idx].Compare(key) < 0) {
+      ++idx;
+    }
+    if (is_full(node->children[idx].get())) {
+      SplitChild(node, idx);
+      if (node->separators[idx].Compare(key) < 0) ++idx;
+    }
+    node = node->children[idx].get();
+  }
+  const Entry entry{std::move(key), row};
+  const auto at = std::upper_bound(node->entries.begin(),
+                                   node->entries.end(), entry, EntryLess);
+  node->entries.insert(at, entry);
+  ++size_;
+}
+
+std::vector<uint32_t> BTreeIndex::RangeScan(const std::optional<Value>& lo,
+                                            bool lo_strict,
+                                            const std::optional<Value>& hi,
+                                            bool hi_strict) const {
+  std::vector<uint32_t> out;
+  const Node* leaf =
+      lo.has_value() ? FindLeaf(*lo) : first_leaf_;
+  while (leaf != nullptr) {
+    for (const Entry& entry : leaf->entries) {
+      if (hi.has_value()) {
+        const int cmp = entry.key.Compare(*hi);
+        if (cmp > 0 || (hi_strict && cmp == 0)) return out;
+      }
+      if (lo.has_value()) {
+        const int cmp = entry.key.Compare(*lo);
+        if (cmp < 0 || (lo_strict && cmp == 0)) continue;
+      }
+      out.push_back(entry.row);
+    }
+    leaf = leaf->next;
+  }
+  return out;
+}
+
+std::vector<uint32_t> BTreeIndex::Lookup(const Value& key) const {
+  return RangeScan(key, false, key, false);
+}
+
+size_t BTreeIndex::Height() const {
+  size_t height = 0;
+  const Node* node = root_.get();
+  while (node != nullptr) {
+    ++height;
+    node = node->leaf ? nullptr : node->children.front().get();
+  }
+  return height;
+}
+
+Status BTreeIndex::CheckInvariants() const {
+  if (root_ == nullptr) {
+    return size_ == 0 ? Status::OK()
+                      : Status::Internal("btree: null root with entries");
+  }
+  // Uniform leaf depth + child/separator arity.
+  size_t leaf_depth = 0;
+  {
+    const Node* node = root_.get();
+    while (!node->leaf) {
+      ++leaf_depth;
+      node = node->children.front().get();
+    }
+  }
+  size_t counted = 0;
+  Status status = Status::OK();
+  auto visit = [&](auto&& self, const Node* node, size_t depth) -> void {
+    if (!status.ok()) return;
+    if (node->leaf) {
+      if (depth != leaf_depth) {
+        status = Status::Internal("btree: ragged leaf depth");
+        return;
+      }
+      counted += node->entries.size();
+      for (size_t i = 1; i < node->entries.size(); ++i) {
+        if (node->entries[i].key.Compare(node->entries[i - 1].key) < 0) {
+          status = Status::Internal("btree: unsorted leaf");
+          return;
+        }
+      }
+      return;
+    }
+    if (node->children.size() != node->separators.size() + 1 ||
+        node->children.empty()) {
+      status = Status::Internal("btree: inner arity mismatch");
+      return;
+    }
+    for (const NodePtr& child : node->children) {
+      self(self, child.get(), depth + 1);
+    }
+  };
+  visit(visit, root_.get(), 0);
+  DBREPAIR_RETURN_IF_ERROR(status);
+  if (counted != size_) {
+    return Status::Internal("btree: size mismatch: counted " +
+                            std::to_string(counted) + ", recorded " +
+                            std::to_string(size_));
+  }
+  // Keys nondecreasing along the leaf chain, and the chain sees every leaf.
+  size_t chained = 0;
+  const Node* leaf = first_leaf_;
+  const Value* previous = nullptr;
+  while (leaf != nullptr) {
+    for (const Entry& entry : leaf->entries) {
+      ++chained;
+      if (previous != nullptr && entry.key.Compare(*previous) < 0) {
+        return Status::Internal("btree: leaf chain out of order");
+      }
+      previous = &entry.key;
+    }
+    leaf = leaf->next;
+  }
+  if (chained != size_) {
+    return Status::Internal("btree: leaf chain misses entries");
+  }
+  return Status::OK();
+}
+
+}  // namespace dbrepair

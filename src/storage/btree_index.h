@@ -1,0 +1,93 @@
+#ifndef DBREPAIR_STORAGE_BTREE_INDEX_H_
+#define DBREPAIR_STORAGE_BTREE_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "catalog/value.h"
+#include "common/status.h"
+
+namespace dbrepair {
+
+/// An in-memory B+-tree secondary index over one column: entries are
+/// (key value, row id) pairs ordered by (key, row). Leaves are linked for
+/// range scans. Duplicated keys are supported (one entry per row).
+///
+/// The index accelerates the violation engine's range predicates
+/// (`A < c` / `A > c` built-ins of denial constraints): instead of scanning
+/// the whole table, the engine walks only the qualifying leaf range.
+class BTreeIndex {
+ public:
+  /// Bulk-loads an index from (key, row) pairs. Keys may repeat.
+  static BTreeIndex BulkLoad(std::vector<std::pair<Value, uint32_t>> entries);
+
+  BTreeIndex() = default;
+  BTreeIndex(BTreeIndex&&) = default;
+  BTreeIndex& operator=(BTreeIndex&&) = default;
+
+  /// Inserts one entry.
+  void Insert(Value key, uint32_t row);
+
+  size_t size() const { return size_; }
+
+  /// Row ids of entries with lo <= key <= hi (either bound optional; an
+  /// unset bound is unbounded). `lo_strict` / `hi_strict` switch to < / >.
+  std::vector<uint32_t> RangeScan(const std::optional<Value>& lo,
+                                  bool lo_strict,
+                                  const std::optional<Value>& hi,
+                                  bool hi_strict) const;
+
+  /// Row ids of entries equal to `key`.
+  std::vector<uint32_t> Lookup(const Value& key) const;
+
+  /// Internal consistency: ordering inside leaves, leaf chaining, and
+  /// separator correctness. For tests.
+  Status CheckInvariants() const;
+
+  /// Tree height (1 = just a leaf). For tests and diagnostics.
+  size_t Height() const;
+
+ private:
+  static constexpr size_t kMaxEntries = 64;  // per leaf
+  static constexpr size_t kMaxChildren = 64; // per inner node
+
+  struct Node;
+  using NodePtr = std::unique_ptr<Node>;
+
+  struct Entry {
+    Value key;
+    uint32_t row;
+  };
+
+  struct Node {
+    bool leaf = true;
+    // Leaf payload.
+    std::vector<Entry> entries;
+    Node* next = nullptr;  // leaf chain
+    // Inner payload: children[i] holds keys < separators[i] <= children[i+1].
+    std::vector<Value> separators;
+    std::vector<NodePtr> children;
+  };
+
+  static bool EntryLess(const Entry& a, const Entry& b) {
+    const int cmp = a.key.Compare(b.key);
+    if (cmp != 0) return cmp < 0;
+    return a.row < b.row;
+  }
+
+  // First leaf whose range may contain `key`.
+  const Node* FindLeaf(const Value& key) const;
+
+  // Splits `node` (a full child of `parent` at `child_index`).
+  void SplitChild(Node* parent, size_t child_index);
+
+  NodePtr root_;
+  Node* first_leaf_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_STORAGE_BTREE_INDEX_H_

@@ -1,0 +1,131 @@
+#include "storage/statistics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace dbrepair {
+
+TableStats ComputeTableStats(const Table& table) {
+  TableStats stats;
+  stats.row_count = table.size();
+  const size_t arity = table.schema().arity();
+  stats.columns.resize(arity);
+  std::vector<std::unordered_set<Value, ValueHash>> distinct(arity);
+  std::vector<std::vector<double>> numeric(arity);
+
+  for (const Tuple& row : table.rows()) {
+    for (size_t c = 0; c < arity; ++c) {
+      const Value& v = row.value(c);
+      if (v.is_null()) continue;
+      ColumnStats& col = stats.columns[c];
+      ++col.non_null;
+      distinct[c].insert(v);
+      if (v.is_int() || v.is_double()) {
+        const double x = v.AsNumeric();
+        numeric[c].push_back(x);
+        if (!col.has_range) {
+          col.has_range = true;
+          col.min = col.max = x;
+        } else {
+          col.min = std::min(col.min, x);
+          col.max = std::max(col.max, x);
+        }
+      }
+    }
+  }
+  for (size_t c = 0; c < arity; ++c) {
+    ColumnStats& col = stats.columns[c];
+    col.distinct = distinct[c].size();
+    // Equi-depth histogram: ~kHistogramBuckets buckets of equal population.
+    std::vector<double>& values = numeric[c];
+    if (values.empty()) continue;
+    std::sort(values.begin(), values.end());
+    const size_t buckets = std::min(kHistogramBuckets, values.size());
+    for (size_t b = 1; b <= buckets; ++b) {
+      const size_t end = values.size() * b / buckets;  // cumulative count
+      col.bucket_upper.push_back(values[end - 1]);
+      col.bucket_cumulative.push_back(end);
+    }
+  }
+  return stats;
+}
+
+double EstimateFractionBelow(const ColumnStats& stats, double c) {
+  if (stats.non_null == 0) return 0.0;
+  const double total = static_cast<double>(
+      stats.bucket_cumulative.empty() ? 0 : stats.bucket_cumulative.back());
+  if (!stats.bucket_upper.empty() && total > 0) {
+    if (c <= stats.min) return 0.0;
+    if (c > stats.max) return 1.0;
+    double prev_upper = stats.min;
+    size_t prev_cum = 0;
+    for (size_t b = 0; b < stats.bucket_upper.size(); ++b) {
+      const double upper = stats.bucket_upper[b];
+      const size_t cum = stats.bucket_cumulative[b];
+      if (c <= upper) {
+        // Interpolate inside the bucket (prev_upper, upper].
+        const double span = upper - prev_upper;
+        const double in_bucket = static_cast<double>(cum - prev_cum);
+        const double partial =
+            span > 0 ? (c - prev_upper) / span : 0.0;
+        return (static_cast<double>(prev_cum) +
+                std::clamp(partial, 0.0, 1.0) * in_bucket) /
+               total;
+      }
+      prev_upper = upper;
+      prev_cum = cum;
+    }
+    return 1.0;
+  }
+  // No histogram: uniform model over [min, max].
+  if (!stats.has_range) return 1.0 / 3.0;
+  const double span = stats.max - stats.min;
+  if (span <= 0.0) return c > stats.min ? 1.0 : 0.0;
+  return std::clamp((c - stats.min) / span, 0.0, 1.0);
+}
+
+double EstimateSelectivity(const TableStats& stats, size_t column,
+                           CompareOp op, const Value& constant) {
+  if (stats.row_count == 0 || column >= stats.columns.size()) return 1.0;
+  const ColumnStats& col = stats.columns[column];
+  const double rows = static_cast<double>(stats.row_count);
+  const double non_null_fraction = static_cast<double>(col.non_null) / rows;
+  if (col.non_null == 0) return 0.0;
+
+  switch (op) {
+    case CompareOp::kEq:
+      return col.distinct > 0
+                 ? non_null_fraction / static_cast<double>(col.distinct)
+                 : non_null_fraction;
+    case CompareOp::kNe:
+      return col.distinct > 0
+                 ? non_null_fraction *
+                       (1.0 - 1.0 / static_cast<double>(col.distinct))
+                 : non_null_fraction;
+    default:
+      break;
+  }
+  // Range comparison: histogram when present, else uniform interpolation.
+  if (!col.has_range || !(constant.is_int() || constant.is_double())) {
+    return non_null_fraction / 3.0;
+  }
+  const double c = constant.AsNumeric();
+  const double below = EstimateFractionBelow(col, c);
+  double fraction = 0.0;
+  switch (op) {
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+      fraction = below;
+      break;
+    case CompareOp::kGt:
+    case CompareOp::kGe:
+      fraction = 1.0 - below;
+      break;
+    default:
+      fraction = 1.0 / 3.0;
+      break;
+  }
+  return std::clamp(fraction, 0.0, 1.0) * non_null_fraction;
+}
+
+}  // namespace dbrepair

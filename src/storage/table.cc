@@ -1,0 +1,104 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+namespace dbrepair {
+
+std::vector<Value> Table::ExtractKey(const Tuple& tuple) const {
+  std::vector<Value> key;
+  key.reserve(schema_->key_positions().size());
+  for (size_t pos : schema_->key_positions()) key.push_back(tuple.value(pos));
+  return key;
+}
+
+Status Table::CheckTypes(const Tuple& tuple) const {
+  for (size_t i = 0; i < tuple.arity(); ++i) {
+    const Value& v = tuple.value(i);
+    if (v.is_null()) continue;  // NULL is allowed in any column.
+    const Type want = schema_->attribute(i).type;
+    const bool ok = (want == Type::kInt64 && v.is_int()) ||
+                    (want == Type::kDouble && (v.is_double() || v.is_int())) ||
+                    (want == Type::kString && v.is_string());
+    if (!ok) {
+      return Status::InvalidArgument(
+          "type mismatch in '" + schema_->name() + "." +
+          schema_->attribute(i).name + "': expected " + TypeName(want) +
+          ", got " + v.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+Result<size_t> Table::Insert(Tuple tuple) {
+  if (tuple.arity() != schema_->arity()) {
+    return Status::InvalidArgument(
+        "arity mismatch inserting into '" + schema_->name() + "': expected " +
+        std::to_string(schema_->arity()) + " values, got " +
+        std::to_string(tuple.arity()));
+  }
+  DBREPAIR_RETURN_IF_ERROR(CheckTypes(tuple));
+  std::vector<Value> key = ExtractKey(tuple);
+  const auto [it, inserted] = key_index_.try_emplace(std::move(key),
+                                                     rows_.size());
+  if (!inserted) {
+    return Status::KeyViolation("duplicate primary key in '" +
+                                schema_->name() + "': " + tuple.ToString());
+  }
+  rows_.push_back(std::move(tuple));
+  const size_t row = rows_.size() - 1;
+  for (auto& [attribute, index] : ordered_indexes_) {
+    index.Insert(rows_[row].value(attribute), static_cast<uint32_t>(row));
+  }
+  return row;
+}
+
+Result<size_t> Table::LookupByKey(const std::vector<Value>& key) const {
+  const auto it = key_index_.find(key);
+  if (it == key_index_.end()) {
+    return Status::NotFound("no tuple with the given key in '" +
+                            schema_->name() + "'");
+  }
+  return it->second;
+}
+
+Status Table::UpdateValue(size_t row, size_t attribute, Value v) {
+  if (row >= rows_.size()) {
+    return Status::OutOfRange("row index out of range in '" +
+                              schema_->name() + "'");
+  }
+  if (attribute >= schema_->arity()) {
+    return Status::OutOfRange("attribute index out of range in '" +
+                              schema_->name() + "'");
+  }
+  const auto& kp = schema_->key_positions();
+  if (std::find(kp.begin(), kp.end(), attribute) != kp.end()) {
+    return Status::InvalidArgument(
+        "cannot update key attribute '" + schema_->name() + "." +
+        schema_->attribute(attribute).name + "'");
+  }
+  rows_[row].set_value(attribute, std::move(v));
+  ordered_indexes_.erase(attribute);  // now stale; owner rebuilds if needed
+  return Status::OK();
+}
+
+Status Table::CreateOrderedIndex(size_t attribute) {
+  if (attribute >= schema_->arity()) {
+    return Status::OutOfRange("attribute index out of range in '" +
+                              schema_->name() + "'");
+  }
+  std::vector<std::pair<Value, uint32_t>> entries;
+  entries.reserve(rows_.size());
+  for (uint32_t row = 0; row < rows_.size(); ++row) {
+    entries.emplace_back(rows_[row].value(attribute), row);
+  }
+  ordered_indexes_.insert_or_assign(attribute,
+                                    BTreeIndex::BulkLoad(std::move(entries)));
+  return Status::OK();
+}
+
+const BTreeIndex* Table::FindOrderedIndex(size_t attribute) const {
+  const auto it = ordered_indexes_.find(attribute);
+  return it == ordered_indexes_.end() ? nullptr : &it->second;
+}
+
+}  // namespace dbrepair

@@ -1,0 +1,70 @@
+#ifndef DBREPAIR_STORAGE_TABLE_H_
+#define DBREPAIR_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "storage/btree_index.h"
+#include "storage/tuple.h"
+
+namespace dbrepair {
+
+/// An in-memory row store for one relation, with a hash index on the
+/// primary key. Rows are append-only and keep stable indices so TupleRefs
+/// never dangle; repairs mutate attribute values in place on a copied
+/// Database rather than deleting rows.
+class Table {
+ public:
+  explicit Table(const RelationSchema* schema) : schema_(schema) {}
+
+  const RelationSchema& schema() const { return *schema_; }
+
+  size_t size() const { return rows_.size(); }
+  const Tuple& row(size_t index) const { return rows_[index]; }
+  Tuple& mutable_row(size_t index) { return rows_[index]; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  /// Appends `tuple`, checking arity, per-column types, and primary-key
+  /// uniqueness. Returns the new row index.
+  Result<size_t> Insert(Tuple tuple);
+
+  /// Row index of the tuple with the given key values, or error.
+  Result<size_t> LookupByKey(const std::vector<Value>& key) const;
+
+  /// Updates one attribute of one row. Key attributes cannot be updated
+  /// (repairs never change keys; Definition 2.2 keeps val(K_R) fixed).
+  /// An ordered index on the updated attribute, if any, is dropped (it
+  /// would be stale); recreate it after a batch of updates.
+  Status UpdateValue(size_t row, size_t attribute, Value v);
+
+  /// Builds (or rebuilds) a B+-tree secondary index over `attribute`.
+  /// Subsequent inserts maintain it; UpdateValue on the attribute drops it.
+  Status CreateOrderedIndex(size_t attribute);
+
+  /// The ordered index on `attribute`, or nullptr if none exists.
+  const BTreeIndex* FindOrderedIndex(size_t attribute) const;
+
+ private:
+  struct KeyHash {
+    size_t operator()(const std::vector<Value>& key) const {
+      size_t h = 0x51ed270b;
+      for (const Value& v : key) h = h * 1099511628211ULL + v.Hash();
+      return h;
+    }
+  };
+
+  std::vector<Value> ExtractKey(const Tuple& tuple) const;
+  Status CheckTypes(const Tuple& tuple) const;
+
+  const RelationSchema* schema_;
+  std::vector<Tuple> rows_;
+  std::unordered_map<std::vector<Value>, size_t, KeyHash> key_index_;
+  std::map<size_t, BTreeIndex> ordered_indexes_;
+};
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_STORAGE_TABLE_H_

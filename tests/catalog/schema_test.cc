@@ -1,0 +1,104 @@
+#include "catalog/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace dbrepair {
+namespace {
+
+RelationSchema MakeClient() {
+  return RelationSchema("Client",
+                        {AttributeDef{"ID", Type::kInt64, false, 1.0},
+                         AttributeDef{"A", Type::kInt64, true, 1.0},
+                         AttributeDef{"C", Type::kInt64, true, 2.0}},
+                        {"ID"});
+}
+
+TEST(RelationSchemaTest, BasicAccessors) {
+  const RelationSchema rel = MakeClient();
+  EXPECT_EQ(rel.name(), "Client");
+  EXPECT_EQ(rel.arity(), 3u);
+  EXPECT_EQ(rel.key_positions(), (std::vector<size_t>{0}));
+  EXPECT_EQ(rel.flexible_positions(), (std::vector<size_t>{1, 2}));
+  EXPECT_EQ(rel.FindAttribute("A"), std::optional<size_t>(1));
+  EXPECT_EQ(rel.FindAttribute("missing"), std::nullopt);
+  EXPECT_TRUE(rel.Validate().ok());
+}
+
+TEST(RelationSchemaTest, RejectsEmptyName) {
+  const RelationSchema rel("", {AttributeDef{"X", Type::kInt64}}, {"X"});
+  EXPECT_FALSE(rel.Validate().ok());
+}
+
+TEST(RelationSchemaTest, RejectsDuplicateAttributes) {
+  const RelationSchema rel(
+      "R", {AttributeDef{"X", Type::kInt64}, AttributeDef{"X", Type::kInt64}},
+      {"X"});
+  EXPECT_FALSE(rel.Validate().ok());
+}
+
+TEST(RelationSchemaTest, RejectsMissingKey) {
+  const RelationSchema rel("R", {AttributeDef{"X", Type::kInt64}}, {});
+  EXPECT_FALSE(rel.Validate().ok());
+}
+
+TEST(RelationSchemaTest, RejectsKeyOverUnknownAttribute) {
+  const RelationSchema rel("R", {AttributeDef{"X", Type::kInt64}}, {"Y"});
+  EXPECT_FALSE(rel.Validate().ok());
+}
+
+TEST(RelationSchemaTest, RejectsRepeatedKeyAttribute) {
+  const RelationSchema rel("R", {AttributeDef{"X", Type::kInt64}},
+                           {"X", "X"});
+  EXPECT_FALSE(rel.Validate().ok());
+}
+
+TEST(RelationSchemaTest, RejectsFlexibleKey) {
+  // F and K_R must be disjoint (paper Section 2).
+  const RelationSchema rel("R",
+                           {AttributeDef{"X", Type::kInt64, true, 1.0}},
+                           {"X"});
+  const Status st = rel.Validate();
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("cannot be flexible"), std::string::npos);
+}
+
+TEST(RelationSchemaTest, RejectsNonIntFlexible) {
+  // Flexible attributes take values in Z.
+  const RelationSchema rel("R",
+                           {AttributeDef{"K", Type::kInt64, false, 1.0},
+                            AttributeDef{"S", Type::kString, true, 1.0}},
+                           {"K"});
+  EXPECT_FALSE(rel.Validate().ok());
+}
+
+TEST(RelationSchemaTest, RejectsNonPositiveWeight) {
+  const RelationSchema rel("R",
+                           {AttributeDef{"K", Type::kInt64, false, 1.0},
+                            AttributeDef{"A", Type::kInt64, true, 0.0}},
+                           {"K"});
+  EXPECT_FALSE(rel.Validate().ok());
+}
+
+TEST(SchemaTest, AddAndFind) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation(MakeClient()).ok());
+  EXPECT_NE(schema.FindRelation("Client"), nullptr);
+  EXPECT_EQ(schema.FindRelation("Nope"), nullptr);
+  EXPECT_EQ(schema.TotalFlexibleAttributes(), 2u);
+}
+
+TEST(SchemaTest, RejectsDuplicateRelation) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation(MakeClient()).ok());
+  const Status st = schema.AddRelation(MakeClient());
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, RejectsInvalidRelation) {
+  Schema schema;
+  EXPECT_FALSE(
+      schema.AddRelation(RelationSchema("R", {}, {"X"})).ok());
+}
+
+}  // namespace
+}  // namespace dbrepair

@@ -1,0 +1,102 @@
+#include "catalog/value.h"
+
+#include <gtest/gtest.h>
+
+namespace dbrepair {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.is_int());
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, IntRoundTrip) {
+  const Value v = Value::Int(-42);
+  ASSERT_TRUE(v.is_int());
+  EXPECT_EQ(v.AsInt(), -42);
+  EXPECT_EQ(v.ToString(), "-42");
+  EXPECT_DOUBLE_EQ(v.AsNumeric(), -42.0);
+}
+
+TEST(ValueTest, DoubleRoundTrip) {
+  const Value v = Value::Double(1.5);
+  ASSERT_TRUE(v.is_double());
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 1.5);
+  EXPECT_DOUBLE_EQ(v.AsNumeric(), 1.5);
+}
+
+TEST(ValueTest, StringRoundTrip) {
+  const Value v = Value::String("abc");
+  ASSERT_TRUE(v.is_string());
+  EXPECT_EQ(v.AsString(), "abc");
+  EXPECT_EQ(v.ToString(), "'abc'");
+}
+
+TEST(ValueTest, EqualityWithinTypes) {
+  EXPECT_EQ(Value::Int(3), Value::Int(3));
+  EXPECT_NE(Value::Int(3), Value::Int(4));
+  EXPECT_EQ(Value::String("a"), Value::String("a"));
+  EXPECT_NE(Value::String("a"), Value::String("b"));
+  EXPECT_EQ(Value(), Value());
+}
+
+TEST(ValueTest, MixedNumericEquality) {
+  EXPECT_EQ(Value::Int(3), Value::Double(3.0));
+  EXPECT_EQ(Value::Double(3.0), Value::Int(3));
+  EXPECT_NE(Value::Int(3), Value::Double(3.5));
+}
+
+TEST(ValueTest, CrossKindInequality) {
+  EXPECT_NE(Value::Int(3), Value::String("3"));
+  EXPECT_NE(Value(), Value::Int(0));
+  EXPECT_NE(Value(), Value::String(""));
+}
+
+TEST(ValueTest, CompareNumbers) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_GT(Value::Int(2).Compare(Value::Int(1)), 0);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Int(2)), 0);
+  EXPECT_LT(Value::Int(1).Compare(Value::Double(1.5)), 0);
+  EXPECT_GT(Value::Double(2.5).Compare(Value::Int(2)), 0);
+}
+
+TEST(ValueTest, CompareStrings) {
+  EXPECT_LT(Value::String("a").Compare(Value::String("b")), 0);
+  EXPECT_EQ(Value::String("a").Compare(Value::String("a")), 0);
+  EXPECT_GT(Value::String("b").Compare(Value::String("a")), 0);
+}
+
+TEST(ValueTest, CompareAcrossRanks) {
+  // NULL < numeric < string.
+  EXPECT_LT(Value().Compare(Value::Int(0)), 0);
+  EXPECT_LT(Value::Int(999).Compare(Value::String("")), 0);
+  EXPECT_GT(Value::String("x").Compare(Value::Double(1e9)), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Double(7.0).Hash());
+  EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
+  EXPECT_EQ(Value().Hash(), Value().Hash());
+}
+
+TEST(TypeTest, Names) {
+  EXPECT_STREQ(TypeName(Type::kInt64), "INT");
+  EXPECT_STREQ(TypeName(Type::kDouble), "DOUBLE");
+  EXPECT_STREQ(TypeName(Type::kString), "STRING");
+}
+
+TEST(TypeTest, ParseAliases) {
+  EXPECT_EQ(ParseType("INT").value(), Type::kInt64);
+  EXPECT_EQ(ParseType("integer").value(), Type::kInt64);
+  EXPECT_EQ(ParseType("int64").value(), Type::kInt64);
+  EXPECT_EQ(ParseType("Double").value(), Type::kDouble);
+  EXPECT_EQ(ParseType("REAL").value(), Type::kDouble);
+  EXPECT_EQ(ParseType("string").value(), Type::kString);
+  EXPECT_EQ(ParseType("varchar").value(), Type::kString);
+  EXPECT_FALSE(ParseType("blob").ok());
+}
+
+}  // namespace
+}  // namespace dbrepair

@@ -1,0 +1,249 @@
+// End-to-end test of the dbrepair CLI binary: write a config + CSVs, run
+// the tool as a subprocess in every mode, and check outputs and exit codes.
+// The binary path is injected by CMake as DBREPAIR_CLI_PATH.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace dbrepair {
+namespace {
+
+#ifndef DBREPAIR_CLI_PATH
+#error "DBREPAIR_CLI_PATH must be defined by the build"
+#endif
+
+struct RunResult {
+  int exit_code = -1;
+  std::string stdout_text;
+};
+
+RunResult RunCli(const std::string& args) {
+  const std::string command = std::string(DBREPAIR_CLI_PATH) + " " + args +
+                              " 2>/dev/null";
+  RunResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  size_t n;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    result.stdout_text.append(buffer, n);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/dbrepair_cli";
+    const std::string mkdir = "mkdir -p " + dir_;
+    ASSERT_EQ(std::system(mkdir.c_str()), 0);
+    WriteFile(dir_ + "/paper.csv",
+              "ID,EF,PRC,CF\n"
+              "B1,1,40,0\n"
+              "C2,1,20,1\n"
+              "E3,1,70,1\n");
+    WriteFile(dir_ + "/repair.conf",
+              "[relation Paper]\n"
+              "attribute ID STRING key\n"
+              "attribute EF INT flexible weight=1\n"
+              "attribute PRC INT flexible weight=0.05\n"
+              "attribute CF INT flexible weight=0.5\n"
+              "data = " + dir_ + "/paper.csv\n"
+              "\n"
+              "[constraints]\n"
+              "ic1: :- Paper(x, y, z, w), y > 0, z < 50\n"
+              "ic2: :- Paper(x, y, z, w), y > 0, w < 1\n"
+              "\n"
+              "[repair]\n"
+              "solver = modified-greedy\n"
+              "mode = dump\n");
+  }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good());
+    out << content;
+  }
+
+  std::string ReadFile(const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CliTest, DumpModeRepairsToStdout) {
+  const RunResult result = RunCli(dir_ + "/repair.conf --quiet");
+  EXPECT_EQ(result.exit_code, 0);
+  // The repair flips EF of B1 and C2 to 0 (the optimal distance-2 repair).
+  EXPECT_NE(result.stdout_text.find("Paper('B1', 0, 40, 0)"),
+            std::string::npos)
+      << result.stdout_text;
+  EXPECT_NE(result.stdout_text.find("Paper('C2', 0, 20, 1)"),
+            std::string::npos);
+  EXPECT_NE(result.stdout_text.find("Paper('E3', 1, 70, 1)"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, UpdateModeWritesSqlFile) {
+  const std::string out_path = dir_ + "/patch.sql";
+  const RunResult result = RunCli(dir_ + "/repair.conf --mode update "
+                                  "--output " + out_path + " --quiet");
+  EXPECT_EQ(result.exit_code, 0);
+  const std::string sql = ReadFile(out_path);
+  EXPECT_NE(sql.find("UPDATE Paper SET EF = 0 WHERE ID = 'B1';"),
+            std::string::npos)
+      << sql;
+  EXPECT_NE(sql.find("WHERE ID = 'C2'"), std::string::npos);
+  EXPECT_EQ(sql.find("E3"), std::string::npos);  // untouched tuple
+}
+
+TEST_F(CliTest, SolverOverrideWorks) {
+  for (const char* solver : {"greedy", "layer", "modified-layer", "exact"}) {
+    const RunResult result = RunCli(dir_ + "/repair.conf --quiet --solver " +
+                                    std::string(solver));
+    EXPECT_EQ(result.exit_code, 0) << solver;
+    EXPECT_NE(result.stdout_text.find("Paper("), std::string::npos);
+  }
+}
+
+TEST_F(CliTest, InsertMode) {
+  const RunResult result =
+      RunCli(dir_ + "/repair.conf --mode insert --quiet");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.stdout_text.find(
+                "INSERT INTO Paper (ID, EF, PRC, CF) VALUES ('B1', 0, 40, "
+                "0);"),
+            std::string::npos)
+      << result.stdout_text;
+}
+
+TEST_F(CliTest, MissingConfigFails) {
+  EXPECT_EQ(RunCli(dir_ + "/nonexistent.conf").exit_code, 1);
+}
+
+TEST_F(CliTest, NoArgumentsPrintsUsage) {
+  EXPECT_EQ(RunCli("").exit_code, 2);
+}
+
+TEST_F(CliTest, BadFlagFails) {
+  EXPECT_EQ(RunCli(dir_ + "/repair.conf --bogus").exit_code, 2);
+  EXPECT_EQ(RunCli(dir_ + "/repair.conf --solver").exit_code, 1);
+  EXPECT_EQ(RunCli(dir_ + "/repair.conf --solver quantum").exit_code, 1);
+}
+
+TEST_F(CliTest, NonLocalConstraintsFailCleanly) {
+  WriteFile(dir_ + "/bad.conf",
+            "[relation Paper]\n"
+            "attribute ID STRING key\n"
+            "attribute EF INT flexible weight=1\n"
+            "attribute PRC INT flexible weight=0.05\n"
+            "attribute CF INT flexible weight=0.5\n"
+            "data = " + dir_ + "/paper.csv\n"
+            "[constraints]\n"
+            "ic1: :- Paper(x, y, z, w), z < 50\n"
+            "ic2: :- Paper(x, y, z, w), z > 90\n");
+  EXPECT_EQ(RunCli(dir_ + "/bad.conf --quiet").exit_code, 1);
+}
+
+TEST_F(CliTest, CheckSubcommandReportsViolations) {
+  const RunResult result = RunCli("check " + dir_ + "/repair.conf --quiet");
+  EXPECT_EQ(result.exit_code, 3);  // inconsistent database
+  EXPECT_NE(result.stdout_text.find("violation sets: 3"), std::string::npos)
+      << result.stdout_text;
+  EXPECT_NE(result.stdout_text.find("ic1"), std::string::npos);
+  EXPECT_NE(result.stdout_text.find("Deg(D, IC) = 2"), std::string::npos);
+}
+
+TEST_F(CliTest, CheckSubcommandCleanDatabaseExitsZero) {
+  WriteFile(dir_ + "/clean.csv",
+            "ID,EF,PRC,CF\n"
+            "E3,1,70,1\n");
+  WriteFile(dir_ + "/clean.conf",
+            "[relation Paper]\n"
+            "attribute ID STRING key\n"
+            "attribute EF INT flexible weight=1\n"
+            "attribute PRC INT flexible weight=0.05\n"
+            "attribute CF INT flexible weight=0.5\n"
+            "data = " + dir_ + "/clean.csv\n"
+            "[constraints]\n"
+            "ic1: :- Paper(x, y, z, w), y > 0, z < 50\n");
+  const RunResult result = RunCli("check " + dir_ + "/clean.conf --quiet");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.stdout_text.find("violation sets: 0"), std::string::npos);
+}
+
+TEST_F(CliTest, ExplainSubcommandShowsViewsAndLocality) {
+  const RunResult result = RunCli("explain " + dir_ + "/repair.conf");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.stdout_text.find("locality: local"), std::string::npos)
+      << result.stdout_text;
+  EXPECT_NE(result.stdout_text.find(
+                "SELECT t0.ID FROM Paper t0 WHERE t0.EF > 0 AND t0.PRC < 50"),
+            std::string::npos);
+  EXPECT_NE(result.stdout_text.find("Paper.PRC < 50"), std::string::npos);
+}
+
+TEST_F(CliTest, ExplicitRepairSubcommand) {
+  const RunResult result = RunCli("repair " + dir_ + "/repair.conf --quiet");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.stdout_text.find("Paper('B1', 0, 40, 0)"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, ReportFlagPrintsSummary) {
+  // The report goes to stderr; capture by redirecting in the shell command.
+  const std::string command = std::string(DBREPAIR_CLI_PATH) + " " + dir_ +
+                              "/repair.conf --quiet --report 2>&1 "
+                              ">/dev/null";
+  FILE* pipe = popen(command.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::string text;
+  char buffer[4096];
+  size_t n;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    text.append(buffer, n);
+  }
+  pclose(pipe);
+  EXPECT_NE(text.find("repair summary"), std::string::npos) << text;
+  EXPECT_NE(text.find("updates per attribute"), std::string::npos);
+}
+
+TEST_F(CliTest, QuerySubcommand) {
+  const RunResult result = RunCli(
+      "query " + dir_ + "/repair.conf \"SELECT ID, PRC FROM Paper WHERE "
+      "PRC < 50 ORDER BY PRC\"");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.stdout_text.find("ID\tPRC"), std::string::npos)
+      << result.stdout_text;
+  EXPECT_NE(result.stdout_text.find("'C2'\t20"), std::string::npos);
+  EXPECT_NE(result.stdout_text.find("'B1'\t40"), std::string::npos);
+}
+
+TEST_F(CliTest, QuerySubcommandAggregates) {
+  const RunResult result = RunCli(
+      "query " + dir_ + "/repair.conf \"SELECT COUNT(*), SUM(PRC) FROM "
+      "Paper\"");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.stdout_text.find("3\t130"), std::string::npos)
+      << result.stdout_text;
+}
+
+TEST_F(CliTest, QuerySubcommandErrors) {
+  EXPECT_EQ(RunCli("query " + dir_ + "/repair.conf").exit_code, 2);
+  EXPECT_EQ(RunCli("query " + dir_ + "/repair.conf \"SELECT broken\"")
+                .exit_code,
+            1);
+}
+
+}  // namespace
+}  // namespace dbrepair

@@ -1,0 +1,64 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace dbrepair {
+namespace {
+
+TEST(StringsTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  a b  "), "a b");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace("\t x \r\n"), "x");
+  EXPECT_EQ(TrimWhitespace("no-trim"), "no-trim");
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a", ','), (std::vector<std::string>{"a"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringsTest, SplitAndTrim) {
+  EXPECT_EQ(SplitAndTrim(" a , b ,c ", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"one"}, ","), "one");
+}
+
+TEST(StringsTest, ParseInt64) {
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64("-17").value(), -17);
+  EXPECT_EQ(ParseInt64(" 7 ").value(), 7);
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("1.5").ok());
+  EXPECT_FALSE(ParseInt64("abc").ok());
+}
+
+TEST(StringsTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(ParseDouble("1.5").value(), 1.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-2").value(), -2.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("0.05").value(), 0.05);
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("x").ok());
+  EXPECT_FALSE(ParseDouble("1.5y").ok());
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("prefix-rest", "prefix"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+}
+
+TEST(StringsTest, ToLower) {
+  EXPECT_EQ(ToLower("AbC-12"), "abc-12");
+}
+
+}  // namespace
+}  // namespace dbrepair

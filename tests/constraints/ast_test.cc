@@ -1,0 +1,128 @@
+#include "constraints/ast.h"
+
+#include <gtest/gtest.h>
+
+#include "constraints/parser.h"
+#include "gen/client_buy.h"
+
+namespace dbrepair {
+namespace {
+
+class BindTest : public ::testing::Test {
+ protected:
+  BindTest() : schema_(MakeClientBuySchema()) {}
+
+  Result<BoundConstraint> Bind(const std::string& text) {
+    auto ic = ParseConstraint(text);
+    if (!ic.ok()) return ic.status();
+    return BindConstraint(*schema_, *ic);
+  }
+
+  std::shared_ptr<const Schema> schema_;
+};
+
+TEST(EvalCompareTest, NumericOperators) {
+  EXPECT_TRUE(EvalCompare(Value::Int(1), CompareOp::kLt, Value::Int(2)));
+  EXPECT_FALSE(EvalCompare(Value::Int(2), CompareOp::kLt, Value::Int(2)));
+  EXPECT_TRUE(EvalCompare(Value::Int(2), CompareOp::kLe, Value::Int(2)));
+  EXPECT_TRUE(EvalCompare(Value::Int(3), CompareOp::kGt, Value::Int(2)));
+  EXPECT_TRUE(EvalCompare(Value::Int(2), CompareOp::kGe, Value::Int(2)));
+  EXPECT_TRUE(EvalCompare(Value::Int(2), CompareOp::kEq, Value::Double(2.0)));
+  EXPECT_TRUE(EvalCompare(Value::Int(2), CompareOp::kNe, Value::Int(3)));
+}
+
+TEST(EvalCompareTest, NullNeverSatisfies) {
+  for (const CompareOp op :
+       {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt, CompareOp::kLe,
+        CompareOp::kGt, CompareOp::kGe}) {
+    EXPECT_FALSE(EvalCompare(Value(), op, Value::Int(1)));
+    EXPECT_FALSE(EvalCompare(Value::Int(1), op, Value()));
+    EXPECT_FALSE(EvalCompare(Value(), op, Value()));
+  }
+}
+
+TEST(EvalCompareTest, MixedStringNumber) {
+  EXPECT_FALSE(
+      EvalCompare(Value::String("1"), CompareOp::kEq, Value::Int(1)));
+  EXPECT_TRUE(
+      EvalCompare(Value::String("1"), CompareOp::kNe, Value::Int(1)));
+}
+
+TEST_F(BindTest, BindsJoinVariables) {
+  const auto bound =
+      Bind(":- Buy(id, i, p), Client(id, a, c), a < 18, p > 25");
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ(bound->atoms.size(), 2u);
+  EXPECT_EQ(bound->atoms[0].relation_index, 1u);  // Buy
+  EXPECT_EQ(bound->atoms[1].relation_index, 0u);  // Client
+  // Variable "id" occurs in both atoms.
+  const int32_t id_var = bound->atoms[0].var_ids[0];
+  ASSERT_GE(id_var, 0);
+  EXPECT_EQ(bound->var_occurrences[id_var].size(), 2u);
+  EXPECT_EQ(bound->builtins.size(), 2u);
+  EXPECT_FALSE(bound->builtins[0].rhs_is_var);
+}
+
+TEST_F(BindTest, RejectsUnknownRelation) {
+  EXPECT_EQ(Bind(":- Nope(x), x > 1").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(BindTest, RejectsArityMismatch) {
+  EXPECT_FALSE(Bind(":- Client(x, y), x > 1").ok());
+}
+
+TEST_F(BindTest, RejectsUnsafeBuiltinVariable) {
+  EXPECT_FALSE(Bind(":- Client(id, a, c), zz > 5").ok());
+}
+
+TEST_F(BindTest, RejectsOrderComparisonBetweenVariables) {
+  // Linear denials allow only x = y / x != y between variables.
+  EXPECT_FALSE(Bind(":- Client(id, a, c), a < c").ok());
+}
+
+TEST_F(BindTest, AllowsEqualityBetweenVariables) {
+  EXPECT_TRUE(Bind(":- Buy(id, i, p), Client(id2, a, c), id = id2, a < 18, "
+                   "p > 25")
+                  .ok());
+  EXPECT_TRUE(Bind(":- Buy(id, i, p), Client(id2, a, c), id != id2, a < 18")
+                  .ok());
+}
+
+TEST_F(BindTest, RejectsConstantConstantBuiltin) {
+  EXPECT_FALSE(Bind(":- Client(id, a, c), 1 > 0").ok());
+}
+
+TEST_F(BindTest, NormalisesConstantOnLeft) {
+  const auto bound = Bind(":- Client(id, a, c), 18 > a");
+  ASSERT_TRUE(bound.ok());
+  ASSERT_EQ(bound->builtins.size(), 1u);
+  // 18 > a  becomes  a < 18.
+  EXPECT_EQ(bound->builtins[0].op, CompareOp::kLt);
+  EXPECT_EQ(bound->builtins[0].rhs_const, Value::Int(18));
+}
+
+TEST_F(BindTest, RejectsTypeMismatchedConstant) {
+  EXPECT_FALSE(Bind(":- Client(id, a, c), a > 'abc'").ok());
+}
+
+TEST_F(BindTest, RejectsConstantNotFittingColumn) {
+  EXPECT_FALSE(Bind(":- Client('x', a, c), a < 18").ok());
+}
+
+TEST_F(BindTest, BindAllAssignsIndices) {
+  const auto ics = ParseConstraintSet(
+      ":- Client(id, a, c), a < 18, c > 50\n"
+      ":- Buy(id, i, p), p > 25\n");
+  ASSERT_TRUE(ics.ok());
+  const auto bound = BindAll(*schema_, *ics);
+  ASSERT_TRUE(bound.ok());
+  ASSERT_EQ(bound->size(), 2u);
+  EXPECT_EQ((*bound)[0].ic_index, 0u);
+  EXPECT_EQ((*bound)[1].ic_index, 1u);
+  // Unnamed constraints get generated names.
+  EXPECT_EQ((*bound)[0].name, "ic1");
+  EXPECT_EQ((*bound)[1].name, "ic2");
+}
+
+}  // namespace
+}  // namespace dbrepair

@@ -1,0 +1,143 @@
+#include "constraints/locality.h"
+
+#include <gtest/gtest.h>
+
+#include "constraints/parser.h"
+#include "gen/census.h"
+#include "gen/client_buy.h"
+#include "gen/paper_example.h"
+
+namespace dbrepair {
+namespace {
+
+LocalityReport Check(const Schema& schema, const std::string& text) {
+  auto ics = ParseConstraintSet(text);
+  EXPECT_TRUE(ics.ok()) << ics.status().ToString();
+  auto bound = BindAll(schema, *ics);
+  EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+  return CheckLocality(schema, *bound);
+}
+
+TEST(LocalityTest, ClientBuyConstraintsAreLocal) {
+  const auto schema = MakeClientBuySchema();
+  const LocalityReport report = Check(
+      *schema,
+      ":- Buy(id, i, p), Client(id, a, c), a < 18, p > 25\n"
+      ":- Client(id, a, c), a < 18, c > 50\n");
+  EXPECT_TRUE(report.local) << report.problems.front();
+  // a < 18 appears twice, p > 25 once, c > 50 once.
+  EXPECT_EQ(report.flexible_comparisons.size(), 4u);
+}
+
+TEST(LocalityTest, CensusConstraintsAreLocal) {
+  const auto schema = MakeCensusSchema();
+  auto bound = BindAll(*schema, MakeCensusConstraints());
+  ASSERT_TRUE(bound.ok());
+  EXPECT_TRUE(EnsureLocal(*schema, *bound).ok());
+}
+
+TEST(LocalityTest, PaperExampleConstraintsAreLocal) {
+  const GeneratedWorkload w = MakePaperPubExample();
+  auto bound = BindAll(w.db.schema(), w.ics);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_TRUE(EnsureLocal(w.db.schema(), *bound).ok());
+}
+
+TEST(LocalityTest, ConditionA_JoinOnFlexible) {
+  const auto schema = MakeClientBuySchema();
+  // Joining Buy.P (flexible) with Client.C (flexible).
+  const LocalityReport report =
+      Check(*schema, ":- Buy(id, i, p), Client(id2, a, p), a < 18");
+  EXPECT_FALSE(report.local);
+  ASSERT_FALSE(report.problems.empty());
+  EXPECT_NE(report.problems[0].find("join"), std::string::npos);
+}
+
+TEST(LocalityTest, ConditionA_ConstantInFlexiblePosition) {
+  const auto schema = MakeClientBuySchema();
+  const LocalityReport report =
+      Check(*schema, ":- Client(id, 17, c), c > 50");
+  EXPECT_FALSE(report.local);
+  EXPECT_NE(report.problems[0].find("constant argument"), std::string::npos);
+}
+
+TEST(LocalityTest, ConditionA_EqualityBuiltinOnFlexible) {
+  const auto schema = MakeClientBuySchema();
+  const LocalityReport report =
+      Check(*schema, ":- Client(id, a, c), a = 17, c > 50");
+  EXPECT_FALSE(report.local);
+  EXPECT_NE(report.problems[0].find("equality built-in"), std::string::npos);
+}
+
+TEST(LocalityTest, ConditionA_VarVarBuiltinOnFlexible) {
+  const auto schema = MakeClientBuySchema();
+  const LocalityReport report =
+      Check(*schema, ":- Client(id, a, c), Client(id2, a2, c2), a = a2, "
+                     "c > 50");
+  EXPECT_FALSE(report.local);
+}
+
+TEST(LocalityTest, ConditionB_NoFlexibleBuiltin) {
+  const auto schema = MakeClientBuySchema();
+  // ID is hard; no flexible attribute in the built-ins.
+  const LocalityReport report = Check(*schema, ":- Client(id, a, c), id > 5");
+  EXPECT_FALSE(report.local);
+  EXPECT_NE(report.problems[0].find("condition (b)"), std::string::npos);
+}
+
+TEST(LocalityTest, ConditionC_MixedDirectionsAcrossICs) {
+  const auto schema = MakeClientBuySchema();
+  const LocalityReport report = Check(*schema,
+                                      ":- Client(id, a, c), a < 18\n"
+                                      ":- Client(id, a, c), a > 90\n");
+  EXPECT_FALSE(report.local);
+  EXPECT_NE(report.problems[0].find("condition (c)"), std::string::npos);
+}
+
+TEST(LocalityTest, ConditionC_DisequalityOnFlexible) {
+  const auto schema = MakeClientBuySchema();
+  const LocalityReport report =
+      Check(*schema, ":- Client(id, a, c), a != 18");
+  EXPECT_FALSE(report.local);
+}
+
+TEST(LocalityTest, NormalisationOfLeGe) {
+  const auto schema = MakeClientBuySchema();
+  // a <= 17 is a < 18; c >= 51 is c > 50. Same direction sets, still local.
+  const LocalityReport report =
+      Check(*schema, ":- Client(id, a, c), a <= 17, c >= 51");
+  ASSERT_TRUE(report.local);
+  ASSERT_EQ(report.flexible_comparisons.size(), 2u);
+  EXPECT_EQ(report.flexible_comparisons[0].op, CompareOp::kLt);
+  EXPECT_EQ(report.flexible_comparisons[0].bound, 18);
+  EXPECT_EQ(report.flexible_comparisons[1].op, CompareOp::kGt);
+  EXPECT_EQ(report.flexible_comparisons[1].bound, 50);
+}
+
+TEST(LocalityTest, HardAttributesMayMixDirections) {
+  // Condition (c) applies to flexible attributes only (see header note):
+  // the hard ID may appear with < and > across the set.
+  const auto schema = MakeClientBuySchema();
+  const LocalityReport report = Check(*schema,
+                                      ":- Client(id, a, c), id > 5, a < 18\n"
+                                      ":- Client(id, a, c), id < 3, a < 20\n");
+  EXPECT_TRUE(report.local) << report.problems.front();
+}
+
+TEST(LocalityTest, EnsureLocalAggregatesProblems) {
+  const auto schema = MakeClientBuySchema();
+  auto ics = ParseConstraintSet(
+      ":- Client(id, a, c), a < 18\n"
+      ":- Client(id, a, c), a > 90\n"
+      ":- Client(id, a, c), id > 5\n");
+  auto bound = BindAll(*schema, *ics);
+  ASSERT_TRUE(bound.ok());
+  const Status st = EnsureLocal(*schema, *bound);
+  ASSERT_EQ(st.code(), StatusCode::kConstraintNotLocal);
+  // Both the (b) and the (c) problems are reported.
+  EXPECT_NE(st.message().find("condition (b)"), std::string::npos);
+  EXPECT_NE(st.message().find("condition (c)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dbrepair

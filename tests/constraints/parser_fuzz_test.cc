@@ -1,0 +1,102 @@
+// Robustness tests: random byte strings and random token soups must never
+// crash the constraint or SQL parsers — they either parse or return a
+// ParseError status.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "constraints/parser.h"
+#include "sql/parser.h"
+
+namespace dbrepair {
+namespace {
+
+std::string RandomBytes(Rng* rng, size_t length) {
+  // Printable-ish ASCII plus delimiters and quotes to stress the lexers.
+  static const char kAlphabet[] =
+      " \t\nabcXYZ019_,.:;()<>=!'*-#[]\"";
+  std::string out;
+  out.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    out += kAlphabet[rng->Uniform(sizeof(kAlphabet) - 1)];
+  }
+  return out;
+}
+
+std::string RandomTokens(Rng* rng, size_t tokens) {
+  static const char* kTokens[] = {
+      ":-",   "NOT",  "(",    ")",  ",",  "R",   "S",    "x",
+      "y",    "z",    "42",   "-7", "1.5", "'s'", "<",    "<=",
+      ">",    ">=",   "=",    "!=", "AND", ".",   "SELECT", "FROM",
+      "WHERE", "ORDER", "BY", "*",  "t0",  "t0.A",
+  };
+  std::string out;
+  for (size_t i = 0; i < tokens; ++i) {
+    out += kTokens[rng->Uniform(std::size(kTokens))];
+    out += ' ';
+  }
+  return out;
+}
+
+class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzzTest, ConstraintParserNeverCrashes) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    const std::string input = RandomBytes(&rng, 1 + rng.Uniform(60));
+    const auto result = ParseConstraint(input);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+    }
+  }
+  for (int i = 0; i < 300; ++i) {
+    const std::string input = RandomTokens(&rng, 1 + rng.Uniform(15));
+    const auto result = ParseConstraint(input);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, SqlParserNeverCrashes) {
+  Rng rng(GetParam() + 1000);
+  for (int i = 0; i < 300; ++i) {
+    const std::string input = RandomBytes(&rng, 1 + rng.Uniform(60));
+    const auto result = ParseSelect(input);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+    }
+  }
+  for (int i = 0; i < 300; ++i) {
+    const std::string input =
+        "SELECT " + RandomTokens(&rng, 1 + rng.Uniform(12));
+    const auto result = ParseSelect(input);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, ConstraintSetParserNeverCrashes) {
+  Rng rng(GetParam() + 2000);
+  for (int i = 0; i < 100; ++i) {
+    std::string input;
+    const size_t lines = 1 + rng.Uniform(5);
+    for (size_t l = 0; l < lines; ++l) {
+      input += RandomBytes(&rng, rng.Uniform(40));
+      input += '\n';
+    }
+    const auto result = ParseConstraintSet(input);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace dbrepair

@@ -1,0 +1,131 @@
+#include "constraints/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace dbrepair {
+namespace {
+
+TEST(ParserTest, DatalogDenialForm) {
+  const auto ic =
+      ParseConstraint("ic1: :- Paper(x, y, z, w), y > 0, z < 50");
+  ASSERT_TRUE(ic.ok());
+  EXPECT_EQ(ic->name, "ic1");
+  ASSERT_EQ(ic->atoms.size(), 1u);
+  EXPECT_EQ(ic->atoms[0].relation, "Paper");
+  ASSERT_EQ(ic->atoms[0].args.size(), 4u);
+  EXPECT_TRUE(ic->atoms[0].args[0].is_variable());
+  EXPECT_EQ(ic->atoms[0].args[0].variable, "x");
+  ASSERT_EQ(ic->builtins.size(), 2u);
+  EXPECT_EQ(ic->builtins[0].op, CompareOp::kGt);
+  EXPECT_EQ(ic->builtins[0].rhs.constant, Value::Int(0));
+  EXPECT_EQ(ic->builtins[1].op, CompareOp::kLt);
+}
+
+TEST(ParserTest, NotFormWithAnd) {
+  const auto ic = ParseConstraint(
+      "ic2: NOT(Paper(x, y, z, w) AND y > 0 AND w < 1)");
+  ASSERT_TRUE(ic.ok());
+  EXPECT_EQ(ic->atoms.size(), 1u);
+  EXPECT_EQ(ic->builtins.size(), 2u);
+}
+
+TEST(ParserTest, UnnamedConstraintAndTrailingDot) {
+  const auto ic = ParseConstraint(":- R(x), x > 5.");
+  ASSERT_TRUE(ic.ok());
+  EXPECT_TRUE(ic->name.empty());
+}
+
+TEST(ParserTest, MultipleAtomsWithJoin) {
+  const auto ic = ParseConstraint(
+      ":- Buy(id, i, p), Client(id, a, c), a < 18, p > 25");
+  ASSERT_TRUE(ic.ok());
+  ASSERT_EQ(ic->atoms.size(), 2u);
+  EXPECT_EQ(ic->atoms[0].relation, "Buy");
+  EXPECT_EQ(ic->atoms[1].relation, "Client");
+}
+
+TEST(ParserTest, ConstantsInAtomArgs) {
+  const auto ic = ParseConstraint(":- Person(h, p, age, 1, inc), age < 16");
+  ASSERT_TRUE(ic.ok());
+  const Term& rel_arg = ic->atoms[0].args[3];
+  EXPECT_FALSE(rel_arg.is_variable());
+  EXPECT_EQ(rel_arg.constant, Value::Int(1));
+}
+
+TEST(ParserTest, StringAndNegativeAndDoubleLiterals) {
+  const auto ic = ParseConstraint(
+      ":- R(x, y, z), x = 'abc', y > -5, z < 1.5");
+  ASSERT_TRUE(ic.ok());
+  EXPECT_EQ(ic->builtins[0].rhs.constant, Value::String("abc"));
+  EXPECT_EQ(ic->builtins[1].rhs.constant, Value::Int(-5));
+  EXPECT_EQ(ic->builtins[2].rhs.constant, Value::Double(1.5));
+}
+
+TEST(ParserTest, AllComparisonOperators) {
+  const auto ic = ParseConstraint(
+      ":- R(a, b, c, d, e, f), a = 1, b != 2, c < 3, d <= 4, e > 5, f >= 6");
+  ASSERT_TRUE(ic.ok());
+  ASSERT_EQ(ic->builtins.size(), 6u);
+  EXPECT_EQ(ic->builtins[0].op, CompareOp::kEq);
+  EXPECT_EQ(ic->builtins[1].op, CompareOp::kNe);
+  EXPECT_EQ(ic->builtins[2].op, CompareOp::kLt);
+  EXPECT_EQ(ic->builtins[3].op, CompareOp::kLe);
+  EXPECT_EQ(ic->builtins[4].op, CompareOp::kGt);
+  EXPECT_EQ(ic->builtins[5].op, CompareOp::kGe);
+}
+
+TEST(ParserTest, DiamondNotEqual) {
+  const auto ic = ParseConstraint(":- R(x, y), x <> y");
+  ASSERT_TRUE(ic.ok());
+  EXPECT_EQ(ic->builtins[0].op, CompareOp::kNe);
+}
+
+TEST(ParserTest, VariableVariableBuiltins) {
+  const auto ic = ParseConstraint(":- P(x, y), P(x, z), y != z");
+  ASSERT_TRUE(ic.ok());
+  EXPECT_TRUE(ic->builtins[0].lhs.is_variable());
+  EXPECT_TRUE(ic->builtins[0].rhs.is_variable());
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseConstraint("").ok());
+  EXPECT_FALSE(ParseConstraint("R(x)").ok());          // missing :- or NOT(
+  EXPECT_FALSE(ParseConstraint(":- x > 5").ok());      // no relation atom
+  EXPECT_FALSE(ParseConstraint(":- R(x) extra garbage ,").ok());
+  EXPECT_FALSE(ParseConstraint(":- R()").ok());        // empty atom
+  EXPECT_FALSE(ParseConstraint("NOT(R(x)").ok());      // unbalanced
+  EXPECT_FALSE(ParseConstraint(":- R(x), x >").ok());  // missing rhs
+  EXPECT_FALSE(ParseConstraint(":- R('unterminated)").ok());
+  EXPECT_FALSE(ParseConstraint(":- R(x), x ! 5").ok());
+}
+
+TEST(ParserTest, ToStringRoundTrips) {
+  const auto ic =
+      ParseConstraint("ic1: :- Paper(x, y, z, w), y > 0, z < 50");
+  ASSERT_TRUE(ic.ok());
+  const auto again = ParseConstraint(ic->ToString());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->name, ic->name);
+  EXPECT_EQ(again->atoms.size(), ic->atoms.size());
+  EXPECT_EQ(again->builtins.size(), ic->builtins.size());
+}
+
+TEST(ParserTest, ConstraintSetSkipsCommentsAndBlanks) {
+  const auto set = ParseConstraintSet(
+      "# a comment\n"
+      "\n"
+      "ic1: :- R(x), x > 5\n"
+      "-- another comment\n"
+      "ic2: :- R(x), x < 2\n");
+  ASSERT_TRUE(set.ok());
+  ASSERT_EQ(set->size(), 2u);
+  EXPECT_EQ((*set)[0].name, "ic1");
+  EXPECT_EQ((*set)[1].name, "ic2");
+}
+
+TEST(ParserTest, ConstraintSetPropagatesErrors) {
+  EXPECT_FALSE(ParseConstraintSet("ic1: :- R(x), x > 5\nbroken\n").ok());
+}
+
+}  // namespace
+}  // namespace dbrepair

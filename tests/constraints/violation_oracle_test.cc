@@ -1,0 +1,189 @@
+// Property tests: the ViolationEngine (greedy join order, hash indexes,
+// merged equality classes, minimality filter) must agree with a brute-force
+// oracle that tries every assignment of tuples to atoms.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "constraints/parser.h"
+#include "constraints/violation_engine.h"
+#include "storage/database.h"
+
+namespace dbrepair {
+namespace {
+
+// ---- The oracle. ----
+
+bool OracleBuiltinHolds(const BoundBuiltin& b,
+                        const std::vector<const Value*>& binding) {
+  const Value* lhs = binding[b.lhs_var];
+  const Value* rhs = b.rhs_is_var ? binding[b.rhs_var] : &b.rhs_const;
+  return EvalCompare(*lhs, b.op, *rhs);
+}
+
+// Enumerates every assignment of db tuples to ic's atoms; returns the
+// distinct tuple sets of the satisfying ones (not yet minimal).
+std::set<std::vector<TupleRef>> OracleRawSets(const Database& db,
+                                              const BoundConstraint& ic) {
+  std::set<std::vector<TupleRef>> out;
+  std::vector<const Value*> binding(ic.var_names.size(), nullptr);
+  std::vector<TupleRef> current(ic.atoms.size());
+
+  auto recurse = [&](auto&& self, size_t atom_index) -> void {
+    if (atom_index == ic.atoms.size()) {
+      for (const BoundBuiltin& b : ic.builtins) {
+        if (!OracleBuiltinHolds(b, binding)) return;
+      }
+      std::vector<TupleRef> canonical = current;
+      std::sort(canonical.begin(), canonical.end());
+      canonical.erase(std::unique(canonical.begin(), canonical.end()),
+                      canonical.end());
+      out.insert(std::move(canonical));
+      return;
+    }
+    const BoundAtom& atom = ic.atoms[atom_index];
+    const Table& table = db.table(atom.relation_index);
+    for (uint32_t row = 0; row < table.size(); ++row) {
+      const Tuple& tuple = table.row(row);
+      bool ok = true;
+      std::vector<int32_t> bound_here;
+      for (uint32_t pos = 0; pos < atom.var_ids.size() && ok; ++pos) {
+        const int32_t vid = atom.var_ids[pos];
+        if (vid < 0) {
+          ok = tuple.value(pos) == atom.constants[pos];
+        } else if (binding[vid] != nullptr) {
+          ok = tuple.value(pos) == *binding[vid];
+        } else {
+          binding[vid] = &tuple.value(pos);
+          bound_here.push_back(vid);
+        }
+      }
+      if (ok) {
+        current[atom_index] = TupleRef{atom.relation_index, row};
+        self(self, atom_index + 1);
+      }
+      for (const int32_t vid : bound_here) binding[vid] = nullptr;
+    }
+  };
+  recurse(recurse, 0);
+  return out;
+}
+
+// Keeps only the inclusion-minimal sets.
+std::set<std::vector<TupleRef>> Minimalise(
+    const std::set<std::vector<TupleRef>>& sets) {
+  std::set<std::vector<TupleRef>> out;
+  for (const auto& candidate : sets) {
+    bool minimal = true;
+    for (const auto& other : sets) {
+      if (other.size() >= candidate.size() || other == candidate) continue;
+      if (std::includes(candidate.begin(), candidate.end(), other.begin(),
+                        other.end())) {
+        minimal = false;
+        break;
+      }
+    }
+    if (minimal) out.insert(candidate);
+  }
+  return out;
+}
+
+// ---- Random workload generation. ----
+
+std::shared_ptr<const Schema> OracleSchema() {
+  auto schema = std::make_shared<Schema>();
+  Status st = schema->AddRelation(RelationSchema(
+      "R",
+      {AttributeDef{"K", Type::kInt64, false, 1.0},
+       AttributeDef{"X", Type::kInt64, true, 1.0},
+       AttributeDef{"Y", Type::kInt64, false, 1.0}},
+      {"K"}));
+  EXPECT_TRUE(st.ok());
+  st = schema->AddRelation(RelationSchema(
+      "S",
+      {AttributeDef{"K", Type::kInt64, false, 1.0},
+       AttributeDef{"Z", Type::kInt64, true, 1.0}},
+      {"K"}));
+  EXPECT_TRUE(st.ok());
+  return schema;
+}
+
+Database RandomDb(const std::shared_ptr<const Schema>& schema, Rng* rng,
+                  size_t rows) {
+  Database db(schema);
+  for (size_t i = 0; i < rows; ++i) {
+    // Small value domain to force joins and collisions.
+    auto r = db.Insert("R", {Value::Int(static_cast<int64_t>(i)),
+                             Value::Int(rng->UniformInRange(0, 6)),
+                             Value::Int(rng->UniformInRange(0, 6))});
+    EXPECT_TRUE(r.ok());
+  }
+  for (size_t i = 0; i < rows; ++i) {
+    auto r = db.Insert("S", {Value::Int(static_cast<int64_t>(i)),
+                             Value::Int(rng->UniformInRange(0, 6))});
+    EXPECT_TRUE(r.ok());
+  }
+  return db;
+}
+
+// A pool of structurally diverse constraints over the oracle schema.
+const std::vector<std::string>& ConstraintPool() {
+  static const std::vector<std::string>* pool =
+      new std::vector<std::string>{
+          ":- R(k, x, y), x > 3",
+          ":- R(k, x, y), x > 1, y < 4",
+          ":- R(k, x, y), S(k, z), x > 2, z < 3",
+          ":- R(k, x, y), S(k2, z), y = z, x > 2",
+          ":- R(k1, x1, y), R(k2, x2, y), k1 != k2, x1 > 3, x2 > 3",
+          ":- R(k, x, y), S(k2, z), k != k2, x > 4, z < 2",
+          ":- R(k, x, 3), x > 1",
+          ":- R(k1, x, y1), R(k2, x2, y2), y1 = y2, x > 3, x2 > 3",
+          ":- S(k, z), z > 4",
+          ":- R(k, x, y), S(k, z), y != z, x > 3",
+      };
+  return *pool;
+}
+
+class OracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OracleTest, EngineMatchesBruteForce) {
+  Rng rng(GetParam());
+  const auto schema = OracleSchema();
+  Database db = RandomDb(schema, &rng, 12);
+
+  // Pick 3 random constraints from the pool.
+  std::vector<DenialConstraint> ics;
+  for (int i = 0; i < 3; ++i) {
+    const auto& text =
+        ConstraintPool()[rng.Uniform(ConstraintPool().size())];
+    auto ic = ParseConstraint(text);
+    ASSERT_TRUE(ic.ok()) << text;
+    ics.push_back(std::move(*ic));
+  }
+  auto bound = BindAll(*schema, ics);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+
+  ViolationEngine engine(db, *bound);
+  auto engine_result = engine.FindViolations();
+  ASSERT_TRUE(engine_result.ok()) << engine_result.status().ToString();
+
+  for (const BoundConstraint& ic : *bound) {
+    const std::set<std::vector<TupleRef>> expected =
+        Minimalise(OracleRawSets(db, ic));
+    std::set<std::vector<TupleRef>> actual;
+    for (const ViolationSet& v : *engine_result) {
+      if (v.ic_index == ic.ic_index) actual.insert(v.tuples);
+    }
+    EXPECT_EQ(actual, expected)
+        << "constraint " << ic.name << " (ic_index " << ic.ic_index << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleTest,
+                         ::testing::Range<uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace dbrepair

@@ -1,0 +1,271 @@
+#include "cqa/cqa.h"
+
+#include <gtest/gtest.h>
+
+#include "constraints/parser.h"
+#include "repair/repairer.h"
+#include "sql/executor.h"
+#include "gen/paper_example.h"
+
+namespace dbrepair {
+namespace {
+
+class CqaTest : public ::testing::Test {
+ protected:
+  CqaTest() : workload_(MakePaperTableExample()) {
+    auto bound = BindAll(workload_.db.schema(), workload_.ics);
+    EXPECT_TRUE(bound.ok());
+    bound_ = std::move(bound).value();
+  }
+
+  CqaResult Run(const std::string& sql, CqaOptions options = {}) {
+    auto result = ConsistentAnswers(workload_.db, bound_, sql, options);
+    EXPECT_TRUE(result.ok()) << sql << ": " << result.status().ToString();
+    return result.ok() ? std::move(result).value() : CqaResult{};
+  }
+
+  static std::vector<std::string> Rows(const CqaResult& result,
+                                       AnswerKind kind) {
+    std::vector<std::string> out;
+    for (const ClassifiedRow& row : result.rows) {
+      if (row.kind != kind) continue;
+      std::string s;
+      for (const Value& v : row.values) {
+        if (!s.empty()) s += ",";
+        s += v.ToString();
+      }
+      out.push_back(std::move(s));
+    }
+    return out;
+  }
+
+  GeneratedWorkload workload_;
+  std::vector<BoundConstraint> bound_;
+};
+
+TEST_F(CqaTest, ConsistentTupleIsCertain) {
+  // t3 = (E3, 1, 70, 1) participates in no violation; EF = 1 holds in every
+  // repair. t1 and t2 may have EF flipped to 0: possible only.
+  const CqaResult result = Run("SELECT ID FROM Paper WHERE EF = 1");
+  EXPECT_EQ(Rows(result, AnswerKind::kCertain),
+            (std::vector<std::string>{"'E3'"}));
+  EXPECT_EQ(Rows(result, AnswerKind::kPossibleOnly),
+            (std::vector<std::string>{"'B1'", "'C2'"}));
+}
+
+TEST_F(CqaTest, PredicateInvariantUnderAllRepairsIsCertain) {
+  // Every repair keeps PRC in {original, 50}: PRC < 100 holds always.
+  const CqaResult result = Run("SELECT ID FROM Paper WHERE PRC < 100");
+  EXPECT_EQ(Rows(result, AnswerKind::kCertain),
+            (std::vector<std::string>{"'B1'", "'C2'", "'E3'"}));
+  EXPECT_TRUE(Rows(result, AnswerKind::kPossibleOnly).empty());
+}
+
+TEST_F(CqaTest, VaryingProjectionIsPossibleOnly) {
+  // B1's PRC is 40 in some repairs, 50 in others: neither value certain.
+  const CqaResult result = Run("SELECT PRC FROM Paper WHERE ID = 'B1'");
+  EXPECT_TRUE(Rows(result, AnswerKind::kCertain).empty());
+  EXPECT_EQ(Rows(result, AnswerKind::kPossibleOnly),
+            (std::vector<std::string>{"40", "50"}));
+}
+
+TEST_F(CqaTest, HardAttributeProjectionStaysCertain) {
+  // The key is hard: projecting ID with a hard-attribute-only predicate is
+  // certain even for inconsistent tuples... but predicates must also hold
+  // in every combo. ID = 'B1' always holds; projection ID constant.
+  const CqaResult result = Run("SELECT ID FROM Paper WHERE ID = 'B1'");
+  EXPECT_EQ(Rows(result, AnswerKind::kCertain),
+            (std::vector<std::string>{"'B1'"}));
+}
+
+TEST_F(CqaTest, SelectedOnlyInSomeRepairs) {
+  // PRC >= 50: t3 certain (70); t1, t2 selected only when the PRC fix is
+  // chosen.
+  const CqaResult result = Run("SELECT ID FROM Paper WHERE PRC >= 50");
+  EXPECT_EQ(Rows(result, AnswerKind::kCertain),
+            (std::vector<std::string>{"'E3'"}));
+  EXPECT_EQ(Rows(result, AnswerKind::kPossibleOnly),
+            (std::vector<std::string>{"'B1'", "'C2'"}));
+}
+
+TEST_F(CqaTest, SelectStarShowsAllVariants) {
+  const CqaResult result = Run("SELECT * FROM Paper WHERE ID = 'C2'");
+  // C2 has fixes EF -> 0 and PRC -> 50: 4 combos, all selected, different
+  // projections: possible-only variants.
+  EXPECT_TRUE(Rows(result, AnswerKind::kCertain).empty());
+  EXPECT_EQ(Rows(result, AnswerKind::kPossibleOnly).size(), 4u);
+  EXPECT_EQ(result.columns.size(), 4u);
+}
+
+TEST_F(CqaTest, ComboCapClassifiesConservatively) {
+  CqaOptions options;
+  options.max_combos_per_tuple = 1;
+  const CqaResult result =
+      Run("SELECT ID FROM Paper WHERE PRC < 100", options);
+  // t1/t2 capped: appear as possible-only; the consistent t3 stays certain.
+  EXPECT_EQ(result.capped_tuples, 2u);
+  EXPECT_EQ(Rows(result, AnswerKind::kCertain),
+            (std::vector<std::string>{"'E3'"}));
+  EXPECT_EQ(Rows(result, AnswerKind::kPossibleOnly).size(), 2u);
+}
+
+TEST_F(CqaTest, Errors) {
+  EXPECT_FALSE(
+      ConsistentAnswers(workload_.db, bound_, "SELECT ID FROM Nope").ok());
+  EXPECT_FALSE(ConsistentAnswers(workload_.db, bound_,
+                                 "SELECT Missing FROM Paper")
+                   .ok());
+  EXPECT_FALSE(ConsistentAnswers(workload_.db, bound_,
+                                 "SELECT t0.ID FROM Paper t0, Paper t1")
+                   .ok());
+  EXPECT_FALSE(ConsistentAnswers(workload_.db, bound_,
+                                 "SELECT ID FROM Paper ORDER BY ID")
+                   .ok());
+}
+
+TEST(CqaConsistencyTest, CleanDatabaseEverythingCertain) {
+  const GeneratedWorkload w = MakePaperTableExample();
+  Database clean(w.db.schema_ptr());
+  ASSERT_TRUE(clean
+                  .Insert("Paper", {Value::String("E3"), Value::Int(1),
+                                    Value::Int(70), Value::Int(1)})
+                  .ok());
+  auto bound = BindAll(clean.schema(), w.ics);
+  ASSERT_TRUE(bound.ok());
+  auto result = ConsistentAnswers(clean, *bound, "SELECT * FROM Paper");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0].kind, AnswerKind::kCertain);
+}
+
+class AggregateRangeTest : public ::testing::Test {
+ protected:
+  AggregateRangeTest() : workload_(MakePaperTableExample()) {
+    auto bound = BindAll(workload_.db.schema(), workload_.ics);
+    EXPECT_TRUE(bound.ok());
+    bound_ = std::move(bound).value();
+  }
+
+  AggregateRange Run(const std::string& sql) {
+    auto result = AggregateConsistentRange(workload_.db, bound_, sql);
+    EXPECT_TRUE(result.ok()) << sql << ": " << result.status().ToString();
+    return result.ok() ? std::move(result).value() : AggregateRange{};
+  }
+
+  GeneratedWorkload workload_;
+  std::vector<BoundConstraint> bound_;
+};
+
+TEST_F(AggregateRangeTest, CountStarRange) {
+  // Repairs may flip EF of t1/t2 to 0 or raise PRC/CF: how many EF = 1
+  // papers exist ranges from 1 (only t3) to 3.
+  const AggregateRange range =
+      Run("SELECT COUNT(*) FROM Paper WHERE EF = 1");
+  EXPECT_EQ(range.lower, Value::Int(1));
+  EXPECT_EQ(range.upper, Value::Int(3));
+  EXPECT_FALSE(range.may_be_empty);
+}
+
+TEST_F(AggregateRangeTest, CountWithoutPredicateIsExact) {
+  const AggregateRange range = Run("SELECT COUNT(*) FROM Paper");
+  EXPECT_EQ(range.lower, Value::Int(3));
+  EXPECT_EQ(range.upper, Value::Int(3));
+}
+
+TEST_F(AggregateRangeTest, SumRange) {
+  // PRC values per repair: t1 in {40, 50}, t2 in {20, 50}, t3 = 70.
+  const AggregateRange range = Run("SELECT SUM(PRC) FROM Paper");
+  EXPECT_EQ(range.lower, Value::Int(130));  // 40 + 20 + 70
+  EXPECT_EQ(range.upper, Value::Int(170));  // 50 + 50 + 70
+  EXPECT_FALSE(range.may_be_empty);
+}
+
+TEST_F(AggregateRangeTest, SumWithSelectionUncertainty) {
+  // SUM(PRC) over EF = 1 papers: in the all-fixed-by-EF repair only t3
+  // remains (70); keeping both with raised PRC gives up to 170.
+  const AggregateRange range =
+      Run("SELECT SUM(PRC) FROM Paper WHERE EF = 1");
+  EXPECT_EQ(range.lower, Value::Int(70));
+  EXPECT_EQ(range.upper, Value::Int(170));
+}
+
+TEST_F(AggregateRangeTest, MinMaxRanges) {
+  const AggregateRange min_range = Run("SELECT MIN(PRC) FROM Paper");
+  // MIN can be as low as 20 (t2 untouched) and no higher than 50 (t2's
+  // ceiling caps the minimum at 50; t1 also caps at 50).
+  EXPECT_EQ(min_range.lower, Value::Int(20));
+  EXPECT_EQ(min_range.upper, Value::Int(50));
+  EXPECT_FALSE(min_range.may_be_empty);
+
+  const AggregateRange max_range = Run("SELECT MAX(PRC) FROM Paper");
+  // t3's PRC = 70 is untouched: MAX is exactly 70 in every repair.
+  EXPECT_EQ(max_range.lower, Value::Int(70));
+  EXPECT_EQ(max_range.upper, Value::Int(70));
+}
+
+TEST_F(AggregateRangeTest, MinOverPossiblyEmptySelection) {
+  // Papers with PRC < 30: only t2 qualifies and only in repairs that keep
+  // its PRC at 20 — the selection may be empty.
+  const AggregateRange range =
+      Run("SELECT MIN(PRC) FROM Paper WHERE PRC < 30");
+  EXPECT_EQ(range.lower, Value::Int(20));
+  EXPECT_TRUE(range.upper.is_null());
+  EXPECT_TRUE(range.may_be_empty);
+}
+
+TEST_F(AggregateRangeTest, Errors) {
+  EXPECT_FALSE(
+      AggregateConsistentRange(workload_.db, bound_,
+                               "SELECT AVG(PRC) FROM Paper")
+          .ok());
+  EXPECT_FALSE(AggregateConsistentRange(workload_.db, bound_,
+                                        "SELECT PRC FROM Paper")
+                   .ok());
+  EXPECT_FALSE(
+      AggregateConsistentRange(workload_.db, bound_,
+                               "SELECT COUNT(*), SUM(PRC) FROM Paper")
+          .ok());
+  EXPECT_FALSE(AggregateConsistentRange(workload_.db, bound_,
+                                        "SELECT COUNT(*) FROM Nope")
+                   .ok());
+}
+
+TEST(AggregateRangeConsistencyTest, RepairValuesFallInsideBounds) {
+  // Property: the aggregate evaluated on actual repairs (all solvers)
+  // lies within the reported range.
+  const GeneratedWorkload w = MakePaperTableExample();
+  auto bound = BindAll(w.db.schema(), w.ics);
+  ASSERT_TRUE(bound.ok());
+  const char* queries[] = {
+      "SELECT COUNT(*) FROM Paper WHERE EF = 1",
+      "SELECT SUM(PRC) FROM Paper",
+      "SELECT MIN(PRC) FROM Paper",
+      "SELECT MAX(PRC) FROM Paper",
+  };
+  for (const char* sql : queries) {
+    auto range = AggregateConsistentRange(w.db, *bound, sql);
+    ASSERT_TRUE(range.ok()) << sql;
+    for (const SolverKind solver :
+         {SolverKind::kExact, SolverKind::kGreedy, SolverKind::kLayer}) {
+      RepairOptions options;
+      options.solver = solver;
+      auto outcome = RepairDatabase(w.db, w.ics, options);
+      ASSERT_TRUE(outcome.ok());
+      auto value = Query(outcome->repaired, sql);
+      ASSERT_TRUE(value.ok());
+      const Value& v = value->rows[0][0];
+      if (v.is_null()) continue;
+      if (!range->lower.is_null()) {
+        EXPECT_GE(v.AsNumeric(), range->lower.AsNumeric())
+            << sql << " " << SolverKindName(solver);
+      }
+      if (!range->upper.is_null()) {
+        EXPECT_LE(v.AsNumeric(), range->upper.AsNumeric())
+            << sql << " " << SolverKindName(solver);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbrepair

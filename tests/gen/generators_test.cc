@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "constraints/violation_engine.h"
+#include "gen/census.h"
+#include "gen/client_buy.h"
+#include "gen/paper_example.h"
+
+namespace dbrepair {
+namespace {
+
+TEST(ClientBuyGeneratorTest, DeterministicInSeed) {
+  ClientBuyOptions options;
+  options.num_clients = 50;
+  options.seed = 9;
+  const auto a = GenerateClientBuy(options);
+  const auto b = GenerateClientBuy(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->db.TotalTuples(), b->db.TotalTuples());
+  for (size_t r = 0; r < a->db.relation_count(); ++r) {
+    for (size_t row = 0; row < a->db.table(r).size(); ++row) {
+      EXPECT_EQ(a->db.table(r).row(row), b->db.table(r).row(row));
+    }
+  }
+}
+
+TEST(ClientBuyGeneratorTest, SizesMatchOptions) {
+  ClientBuyOptions options;
+  options.num_clients = 100;
+  options.buys_per_client = 3;
+  options.hotspot_clients = 0;
+  const auto w = GenerateClientBuy(options);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->db.FindTable("Client")->size(), 100u);
+  EXPECT_EQ(w->db.FindTable("Buy")->size(), 300u);
+}
+
+TEST(ClientBuyGeneratorTest, ZeroRatioIsConsistent) {
+  ClientBuyOptions options;
+  options.num_clients = 200;
+  options.inconsistency_ratio = 0.0;
+  const auto w = GenerateClientBuy(options);
+  ASSERT_TRUE(w.ok());
+  auto bound = BindAll(w->db.schema(), w->ics);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_TRUE(ViolationEngine::Satisfies(w->db, *bound).value());
+}
+
+TEST(ClientBuyGeneratorTest, RatioControlsInvolvedTuples) {
+  ClientBuyOptions options;
+  options.num_clients = 500;
+  options.inconsistency_ratio = 0.3;
+  options.seed = 3;
+  const auto w = GenerateClientBuy(options);
+  ASSERT_TRUE(w.ok());
+  auto bound = BindAll(w->db.schema(), w->ics);
+  ASSERT_TRUE(bound.ok());
+  ViolationEngine engine(w->db, *bound);
+  const auto violations = engine.FindViolations();
+  ASSERT_TRUE(violations.ok());
+  const DegreeInfo degrees = ComputeDegrees(*violations);
+  const double involved = static_cast<double>(degrees.per_tuple.size()) /
+                          static_cast<double>(w->db.TotalTuples());
+  // "around 30% of tuples involved in inconsistencies": generator places
+  // ~30% of clients in violation; with their purchases the involved-tuple
+  // share lands in a generous band around it.
+  EXPECT_GT(involved, 0.15);
+  EXPECT_LT(involved, 0.45);
+}
+
+TEST(ClientBuyGeneratorTest, HotspotsRaiseDegree) {
+  ClientBuyOptions base;
+  base.num_clients = 200;
+  base.seed = 5;
+  const auto w1 = GenerateClientBuy(base);
+  ASSERT_TRUE(w1.ok());
+
+  ClientBuyOptions hot = base;
+  hot.hotspot_clients = 3;
+  hot.hotspot_buys = 50;
+  const auto w2 = GenerateClientBuy(hot);
+  ASSERT_TRUE(w2.ok());
+
+  auto deg = [](const GeneratedWorkload& w) {
+    auto bound = BindAll(w.db.schema(), w.ics);
+    EXPECT_TRUE(bound.ok());
+    ViolationEngine engine(w.db, *bound);
+    auto violations = engine.FindViolations();
+    EXPECT_TRUE(violations.ok());
+    return ComputeDegrees(*violations).max_degree;
+  };
+  EXPECT_GE(deg(*w2), 50u);
+  EXPECT_LT(deg(*w1), 10u);
+}
+
+TEST(CensusGeneratorTest, DegreeBoundedByHouseholdSize) {
+  CensusOptions options;
+  options.num_households = 300;
+  options.max_members = 5;
+  options.seed = 11;
+  const auto w = GenerateCensus(options);
+  ASSERT_TRUE(w.ok());
+  auto bound = BindAll(w->db.schema(), w->ics);
+  ASSERT_TRUE(bound.ok());
+  ViolationEngine engine(w->db, *bound);
+  const auto violations = engine.FindViolations();
+  ASSERT_TRUE(violations.ok());
+  const DegreeInfo degrees = ComputeDegrees(*violations);
+  // A household tuple can appear with each member (c5) plus its own
+  // violations (c1, c2): bounded by max_members + constant.
+  EXPECT_LE(degrees.max_degree, options.max_members + 2);
+}
+
+TEST(CensusGeneratorTest, InconsistentHouseholdsExist) {
+  CensusOptions options;
+  options.num_households = 100;
+  options.inconsistency_ratio = 0.5;
+  options.seed = 2;
+  const auto w = GenerateCensus(options);
+  ASSERT_TRUE(w.ok());
+  auto bound = BindAll(w->db.schema(), w->ics);
+  ASSERT_TRUE(bound.ok());
+  ViolationEngine engine(w->db, *bound);
+  const auto violations = engine.FindViolations();
+  ASSERT_TRUE(violations.ok());
+  EXPECT_GT(violations->size(), 10u);
+}
+
+TEST(CensusGeneratorTest, ZeroRatioIsConsistent) {
+  CensusOptions options;
+  options.num_households = 100;
+  options.inconsistency_ratio = 0.0;
+  const auto w = GenerateCensus(options);
+  ASSERT_TRUE(w.ok());
+  auto bound = BindAll(w->db.schema(), w->ics);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_TRUE(ViolationEngine::Satisfies(w->db, *bound).value());
+}
+
+TEST(PaperExampleTest, TablesMatchThePaper) {
+  const GeneratedWorkload w = MakePaperPubExample();
+  EXPECT_EQ(w.db.FindTable("Paper")->size(), 3u);
+  EXPECT_EQ(w.db.FindTable("Pub")->size(), 3u);
+  EXPECT_EQ(w.ics.size(), 3u);
+  EXPECT_EQ(w.db.table(0).row(0).ToString(), "('B1', 1, 40, 0)");
+
+  const GeneratedWorkload card = MakeCardinalityExample();
+  EXPECT_EQ(card.db.TotalTuples(), 4u);
+  EXPECT_EQ(card.ics.size(), 2u);
+}
+
+}  // namespace
+}  // namespace dbrepair

@@ -1,0 +1,116 @@
+#include "io/config.h"
+
+#include <gtest/gtest.h>
+
+namespace dbrepair {
+namespace {
+
+constexpr char kPaperConfig[] = R"(
+# The paper's Example 2.3 schema.
+[relation Paper]
+attribute ID STRING key
+attribute EF INT flexible weight=1
+attribute PRC INT flexible weight=0.05
+attribute CF INT flexible weight=0.5
+data = data/paper.csv
+
+[constraints]
+ic1: :- Paper(x, y, z, w), y > 0, z < 50
+ic2: :- Paper(x, y, z, w), y > 0, w < 1
+
+[repair]
+solver = greedy
+distance = L1
+mode = update
+output = out.sql
+)";
+
+TEST(ConfigTest, ParsesFullConfig) {
+  const auto config = ParseConfig(kPaperConfig);
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  const RelationSchema* paper = config->schema->FindRelation("Paper");
+  ASSERT_NE(paper, nullptr);
+  EXPECT_EQ(paper->arity(), 4u);
+  EXPECT_EQ(paper->key_attributes(), (std::vector<std::string>{"ID"}));
+  EXPECT_TRUE(paper->attribute(1).flexible);
+  EXPECT_DOUBLE_EQ(paper->attribute(2).alpha, 0.05);
+  EXPECT_FALSE(paper->attribute(0).flexible);
+
+  ASSERT_EQ(config->constraints.size(), 2u);
+  EXPECT_EQ(config->constraints[0].name, "ic1");
+
+  EXPECT_EQ(config->data_files.at("Paper"), "data/paper.csv");
+  EXPECT_EQ(config->solver, SolverKind::kGreedy);
+  EXPECT_EQ(config->distance, DistanceKind::kL1);
+  EXPECT_EQ(config->mode, ExportMode::kUpdateStatements);
+  EXPECT_EQ(config->output_path, "out.sql");
+}
+
+TEST(ConfigTest, DefaultsWhenRepairSectionOmitted) {
+  const auto config = ParseConfig(
+      "[relation R]\n"
+      "attribute K INT key\n"
+      "attribute X INT flexible\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->solver, SolverKind::kModifiedGreedy);
+  EXPECT_EQ(config->distance, DistanceKind::kL1);
+  EXPECT_EQ(config->mode, ExportMode::kDump);
+  EXPECT_TRUE(config->output_path.empty());
+}
+
+TEST(ConfigTest, CompositeKey) {
+  const auto config = ParseConfig(
+      "[relation Buy]\n"
+      "attribute ID INT key\n"
+      "attribute I INT key\n"
+      "attribute P INT flexible\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->schema->FindRelation("Buy")->key_attributes(),
+            (std::vector<std::string>{"ID", "I"}));
+}
+
+TEST(ConfigTest, Errors) {
+  EXPECT_FALSE(ParseConfig("").ok());  // no relations
+  EXPECT_FALSE(ParseConfig("stray line\n").ok());
+  EXPECT_FALSE(ParseConfig("[relation R\n").ok());  // unterminated header
+  EXPECT_FALSE(ParseConfig("[mystery]\n").ok());
+  EXPECT_FALSE(ParseConfig("[relation ]\nattribute K INT key\n").ok());
+  EXPECT_FALSE(
+      ParseConfig("[relation R]\nattribute K BLOB key\n").ok());  // bad type
+  EXPECT_FALSE(
+      ParseConfig("[relation R]\nattribute K INT key zap\n").ok());
+  EXPECT_FALSE(ParseConfig("[relation R]\nattribute K INT key\n"
+                           "[repair]\nsolver = quantum\n")
+                   .ok());
+  EXPECT_FALSE(ParseConfig("[relation R]\nattribute K INT key\n"
+                           "[repair]\nnonsense\n")
+                   .ok());
+  EXPECT_FALSE(ParseConfig("[relation R]\nattribute K INT key\n"
+                           "[constraints]\nbroken\n")
+                   .ok());
+  // Flexible key attribute violates the schema invariants.
+  EXPECT_FALSE(
+      ParseConfig("[relation R]\nattribute K INT key flexible\n").ok());
+}
+
+TEST(ParseSolverKindTest, AllNames) {
+  EXPECT_EQ(ParseSolverKind("greedy").value(), SolverKind::kGreedy);
+  EXPECT_EQ(ParseSolverKind("modified-greedy").value(),
+            SolverKind::kModifiedGreedy);
+  EXPECT_EQ(ParseSolverKind("MODIFIED_GREEDY").value(),
+            SolverKind::kModifiedGreedy);
+  EXPECT_EQ(ParseSolverKind("layer").value(), SolverKind::kLayer);
+  EXPECT_EQ(ParseSolverKind("modified-layer").value(),
+            SolverKind::kModifiedLayer);
+  EXPECT_EQ(ParseSolverKind("exact").value(), SolverKind::kExact);
+  EXPECT_FALSE(ParseSolverKind("quantum").ok());
+}
+
+TEST(ParseDistanceKindTest, Names) {
+  EXPECT_EQ(ParseDistanceKind("L1").value(), DistanceKind::kL1);
+  EXPECT_EQ(ParseDistanceKind("l2").value(), DistanceKind::kL2);
+  EXPECT_FALSE(ParseDistanceKind("L3").ok());
+}
+
+}  // namespace
+}  // namespace dbrepair

@@ -1,0 +1,85 @@
+#include "io/export.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/paper_example.h"
+#include "repair/repairer.h"
+
+namespace dbrepair {
+namespace {
+
+class ExportTest : public ::testing::Test {
+ protected:
+  ExportTest() : workload_(MakePaperTableExample()) {
+    RepairOptions options;
+    options.solver = SolverKind::kExact;
+    auto outcome = RepairDatabase(workload_.db, workload_.ics, options);
+    EXPECT_TRUE(outcome.ok());
+    outcome_ = std::make_unique<RepairOutcome>(std::move(outcome).value());
+  }
+
+  GeneratedWorkload workload_;
+  std::unique_ptr<RepairOutcome> outcome_;
+};
+
+TEST_F(ExportTest, UpdateStatementsPatchByKey) {
+  const auto sql = ExportRepair(outcome_->repaired, outcome_->updates,
+                                ExportMode::kUpdateStatements);
+  ASSERT_TRUE(sql.ok());
+  // One UPDATE per applied update, addressed by primary key.
+  EXPECT_NE(sql->find("UPDATE Paper SET"), std::string::npos);
+  EXPECT_NE(sql->find("WHERE ID = 'B1'"), std::string::npos);
+  const size_t lines = std::count(sql->begin(), sql->end(), '\n');
+  EXPECT_EQ(lines, outcome_->updates.size());
+}
+
+TEST_F(ExportTest, InsertStatementsCoverAllTuples) {
+  const auto sql = ExportRepair(outcome_->repaired, outcome_->updates,
+                                ExportMode::kInsertStatements);
+  ASSERT_TRUE(sql.ok());
+  const size_t lines = std::count(sql->begin(), sql->end(), '\n');
+  EXPECT_EQ(lines, outcome_->repaired.TotalTuples());
+  EXPECT_NE(sql->find("INSERT INTO Paper (ID, EF, PRC, CF) VALUES"),
+            std::string::npos);
+}
+
+TEST_F(ExportTest, DumpListsRelations) {
+  const auto dump =
+      ExportRepair(outcome_->repaired, outcome_->updates, ExportMode::kDump);
+  ASSERT_TRUE(dump.ok());
+  EXPECT_NE(dump->find("-- Paper (3 tuples)"), std::string::npos);
+  EXPECT_NE(dump->find("Paper('E3', 1, 70, 1)"), std::string::npos);
+}
+
+TEST_F(ExportTest, StringLiteralEscaping) {
+  auto schema = std::make_shared<Schema>();
+  ASSERT_TRUE(schema
+                  ->AddRelation(RelationSchema(
+                      "S",
+                      {AttributeDef{"K", Type::kInt64, false, 1.0},
+                       AttributeDef{"N", Type::kString, false, 1.0}},
+                      {"K"}))
+                  .ok());
+  Database db(schema);
+  ASSERT_TRUE(db.Insert("S", {Value::Int(1), Value::String("O'Brien")}).ok());
+  const auto sql = ExportRepair(db, {}, ExportMode::kInsertStatements);
+  ASSERT_TRUE(sql.ok());
+  EXPECT_NE(sql->find("'O''Brien'"), std::string::npos);
+}
+
+TEST(ExportModeTest, ParseAndName) {
+  EXPECT_EQ(ParseExportMode("update").value(), ExportMode::kUpdateStatements);
+  EXPECT_EQ(ParseExportMode("INSERT").value(), ExportMode::kInsertStatements);
+  EXPECT_EQ(ParseExportMode("dump").value(), ExportMode::kDump);
+  EXPECT_FALSE(ParseExportMode("xml").ok());
+  EXPECT_STREQ(ExportModeName(ExportMode::kDump), "dump");
+}
+
+TEST(WriteTextFileTest, WritesAndFails) {
+  const std::string path = ::testing::TempDir() + "/export_test.txt";
+  ASSERT_TRUE(WriteTextFile(path, "hello").ok());
+  EXPECT_FALSE(WriteTextFile("/nonexistent/dir/x.txt", "y").ok());
+}
+
+}  // namespace
+}  // namespace dbrepair

@@ -1,0 +1,61 @@
+#include "io/report.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/paper_example.h"
+
+namespace dbrepair {
+namespace {
+
+TEST(ReportTest, FormatsPaperExampleRun) {
+  const GeneratedWorkload w = MakePaperPubExample();
+  RepairOptions options;
+  options.solver = SolverKind::kGreedy;
+  const auto outcome = RepairDatabase(w.db, w.ics, options);
+  ASSERT_TRUE(outcome.ok());
+  const std::string report = FormatRepairReport(w.db, *outcome);
+
+  EXPECT_NE(report.find("repair summary"), std::string::npos);
+  EXPECT_NE(report.find("tuples:            6"), std::string::npos);
+  EXPECT_NE(report.find("violation sets:    4"), std::string::npos);
+  EXPECT_NE(report.find("degree Deg(D, IC): 3"), std::string::npos);
+  EXPECT_NE(report.find("candidate fixes:   7"), std::string::npos);
+
+  // Per-constraint section with the paper's counts (ic1: 2, ic2: 1, ic3: 1).
+  EXPECT_NE(report.find("violations per constraint"), std::string::npos);
+  EXPECT_NE(report.find("ic1"), std::string::npos);
+  EXPECT_NE(report.find("ic3"), std::string::npos);
+
+  // Per-attribute histogram: EF changed on two Paper tuples, Pag on one Pub.
+  EXPECT_NE(report.find("updates per attribute"), std::string::npos);
+  EXPECT_NE(report.find("Paper.EF"), std::string::npos);
+  EXPECT_NE(report.find("Pub.Pag"), std::string::npos);
+}
+
+TEST(ReportTest, PerConstraintCountsMatch) {
+  const GeneratedWorkload w = MakePaperPubExample();
+  const auto outcome = RepairDatabase(w.db, w.ics);
+  ASSERT_TRUE(outcome.ok());
+  const auto& per_ic = outcome->stats.violations_per_constraint;
+  ASSERT_EQ(per_ic.size(), 3u);
+  EXPECT_EQ(per_ic[0], (std::pair<std::string, size_t>{"ic1", 2}));
+  EXPECT_EQ(per_ic[1], (std::pair<std::string, size_t>{"ic2", 1}));
+  EXPECT_EQ(per_ic[2], (std::pair<std::string, size_t>{"ic3", 1}));
+}
+
+TEST(ReportTest, CleanRunHasNoUpdateSection) {
+  const GeneratedWorkload w = MakePaperTableExample();
+  Database consistent(w.db.schema_ptr());
+  ASSERT_TRUE(consistent
+                  .Insert("Paper", {Value::String("E3"), Value::Int(1),
+                                    Value::Int(70), Value::Int(1)})
+                  .ok());
+  const auto outcome = RepairDatabase(consistent, w.ics);
+  ASSERT_TRUE(outcome.ok());
+  const std::string report = FormatRepairReport(consistent, *outcome);
+  EXPECT_NE(report.find("violation sets:    0"), std::string::npos);
+  EXPECT_EQ(report.find("updates per attribute"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dbrepair

@@ -1,0 +1,113 @@
+#include "repair/distance.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/paper_example.h"
+
+namespace dbrepair {
+namespace {
+
+TEST(DistanceTest, ScalarL1AndL2) {
+  const DistanceFunction l1(DistanceKind::kL1);
+  const DistanceFunction l2(DistanceKind::kL2);
+  EXPECT_DOUBLE_EQ(l1.ScalarDistance(3, 7), 4.0);
+  EXPECT_DOUBLE_EQ(l1.ScalarDistance(7, 3), 4.0);
+  EXPECT_DOUBLE_EQ(l1.ScalarDistance(5, 5), 0.0);
+  EXPECT_DOUBLE_EQ(l2.ScalarDistance(3, 7), 16.0);
+  EXPECT_DOUBLE_EQ(l2.ScalarDistance(7, 3), 16.0);
+}
+
+TEST(DistanceTest, TupleDistanceWeighted) {
+  // Paper weights alpha = (1, 1/20, 1/2) for (EF, PRC, CF).
+  const GeneratedWorkload w = MakePaperTableExample();
+  const RelationSchema& schema = w.db.table(0).schema();
+  const DistanceFunction l1(DistanceKind::kL1);
+
+  const Tuple t1({Value::String("B1"), Value::Int(1), Value::Int(40),
+                  Value::Int(0)});
+  Tuple t1_fix = t1;
+  t1_fix.set_value(1, Value::Int(0));
+  EXPECT_DOUBLE_EQ(l1.TupleDistance(schema, t1, t1_fix), 1.0);
+
+  // Example 2.3: distance of t1 -> (B1, 1, 50, 1) is 10/20 + 1/2 = 1.0.
+  Tuple t1_2 = t1;
+  t1_2.set_value(2, Value::Int(50));
+  t1_2.set_value(3, Value::Int(1));
+  EXPECT_DOUBLE_EQ(l1.TupleDistance(schema, t1, t1_2), 1.0);
+}
+
+TEST(DistanceTest, TupleDistanceIgnoresHardAttributes) {
+  const GeneratedWorkload w = MakePaperTableExample();
+  const RelationSchema& schema = w.db.table(0).schema();
+  const DistanceFunction l1;
+  const Tuple a({Value::String("B1"), Value::Int(1), Value::Int(40),
+                 Value::Int(0)});
+  const Tuple b({Value::String("ZZ"), Value::Int(1), Value::Int(40),
+                 Value::Int(0)});
+  EXPECT_DOUBLE_EQ(l1.TupleDistance(schema, a, b), 0.0);
+}
+
+TEST(DistanceTest, DatabaseDistanceExample23) {
+  // Example 2.3: Delta(D, D1) = 2 where D1 repairs t1 (EF:=0) and t2
+  // (EF:=0).
+  const GeneratedWorkload w = MakePaperTableExample();
+  Database repaired = w.db.Clone();
+  ASSERT_TRUE(repaired.mutable_table(0).UpdateValue(0, 1, Value::Int(0)).ok());
+  ASSERT_TRUE(repaired.mutable_table(0).UpdateValue(1, 1, Value::Int(0)).ok());
+  const DistanceFunction l1;
+  EXPECT_DOUBLE_EQ(l1.DatabaseDistance(w.db, repaired).value(), 2.0);
+
+  // D2: t1 -> (B1, 1, 50, 1), t2 -> (C2, 0, 20, 1): distance 2 as well.
+  Database d2 = w.db.Clone();
+  ASSERT_TRUE(d2.mutable_table(0).UpdateValue(0, 2, Value::Int(50)).ok());
+  ASSERT_TRUE(d2.mutable_table(0).UpdateValue(0, 3, Value::Int(1)).ok());
+  ASSERT_TRUE(d2.mutable_table(0).UpdateValue(1, 1, Value::Int(0)).ok());
+  EXPECT_DOUBLE_EQ(l1.DatabaseDistance(w.db, d2).value(), 2.0);
+
+  // D3: t1 -> (B1, 0, 40, 0), t2 -> (C2, 1, 50, 1): distance 1 + 30/20 = 2.5
+  // per Example 2.3's D4... distance of changing t2's PRC 20 -> 50 is 1.5.
+  Database d3 = w.db.Clone();
+  ASSERT_TRUE(d3.mutable_table(0).UpdateValue(0, 1, Value::Int(0)).ok());
+  ASSERT_TRUE(d3.mutable_table(0).UpdateValue(1, 2, Value::Int(50)).ok());
+  EXPECT_DOUBLE_EQ(l1.DatabaseDistance(w.db, d3).value(), 2.5);
+}
+
+TEST(DistanceTest, DatabaseDistanceRequiresSameSchemaObject) {
+  const GeneratedWorkload a = MakePaperTableExample();
+  const GeneratedWorkload b = MakePaperTableExample();
+  const DistanceFunction l1;
+  EXPECT_FALSE(l1.DatabaseDistance(a.db, b.db).ok());
+}
+
+TEST(DistanceTest, DatabaseDistanceMatchesByKeyNotRowOrder) {
+  const GeneratedWorkload w = MakePaperTableExample();
+  // Rebuild the repaired instance with rows inserted in another order.
+  Database reordered(w.db.schema_ptr());
+  ASSERT_TRUE(reordered
+                  .Insert("Paper", {Value::String("E3"), Value::Int(1),
+                                    Value::Int(70), Value::Int(1)})
+                  .ok());
+  ASSERT_TRUE(reordered
+                  .Insert("Paper", {Value::String("C2"), Value::Int(0),
+                                    Value::Int(20), Value::Int(1)})
+                  .ok());
+  ASSERT_TRUE(reordered
+                  .Insert("Paper", {Value::String("B1"), Value::Int(0),
+                                    Value::Int(40), Value::Int(0)})
+                  .ok());
+  const DistanceFunction l1;
+  EXPECT_DOUBLE_EQ(l1.DatabaseDistance(w.db, reordered).value(), 2.0);
+}
+
+TEST(DistanceTest, L2SquaresDifferences) {
+  const GeneratedWorkload w = MakePaperTableExample();
+  Database repaired = w.db.Clone();
+  // PRC of t1: 40 -> 50; L2 contribution alpha * 100 = 5.
+  ASSERT_TRUE(
+      repaired.mutable_table(0).UpdateValue(0, 2, Value::Int(50)).ok());
+  const DistanceFunction l2(DistanceKind::kL2);
+  EXPECT_DOUBLE_EQ(l2.DatabaseDistance(w.db, repaired).value(), 5.0);
+}
+
+}  // namespace
+}  // namespace dbrepair

@@ -1,0 +1,134 @@
+#include "repair/setcover/indexed_heap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dbrepair {
+namespace {
+
+TEST(IndexedHeapTest, PushPopOrdered) {
+  IndexedHeap heap(10);
+  heap.Push(3, 5.0);
+  heap.Push(1, 2.0);
+  heap.Push(7, 9.0);
+  heap.Push(2, 2.5);
+  ASSERT_EQ(heap.size(), 4u);
+  EXPECT_EQ(heap.Top().first, 1u);
+  heap.Pop();
+  EXPECT_EQ(heap.Top().first, 2u);
+  heap.Pop();
+  EXPECT_EQ(heap.Top().first, 3u);
+  heap.Pop();
+  EXPECT_EQ(heap.Top().first, 7u);
+  heap.Pop();
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(IndexedHeapTest, TieBreaksOnSmallerId) {
+  IndexedHeap heap(10);
+  heap.Push(5, 1.0);
+  heap.Push(2, 1.0);
+  heap.Push(8, 1.0);
+  EXPECT_EQ(heap.Top().first, 2u);
+  heap.Pop();
+  EXPECT_EQ(heap.Top().first, 5u);
+  heap.Pop();
+  EXPECT_EQ(heap.Top().first, 8u);
+}
+
+TEST(IndexedHeapTest, UpdateIncreaseAndDecrease) {
+  IndexedHeap heap(10);
+  heap.Push(0, 1.0);
+  heap.Push(1, 2.0);
+  heap.Push(2, 3.0);
+  heap.Update(0, 10.0);  // increase: sift down
+  EXPECT_EQ(heap.Top().first, 1u);
+  heap.Update(2, 0.5);  // decrease: sift up
+  EXPECT_EQ(heap.Top().first, 2u);
+  EXPECT_DOUBLE_EQ(heap.KeyOf(0), 10.0);
+}
+
+TEST(IndexedHeapTest, RemoveArbitrary) {
+  IndexedHeap heap(10);
+  for (uint32_t i = 0; i < 6; ++i) heap.Push(i, static_cast<double>(i));
+  heap.Remove(0);
+  heap.Remove(3);
+  EXPECT_FALSE(heap.Contains(0));
+  EXPECT_FALSE(heap.Contains(3));
+  EXPECT_TRUE(heap.Contains(1));
+  std::vector<uint32_t> order;
+  while (!heap.empty()) {
+    order.push_back(heap.Top().first);
+    heap.Pop();
+  }
+  EXPECT_EQ(order, (std::vector<uint32_t>{1, 2, 4, 5}));
+}
+
+TEST(IndexedHeapTest, RandomisedAgainstReference) {
+  // Property check: the heap agrees with a sorted reference map under a
+  // random mix of push / pop / update / remove.
+  Rng rng(42);
+  IndexedHeap heap(200);
+  std::map<uint32_t, double> reference;
+
+  auto reference_min = [&]() {
+    uint32_t best_id = 0;
+    double best_key = 0;
+    bool first = true;
+    for (const auto& [id, key] : reference) {
+      if (first || key < best_key || (key == best_key && id < best_id)) {
+        best_id = id;
+        best_key = key;
+        first = false;
+      }
+    }
+    return std::make_pair(best_id, best_key);
+  };
+
+  for (int step = 0; step < 5000; ++step) {
+    const uint64_t action = rng.Uniform(4);
+    if (action == 0 || reference.empty()) {
+      const auto id = static_cast<uint32_t>(rng.Uniform(200));
+      if (reference.count(id) > 0) continue;
+      const double key = static_cast<double>(rng.Uniform(50));
+      heap.Push(id, key);
+      reference[id] = key;
+    } else if (action == 1) {
+      const auto [id, key] = heap.Top();
+      const auto [ref_id, ref_key] = reference_min();
+      ASSERT_EQ(id, ref_id);
+      ASSERT_DOUBLE_EQ(key, ref_key);
+      heap.Pop();
+      reference.erase(id);
+    } else {
+      // Pick a random present id.
+      auto it = reference.begin();
+      std::advance(it, rng.Uniform(reference.size()));
+      if (action == 2) {
+        const double key = static_cast<double>(rng.Uniform(50));
+        heap.Update(it->first, key);
+        it->second = key;
+      } else {
+        heap.Remove(it->first);
+        reference.erase(it);
+      }
+    }
+    ASSERT_EQ(heap.size(), reference.size());
+  }
+  while (!heap.empty()) {
+    const auto [id, key] = heap.Top();
+    const auto [ref_id, ref_key] = reference_min();
+    ASSERT_EQ(id, ref_id);
+    ASSERT_DOUBLE_EQ(key, ref_key);
+    heap.Pop();
+    reference.erase(id);
+  }
+}
+
+}  // namespace
+}  // namespace dbrepair

@@ -1,0 +1,141 @@
+#include "repair/mixed.h"
+
+#include <gtest/gtest.h>
+
+#include "constraints/parser.h"
+#include "constraints/violation_engine.h"
+#include "gen/client_buy.h"
+
+namespace dbrepair {
+namespace {
+
+// The conclusion's example: with F = {delta_P, delta_T, D}, an ic2
+// violation can be repaired either by deleting a tuple or by updating D.
+struct MixedFixture {
+  std::shared_ptr<const Schema> schema;
+  Database db;
+  std::vector<DenialConstraint> ics;
+};
+
+MixedFixture MakeFixture(double d_alpha) {
+  auto schema = std::make_shared<Schema>();
+  Status st = schema->AddRelation(RelationSchema(
+      "P",
+      {AttributeDef{"A", Type::kInt64, false, 1.0},
+       AttributeDef{"B", Type::kString, false, 1.0}},
+      {"A", "B"}));
+  EXPECT_TRUE(st.ok());
+  st = schema->AddRelation(RelationSchema(
+      "T",
+      {AttributeDef{"C", Type::kString, false, 1.0},
+       AttributeDef{"D", Type::kInt64, true, d_alpha}},
+      {"C"}));
+  EXPECT_TRUE(st.ok());
+  Database db(schema);
+  EXPECT_TRUE(db.Insert("P", {Value::Int(2), Value::String("e")}).ok());
+  EXPECT_TRUE(db.Insert("T", {Value::String("e"), Value::Int(4)}).ok());
+  auto ics = ParseConstraintSet(":- P(x, y), T(y, z), z < 5\n");
+  EXPECT_TRUE(ics.ok());
+  return MixedFixture{schema, std::move(db), std::move(*ics)};
+}
+
+TEST(MixedRepairTest, CheapUpdateBeatsDeletion) {
+  // alpha_D = 0.1: raising D from 4 to 5 costs 0.1; deleting costs 1.
+  MixedFixture fixture = MakeFixture(0.1);
+  MixedRepairOptions options;
+  options.repair.solver = SolverKind::kExact;
+  const auto outcome = MixedRepair(fixture.db, fixture.ics, options);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->deletions, 0u);
+  EXPECT_EQ(outcome->value_updates, 1u);
+  EXPECT_EQ(outcome->repaired.TotalTuples(), 2u);
+  const Table* t = outcome->repaired.FindTable("T");
+  EXPECT_EQ(t->row(0).value(1), Value::Int(5));
+}
+
+TEST(MixedRepairTest, ExpensiveUpdateLosesToDeletion) {
+  // alpha_D = 10: updating costs 10; deleting either tuple costs 1.
+  MixedFixture fixture = MakeFixture(10.0);
+  MixedRepairOptions options;
+  options.repair.solver = SolverKind::kExact;
+  const auto outcome = MixedRepair(fixture.db, fixture.ics, options);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->deletions, 1u);
+  EXPECT_EQ(outcome->value_updates, 0u);
+  EXPECT_EQ(outcome->repaired.TotalTuples(), 1u);
+}
+
+TEST(MixedRepairTest, DeltaAlphaBiasesWhichTupleDies) {
+  MixedFixture fixture = MakeFixture(10.0);
+  MixedRepairOptions options;
+  options.repair.solver = SolverKind::kExact;
+  options.relation_delta_alpha["P"] = 0.3;
+  options.relation_delta_alpha["T"] = 2.0;
+  const auto outcome = MixedRepair(fixture.db, fixture.ics, options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->deletions, 1u);
+  // P's deletion is cheaper; T survives with its original value.
+  EXPECT_EQ(outcome->repaired.FindTable("P")->size(), 0u);
+  EXPECT_EQ(outcome->repaired.FindTable("T")->size(), 1u);
+  EXPECT_EQ(outcome->repaired.FindTable("T")->row(0).value(1),
+            Value::Int(4));
+}
+
+TEST(MixedRepairTest, RepairedInstanceSatisfiesOriginalICs) {
+  ClientBuyOptions gen;
+  gen.num_clients = 80;
+  gen.seed = 4;
+  auto workload = GenerateClientBuy(gen);
+  ASSERT_TRUE(workload.ok());
+  MixedRepairOptions options;
+  // Make deletions moderately expensive so both repair kinds appear.
+  options.default_delta_alpha = 5.0;
+  const auto outcome = MixedRepair(workload->db, workload->ics, options);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  auto bound = BindAll(outcome->repaired.schema(), workload->ics);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_TRUE(
+      ViolationEngine::Satisfies(outcome->repaired, *bound).value());
+  // With expensive deletions, attribute updates dominate.
+  EXPECT_GT(outcome->value_updates, 0u);
+}
+
+TEST(MixedRepairTest, FreeDeletionsTurnIntoCardinalityBehaviour) {
+  ClientBuyOptions gen;
+  gen.num_clients = 40;
+  gen.seed = 5;
+  auto workload = GenerateClientBuy(gen);
+  ASSERT_TRUE(workload.ok());
+  MixedRepairOptions options;
+  // Deletions nearly free: every violation is fixed by deletion.
+  options.default_delta_alpha = 1e-6;
+  const auto outcome = MixedRepair(workload->db, workload->ics, options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->value_updates, 0u);
+  EXPECT_GT(outcome->deletions, 0u);
+  EXPECT_LT(outcome->repaired.TotalTuples(), workload->db.TotalTuples());
+}
+
+TEST(MixedRepairTest, NonLocalICsAreRejected) {
+  // Mixed repairs keep the original flexible attributes, so locality over
+  // them is still required (unlike the pure cardinality transform).
+  auto schema = std::make_shared<Schema>();
+  ASSERT_TRUE(schema
+                  ->AddRelation(RelationSchema(
+                      "R",
+                      {AttributeDef{"K", Type::kInt64, false, 1.0},
+                       AttributeDef{"X", Type::kInt64, true, 1.0}},
+                      {"K"}))
+                  .ok());
+  Database db(schema);
+  ASSERT_TRUE(db.Insert("R", {Value::Int(1), Value::Int(50)}).ok());
+  auto ics = ParseConstraintSet(
+      ":- R(k, x), x > 40\n"
+      ":- R(k, x), x < 10\n");
+  ASSERT_TRUE(ics.ok());
+  const auto outcome = MixedRepair(db, *ics);
+  EXPECT_EQ(outcome.status().code(), StatusCode::kConstraintNotLocal);
+}
+
+}  // namespace
+}  // namespace dbrepair

@@ -1,0 +1,179 @@
+#include "sql/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/paper_example.h"
+
+namespace dbrepair {
+namespace {
+
+class SqlExecutorTest : public ::testing::Test {
+ protected:
+  SqlExecutorTest() : workload_(MakePaperPubExample()) {}
+
+  ResultSet Run(const std::string& sql) {
+    auto result = Query(workload_.db, sql);
+    EXPECT_TRUE(result.ok()) << sql << ": " << result.status().ToString();
+    return result.ok() ? std::move(result).value() : ResultSet{};
+  }
+
+  GeneratedWorkload workload_;
+};
+
+TEST_F(SqlExecutorTest, SelectStarSingleTable) {
+  const ResultSet rs = Run("SELECT * FROM Paper");
+  EXPECT_EQ(rs.columns,
+            (std::vector<std::string>{"ID", "EF", "PRC", "CF"}));
+  ASSERT_EQ(rs.rows.size(), 3u);
+  EXPECT_EQ(rs.rows[0][0], Value::String("B1"));
+}
+
+TEST_F(SqlExecutorTest, WhereFilters) {
+  // Example 3.6's violation view for ic1.
+  const ResultSet rs =
+      Run("SELECT ID FROM Paper WHERE EF > 0 AND PRC < 50");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][0], Value::String("B1"));
+  EXPECT_EQ(rs.rows[1][0], Value::String("C2"));
+}
+
+TEST_F(SqlExecutorTest, EquiJoinAcrossTables) {
+  // ic3's view: Pub joined to Paper on PID.
+  const ResultSet rs = Run(
+      "SELECT t0.ID, t1.ID FROM Pub t0, Paper t1 "
+      "WHERE t1.ID = t0.PID AND t0.Pag > 40 AND t1.PRC < 70");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(235));
+  EXPECT_EQ(rs.rows[0][1], Value::String("B1"));
+}
+
+TEST_F(SqlExecutorTest, CrossJoinWithoutPredicate) {
+  const ResultSet rs = Run("SELECT t0.ID, t1.ID FROM Paper t0, Paper t1");
+  EXPECT_EQ(rs.rows.size(), 9u);
+}
+
+TEST_F(SqlExecutorTest, NonEquiCrossPredicate) {
+  const ResultSet rs = Run(
+      "SELECT t0.ID, t1.ID FROM Paper t0, Paper t1 "
+      "WHERE t0.PRC < t1.PRC");
+  // PRC values 40, 20, 70: pairs (40,70), (20,40), (20,70).
+  EXPECT_EQ(rs.rows.size(), 3u);
+}
+
+TEST_F(SqlExecutorTest, OrderByAscendingAndDescending) {
+  const ResultSet asc = Run("SELECT ID, PRC FROM Paper ORDER BY PRC");
+  ASSERT_EQ(asc.rows.size(), 3u);
+  EXPECT_EQ(asc.rows[0][1], Value::Int(20));
+  EXPECT_EQ(asc.rows[2][1], Value::Int(70));
+
+  const ResultSet desc = Run("SELECT ID FROM Paper ORDER BY PRC DESC");
+  EXPECT_EQ(desc.rows[0][0], Value::String("E3"));
+}
+
+TEST_F(SqlExecutorTest, OrderByColumnNotInSelect) {
+  const ResultSet rs = Run("SELECT ID FROM Paper ORDER BY PRC DESC");
+  ASSERT_EQ(rs.columns.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::String("E3"));
+  EXPECT_EQ(rs.rows[2][0], Value::String("C2"));
+}
+
+TEST_F(SqlExecutorTest, SelectStarMultiTableQualifiesNames) {
+  const ResultSet rs =
+      Run("SELECT * FROM Pub t0, Paper t1 WHERE t1.ID = t0.PID");
+  ASSERT_EQ(rs.columns.size(), 7u);
+  EXPECT_EQ(rs.columns[0], "t0.ID");
+  EXPECT_EQ(rs.columns[3], "t1.ID");
+  EXPECT_EQ(rs.rows.size(), 3u);
+}
+
+TEST_F(SqlExecutorTest, StringPredicates) {
+  const ResultSet rs = Run("SELECT PRC FROM Paper WHERE ID = 'B1'");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(40));
+}
+
+TEST_F(SqlExecutorTest, LiteralOnlyComparison) {
+  EXPECT_EQ(Run("SELECT ID FROM Paper WHERE 1 = 1").rows.size(), 3u);
+  EXPECT_TRUE(Run("SELECT ID FROM Paper WHERE 1 = 2").rows.empty());
+}
+
+TEST_F(SqlExecutorTest, Errors) {
+  EXPECT_FALSE(Query(workload_.db, "SELECT * FROM Nope").ok());
+  EXPECT_FALSE(Query(workload_.db, "SELECT Missing FROM Paper").ok());
+  EXPECT_FALSE(
+      Query(workload_.db, "SELECT zz.ID FROM Paper t0").ok());
+  // Ambiguous unqualified column across a self join.
+  EXPECT_FALSE(
+      Query(workload_.db, "SELECT ID FROM Paper t0, Paper t1").ok());
+  // Duplicate alias.
+  EXPECT_FALSE(
+      Query(workload_.db, "SELECT t0.ID FROM Paper t0, Pub t0").ok());
+}
+
+TEST_F(SqlExecutorTest, AggregatesOverSingleTable) {
+  const ResultSet rs = Run(
+      "SELECT COUNT(*), SUM(PRC), MIN(PRC), MAX(PRC), AVG(PRC) FROM Paper");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.columns[0], "COUNT(*)");
+  EXPECT_EQ(rs.rows[0][0], Value::Int(3));
+  EXPECT_EQ(rs.rows[0][1], Value::Int(130));  // 40 + 20 + 70
+  EXPECT_EQ(rs.rows[0][2], Value::Int(20));
+  EXPECT_EQ(rs.rows[0][3], Value::Int(70));
+  EXPECT_DOUBLE_EQ(rs.rows[0][4].AsDouble(), 130.0 / 3.0);
+}
+
+TEST_F(SqlExecutorTest, AggregatesRespectWhere) {
+  const ResultSet rs =
+      Run("SELECT COUNT(*), SUM(Pag) FROM Pub WHERE Pag > 40");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(2));       // p1 (45), p3 (80)
+  EXPECT_EQ(rs.rows[0][1], Value::Int(125));
+}
+
+TEST_F(SqlExecutorTest, AggregatesOverEmptyInput) {
+  const ResultSet rs = Run(
+      "SELECT COUNT(*), COUNT(PRC), SUM(PRC), MIN(PRC), AVG(PRC) "
+      "FROM Paper WHERE PRC > 1000");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(0));
+  EXPECT_EQ(rs.rows[0][1], Value::Int(0));
+  EXPECT_TRUE(rs.rows[0][2].is_null());  // SUM of empty is NULL
+  EXPECT_TRUE(rs.rows[0][3].is_null());
+  EXPECT_TRUE(rs.rows[0][4].is_null());
+}
+
+TEST_F(SqlExecutorTest, CountSkipsNulls) {
+  Database db(workload_.db.schema_ptr());
+  ASSERT_TRUE(db.Insert("Paper", {Value::String("X1"), Value::Int(1),
+                                  Value(), Value::Int(1)})
+                  .ok());
+  ASSERT_TRUE(db.Insert("Paper", {Value::String("X2"), Value::Int(1),
+                                  Value::Int(5), Value::Int(1)})
+                  .ok());
+  auto rs = Query(db, "SELECT COUNT(*), COUNT(PRC) FROM Paper");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows[0][0], Value::Int(2));
+  EXPECT_EQ(rs->rows[0][1], Value::Int(1));
+}
+
+TEST_F(SqlExecutorTest, AggregateOverJoin) {
+  const ResultSet rs = Run(
+      "SELECT COUNT(*) FROM Pub t0, Paper t1 WHERE t1.ID = t0.PID");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(3));
+}
+
+TEST_F(SqlExecutorTest, AggregateErrors) {
+  // Mixing aggregates with plain columns is a parse error.
+  EXPECT_FALSE(Query(workload_.db, "SELECT ID, COUNT(*) FROM Paper").ok());
+  // ORDER BY with aggregates is rejected.
+  EXPECT_FALSE(
+      Query(workload_.db, "SELECT COUNT(*) FROM Paper ORDER BY ID").ok());
+  // '*' only in COUNT.
+  EXPECT_FALSE(Query(workload_.db, "SELECT SUM(*) FROM Paper").ok());
+  // Unknown aggregate column.
+  EXPECT_FALSE(Query(workload_.db, "SELECT SUM(Nope) FROM Paper").ok());
+}
+
+}  // namespace
+}  // namespace dbrepair

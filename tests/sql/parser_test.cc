@@ -1,0 +1,109 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace dbrepair {
+namespace {
+
+TEST(SqlParserTest, SimpleSelectStar) {
+  const auto stmt = ParseSelect("SELECT * FROM Paper");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt->select_all);
+  ASSERT_EQ(stmt->from.size(), 1u);
+  EXPECT_EQ(stmt->from[0].table, "Paper");
+  EXPECT_EQ(stmt->from[0].effective_alias(), "Paper");
+  EXPECT_TRUE(stmt->where.empty());
+}
+
+TEST(SqlParserTest, PaperExample36) {
+  // "SELECT X Y Z W FROM Paper WHERE Y>0 AND Z<50" — with commas, which
+  // this dialect requires in the select list.
+  const auto stmt =
+      ParseSelect("SELECT X, Y, Z, W FROM Paper WHERE Y > 0 AND Z < 50");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->select.size(), 4u);
+  EXPECT_EQ(stmt->select[0].column, "X");
+  ASSERT_EQ(stmt->where.size(), 2u);
+  EXPECT_EQ(stmt->where[0].op, CompareOp::kGt);
+  EXPECT_EQ(stmt->where[1].op, CompareOp::kLt);
+  EXPECT_EQ(stmt->where[1].rhs.literal, Value::Int(50));
+}
+
+TEST(SqlParserTest, QualifiedColumnsAliasesAndJoin) {
+  const auto stmt = ParseSelect(
+      "SELECT t0.ID, t1.ID FROM Pub t0, Paper t1 "
+      "WHERE t1.ID = t0.PID AND t0.Pag > 40 AND t1.PRC < 70");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->from.size(), 2u);
+  EXPECT_EQ(stmt->from[0].alias, "t0");
+  ASSERT_EQ(stmt->select.size(), 2u);
+  EXPECT_EQ(stmt->select[0].table_alias, "t0");
+  ASSERT_EQ(stmt->where.size(), 3u);
+  EXPECT_EQ(stmt->where[0].lhs.column.ToString(), "t1.ID");
+  EXPECT_EQ(stmt->where[0].rhs.column.ToString(), "t0.PID");
+}
+
+TEST(SqlParserTest, OrderBy) {
+  const auto stmt =
+      ParseSelect("SELECT A FROM R ORDER BY A DESC, B ASC, C");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->order_by.size(), 3u);
+  EXPECT_FALSE(stmt->order_by[0].ascending);
+  EXPECT_TRUE(stmt->order_by[1].ascending);
+  EXPECT_TRUE(stmt->order_by[2].ascending);
+}
+
+TEST(SqlParserTest, StringLiteralsAndSemicolon) {
+  const auto stmt =
+      ParseSelect("select name from Emp where name != 'O''Brien';");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->where[0].rhs.literal, Value::String("O'Brien"));
+}
+
+TEST(SqlParserTest, NumericLiterals) {
+  const auto stmt =
+      ParseSelect("SELECT A FROM R WHERE A > -5 AND B < 1.5");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->where[0].rhs.literal, Value::Int(-5));
+  EXPECT_EQ(stmt->where[1].rhs.literal, Value::Double(1.5));
+}
+
+TEST(SqlParserTest, AllOperators) {
+  const auto stmt = ParseSelect(
+      "SELECT A FROM R WHERE A = 1 AND B != 2 AND C <> 3 AND D < 4 AND "
+      "E <= 5 AND F > 6 AND G >= 7");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->where.size(), 7u);
+  EXPECT_EQ(stmt->where[2].op, CompareOp::kNe);
+  EXPECT_EQ(stmt->where[4].op, CompareOp::kLe);
+  EXPECT_EQ(stmt->where[6].op, CompareOp::kGe);
+}
+
+TEST(SqlParserTest, Errors) {
+  EXPECT_FALSE(ParseSelect("").ok());
+  EXPECT_FALSE(ParseSelect("SELECT").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM").ok());
+  EXPECT_FALSE(ParseSelect("SELECT A R").ok());            // missing FROM
+  EXPECT_FALSE(ParseSelect("SELECT A FROM R WHERE").ok());
+  EXPECT_FALSE(ParseSelect("SELECT A FROM R WHERE A >").ok());
+  // "FROM R garbage" is a valid alias; two trailing identifiers are not.
+  EXPECT_TRUE(ParseSelect("SELECT A FROM R garbage").ok());
+  EXPECT_FALSE(ParseSelect("SELECT A FROM R alias junk").ok());
+  EXPECT_FALSE(ParseSelect("SELECT A FROM R ORDER A").ok());  // missing BY
+  EXPECT_FALSE(ParseSelect("SELECT A FROM R WHERE A ! 5").ok());
+  EXPECT_FALSE(ParseSelect("SELECT A FROM R WHERE A = 'open").ok());
+}
+
+TEST(SqlParserTest, ToStringRoundTrips) {
+  const char* sql =
+      "SELECT t0.ID, t1.ID FROM Pub t0, Paper t1 "
+      "WHERE t1.ID = t0.PID AND t0.Pag > 40 ORDER BY t0.ID DESC";
+  const auto stmt = ParseSelect(sql);
+  ASSERT_TRUE(stmt.ok());
+  const auto again = ParseSelect(stmt->ToString());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->ToString(), stmt->ToString());
+}
+
+}  // namespace
+}  // namespace dbrepair

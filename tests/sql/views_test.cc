@@ -1,0 +1,113 @@
+#include "sql/views.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "constraints/parser.h"
+#include "constraints/violation_engine.h"
+#include "gen/census.h"
+#include "gen/client_buy.h"
+#include "gen/paper_example.h"
+
+namespace dbrepair {
+namespace {
+
+TEST(DenialToSqlTest, SingleAtomConstraint) {
+  const GeneratedWorkload w = MakePaperPubExample();
+  auto bound = BindAll(w.db.schema(), w.ics);
+  ASSERT_TRUE(bound.ok());
+  const auto sql = DenialToSql(w.db.schema(), (*bound)[0]);
+  ASSERT_TRUE(sql.ok());
+  EXPECT_EQ(*sql,
+            "SELECT t0.ID FROM Paper t0 WHERE t0.EF > 0 AND t0.PRC < 50");
+}
+
+TEST(DenialToSqlTest, JoinConstraint) {
+  const GeneratedWorkload w = MakePaperPubExample();
+  auto bound = BindAll(w.db.schema(), w.ics);
+  ASSERT_TRUE(bound.ok());
+  const auto sql = DenialToSql(w.db.schema(), (*bound)[2]);
+  ASSERT_TRUE(sql.ok());
+  // ic3: :- Pub(x, y, z), Paper(y, u, v, w), z > 40, v < 70 — the shared
+  // variable y becomes a join predicate; keys of both atoms are selected.
+  EXPECT_EQ(*sql,
+            "SELECT t0.ID, t1.ID FROM Pub t0, Paper t1 "
+            "WHERE t1.ID = t0.PID AND t0.Pag > 40 AND t1.PRC < 70");
+}
+
+TEST(DenialToSqlTest, ConstantsAndDisequalities) {
+  const auto schema = MakeCensusSchema();
+  auto ics = ParseConstraintSet(
+      ":- Person(h, p, age, 1, inc), age < 16\n");
+  ASSERT_TRUE(ics.ok());
+  auto bound = BindAll(*schema, *ics);
+  ASSERT_TRUE(bound.ok());
+  const auto sql = DenialToSql(*schema, (*bound)[0]);
+  ASSERT_TRUE(sql.ok());
+  EXPECT_EQ(*sql,
+            "SELECT t0.HID, t0.PID FROM Person t0 "
+            "WHERE t0.REL = 1 AND t0.AGE < 16");
+}
+
+TEST(ViewsTest, MatchesEngineOnPaperExample) {
+  const GeneratedWorkload w = MakePaperPubExample();
+  auto bound = BindAll(w.db.schema(), w.ics);
+  ASSERT_TRUE(bound.ok());
+
+  ViolationEngine engine(w.db, *bound);
+  auto from_engine = engine.FindViolations();
+  ASSERT_TRUE(from_engine.ok());
+  auto from_sql = FindViolationsViaSql(w.db, *bound);
+  ASSERT_TRUE(from_sql.ok()) << from_sql.status().ToString();
+  EXPECT_EQ(*from_sql, *from_engine);
+}
+
+TEST(ViewsTest, MatchesEngineOnCardinalityExample) {
+  // Exercises self joins with disequalities through the SQL path.
+  const GeneratedWorkload w = MakeCardinalityExample();
+  auto bound = BindAll(w.db.schema(), w.ics);
+  ASSERT_TRUE(bound.ok());
+  ViolationEngine engine(w.db, *bound);
+  auto from_engine = engine.FindViolations();
+  ASSERT_TRUE(from_engine.ok());
+  auto from_sql = FindViolationsViaSql(w.db, *bound);
+  ASSERT_TRUE(from_sql.ok()) << from_sql.status().ToString();
+  EXPECT_EQ(*from_sql, *from_engine);
+}
+
+class ViewsSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ViewsSeedTest, MatchesEngineOnGeneratedWorkloads) {
+  ClientBuyOptions client_buy;
+  client_buy.num_clients = 120;
+  client_buy.seed = GetParam();
+  auto w1 = GenerateClientBuy(client_buy);
+  ASSERT_TRUE(w1.ok());
+  auto bound1 = BindAll(w1->db.schema(), w1->ics);
+  ASSERT_TRUE(bound1.ok());
+  ViolationEngine engine1(w1->db, *bound1);
+  auto e1 = engine1.FindViolations();
+  auto s1 = FindViolationsViaSql(w1->db, *bound1);
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(s1.ok());
+  EXPECT_EQ(*s1, *e1);
+
+  CensusOptions census;
+  census.num_households = 60;
+  census.seed = GetParam();
+  auto w2 = GenerateCensus(census);
+  ASSERT_TRUE(w2.ok());
+  auto bound2 = BindAll(w2->db.schema(), w2->ics);
+  ASSERT_TRUE(bound2.ok());
+  ViolationEngine engine2(w2->db, *bound2);
+  auto e2 = engine2.FindViolations();
+  auto s2 = FindViolationsViaSql(w2->db, *bound2);
+  ASSERT_TRUE(e2.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(*s2, *e2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ViewsSeedTest, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace dbrepair

@@ -1,0 +1,168 @@
+#include "storage/btree_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+
+namespace dbrepair {
+namespace {
+
+std::vector<uint32_t> Sorted(std::vector<uint32_t> rows) {
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+TEST(BTreeIndexTest, EmptyIndex) {
+  BTreeIndex index = BTreeIndex::BulkLoad({});
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_TRUE(index.CheckInvariants().ok());
+  EXPECT_TRUE(index.Lookup(Value::Int(1)).empty());
+  EXPECT_TRUE(
+      index.RangeScan(std::nullopt, false, std::nullopt, false).empty());
+}
+
+TEST(BTreeIndexTest, BulkLoadAndLookup) {
+  std::vector<std::pair<Value, uint32_t>> entries;
+  for (int i = 0; i < 100; ++i) {
+    entries.emplace_back(Value::Int(i % 10), static_cast<uint32_t>(i));
+  }
+  BTreeIndex index = BTreeIndex::BulkLoad(std::move(entries));
+  EXPECT_EQ(index.size(), 100u);
+  ASSERT_TRUE(index.CheckInvariants().ok());
+  // 10 rows per key value.
+  for (int k = 0; k < 10; ++k) {
+    EXPECT_EQ(index.Lookup(Value::Int(k)).size(), 10u);
+  }
+  EXPECT_TRUE(index.Lookup(Value::Int(42)).empty());
+}
+
+TEST(BTreeIndexTest, RangeScanBoundsAndStrictness) {
+  std::vector<std::pair<Value, uint32_t>> entries;
+  for (int i = 0; i < 20; ++i) {
+    entries.emplace_back(Value::Int(i), static_cast<uint32_t>(i));
+  }
+  const BTreeIndex index = BTreeIndex::BulkLoad(std::move(entries));
+
+  EXPECT_EQ(index.RangeScan(Value::Int(5), false, Value::Int(8), false),
+            (std::vector<uint32_t>{5, 6, 7, 8}));
+  EXPECT_EQ(index.RangeScan(Value::Int(5), true, Value::Int(8), true),
+            (std::vector<uint32_t>{6, 7}));
+  EXPECT_EQ(index.RangeScan(std::nullopt, false, Value::Int(2), false),
+            (std::vector<uint32_t>{0, 1, 2}));
+  EXPECT_EQ(index.RangeScan(Value::Int(17), true, std::nullopt, false),
+            (std::vector<uint32_t>{18, 19}));
+  EXPECT_TRUE(
+      index.RangeScan(Value::Int(30), false, std::nullopt, false).empty());
+  EXPECT_TRUE(
+      index.RangeScan(Value::Int(8), true, Value::Int(9), true).empty());
+}
+
+TEST(BTreeIndexTest, InsertGrowsAndSplits) {
+  BTreeIndex index;
+  // Far beyond one leaf: forces root splits and multi-level growth.
+  for (uint32_t i = 0; i < 5000; ++i) {
+    index.Insert(Value::Int(static_cast<int64_t>(i * 7919 % 5000)), i);
+  }
+  EXPECT_EQ(index.size(), 5000u);
+  EXPECT_GE(index.Height(), 2u);
+  ASSERT_TRUE(index.CheckInvariants().ok());
+  const auto all = index.RangeScan(std::nullopt, false, std::nullopt, false);
+  EXPECT_EQ(all.size(), 5000u);
+}
+
+TEST(BTreeIndexTest, DescendingInsertsStayOrdered) {
+  BTreeIndex index;
+  for (uint32_t i = 0; i < 2000; ++i) {
+    index.Insert(Value::Int(2000 - static_cast<int64_t>(i)), i);
+  }
+  ASSERT_TRUE(index.CheckInvariants().ok());
+  EXPECT_EQ(index.RangeScan(Value::Int(1), false, Value::Int(3), false)
+                .size(),
+            3u);
+}
+
+TEST(BTreeIndexTest, DuplicateHeavyKeys) {
+  BTreeIndex index;
+  for (uint32_t i = 0; i < 3000; ++i) {
+    index.Insert(Value::Int(static_cast<int64_t>(i % 3)), i);
+  }
+  ASSERT_TRUE(index.CheckInvariants().ok());
+  EXPECT_EQ(index.Lookup(Value::Int(0)).size(), 1000u);
+  EXPECT_EQ(index.Lookup(Value::Int(1)).size(), 1000u);
+  EXPECT_EQ(index.Lookup(Value::Int(2)).size(), 1000u);
+}
+
+TEST(BTreeIndexTest, MixedBulkLoadThenInserts) {
+  std::vector<std::pair<Value, uint32_t>> entries;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    entries.emplace_back(Value::Int(2 * static_cast<int64_t>(i)), i);
+  }
+  BTreeIndex index = BTreeIndex::BulkLoad(std::move(entries));
+  for (uint32_t i = 0; i < 1000; ++i) {
+    index.Insert(Value::Int(2 * static_cast<int64_t>(i) + 1), 1000 + i);
+  }
+  EXPECT_EQ(index.size(), 2000u);
+  ASSERT_TRUE(index.CheckInvariants().ok());
+  EXPECT_EQ(
+      index.RangeScan(Value::Int(0), false, Value::Int(9), false).size(),
+      10u);
+}
+
+TEST(BTreeIndexTest, NullKeysSortLow) {
+  BTreeIndex index;
+  index.Insert(Value(), 0);
+  index.Insert(Value::Int(-100), 1);
+  index.Insert(Value::Int(100), 2);
+  ASSERT_TRUE(index.CheckInvariants().ok());
+  // NULL < any number: the unbounded-from-below scan starts with row 0.
+  const auto all = index.RangeScan(std::nullopt, false, std::nullopt, false);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], 0u);
+  // A lower bound of -100 excludes the NULL.
+  EXPECT_EQ(Sorted(index.RangeScan(Value::Int(-100), false, std::nullopt,
+                                   false)),
+            (std::vector<uint32_t>{1, 2}));
+}
+
+class BTreeRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BTreeRandomTest, AgreesWithReferenceMultiset) {
+  Rng rng(GetParam());
+  BTreeIndex index;
+  std::multiset<std::pair<int64_t, uint32_t>> reference;
+  for (uint32_t i = 0; i < 4000; ++i) {
+    const int64_t key = rng.UniformInRange(-50, 50);
+    index.Insert(Value::Int(key), i);
+    reference.emplace(key, i);
+  }
+  ASSERT_TRUE(index.CheckInvariants().ok());
+
+  for (int trial = 0; trial < 50; ++trial) {
+    int64_t lo = rng.UniformInRange(-60, 60);
+    int64_t hi = rng.UniformInRange(-60, 60);
+    if (lo > hi) std::swap(lo, hi);
+    const bool lo_strict = rng.Bernoulli(0.5);
+    const bool hi_strict = rng.Bernoulli(0.5);
+
+    std::vector<uint32_t> expected;
+    for (const auto& [key, row] : reference) {
+      if (key < lo || (lo_strict && key == lo)) continue;
+      if (key > hi || (hi_strict && key == hi)) continue;
+      expected.push_back(row);
+    }
+    const std::vector<uint32_t> actual = Sorted(index.RangeScan(
+        Value::Int(lo), lo_strict, Value::Int(hi), hi_strict));
+    EXPECT_EQ(actual, Sorted(expected))
+        << "range " << lo << (lo_strict ? " <" : " <=") << " key "
+        << (hi_strict ? "< " : "<= ") << hi;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace dbrepair

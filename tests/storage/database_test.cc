@@ -1,0 +1,75 @@
+#include "storage/database.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/client_buy.h"
+
+namespace dbrepair {
+namespace {
+
+TEST(DatabaseTest, InsertAndLookup) {
+  Database db(MakeClientBuySchema());
+  const auto ref =
+      db.Insert("Client", {Value::Int(1), Value::Int(20), Value::Int(30)});
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(ref.value().relation, 0u);
+  EXPECT_EQ(ref.value().row, 0u);
+  EXPECT_EQ(db.tuple(ref.value()).value(1), Value::Int(20));
+  EXPECT_EQ(db.TotalTuples(), 1u);
+}
+
+TEST(DatabaseTest, UnknownRelation) {
+  Database db(MakeClientBuySchema());
+  EXPECT_EQ(db.Insert("Nope", {Value::Int(1)}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(db.FindTable("Nope"), nullptr);
+  EXPECT_FALSE(db.RelationIndex("Nope").ok());
+}
+
+TEST(DatabaseTest, RelationIndexOrder) {
+  Database db(MakeClientBuySchema());
+  EXPECT_EQ(db.RelationIndex("Client").value(), 0u);
+  EXPECT_EQ(db.RelationIndex("Buy").value(), 1u);
+}
+
+TEST(DatabaseTest, CloneIsDeepAndIndependent) {
+  Database db(MakeClientBuySchema());
+  ASSERT_TRUE(
+      db.Insert("Client", {Value::Int(1), Value::Int(20), Value::Int(30)})
+          .ok());
+  Database copy = db.Clone();
+  ASSERT_TRUE(copy.mutable_table(0).UpdateValue(0, 1, Value::Int(99)).ok());
+  EXPECT_EQ(copy.table(0).row(0).value(1), Value::Int(99));
+  EXPECT_EQ(db.table(0).row(0).value(1), Value::Int(20));
+  // The clone shares the schema object.
+  EXPECT_EQ(&copy.schema(), &db.schema());
+}
+
+TEST(DatabaseTest, ClonePreservesKeyIndex) {
+  Database db(MakeClientBuySchema());
+  ASSERT_TRUE(
+      db.Insert("Client", {Value::Int(5), Value::Int(20), Value::Int(30)})
+          .ok());
+  Database copy = db.Clone();
+  EXPECT_EQ(copy.table(0).LookupByKey({Value::Int(5)}).value(), 0u);
+  // Duplicate keys still rejected after cloning.
+  EXPECT_FALSE(
+      copy.Insert("Client", {Value::Int(5), Value::Int(1), Value::Int(1)})
+          .ok());
+}
+
+TEST(DatabaseTest, CloneDropsSecondaryIndexes) {
+  Database db(MakeClientBuySchema());
+  ASSERT_TRUE(
+      db.Insert("Client", {Value::Int(1), Value::Int(20), Value::Int(30)})
+          .ok());
+  ASSERT_TRUE(db.FindMutableTable("Client")->CreateOrderedIndex(1).ok());
+  ASSERT_NE(db.table(0).FindOrderedIndex(1), nullptr);
+  const Database copy = db.Clone();
+  // Data and key index are carried over; secondary indexes are not.
+  EXPECT_EQ(copy.table(0).size(), 1u);
+  EXPECT_EQ(copy.table(0).FindOrderedIndex(1), nullptr);
+}
+
+}  // namespace
+}  // namespace dbrepair

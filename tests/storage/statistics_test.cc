@@ -1,0 +1,167 @@
+#include "storage/statistics.h"
+
+#include <gtest/gtest.h>
+
+namespace dbrepair {
+namespace {
+
+class StatisticsTest : public ::testing::Test {
+ protected:
+  StatisticsTest()
+      : schema_("R",
+                {AttributeDef{"K", Type::kInt64, false, 1.0},
+                 AttributeDef{"X", Type::kInt64, true, 1.0},
+                 AttributeDef{"S", Type::kString, false, 1.0}},
+                {"K"}),
+        table_(&schema_) {
+    // X: 0, 10, 20, ..., 90; S alternates "a"/"b"; one NULL X at key 100.
+    for (int i = 0; i < 10; ++i) {
+      auto r = table_.Insert(
+          Tuple({Value::Int(i), Value::Int(10 * i),
+                 Value::String(i % 2 == 0 ? "a" : "b")}));
+      EXPECT_TRUE(r.ok());
+    }
+    auto r = table_.Insert(
+        Tuple({Value::Int(100), Value(), Value::String("a")}));
+    EXPECT_TRUE(r.ok());
+  }
+
+  RelationSchema schema_;
+  Table table_;
+};
+
+TEST_F(StatisticsTest, ComputesCountsAndRanges) {
+  const TableStats stats = ComputeTableStats(table_);
+  EXPECT_EQ(stats.row_count, 11u);
+  ASSERT_EQ(stats.columns.size(), 3u);
+
+  EXPECT_EQ(stats.columns[1].non_null, 10u);
+  EXPECT_TRUE(stats.columns[1].has_range);
+  EXPECT_DOUBLE_EQ(stats.columns[1].min, 0.0);
+  EXPECT_DOUBLE_EQ(stats.columns[1].max, 90.0);
+  EXPECT_EQ(stats.columns[1].distinct, 10u);
+
+  EXPECT_EQ(stats.columns[2].non_null, 11u);
+  EXPECT_FALSE(stats.columns[2].has_range);
+  EXPECT_EQ(stats.columns[2].distinct, 2u);
+}
+
+TEST_F(StatisticsTest, EqualitySelectivityUsesDistinct) {
+  const TableStats stats = ComputeTableStats(table_);
+  // X = c: non-null fraction (10/11) / 10 distinct.
+  EXPECT_NEAR(EstimateSelectivity(stats, 1, CompareOp::kEq, Value::Int(40)),
+              (10.0 / 11.0) / 10.0, 1e-12);
+  // S = 'a': (11/11) / 2.
+  EXPECT_NEAR(
+      EstimateSelectivity(stats, 2, CompareOp::kEq, Value::String("a")),
+      0.5, 1e-12);
+  // Disequality is the complement within non-nulls.
+  EXPECT_NEAR(EstimateSelectivity(stats, 1, CompareOp::kNe, Value::Int(40)),
+              (10.0 / 11.0) * 0.9, 1e-12);
+}
+
+TEST_F(StatisticsTest, RangeSelectivityInterpolates) {
+  const TableStats stats = ComputeTableStats(table_);
+  const double non_null = 10.0 / 11.0;
+  // X < 45: exactly 5 of the 10 non-null values; the equi-depth histogram
+  // puts the estimate within one bucket of the truth.
+  EXPECT_NEAR(EstimateSelectivity(stats, 1, CompareOp::kLt, Value::Int(45)),
+              non_null * 0.5, 0.1);
+  // X > 90: nothing above the max.
+  EXPECT_NEAR(EstimateSelectivity(stats, 1, CompareOp::kGt, Value::Int(90)),
+              0.0, 1e-12);
+  // X < -5: clamped to zero.
+  EXPECT_NEAR(EstimateSelectivity(stats, 1, CompareOp::kLt, Value::Int(-5)),
+              0.0, 1e-12);
+  // X > -5: everything.
+  EXPECT_NEAR(EstimateSelectivity(stats, 1, CompareOp::kGt, Value::Int(-5)),
+              non_null, 1e-12);
+}
+
+TEST_F(StatisticsTest, HistogramShape) {
+  const TableStats stats = ComputeTableStats(table_);
+  const ColumnStats& col = stats.columns[1];
+  // 10 numeric values -> 10 buckets of one value each.
+  ASSERT_EQ(col.bucket_upper.size(), 10u);
+  EXPECT_DOUBLE_EQ(col.bucket_upper.front(), 0.0);
+  EXPECT_DOUBLE_EQ(col.bucket_upper.back(), 90.0);
+  EXPECT_EQ(col.bucket_cumulative.back(), 10u);
+  // String column: no histogram.
+  EXPECT_TRUE(stats.columns[2].bucket_upper.empty());
+}
+
+TEST(StatisticsSkewTest, HistogramBeatsUniformOnSkewedData) {
+  // 990 values at 0..9, 10 values at ~1000: the uniform model puts
+  // "X < 100" at ~10%, but ~99% of the data is below 100.
+  RelationSchema schema("R",
+                        {AttributeDef{"K", Type::kInt64, false, 1.0},
+                         AttributeDef{"X", Type::kInt64, true, 1.0}},
+                        {"K"});
+  Table table(&schema);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t x = i < 990 ? i % 10 : 1000 + i;
+    auto r = table.Insert(Tuple({Value::Int(i), Value::Int(x)}));
+    EXPECT_TRUE(r.ok());
+  }
+  const TableStats stats = ComputeTableStats(table);
+  const double est =
+      EstimateSelectivity(stats, 1, CompareOp::kLt, Value::Int(100));
+  EXPECT_GT(est, 0.9);  // the uniform model would say ~0.05
+  const double est_high =
+      EstimateSelectivity(stats, 1, CompareOp::kGt, Value::Int(500));
+  EXPECT_LT(est_high, 0.1);
+}
+
+TEST_F(StatisticsTest, StringRangeFallsBackToThird) {
+  const TableStats stats = ComputeTableStats(table_);
+  EXPECT_NEAR(
+      EstimateSelectivity(stats, 2, CompareOp::kLt, Value::String("m")),
+      1.0 / 3.0, 1e-12);
+}
+
+TEST(StatisticsEdgeTest, EmptyTable) {
+  RelationSchema schema("R", {AttributeDef{"K", Type::kInt64, false, 1.0}},
+                        {"K"});
+  Table table(&schema);
+  const TableStats stats = ComputeTableStats(table);
+  EXPECT_EQ(stats.row_count, 0u);
+  EXPECT_DOUBLE_EQ(
+      EstimateSelectivity(stats, 0, CompareOp::kLt, Value::Int(5)), 1.0);
+}
+
+TEST(StatisticsEdgeTest, ConstantColumn) {
+  RelationSchema schema("R",
+                        {AttributeDef{"K", Type::kInt64, false, 1.0},
+                         AttributeDef{"X", Type::kInt64, true, 1.0}},
+                        {"K"});
+  Table table(&schema);
+  for (int i = 0; i < 5; ++i) {
+    auto r = table.Insert(Tuple({Value::Int(i), Value::Int(7)}));
+    EXPECT_TRUE(r.ok());
+  }
+  const TableStats stats = ComputeTableStats(table);
+  EXPECT_EQ(stats.columns[1].distinct, 1u);
+  // Zero span: everything below c for c > min, nothing otherwise.
+  EXPECT_DOUBLE_EQ(
+      EstimateSelectivity(stats, 1, CompareOp::kLt, Value::Int(9)), 1.0);
+  EXPECT_DOUBLE_EQ(
+      EstimateSelectivity(stats, 1, CompareOp::kLt, Value::Int(5)), 0.0);
+  EXPECT_DOUBLE_EQ(
+      EstimateSelectivity(stats, 1, CompareOp::kGt, Value::Int(5)), 1.0);
+}
+
+TEST(StatisticsEdgeTest, AllNullColumnHasZeroSelectivity) {
+  RelationSchema schema("R",
+                        {AttributeDef{"K", Type::kInt64, false, 1.0},
+                         AttributeDef{"X", Type::kInt64, true, 1.0}},
+                        {"K"});
+  Table table(&schema);
+  auto r = table.Insert(Tuple({Value::Int(1), Value()}));
+  EXPECT_TRUE(r.ok());
+  const TableStats stats = ComputeTableStats(table);
+  EXPECT_DOUBLE_EQ(
+      EstimateSelectivity(stats, 1, CompareOp::kGt, Value::Int(0)), 0.0);
+}
+
+}  // namespace
+}  // namespace dbrepair

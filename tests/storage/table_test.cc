@@ -1,0 +1,129 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+namespace dbrepair {
+namespace {
+
+class TableTest : public ::testing::Test {
+ protected:
+  TableTest()
+      : schema_("Client",
+                {AttributeDef{"ID", Type::kInt64, false, 1.0},
+                 AttributeDef{"A", Type::kInt64, true, 1.0},
+                 AttributeDef{"C", Type::kInt64, true, 1.0}},
+                {"ID"}),
+        table_(&schema_) {}
+
+  RelationSchema schema_;
+  Table table_;
+};
+
+TEST_F(TableTest, InsertAndRead) {
+  const auto row = table_.Insert(
+      Tuple({Value::Int(1), Value::Int(20), Value::Int(30)}));
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row.value(), 0u);
+  EXPECT_EQ(table_.size(), 1u);
+  EXPECT_EQ(table_.row(0).value(1), Value::Int(20));
+}
+
+TEST_F(TableTest, RejectsArityMismatch) {
+  EXPECT_FALSE(table_.Insert(Tuple({Value::Int(1)})).ok());
+}
+
+TEST_F(TableTest, RejectsTypeMismatch) {
+  const auto res = table_.Insert(
+      Tuple({Value::String("x"), Value::Int(1), Value::Int(2)}));
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TableTest, AllowsNulls) {
+  EXPECT_TRUE(
+      table_.Insert(Tuple({Value::Int(1), Value(), Value::Int(2)})).ok());
+}
+
+TEST_F(TableTest, RejectsDuplicateKey) {
+  ASSERT_TRUE(table_
+                  .Insert(Tuple({Value::Int(1), Value::Int(2),
+                                 Value::Int(3)}))
+                  .ok());
+  const auto res =
+      table_.Insert(Tuple({Value::Int(1), Value::Int(9), Value::Int(9)}));
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kKeyViolation);
+}
+
+TEST_F(TableTest, LookupByKey) {
+  ASSERT_TRUE(table_
+                  .Insert(Tuple({Value::Int(7), Value::Int(2),
+                                 Value::Int(3)}))
+                  .ok());
+  EXPECT_EQ(table_.LookupByKey({Value::Int(7)}).value(), 0u);
+  EXPECT_EQ(table_.LookupByKey({Value::Int(8)}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(TableTest, UpdateFlexibleValue) {
+  ASSERT_TRUE(table_
+                  .Insert(Tuple({Value::Int(1), Value::Int(2),
+                                 Value::Int(3)}))
+                  .ok());
+  ASSERT_TRUE(table_.UpdateValue(0, 1, Value::Int(99)).ok());
+  EXPECT_EQ(table_.row(0).value(1), Value::Int(99));
+}
+
+TEST_F(TableTest, UpdateRejectsKeyAttribute) {
+  ASSERT_TRUE(table_
+                  .Insert(Tuple({Value::Int(1), Value::Int(2),
+                                 Value::Int(3)}))
+                  .ok());
+  EXPECT_FALSE(table_.UpdateValue(0, 0, Value::Int(5)).ok());
+}
+
+TEST_F(TableTest, UpdateRejectsOutOfRange) {
+  EXPECT_EQ(table_.UpdateValue(3, 1, Value::Int(5)).code(),
+            StatusCode::kOutOfRange);
+  ASSERT_TRUE(table_
+                  .Insert(Tuple({Value::Int(1), Value::Int(2),
+                                 Value::Int(3)}))
+                  .ok());
+  EXPECT_EQ(table_.UpdateValue(0, 9, Value::Int(5)).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(CompositeKeyTableTest, CompositeKeyUniqueness) {
+  RelationSchema schema("Buy",
+                        {AttributeDef{"ID", Type::kInt64, false, 1.0},
+                         AttributeDef{"I", Type::kInt64, false, 1.0},
+                         AttributeDef{"P", Type::kInt64, true, 1.0}},
+                        {"ID", "I"});
+  Table table(&schema);
+  EXPECT_TRUE(
+      table.Insert(Tuple({Value::Int(1), Value::Int(1), Value::Int(5)}))
+          .ok());
+  EXPECT_TRUE(
+      table.Insert(Tuple({Value::Int(1), Value::Int(2), Value::Int(5)}))
+          .ok());
+  EXPECT_FALSE(
+      table.Insert(Tuple({Value::Int(1), Value::Int(1), Value::Int(9)}))
+          .ok());
+  EXPECT_EQ(table.LookupByKey({Value::Int(1), Value::Int(2)}).value(), 1u);
+}
+
+TEST(TupleTest, ToString) {
+  const Tuple t({Value::Int(1), Value::String("x"), Value()});
+  EXPECT_EQ(t.ToString(), "(1, 'x', NULL)");
+}
+
+TEST(TupleRefTest, OrderingAndPacking) {
+  const TupleRef a{0, 5};
+  const TupleRef b{1, 0};
+  EXPECT_LT(a, b);
+  EXPECT_NE(a.Packed(), b.Packed());
+  EXPECT_EQ((TupleRef{0, 5}), a);
+}
+
+}  // namespace
+}  // namespace dbrepair
