@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_build_pipeline.dir/bench_build_pipeline.cc.o"
+  "CMakeFiles/bench_build_pipeline.dir/bench_build_pipeline.cc.o.d"
+  "bench_build_pipeline"
+  "bench_build_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_build_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

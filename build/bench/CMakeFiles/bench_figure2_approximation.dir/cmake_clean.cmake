@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure2_approximation.dir/bench_figure2_approximation.cc.o"
+  "CMakeFiles/bench_figure2_approximation.dir/bench_figure2_approximation.cc.o.d"
+  "bench_figure2_approximation"
+  "bench_figure2_approximation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure2_approximation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

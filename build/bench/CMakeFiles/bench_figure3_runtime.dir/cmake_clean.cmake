@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure3_runtime.dir/bench_figure3_runtime.cc.o"
+  "CMakeFiles/bench_figure3_runtime.dir/bench_figure3_runtime.cc.o.d"
+  "bench_figure3_runtime"
+  "bench_figure3_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure3_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

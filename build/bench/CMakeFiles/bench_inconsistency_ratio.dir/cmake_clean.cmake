@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inconsistency_ratio.dir/bench_inconsistency_ratio.cc.o"
+  "CMakeFiles/bench_inconsistency_ratio.dir/bench_inconsistency_ratio.cc.o.d"
+  "bench_inconsistency_ratio"
+  "bench_inconsistency_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inconsistency_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

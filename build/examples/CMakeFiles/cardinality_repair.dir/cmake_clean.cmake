@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cardinality_repair.dir/cardinality_repair.cpp.o"
+  "CMakeFiles/cardinality_repair.dir/cardinality_repair.cpp.o.d"
+  "cardinality_repair"
+  "cardinality_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cardinality_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

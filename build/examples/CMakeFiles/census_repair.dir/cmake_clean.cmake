@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/census_repair.dir/census_repair.cpp.o"
+  "CMakeFiles/census_repair.dir/census_repair.cpp.o.d"
+  "census_repair"
+  "census_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/census_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_buy_pipeline.dir/client_buy_pipeline.cpp.o"
+  "CMakeFiles/client_buy_pipeline.dir/client_buy_pipeline.cpp.o.d"
+  "client_buy_pipeline"
+  "client_buy_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_buy_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

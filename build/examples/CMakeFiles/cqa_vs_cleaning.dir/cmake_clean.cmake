@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqa_vs_cleaning.dir/cqa_vs_cleaning.cpp.o"
+  "CMakeFiles/cqa_vs_cleaning.dir/cqa_vs_cleaning.cpp.o.d"
+  "cqa_vs_cleaning"
+  "cqa_vs_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqa_vs_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

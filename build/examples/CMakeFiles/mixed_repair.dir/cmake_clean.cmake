@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_repair.dir/mixed_repair.cpp.o"
+  "CMakeFiles/mixed_repair.dir/mixed_repair.cpp.o.d"
+  "mixed_repair"
+  "mixed_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/violation_views.dir/violation_views.cpp.o"
+  "CMakeFiles/violation_views.dir/violation_views.cpp.o.d"
+  "violation_views"
+  "violation_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/violation_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/schema.cc" "src/CMakeFiles/dbrepair.dir/catalog/schema.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/catalog/schema.cc.o.d"
+  "/root/repo/src/catalog/value.cc" "src/CMakeFiles/dbrepair.dir/catalog/value.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/catalog/value.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/dbrepair.dir/common/status.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/dbrepair.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/common/strings.cc.o.d"
+  "/root/repo/src/constraints/ast.cc" "src/CMakeFiles/dbrepair.dir/constraints/ast.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/constraints/ast.cc.o.d"
+  "/root/repo/src/constraints/locality.cc" "src/CMakeFiles/dbrepair.dir/constraints/locality.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/constraints/locality.cc.o.d"
+  "/root/repo/src/constraints/parser.cc" "src/CMakeFiles/dbrepair.dir/constraints/parser.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/constraints/parser.cc.o.d"
+  "/root/repo/src/constraints/violation.cc" "src/CMakeFiles/dbrepair.dir/constraints/violation.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/constraints/violation.cc.o.d"
+  "/root/repo/src/constraints/violation_engine.cc" "src/CMakeFiles/dbrepair.dir/constraints/violation_engine.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/constraints/violation_engine.cc.o.d"
+  "/root/repo/src/cqa/cqa.cc" "src/CMakeFiles/dbrepair.dir/cqa/cqa.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/cqa/cqa.cc.o.d"
+  "/root/repo/src/gen/census.cc" "src/CMakeFiles/dbrepair.dir/gen/census.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/gen/census.cc.o.d"
+  "/root/repo/src/gen/client_buy.cc" "src/CMakeFiles/dbrepair.dir/gen/client_buy.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/gen/client_buy.cc.o.d"
+  "/root/repo/src/gen/paper_example.cc" "src/CMakeFiles/dbrepair.dir/gen/paper_example.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/gen/paper_example.cc.o.d"
+  "/root/repo/src/io/config.cc" "src/CMakeFiles/dbrepair.dir/io/config.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/io/config.cc.o.d"
+  "/root/repo/src/io/csv.cc" "src/CMakeFiles/dbrepair.dir/io/csv.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/io/csv.cc.o.d"
+  "/root/repo/src/io/export.cc" "src/CMakeFiles/dbrepair.dir/io/export.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/io/export.cc.o.d"
+  "/root/repo/src/io/report.cc" "src/CMakeFiles/dbrepair.dir/io/report.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/io/report.cc.o.d"
+  "/root/repo/src/io/snapshot.cc" "src/CMakeFiles/dbrepair.dir/io/snapshot.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/io/snapshot.cc.o.d"
+  "/root/repo/src/repair/cardinality.cc" "src/CMakeFiles/dbrepair.dir/repair/cardinality.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/repair/cardinality.cc.o.d"
+  "/root/repo/src/repair/distance.cc" "src/CMakeFiles/dbrepair.dir/repair/distance.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/repair/distance.cc.o.d"
+  "/root/repo/src/repair/instance_builder.cc" "src/CMakeFiles/dbrepair.dir/repair/instance_builder.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/repair/instance_builder.cc.o.d"
+  "/root/repo/src/repair/mixed.cc" "src/CMakeFiles/dbrepair.dir/repair/mixed.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/repair/mixed.cc.o.d"
+  "/root/repo/src/repair/mono_local_fix.cc" "src/CMakeFiles/dbrepair.dir/repair/mono_local_fix.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/repair/mono_local_fix.cc.o.d"
+  "/root/repo/src/repair/repair_builder.cc" "src/CMakeFiles/dbrepair.dir/repair/repair_builder.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/repair/repair_builder.cc.o.d"
+  "/root/repo/src/repair/repairer.cc" "src/CMakeFiles/dbrepair.dir/repair/repairer.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/repair/repairer.cc.o.d"
+  "/root/repo/src/repair/setcover/exact.cc" "src/CMakeFiles/dbrepair.dir/repair/setcover/exact.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/repair/setcover/exact.cc.o.d"
+  "/root/repo/src/repair/setcover/greedy.cc" "src/CMakeFiles/dbrepair.dir/repair/setcover/greedy.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/repair/setcover/greedy.cc.o.d"
+  "/root/repo/src/repair/setcover/instance.cc" "src/CMakeFiles/dbrepair.dir/repair/setcover/instance.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/repair/setcover/instance.cc.o.d"
+  "/root/repo/src/repair/setcover/layer.cc" "src/CMakeFiles/dbrepair.dir/repair/setcover/layer.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/repair/setcover/layer.cc.o.d"
+  "/root/repo/src/repair/setcover/lazy_greedy.cc" "src/CMakeFiles/dbrepair.dir/repair/setcover/lazy_greedy.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/repair/setcover/lazy_greedy.cc.o.d"
+  "/root/repo/src/repair/setcover/modified_greedy.cc" "src/CMakeFiles/dbrepair.dir/repair/setcover/modified_greedy.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/repair/setcover/modified_greedy.cc.o.d"
+  "/root/repo/src/repair/setcover/prune.cc" "src/CMakeFiles/dbrepair.dir/repair/setcover/prune.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/repair/setcover/prune.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/dbrepair.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/executor.cc" "src/CMakeFiles/dbrepair.dir/sql/executor.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/sql/executor.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/dbrepair.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/sql/parser.cc.o.d"
+  "/root/repo/src/sql/views.cc" "src/CMakeFiles/dbrepair.dir/sql/views.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/sql/views.cc.o.d"
+  "/root/repo/src/storage/btree_index.cc" "src/CMakeFiles/dbrepair.dir/storage/btree_index.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/storage/btree_index.cc.o.d"
+  "/root/repo/src/storage/database.cc" "src/CMakeFiles/dbrepair.dir/storage/database.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/storage/database.cc.o.d"
+  "/root/repo/src/storage/statistics.cc" "src/CMakeFiles/dbrepair.dir/storage/statistics.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/storage/statistics.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/dbrepair.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/storage/table.cc.o.d"
+  "/root/repo/src/storage/tuple.cc" "src/CMakeFiles/dbrepair.dir/storage/tuple.cc.o" "gcc" "src/CMakeFiles/dbrepair.dir/storage/tuple.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

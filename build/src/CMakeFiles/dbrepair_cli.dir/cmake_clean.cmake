@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbrepair_cli.dir/cli/dbrepair_main.cc.o"
+  "CMakeFiles/dbrepair_cli.dir/cli/dbrepair_main.cc.o.d"
+  "dbrepair"
+  "dbrepair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbrepair_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

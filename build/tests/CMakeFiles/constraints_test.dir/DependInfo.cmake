@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/constraints/ast_test.cc" "tests/CMakeFiles/constraints_test.dir/constraints/ast_test.cc.o" "gcc" "tests/CMakeFiles/constraints_test.dir/constraints/ast_test.cc.o.d"
+  "/root/repo/tests/constraints/incremental_test.cc" "tests/CMakeFiles/constraints_test.dir/constraints/incremental_test.cc.o" "gcc" "tests/CMakeFiles/constraints_test.dir/constraints/incremental_test.cc.o.d"
+  "/root/repo/tests/constraints/locality_test.cc" "tests/CMakeFiles/constraints_test.dir/constraints/locality_test.cc.o" "gcc" "tests/CMakeFiles/constraints_test.dir/constraints/locality_test.cc.o.d"
+  "/root/repo/tests/constraints/parser_fuzz_test.cc" "tests/CMakeFiles/constraints_test.dir/constraints/parser_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/constraints_test.dir/constraints/parser_fuzz_test.cc.o.d"
+  "/root/repo/tests/constraints/parser_test.cc" "tests/CMakeFiles/constraints_test.dir/constraints/parser_test.cc.o" "gcc" "tests/CMakeFiles/constraints_test.dir/constraints/parser_test.cc.o.d"
+  "/root/repo/tests/constraints/violation_engine_test.cc" "tests/CMakeFiles/constraints_test.dir/constraints/violation_engine_test.cc.o" "gcc" "tests/CMakeFiles/constraints_test.dir/constraints/violation_engine_test.cc.o.d"
+  "/root/repo/tests/constraints/violation_oracle_test.cc" "tests/CMakeFiles/constraints_test.dir/constraints/violation_oracle_test.cc.o" "gcc" "tests/CMakeFiles/constraints_test.dir/constraints/violation_oracle_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbrepair.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraints_test.dir/constraints/ast_test.cc.o"
+  "CMakeFiles/constraints_test.dir/constraints/ast_test.cc.o.d"
+  "CMakeFiles/constraints_test.dir/constraints/incremental_test.cc.o"
+  "CMakeFiles/constraints_test.dir/constraints/incremental_test.cc.o.d"
+  "CMakeFiles/constraints_test.dir/constraints/locality_test.cc.o"
+  "CMakeFiles/constraints_test.dir/constraints/locality_test.cc.o.d"
+  "CMakeFiles/constraints_test.dir/constraints/parser_fuzz_test.cc.o"
+  "CMakeFiles/constraints_test.dir/constraints/parser_fuzz_test.cc.o.d"
+  "CMakeFiles/constraints_test.dir/constraints/parser_test.cc.o"
+  "CMakeFiles/constraints_test.dir/constraints/parser_test.cc.o.d"
+  "CMakeFiles/constraints_test.dir/constraints/violation_engine_test.cc.o"
+  "CMakeFiles/constraints_test.dir/constraints/violation_engine_test.cc.o.d"
+  "CMakeFiles/constraints_test.dir/constraints/violation_oracle_test.cc.o"
+  "CMakeFiles/constraints_test.dir/constraints/violation_oracle_test.cc.o.d"
+  "constraints_test"
+  "constraints_test.pdb"
+  "constraints_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraints_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/repair/cardinality_test.cc" "tests/CMakeFiles/repair_test.dir/repair/cardinality_test.cc.o" "gcc" "tests/CMakeFiles/repair_test.dir/repair/cardinality_test.cc.o.d"
+  "/root/repo/tests/repair/distance_test.cc" "tests/CMakeFiles/repair_test.dir/repair/distance_test.cc.o" "gcc" "tests/CMakeFiles/repair_test.dir/repair/distance_test.cc.o.d"
+  "/root/repo/tests/repair/indexed_heap_test.cc" "tests/CMakeFiles/repair_test.dir/repair/indexed_heap_test.cc.o" "gcc" "tests/CMakeFiles/repair_test.dir/repair/indexed_heap_test.cc.o.d"
+  "/root/repo/tests/repair/instance_builder_test.cc" "tests/CMakeFiles/repair_test.dir/repair/instance_builder_test.cc.o" "gcc" "tests/CMakeFiles/repair_test.dir/repair/instance_builder_test.cc.o.d"
+  "/root/repo/tests/repair/mixed_test.cc" "tests/CMakeFiles/repair_test.dir/repair/mixed_test.cc.o" "gcc" "tests/CMakeFiles/repair_test.dir/repair/mixed_test.cc.o.d"
+  "/root/repo/tests/repair/prune_test.cc" "tests/CMakeFiles/repair_test.dir/repair/prune_test.cc.o" "gcc" "tests/CMakeFiles/repair_test.dir/repair/prune_test.cc.o.d"
+  "/root/repo/tests/repair/reduction_oracle_test.cc" "tests/CMakeFiles/repair_test.dir/repair/reduction_oracle_test.cc.o" "gcc" "tests/CMakeFiles/repair_test.dir/repair/reduction_oracle_test.cc.o.d"
+  "/root/repo/tests/repair/repairer_test.cc" "tests/CMakeFiles/repair_test.dir/repair/repairer_test.cc.o" "gcc" "tests/CMakeFiles/repair_test.dir/repair/repairer_test.cc.o.d"
+  "/root/repo/tests/repair/setcover_test.cc" "tests/CMakeFiles/repair_test.dir/repair/setcover_test.cc.o" "gcc" "tests/CMakeFiles/repair_test.dir/repair/setcover_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbrepair.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

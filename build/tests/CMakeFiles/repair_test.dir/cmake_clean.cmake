@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repair_test.dir/repair/cardinality_test.cc.o"
+  "CMakeFiles/repair_test.dir/repair/cardinality_test.cc.o.d"
+  "CMakeFiles/repair_test.dir/repair/distance_test.cc.o"
+  "CMakeFiles/repair_test.dir/repair/distance_test.cc.o.d"
+  "CMakeFiles/repair_test.dir/repair/indexed_heap_test.cc.o"
+  "CMakeFiles/repair_test.dir/repair/indexed_heap_test.cc.o.d"
+  "CMakeFiles/repair_test.dir/repair/instance_builder_test.cc.o"
+  "CMakeFiles/repair_test.dir/repair/instance_builder_test.cc.o.d"
+  "CMakeFiles/repair_test.dir/repair/mixed_test.cc.o"
+  "CMakeFiles/repair_test.dir/repair/mixed_test.cc.o.d"
+  "CMakeFiles/repair_test.dir/repair/prune_test.cc.o"
+  "CMakeFiles/repair_test.dir/repair/prune_test.cc.o.d"
+  "CMakeFiles/repair_test.dir/repair/reduction_oracle_test.cc.o"
+  "CMakeFiles/repair_test.dir/repair/reduction_oracle_test.cc.o.d"
+  "CMakeFiles/repair_test.dir/repair/repairer_test.cc.o"
+  "CMakeFiles/repair_test.dir/repair/repairer_test.cc.o.d"
+  "CMakeFiles/repair_test.dir/repair/setcover_test.cc.o"
+  "CMakeFiles/repair_test.dir/repair/setcover_test.cc.o.d"
+  "repair_test"
+  "repair_test.pdb"
+  "repair_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repair_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
