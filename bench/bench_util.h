@@ -1,6 +1,8 @@
 #ifndef DBREPAIR_BENCH_BENCH_UTIL_H_
 #define DBREPAIR_BENCH_BENCH_UTIL_H_
 
+#include <cstdlib>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <utility>
@@ -8,9 +10,28 @@
 #include "constraints/ast.h"
 #include "gen/census.h"
 #include "gen/client_buy.h"
+#include "obs/context.h"
 #include "repair/instance_builder.h"
 
 namespace dbrepair::bench {
+
+/// When DBREPAIR_OBS_OUT is set, writes the run snapshot of the default obs
+/// context (which the benchmarked pipeline records into) to that path at
+/// process exit, next to the benchmark's own timing output. Installed once
+/// by the problem builders below.
+inline void InstallObsSnapshotAtExit() {
+  static const bool installed = [] {
+    if (std::getenv("DBREPAIR_OBS_OUT") == nullptr) return false;
+    std::atexit([] {
+      const char* path = std::getenv("DBREPAIR_OBS_OUT");
+      if (path == nullptr) return;
+      std::ofstream out(path);
+      out << BuildRunSnapshot(obs::DefaultObs()).Dump(2) << "\n";
+    });
+    return true;
+  }();
+  (void)installed;
+}
 
 /// A fully-built repair problem ready for solver benchmarking: the paper's
 /// Figure 3 times only the MWSCP solver (+ mapping), so benchmarks build
@@ -25,6 +46,7 @@ struct PreparedProblem {
 /// ~30% of tuples are involved in inconsistencies, as in Section 4.
 inline const PreparedProblem& ClientBuyProblem(size_t num_clients,
                                                uint64_t seed) {
+  InstallObsSnapshotAtExit();
   static auto* cache =
       new std::map<std::pair<size_t, uint64_t>, PreparedProblem>();
   const auto key = std::make_pair(num_clients, seed);
@@ -56,6 +78,7 @@ inline const PreparedProblem& ClientBuyProblem(size_t num_clients,
 inline const PreparedProblem& CensusProblem(size_t households,
                                             size_t max_members,
                                             uint64_t seed) {
+  InstallObsSnapshotAtExit();
   static auto* cache = new std::map<std::tuple<size_t, size_t, uint64_t>,
                                     PreparedProblem>();
   const auto key = std::make_tuple(households, max_members, seed);

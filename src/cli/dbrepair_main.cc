@@ -3,18 +3,24 @@
 //
 // Usage:
 //   dbrepair [repair] <config> [--solver S] [--distance L1|L2] [--mode M]
-//            [--output PATH] [--quiet] [--report]
+//            [--output PATH] [--metrics-out PATH] [--trace] [--quiet]
+//            [--report]
 //   dbrepair check <config> [--quiet]     detect violations; exit 3 if any
 //   dbrepair explain <config>             print locality analysis + SQL views
 //   dbrepair query <config> <SQL>         run a SELECT against the data
 //
 // The config declares the schema (flexible attributes + weights), the data
 // CSVs, the denial constraints, and defaults for solver/distance/export
-// mode; the flags override the config.
+// mode; the flags override the config. Incidental output goes through the
+// obs logger (severity >= info; --quiet raises the bar to warn), --trace
+// prints the span tree to stderr, and --metrics-out writes the single-
+// document JSON run snapshot (phases, counters, gauges, histograms, trace).
 
+#include <cstdarg>
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <utility>
 
 #include "constraints/locality.h"
 #include "constraints/violation_engine.h"
@@ -22,6 +28,7 @@
 #include "io/csv.h"
 #include "io/export.h"
 #include "io/report.h"
+#include "obs/context.h"
 #include "repair/repairer.h"
 #include "sql/executor.h"
 #include "sql/views.h"
@@ -38,10 +45,27 @@ void PrintUsage() {
       << "usage: dbrepair [repair] <config> [--solver greedy|modified-greedy"
          "|lazy-greedy|layer|modified-layer|exact]\n"
          "                [--distance L1|L2] [--mode update|insert|dump]\n"
-         "                [--output PATH] [--quiet] [--report]\n"
+         "                [--output PATH] [--metrics-out PATH] [--trace]\n"
+         "                [--quiet] [--report]\n"
          "       dbrepair check <config> [--quiet]\n"
          "       dbrepair explain <config>\n"
-         "       dbrepair query <config> <SQL>\n";
+         "       dbrepair query <config> <SQL>\n"
+         "\n"
+         "  --metrics-out PATH  write the JSON run snapshot (per-phase wall\n"
+         "                      times, per-constraint violation counts,\n"
+         "                      solver counters, span tree) to PATH\n"
+         "  --trace             print the nested span tree to stderr\n"
+         "  --quiet             suppress incidental output (logger severity\n"
+         "                      below 'warn')\n";
+}
+
+std::string Printf(const char* format, ...) {
+  char buffer[512];
+  va_list args;
+  va_start(args, format);
+  vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  return buffer;
 }
 
 }  // namespace
@@ -49,21 +73,26 @@ void PrintUsage() {
 namespace dbrepair {
 namespace {
 
-Result<Database> LoadData(const RepairConfig& config, bool quiet) {
+void ConfigureLogger(obs::Logger* logger, bool quiet) {
+  logger->set_min_severity(quiet ? obs::LogSeverity::kWarn
+                                 : obs::LogSeverity::kInfo);
+}
+
+Result<Database> LoadData(const RepairConfig& config) {
+  obs::Logger& logger = obs::CurrentObs().logger;
   Database db(config.schema);
   for (const auto& [relation, path] : config.data_files) {
     DBREPAIR_ASSIGN_OR_RETURN(const size_t loaded,
                               LoadCsvFile(&db, relation, path));
-    if (!quiet) {
-      std::cerr << "loaded " << loaded << " tuples into " << relation
-                << " from " << path << "\n";
-    }
+    logger.Info("loaded " + std::to_string(loaded) + " tuples into " +
+                relation + " from " + path);
   }
   return db;
 }
 
 int RunCheck(const RepairConfig& config, bool quiet) {
-  auto db = LoadData(config, quiet);
+  ConfigureLogger(&obs::CurrentObs().logger, quiet);
+  auto db = LoadData(config);
   if (!db.ok()) return Fail(db.status());
   auto bound = BindAll(*config.schema, config.constraints);
   if (!bound.ok()) return Fail(bound.status());
@@ -111,7 +140,8 @@ int RunExplain(const RepairConfig& config) {
 }
 
 int RunQuery(const RepairConfig& config, const std::string& sql) {
-  auto db = LoadData(config, /*quiet=*/true);
+  ConfigureLogger(&obs::CurrentObs().logger, /*quiet=*/true);
+  auto db = LoadData(config);
   if (!db.ok()) return Fail(db.status());
   auto result = Query(*db, sql);
   if (!result.ok()) return Fail(result.status());
@@ -131,6 +161,8 @@ int RunQuery(const RepairConfig& config, const std::string& sql) {
 int RunRepair(RepairConfig config, int argc, char** argv, int arg_start) {
   bool quiet = false;
   bool report = false;
+  bool trace = false;
+  std::string metrics_out;
   for (int i = arg_start; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -167,6 +199,14 @@ int RunRepair(RepairConfig config, int argc, char** argv, int arg_start) {
         return Fail(Status::InvalidArgument("--output needs a value"));
       }
       config.output_path = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (v == nullptr) {
+        return Fail(Status::InvalidArgument("--metrics-out needs a value"));
+      }
+      metrics_out = v;
+    } else if (arg == "--trace") {
+      trace = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--report") {
@@ -177,7 +217,13 @@ int RunRepair(RepairConfig config, int argc, char** argv, int arg_start) {
     }
   }
 
-  auto db = LoadData(config, quiet);
+  // The run's observability state; everything the pipeline records lands
+  // here rather than in the process-wide default registry.
+  obs::ObsContext obs;
+  obs::ScopedObs scoped_obs(&obs);
+  ConfigureLogger(&obs.logger, quiet);
+
+  auto db = LoadData(config);
   if (!db.ok()) return Fail(db.status());
 
   RepairOptions options;
@@ -189,15 +235,24 @@ int RunRepair(RepairConfig config, int argc, char** argv, int arg_start) {
     std::cerr << FormatRepairReport(*db, outcome.value());
   }
   const RepairStats& stats = outcome.value().stats;
-  if (!quiet) {
-    std::fprintf(stderr,
-                 "solver=%s violations=%zu candidate_fixes=%zu chosen=%zu "
-                 "updates=%zu max_degree=%u cover_weight=%.6g "
-                 "distance=%.6g build=%.3fs solve=%.3fs\n",
-                 SolverKindName(config.solver), stats.num_violations,
-                 stats.num_candidate_fixes, stats.num_chosen_fixes,
-                 stats.num_updates, stats.max_degree, stats.cover_weight,
-                 stats.distance, stats.build_seconds, stats.solve_seconds);
+  obs.logger.Info(Printf(
+      "solver=%s violations=%zu candidate_fixes=%zu chosen=%zu "
+      "updates=%zu max_degree=%u cover_weight=%.6g "
+      "distance=%.6g build=%.3fs solve=%.3fs",
+      SolverKindName(config.solver), stats.num_violations,
+      stats.num_candidate_fixes, stats.num_chosen_fixes, stats.num_updates,
+      stats.max_degree, stats.cover_weight, stats.distance,
+      stats.build_seconds, stats.solve_seconds));
+
+  if (trace) {
+    std::cerr << obs::FormatSpanTrees(obs.tracer);
+  }
+  if (!metrics_out.empty()) {
+    obs::Json snapshot = obs::BuildRunSnapshot(obs);
+    snapshot.Set("solver", obs::Json(SolverKindName(config.solver)));
+    const Status st = WriteTextFile(metrics_out, snapshot.Dump(2) + "\n");
+    if (!st.ok()) return Fail(st);
+    obs.logger.Info("wrote metrics snapshot to " + metrics_out);
   }
 
   auto exported = ExportRepair(outcome.value().repaired,
@@ -208,10 +263,8 @@ int RunRepair(RepairConfig config, int argc, char** argv, int arg_start) {
   } else {
     const Status st = WriteTextFile(config.output_path, exported.value());
     if (!st.ok()) return Fail(st);
-    if (!quiet) {
-      std::cerr << "wrote " << ExportModeName(config.mode) << " export to "
-                << config.output_path << "\n";
-    }
+    obs.logger.Info("wrote " + std::string(ExportModeName(config.mode)) +
+                    " export to " + config.output_path);
   }
   return 0;
 }

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <unordered_set>
 
+#include "obs/context.h"
+
 namespace dbrepair {
 
 namespace {
@@ -274,10 +276,16 @@ Status ViolationEngine::ExecuteInto(
   std::vector<TupleRef> current(plan.steps.size());
   std::unordered_set<ViolationSet, ViolationSetHash>& dedupe = *dedupe_out;
 
+  // Join-execution metrics, accumulated locally and flushed once per call so
+  // the hot loop never touches an atomic.
+  uint64_t rows_scanned = 0;
+  uint64_t assignments_found = 0;
+
   // Iterative-recursive evaluation via an explicit lambda.
   Status status = Status::OK();
   auto recurse = [&](auto&& self, size_t depth) -> bool {  // false = abort
     if (depth == plan.steps.size()) {
+      ++assignments_found;
       ViolationSet vs;
       vs.ic_index = ic.ic_index;
       vs.tuples = current;
@@ -342,6 +350,7 @@ Status ViolationEngine::ExecuteInto(
     }
     for (const uint32_t row : *rows) {
       if (row < min_row || row >= max_row) continue;
+      ++rows_scanned;
       const Tuple& tuple = table.row(row);
       bool ok = true;
       for (uint32_t pos : step.const_positions) {
@@ -377,6 +386,9 @@ Status ViolationEngine::ExecuteInto(
     return true;
   };
   recurse(recurse, 0);
+  obs::MetricsRegistry& metrics = obs::CurrentObs().metrics;
+  metrics.GetCounter("engine.rows_scanned")->Add(rows_scanned);
+  metrics.GetCounter("engine.assignments_found")->Add(assignments_found);
   return status;
 }
 
@@ -419,6 +431,9 @@ Result<std::vector<ViolationSet>> ViolationEngine::FindViolations() {
     EmitMinimal(dedupe, &out);
   }
   SortViolations(&out);
+  obs::MetricsRegistry& metrics = obs::CurrentObs().metrics;
+  metrics.GetCounter("engine.enumerations")->Add(1);
+  metrics.GetCounter("engine.violation_sets")->Add(out.size());
   return out;
 }
 

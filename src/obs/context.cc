@@ -1,0 +1,56 @@
+#include "obs/context.h"
+
+namespace dbrepair::obs {
+
+namespace {
+
+ObsContext*& CurrentObsSlot() {
+  thread_local ObsContext* current = nullptr;
+  return current;
+}
+
+void FlattenPhases(const SpanNode& node, const std::string& prefix,
+                   Json* phases) {
+  const std::string path =
+      prefix.empty() ? node.name : prefix + "/" + node.name;
+  phases->Set(path, Json(node.duration_seconds));
+  for (const auto& child : node.children) {
+    FlattenPhases(*child, path, phases);
+  }
+}
+
+}  // namespace
+
+ObsContext& DefaultObs() {
+  // Leaked singleton: usable during static destruction (atexit snapshots).
+  static ObsContext* context = new ObsContext();
+  return *context;
+}
+
+ObsContext& CurrentObs() {
+  ObsContext* current = CurrentObsSlot();
+  return current != nullptr ? *current : DefaultObs();
+}
+
+ScopedObs::ScopedObs(ObsContext* context) : previous_(CurrentObsSlot()) {
+  CurrentObsSlot() = context;
+}
+
+ScopedObs::~ScopedObs() { CurrentObsSlot() = previous_; }
+
+Json BuildRunSnapshot(const ObsContext& context) {
+  Json phases = Json::MakeObject();
+  Json trace = Json::MakeArray();
+  for (const SpanNode* root : context.tracer.roots()) {
+    FlattenPhases(*root, "", &phases);
+    trace.Append(SpanTreeToJson(*root));
+  }
+  Json out = Json::MakeObject();
+  out.Set("schema_version", Json(1));
+  out.Set("phases", std::move(phases));
+  out.Set("metrics", context.metrics.Snapshot());
+  out.Set("trace", std::move(trace));
+  return out;
+}
+
+}  // namespace dbrepair::obs

@@ -1,0 +1,51 @@
+#ifndef DBREPAIR_OBS_CONTEXT_H_
+#define DBREPAIR_OBS_CONTEXT_H_
+
+#include "obs/json.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dbrepair::obs {
+
+/// One run's observability state: the metrics registry, the span tracer,
+/// and the logger. The pipeline reads it through CurrentObs(), so library
+/// code needs no plumbed-through parameters and uninstrumented callers pay
+/// only a thread-local load.
+struct ObsContext {
+  MetricsRegistry metrics;
+  Tracer tracer;
+  Logger logger;
+};
+
+/// The process-wide fallback context (always valid; what benchmarks and
+/// plain library calls record into).
+ObsContext& DefaultObs();
+
+/// The calling thread's installed context, or DefaultObs().
+ObsContext& CurrentObs();
+
+/// Installs `context` as the calling thread's current ObsContext for the
+/// scope's lifetime (re-entrant; restores the previous one on destruction).
+class ScopedObs {
+ public:
+  explicit ScopedObs(ObsContext* context);
+  ~ScopedObs();
+
+  ScopedObs(const ScopedObs&) = delete;
+  ScopedObs& operator=(const ScopedObs&) = delete;
+
+ private:
+  ObsContext* previous_;
+};
+
+/// The single-document JSON snapshot of a run:
+///   {"schema_version": 1,
+///    "phases": {"repair": s, "repair/build": s, ...},   // from span paths
+///    "metrics": {"counters": ..., "gauges": ..., "histograms": ...},
+///    "trace": [<span tree>, ...]}
+Json BuildRunSnapshot(const ObsContext& context);
+
+}  // namespace dbrepair::obs
+
+#endif  // DBREPAIR_OBS_CONTEXT_H_

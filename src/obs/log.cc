@@ -1,0 +1,54 @@
+#include "obs/log.h"
+
+#include <iostream>
+
+#include "obs/json.h"
+
+namespace dbrepair::obs {
+
+const char* LogSeverityName(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return "debug";
+    case LogSeverity::kInfo:
+      return "info";
+    case LogSeverity::kWarn:
+      return "warn";
+    case LogSeverity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+void Logger::Log(LogSeverity severity, std::string_view message) {
+  if (!Enabled(severity)) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::ostream& out = out_ != nullptr ? *out_ : std::cerr;
+  if (format_ == Format::kText) {
+    out << message << "\n";
+  } else {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      epoch_)
+            .count();
+    Json event = Json::MakeObject();
+    event.Set("event", Json("log"));
+    event.Set("t_s", Json(elapsed));
+    event.Set("severity", Json(LogSeverityName(severity)));
+    event.Set("message", Json(message));
+    out << event.Dump() << "\n";
+  }
+  out.flush();
+}
+
+void Logger::set_format(Format format) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  format_ = format;
+}
+
+void Logger::set_stream(std::ostream* out) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  out_ = out;
+}
+
+}  // namespace dbrepair::obs

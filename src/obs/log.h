@@ -1,0 +1,65 @@
+#ifndef DBREPAIR_OBS_LOG_H_
+#define DBREPAIR_OBS_LOG_H_
+
+#include <atomic>
+#include <chrono>
+#include <iosfwd>
+#include <mutex>
+#include <string_view>
+
+namespace dbrepair::obs {
+
+enum class LogSeverity {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+const char* LogSeverityName(LogSeverity severity);
+
+/// Severity-filtered structured logger replacing ad-hoc std::cerr prints.
+/// Two sink formats: human text lines and JSON-lines events (one JSON
+/// object per line, machine-ingestable next to the metrics snapshot).
+/// Thread-safe; the severity check is a single relaxed atomic load so
+/// suppressed messages cost ~nothing.
+class Logger {
+ public:
+  enum class Format { kText, kJsonl };
+
+  void Log(LogSeverity severity, std::string_view message);
+
+  void Debug(std::string_view message) { Log(LogSeverity::kDebug, message); }
+  void Info(std::string_view message) { Log(LogSeverity::kInfo, message); }
+  void Warn(std::string_view message) { Log(LogSeverity::kWarn, message); }
+  void Error(std::string_view message) { Log(LogSeverity::kError, message); }
+
+  bool Enabled(LogSeverity severity) const {
+    return severity >= min_severity_.load(std::memory_order_relaxed);
+  }
+
+  /// Messages below this severity are dropped (`--quiet` sets kWarn).
+  void set_min_severity(LogSeverity severity) {
+    min_severity_.store(severity, std::memory_order_relaxed);
+  }
+  LogSeverity min_severity() const {
+    return min_severity_.load(std::memory_order_relaxed);
+  }
+
+  void set_format(Format format);
+
+  /// Redirects output; `out` is borrowed, nullptr restores stderr.
+  void set_stream(std::ostream* out);
+
+ private:
+  std::mutex mu_;
+  std::atomic<LogSeverity> min_severity_{LogSeverity::kInfo};
+  Format format_ = Format::kText;
+  std::ostream* out_ = nullptr;  // nullptr => std::cerr
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+};
+
+}  // namespace dbrepair::obs
+
+#endif  // DBREPAIR_OBS_LOG_H_

@@ -1,0 +1,77 @@
+#include "obs/metrics.h"
+
+namespace dbrepair::obs {
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Json Histogram::ToJson() const {
+  Json buckets = Json::MakeArray();
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t c = bucket(i);
+    if (c == 0) continue;
+    buckets.Append(Json(Json::Array{Json(BucketLowerBound(i)), Json(c)}));
+  }
+  Json out = Json::MakeObject();
+  out.Set("count", Json(count()));
+  out.Set("sum", Json(sum()));
+  out.Set("buckets", std::move(buckets));
+  return out;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second.get();
+  return counters_.emplace(std::string(name), std::make_unique<Counter>())
+      .first->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second.get();
+  return gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+      .first->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second.get();
+  return histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+      .first->second.get();
+}
+
+void MetricsRegistry::Reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+Json MetricsRegistry::Snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Json counters = Json::MakeObject();
+  for (const auto& [name, counter] : counters_) {
+    counters.Set(name, Json(counter->value()));
+  }
+  Json gauges = Json::MakeObject();
+  for (const auto& [name, gauge] : gauges_) {
+    gauges.Set(name, Json(gauge->value()));
+  }
+  Json histograms = Json::MakeObject();
+  for (const auto& [name, histogram] : histograms_) {
+    histograms.Set(name, histogram->ToJson());
+  }
+  Json out = Json::MakeObject();
+  out.Set("counters", std::move(counters));
+  out.Set("gauges", std::move(gauges));
+  out.Set("histograms", std::move(histograms));
+  return out;
+}
+
+}  // namespace dbrepair::obs

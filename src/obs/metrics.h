@@ -1,0 +1,121 @@
+#ifndef DBREPAIR_OBS_METRICS_H_
+#define DBREPAIR_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/json.h"
+
+namespace dbrepair::obs {
+
+/// Monotonically increasing event count. All operations are lock-free and
+/// safe to call from any thread; hot paths should cache the `Counter*`
+/// handle (registry lookup takes a mutex, increments do not).
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A point-in-time double value (e.g. Deg(D, IC), instance sizes).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log2-bucketed histogram of non-negative integer samples. Bucket 0 counts
+/// the value 0; bucket i >= 1 counts values in [2^(i-1), 2^i). Recording is
+/// lock-free (relaxed atomics), so concurrent writers only ever lose
+/// ordering, never samples.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 65;
+
+  /// Bucket a value falls into: 0 for 0, otherwise bit_width(value).
+  static size_t BucketIndex(uint64_t value) {
+    return value == 0 ? 0 : static_cast<size_t>(std::bit_width(value));
+  }
+
+  /// Inclusive lower bound of bucket `index` (0, 1, 2, 4, 8, ...).
+  static uint64_t BucketLowerBound(size_t index) {
+    return index == 0 ? 0 : uint64_t{1} << (index - 1);
+  }
+
+  void Record(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t index) const {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
+
+  void Reset();
+
+  /// {"count": n, "sum": s, "buckets": [[lower_bound, count], ...]} with
+  /// only the non-empty buckets listed.
+  Json ToJson() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Owner of all named metrics of one run. Creation/lookup is mutex-guarded;
+/// returned handles are stable for the registry's lifetime and their update
+/// operations are lock-free.
+///
+/// Naming scheme: lowercase dotted paths, `<component>.<what>` or
+/// `<component>.<instance>.<what>` — e.g. `engine.rows_scanned`,
+/// `solver.modified-greedy.heap_pops`, `violations.constraint.ic1`.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  /// Zeroes every metric, keeping the handles valid.
+  void Reset();
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with names
+  /// sorted for stable output.
+  Json Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace dbrepair::obs
+
+#endif  // DBREPAIR_OBS_METRICS_H_

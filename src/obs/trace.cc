@@ -1,0 +1,145 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "obs/context.h"
+
+namespace dbrepair::obs {
+
+SpanNode* Tracer::OpenSpan(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto node = std::make_unique<SpanNode>();
+  node->name = std::string(name);
+  node->start_seconds = Now();
+  SpanNode* raw = node.get();
+  if (stack_.empty()) {
+    roots_.push_back(std::move(node));
+  } else {
+    stack_.back()->children.push_back(std::move(node));
+  }
+  stack_.push_back(raw);
+  return raw;
+}
+
+double Tracer::CloseSpan(SpanNode* node) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const double now = Now();
+  // Close any deeper spans left open (abandoned by early returns) so the
+  // stack discipline survives error paths.
+  while (!stack_.empty()) {
+    SpanNode* top = stack_.back();
+    stack_.pop_back();
+    top->duration_seconds = now - top->start_seconds;
+    top->open = false;
+    if (top == node) break;
+  }
+  return node->duration_seconds;
+}
+
+std::vector<const SpanNode*> Tracer::roots() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const SpanNode*> out;
+  out.reserve(roots_.size());
+  for (const auto& root : roots_) out.push_back(root.get());
+  return out;
+}
+
+namespace {
+
+const SpanNode* FindSpanIn(const SpanNode& node, std::string_view path) {
+  const size_t slash = path.find('/');
+  const std::string_view head = path.substr(0, slash);
+  if (node.name != head) return nullptr;
+  if (slash == std::string_view::npos) return &node;
+  const std::string_view rest = path.substr(slash + 1);
+  for (const auto& child : node.children) {
+    if (const SpanNode* found = FindSpanIn(*child, rest)) return found;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const SpanNode* Tracer::FindSpan(std::string_view path) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& root : roots_) {
+    if (const SpanNode* found = FindSpanIn(*root, path)) return found;
+  }
+  return nullptr;
+}
+
+void Tracer::Clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  roots_.clear();
+  stack_.clear();
+  epoch_ = Clock::now();
+}
+
+Span::Span(std::string_view name) : Span(&CurrentObs().tracer, name) {}
+
+Span::Span(Tracer* tracer, std::string_view name)
+    : tracer_(tracer), node_(tracer->OpenSpan(name)) {}
+
+Span::~Span() { Finish(); }
+
+double Span::Finish() {
+  if (!finished_) {
+    duration_seconds_ = tracer_->CloseSpan(node_);
+    finished_ = true;
+  }
+  return duration_seconds_;
+}
+
+namespace {
+
+void FormatSpanInto(const SpanNode& node, const SpanNode* parent, int depth,
+                    std::string* out) {
+  char buffer[160];
+  const double ms = node.duration_seconds * 1e3;
+  if (parent != nullptr && parent->duration_seconds > 0.0) {
+    const double share =
+        100.0 * node.duration_seconds / parent->duration_seconds;
+    std::snprintf(buffer, sizeof(buffer), "%*s%-12s %10.3f ms  %5.1f%%\n",
+                  depth * 2, "", node.name.c_str(), ms, share);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%*s%-12s %10.3f ms\n", depth * 2,
+                  "", node.name.c_str(), ms);
+  }
+  *out += buffer;
+  for (const auto& child : node.children) {
+    FormatSpanInto(*child, &node, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string FormatSpanTree(const SpanNode& root) {
+  std::string out;
+  FormatSpanInto(root, nullptr, 0, &out);
+  return out;
+}
+
+std::string FormatSpanTrees(const Tracer& tracer) {
+  std::string out;
+  for (const SpanNode* root : tracer.roots()) {
+    out += FormatSpanTree(*root);
+  }
+  return out;
+}
+
+Json SpanTreeToJson(const SpanNode& root) {
+  Json out = Json::MakeObject();
+  out.Set("name", Json(root.name));
+  out.Set("start_s", Json(root.start_seconds));
+  out.Set("duration_s", Json(root.duration_seconds));
+  if (!root.children.empty()) {
+    Json children = Json::MakeArray();
+    for (const auto& child : root.children) {
+      children.Append(SpanTreeToJson(*child));
+    }
+    out.Set("children", std::move(children));
+  }
+  return out;
+}
+
+}  // namespace dbrepair::obs

@@ -1,0 +1,101 @@
+#ifndef DBREPAIR_OBS_TRACE_H_
+#define DBREPAIR_OBS_TRACE_H_
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace dbrepair::obs {
+
+/// One completed (or still open) region of the pipeline. Spans nest:
+/// `repair -> bind/locality/build{violations,fixes,setcover}/solve/apply/
+/// verify`. Times are seconds on one steady clock, relative to the tracer's
+/// epoch, so phase attribution never double-counts.
+struct SpanNode {
+  std::string name;
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+  bool open = true;
+  std::vector<std::unique_ptr<SpanNode>> children;
+};
+
+/// Records a tree of scoped spans. Open/close follows stack discipline on
+/// the instrumented (pipeline) thread; the structure itself is mutex-guarded
+/// so concurrent readers (snapshots) are safe. Counters, not spans, are the
+/// tool for intra-phase multi-threaded work.
+class Tracer {
+ public:
+  Tracer() : epoch_(Clock::now()) {}
+
+  /// Opens a span as a child of the innermost open span (or a new root).
+  SpanNode* OpenSpan(std::string_view name);
+
+  /// Closes `node` (and any deeper spans left open) and returns its
+  /// duration in seconds. Idempotent per node via Span.
+  double CloseSpan(SpanNode* node);
+
+  /// Completed and open root spans, in open order. Pointers remain valid
+  /// until Clear().
+  std::vector<const SpanNode*> roots() const;
+
+  /// Looks a span up by '/'-separated path, e.g. "repair/build/setcover".
+  /// Searches every root; returns nullptr when absent.
+  const SpanNode* FindSpan(std::string_view path) const;
+
+  /// Drops all recorded spans and resets the epoch.
+  void Clear();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  double Now() const {
+    return std::chrono::duration<double>(Clock::now() - epoch_).count();
+  }
+
+  mutable std::mutex mu_;
+  Clock::time_point epoch_;
+  std::vector<std::unique_ptr<SpanNode>> roots_;
+  std::vector<SpanNode*> stack_;
+};
+
+/// RAII scope: opens a span on construction, closes it on destruction (or
+/// earlier via Finish(), which returns the measured duration — the single
+/// clock source for RepairStats phase times).
+class Span {
+ public:
+  /// Opens on the calling thread's current ObsContext tracer.
+  explicit Span(std::string_view name);
+  Span(Tracer* tracer, std::string_view name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Closes the span now; further calls return the same duration.
+  double Finish();
+
+ private:
+  Tracer* tracer_;
+  SpanNode* node_;
+  bool finished_ = false;
+  double duration_seconds_ = 0.0;
+};
+
+/// Indented human-readable rendering of one span tree, one line per span
+/// with wall time in ms and the share of its parent.
+std::string FormatSpanTree(const SpanNode& root);
+
+/// All root span trees of `tracer`, concatenated.
+std::string FormatSpanTrees(const Tracer& tracer);
+
+/// {"name": ..., "start_s": ..., "duration_s": ..., "children": [...]}.
+Json SpanTreeToJson(const SpanNode& root);
+
+}  // namespace dbrepair::obs
+
+#endif  // DBREPAIR_OBS_TRACE_H_

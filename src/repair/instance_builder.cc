@@ -5,6 +5,8 @@
 #include <unordered_map>
 
 #include "constraints/locality.h"
+#include "obs/context.h"
+#include "obs/trace.h"
 
 namespace dbrepair {
 
@@ -37,13 +39,23 @@ Result<RepairProblem> BuildRepairProblem(
     const Database& db, const std::vector<BoundConstraint>& ics,
     const DistanceFunction& distance, const BuildOptions& options) {
   RepairProblem problem;
+  obs::ObsContext& obs = obs::CurrentObs();
 
   // ---- Algorithm 2: the violation-set array A. ----
+  obs::Span violations_span(&obs.tracer, "violations");
   ViolationEngine engine(db, ics, options.engine);
   DBREPAIR_ASSIGN_OR_RETURN(problem.violations, engine.FindViolations());
   problem.degrees = ComputeDegrees(problem.violations);
+  {
+    obs::Histogram* sizes = obs.metrics.GetHistogram("build.violation_set_size");
+    for (const ViolationSet& v : problem.violations) {
+      sizes->Record(v.tuples.size());
+    }
+  }
+  violations_span.Finish();
 
   // ---- Algorithm 3: candidate mono-local fixes. ----
+  obs::Span fixes_span(&obs.tracer, "fixes");
   // Comparisons of each ic on each flexible attribute, grouped.
   const LocalityReport locality = CheckLocality(db.schema(), ics);
   using GroupKey = std::tuple<uint32_t, uint32_t, uint32_t>;  // ic, rel, attr
@@ -94,8 +106,12 @@ Result<RepairProblem> BuildRepairProblem(
       }
     }
   }
+  obs.metrics.GetCounter("build.candidate_fixes")->Add(problem.fixes.size());
+  fixes_span.Finish();
 
   // ---- Algorithm 4: link candidates to the violation sets they solve. ----
+  obs::Span setcover_span(&obs.tracer, "setcover");
+  uint64_t satisfies_checks = 0;
   // Materialise each fixed tuple once.
   std::vector<Tuple> fixed_tuples;
   fixed_tuples.reserve(problem.fixes.size());
@@ -119,6 +135,7 @@ Result<RepairProblem> BuildRepairProblem(
       const Tuple* original = members[j].second;
       for (const uint32_t f : fixes_it->second) {
         members[j].second = &fixed_tuples[f];
+        ++satisfies_checks;
         if (ViolationEngine::SetSatisfies(ic, members)) {
           problem.fixes[f].solved.push_back(vid);
         }
@@ -134,16 +151,22 @@ Result<RepairProblem> BuildRepairProblem(
   for (CandidateFix& fix : problem.fixes) {
     if (!fix.solved.empty()) kept.push_back(std::move(fix));
   }
+  obs.metrics.GetCounter("build.fixes_dropped_unsolving")
+      ->Add(problem.fixes.size() - kept.size());
   problem.fixes = std::move(kept);
 
   problem.instance.num_elements = problem.violations.size();
   problem.instance.weights.reserve(problem.fixes.size());
   problem.instance.sets.reserve(problem.fixes.size());
+  obs::Histogram* set_sizes = obs.metrics.GetHistogram("build.fix_set_size");
   for (const CandidateFix& fix : problem.fixes) {
     problem.instance.weights.push_back(fix.weight);
     problem.instance.sets.push_back(fix.solved);
+    set_sizes->Record(fix.solved.size());
   }
   problem.instance.BuildLinks();
+  obs.metrics.GetCounter("build.satisfies_checks")->Add(satisfies_checks);
+  setcover_span.Finish();
 
   for (uint32_t e = 0; e < problem.instance.num_elements; ++e) {
     if (problem.instance.element_sets[e].empty()) {

@@ -1,43 +1,54 @@
 #include "repair/repairer.h"
 
-#include "common/timer.h"
 #include "constraints/locality.h"
 #include "constraints/violation_engine.h"
+#include "obs/context.h"
+#include "obs/trace.h"
 #include "repair/setcover/prune.h"
 
 namespace dbrepair {
 
-Result<RepairOutcome> RepairDatabaseBound(
-    const Database& db, const std::vector<BoundConstraint>& ics,
-    const RepairOptions& options) {
+namespace {
+
+// The pipeline body, running inside an open `repair` span. Phase times come
+// from the spans themselves (one clock source), so the RepairStats fields
+// stay populated exactly as before the obs layer existed.
+Result<RepairOutcome> RepairBoundImpl(const Database& db,
+                                      const std::vector<BoundConstraint>& ics,
+                                      const RepairOptions& options,
+                                      obs::ObsContext& obs) {
   if (options.require_local) {
+    obs::Span locality_span(&obs.tracer, "locality");
     DBREPAIR_RETURN_IF_ERROR(EnsureLocal(db.schema(), ics));
   }
   const DistanceFunction distance(options.distance);
 
-  Timer timer;
+  obs::Span build_span(&obs.tracer, "build");
   DBREPAIR_ASSIGN_OR_RETURN(
       const RepairProblem problem,
       BuildRepairProblem(db, ics, distance, options.build));
-  const double build_seconds = timer.ElapsedSeconds();
+  const double build_seconds = build_span.Finish();
 
-  timer.Reset();
+  obs::Span solve_span(&obs.tracer, "solve");
   DBREPAIR_ASSIGN_OR_RETURN(SetCoverSolution cover,
                             SolveSetCover(options.solver, problem.instance));
   if (options.prune_cover) {
     cover = PruneRedundantSets(problem.instance, cover);
   }
-  const double solve_seconds = timer.ElapsedSeconds();
+  const double solve_seconds = solve_span.Finish();
 
-  timer.Reset();
+  obs::Span apply_span(&obs.tracer, "apply");
   std::vector<AppliedUpdate> updates;
   DBREPAIR_ASSIGN_OR_RETURN(Database repaired,
                             ApplyCover(db, problem, cover, &updates));
-  const double apply_seconds = timer.ElapsedSeconds();
+  const double apply_seconds = apply_span.Finish();
 
+  double verify_seconds = 0.0;
   if (options.verify) {
+    obs::Span verify_span(&obs.tracer, "verify");
     DBREPAIR_ASSIGN_OR_RETURN(const bool consistent,
                               ViolationEngine::Satisfies(repaired, ics));
+    verify_seconds = verify_span.Finish();
     if (!consistent) {
       return Status::Internal(
           "produced instance still violates the constraints; the IC set is "
@@ -54,6 +65,7 @@ Result<RepairOutcome> RepairDatabaseBound(
       if (v.ic_index == ic.ic_index) ++count;
     }
     outcome.stats.violations_per_constraint.emplace_back(ic.name, count);
+    obs.metrics.GetCounter("violations.constraint." + ic.name)->Add(count);
   }
   outcome.stats.num_candidate_fixes = problem.fixes.size();
   outcome.stats.num_chosen_fixes = cover.chosen.size();
@@ -65,15 +77,46 @@ Result<RepairOutcome> RepairDatabaseBound(
   outcome.stats.build_seconds = build_seconds;
   outcome.stats.solve_seconds = solve_seconds;
   outcome.stats.apply_seconds = apply_seconds;
+  outcome.stats.verify_seconds = verify_seconds;
+
+  obs.metrics.GetGauge("repair.max_degree")
+      ->Set(static_cast<double>(problem.degrees.max_degree));
+  obs.metrics.GetGauge("repair.cover_weight")->Set(cover.weight);
+  obs.metrics.GetGauge("repair.distance")->Set(outcome.stats.distance);
+  obs.metrics.GetCounter("repair.violation_sets")
+      ->Add(problem.violations.size());
+  obs.metrics.GetCounter("repair.candidate_fixes")->Add(problem.fixes.size());
+  obs.metrics.GetCounter("repair.chosen_fixes")->Add(cover.chosen.size());
+  obs.metrics.GetCounter("repair.applied_updates")
+      ->Add(outcome.updates.size());
+  return outcome;
+}
+
+}  // namespace
+
+Result<RepairOutcome> RepairDatabaseBound(
+    const Database& db, const std::vector<BoundConstraint>& ics,
+    const RepairOptions& options) {
+  obs::ObsContext& obs = obs::CurrentObs();
+  obs::Span repair_span(&obs.tracer, "repair");
+  Result<RepairOutcome> outcome = RepairBoundImpl(db, ics, options, obs);
+  if (outcome.ok()) outcome.value().stats.total_seconds = repair_span.Finish();
   return outcome;
 }
 
 Result<RepairOutcome> RepairDatabase(const Database& db,
                                      const std::vector<DenialConstraint>& ics,
                                      const RepairOptions& options) {
-  DBREPAIR_ASSIGN_OR_RETURN(const std::vector<BoundConstraint> bound,
-                            BindAll(db.schema(), ics));
-  return RepairDatabaseBound(db, bound, options);
+  obs::ObsContext& obs = obs::CurrentObs();
+  obs::Span repair_span(&obs.tracer, "repair");
+  std::vector<BoundConstraint> bound;
+  {
+    obs::Span bind_span(&obs.tracer, "bind");
+    DBREPAIR_ASSIGN_OR_RETURN(bound, BindAll(db.schema(), ics));
+  }
+  Result<RepairOutcome> outcome = RepairBoundImpl(db, bound, options, obs);
+  if (outcome.ok()) outcome.value().stats.total_seconds = repair_span.Finish();
+  return outcome;
 }
 
 }  // namespace dbrepair

@@ -42,9 +42,15 @@ struct RepairStats {
   uint32_t max_degree = 0;  ///< Deg(D, IC)
   double cover_weight = 0.0;
   double distance = 0.0;  ///< Delta(D, D') of the produced repair
+  /// Phase wall times, all derived from the obs span tree (one steady
+  /// clock, no overlap: verify is its own phase, not part of apply).
   double build_seconds = 0.0;
   double solve_seconds = 0.0;
   double apply_seconds = 0.0;
+  double verify_seconds = 0.0;
+  /// Duration of the whole `repair` span (>= the phase sum; the remainder
+  /// is stats bookkeeping and distance computation).
+  double total_seconds = 0.0;
 };
 
 /// The pipeline's output: the repaired instance plus diagnostics.

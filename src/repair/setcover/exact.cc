@@ -1,5 +1,6 @@
 #include <algorithm>
 
+#include "obs/context.h"
 #include "repair/setcover/solvers.h"
 
 namespace dbrepair {
@@ -127,6 +128,9 @@ Result<SetCoverSolution> ExactSetCover(const SetCoverInstance& instance,
   }
 
   state.Search();
+  obs::MetricsRegistry& metrics = obs::CurrentObs().metrics;
+  metrics.GetCounter("solver.exact.runs")->Add(1);
+  metrics.GetCounter("solver.exact.search_nodes")->Add(state.nodes);
   if (state.exhausted) {
     return Status::ResourceExhausted(
         "exact set cover exceeded max_nodes = " +

@@ -1,5 +1,6 @@
 #include <algorithm>
 
+#include "obs/context.h"
 #include "repair/setcover/solvers.h"
 
 namespace dbrepair {
@@ -7,6 +8,7 @@ namespace dbrepair {
 Result<SetCoverSolution> GreedySetCover(const SetCoverInstance& instance) {
   SetCoverSolution solution;
   const size_t num_sets = instance.num_sets();
+  uint64_t sets_scanned = 0;
 
   // Residual sets: elements not yet covered, per set (the paper's
   // "S <- S \ M" step materialised).
@@ -22,6 +24,7 @@ Result<SetCoverSolution> GreedySetCover(const SetCoverInstance& instance) {
     double best_eff = 0.0;
     for (uint32_t s = 0; s < num_sets; ++s) {
       if (!alive[s] || residual[s].empty()) continue;
+      ++sets_scanned;
       const double eff =
           instance.weights[s] / static_cast<double>(residual[s].size());
       if (best < 0 || eff < best_eff ||
@@ -54,6 +57,10 @@ Result<SetCoverSolution> GreedySetCover(const SetCoverInstance& instance) {
                   elems.end());
     }
   }
+  obs::MetricsRegistry& metrics = obs::CurrentObs().metrics;
+  metrics.GetCounter("solver.greedy.runs")->Add(1);
+  metrics.GetCounter("solver.greedy.iterations")->Add(solution.iterations);
+  metrics.GetCounter("solver.greedy.sets_scanned")->Add(sets_scanned);
   return solution;
 }
 

@@ -1,5 +1,6 @@
 #include <algorithm>
 
+#include "obs/context.h"
 #include "repair/setcover/indexed_heap.h"
 #include "repair/setcover/solvers.h"
 
@@ -9,6 +10,8 @@ Result<SetCoverSolution> LayerSetCover(const SetCoverInstance& instance,
                                        const LayerOptions& options) {
   SetCoverSolution solution;
   const size_t num_sets = instance.num_sets();
+  uint64_t sets_scanned = 0;
+  uint64_t reweight_events = 0;
 
   std::vector<std::vector<uint32_t>> residual = instance.sets;
   std::vector<double> w_res = instance.weights;
@@ -29,6 +32,7 @@ Result<SetCoverSolution> LayerSetCover(const SetCoverInstance& instance,
     double c = 0.0;
     for (uint32_t s = 0; s < num_sets; ++s) {
       if (!alive[s] || residual[s].empty()) continue;
+      ++sets_scanned;
       const double eff = w_res[s] / static_cast<double>(residual[s].size());
       if (best < 0 || eff < c) {
         best = static_cast<int>(s);
@@ -44,6 +48,7 @@ Result<SetCoverSolution> LayerSetCover(const SetCoverInstance& instance,
     for (uint32_t s = 0; s < num_sets; ++s) {
       if (!alive[s] || residual[s].empty()) continue;
       w_res[s] -= c * static_cast<double>(residual[s].size());
+      ++reweight_events;
     }
     // Add the tight sets. The paper's literal rule adds *all* of them; the
     // refined variant re-checks that a set still has uncovered elements
@@ -77,6 +82,11 @@ Result<SetCoverSolution> LayerSetCover(const SetCoverInstance& instance,
       if (elems.empty()) alive[s] = false;
     }
   }
+  obs::MetricsRegistry& metrics = obs::CurrentObs().metrics;
+  metrics.GetCounter("solver.layer.runs")->Add(1);
+  metrics.GetCounter("solver.layer.iterations")->Add(solution.iterations);
+  metrics.GetCounter("solver.layer.sets_scanned")->Add(sets_scanned);
+  metrics.GetCounter("solver.layer.reweight_events")->Add(reweight_events);
   return solution;
 }
 
@@ -84,6 +94,8 @@ Result<SetCoverSolution> ModifiedLayerSetCover(
     const SetCoverInstance& instance, const LayerOptions& options) {
   SetCoverSolution solution;
   const size_t num_sets = instance.num_sets();
+  uint64_t heap_pops = 0;
+  uint64_t cross_link_updates = 0;
   if (instance.element_sets.size() != instance.num_elements) {
     return Status::Internal(
         "modified layer requires element links (call BuildLinks)");
@@ -123,6 +135,7 @@ Result<SetCoverSolution> ModifiedLayerSetCover(
     }
     const auto [chosen, tight_time] = heap.Top();
     heap.Pop();
+    ++heap_pops;
     now = std::max(now, tight_time);
     // A set tight "now" belongs to the same batch as earlier pops at this
     // time; equality is tested with a scale-aware tolerance.
@@ -135,6 +148,7 @@ Result<SetCoverSolution> ModifiedLayerSetCover(
       --remaining;
       for (const uint32_t other : instance.element_sets[e]) {
         if (other == chosen || !heap.Contains(other)) continue;
+        ++cross_link_updates;
         // Settle the payment stream up to `now`, then slow the rate.
         slack[other] -= static_cast<double>(uncovered_count[other]) *
                         (now - settled_at[other]);
@@ -155,6 +169,13 @@ Result<SetCoverSolution> ModifiedLayerSetCover(
       }
     }
   }
+  obs::MetricsRegistry& metrics = obs::CurrentObs().metrics;
+  metrics.GetCounter("solver.modified-layer.runs")->Add(1);
+  metrics.GetCounter("solver.modified-layer.iterations")
+      ->Add(solution.iterations);
+  metrics.GetCounter("solver.modified-layer.heap_pops")->Add(heap_pops);
+  metrics.GetCounter("solver.modified-layer.cross_link_updates")
+      ->Add(cross_link_updates);
   return solution;
 }
 

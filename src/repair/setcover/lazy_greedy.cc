@@ -1,6 +1,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/context.h"
 #include "repair/setcover/solvers.h"
 
 namespace dbrepair {
@@ -24,6 +25,8 @@ struct LazyEntryGreater {
 Result<SetCoverSolution> LazyGreedySetCover(const SetCoverInstance& instance) {
   SetCoverSolution solution;
   const size_t num_sets = instance.num_sets();
+  uint64_t heap_pops = 0;
+  uint64_t reinserts = 0;
 
   std::vector<bool> covered(instance.num_elements, false);
   std::vector<bool> alive(num_sets, true);
@@ -57,6 +60,7 @@ Result<SetCoverSolution> LazyGreedySetCover(const SetCoverInstance& instance) {
     }
     const LazyEntry entry = queue.top();
     queue.pop();
+    ++heap_pops;
     if (!alive[entry.id]) continue;  // stale duplicate of a chosen set
     const size_t count = uncovered(entry.id);
     if (count == 0) {
@@ -68,6 +72,7 @@ Result<SetCoverSolution> LazyGreedySetCover(const SetCoverInstance& instance) {
     if (key != entry.key) {
       // Stale: effective weights only rise, so reinsert with the fresh key.
       queue.push(LazyEntry{key, entry.id});
+      ++reinserts;
       continue;
     }
     // Fresh and minimal: every other stored key is >= entry.key and true
@@ -84,6 +89,12 @@ Result<SetCoverSolution> LazyGreedySetCover(const SetCoverInstance& instance) {
       }
     }
   }
+  obs::MetricsRegistry& metrics = obs::CurrentObs().metrics;
+  metrics.GetCounter("solver.lazy-greedy.runs")->Add(1);
+  metrics.GetCounter("solver.lazy-greedy.iterations")
+      ->Add(solution.iterations);
+  metrics.GetCounter("solver.lazy-greedy.heap_pops")->Add(heap_pops);
+  metrics.GetCounter("solver.lazy-greedy.reinserts")->Add(reinserts);
   return solution;
 }
 

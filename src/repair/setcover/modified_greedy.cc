@@ -1,3 +1,4 @@
+#include "obs/context.h"
 #include "repair/setcover/indexed_heap.h"
 #include "repair/setcover/solvers.h"
 
@@ -7,6 +8,8 @@ Result<SetCoverSolution> ModifiedGreedySetCover(
     const SetCoverInstance& instance) {
   SetCoverSolution solution;
   const size_t num_sets = instance.num_sets();
+  uint64_t heap_pops = 0;
+  uint64_t cross_link_updates = 0;
   if (instance.element_sets.size() != instance.num_elements) {
     return Status::Internal(
         "modified greedy requires element links (call BuildLinks)");
@@ -34,6 +37,7 @@ Result<SetCoverSolution> ModifiedGreedySetCover(
     const auto [chosen, eff] = heap.Top();
     (void)eff;
     heap.Pop();
+    ++heap_pops;
     solution.chosen.push_back(chosen);
     solution.weight += instance.weights[chosen];
 
@@ -44,6 +48,7 @@ Result<SetCoverSolution> ModifiedGreedySetCover(
       // Reprice every other set containing e via the element links.
       for (const uint32_t other : instance.element_sets[e]) {
         if (other == chosen || !heap.Contains(other)) continue;
+        ++cross_link_updates;
         if (--uncovered_count[other] == 0) {
           heap.Remove(other);
         } else {
@@ -53,6 +58,13 @@ Result<SetCoverSolution> ModifiedGreedySetCover(
       }
     }
   }
+  obs::MetricsRegistry& metrics = obs::CurrentObs().metrics;
+  metrics.GetCounter("solver.modified-greedy.runs")->Add(1);
+  metrics.GetCounter("solver.modified-greedy.iterations")
+      ->Add(solution.iterations);
+  metrics.GetCounter("solver.modified-greedy.heap_pops")->Add(heap_pops);
+  metrics.GetCounter("solver.modified-greedy.cross_link_updates")
+      ->Add(cross_link_updates);
   return solution;
 }
 

@@ -9,6 +9,8 @@
 #include <sstream>
 #include <string>
 
+#include "obs/json.h"
+
 namespace dbrepair {
 namespace {
 
@@ -24,6 +26,23 @@ struct RunResult {
 RunResult RunCli(const std::string& args) {
   const std::string command = std::string(DBREPAIR_CLI_PATH) + " " + args +
                               " 2>/dev/null";
+  RunResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  size_t n;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    result.stdout_text.append(buffer, n);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+/// Like RunCli but captures stderr instead of stdout.
+RunResult RunCliStderr(const std::string& args) {
+  const std::string command = std::string(DBREPAIR_CLI_PATH) + " " + args +
+                              " 2>&1 >/dev/null";
   RunResult result;
   FILE* pipe = popen(command.c_str(), "r");
   if (pipe == nullptr) return result;
@@ -216,6 +235,96 @@ TEST_F(CliTest, ReportFlagPrintsSummary) {
   pclose(pipe);
   EXPECT_NE(text.find("repair summary"), std::string::npos) << text;
   EXPECT_NE(text.find("updates per attribute"), std::string::npos);
+}
+
+TEST_F(CliTest, MetricsOutWritesParseableSnapshot) {
+  const std::string path = dir_ + "/metrics.json";
+  const RunResult result =
+      RunCli(dir_ + "/repair.conf --quiet --metrics-out " + path);
+  EXPECT_EQ(result.exit_code, 0);
+
+  auto snapshot = obs::Json::Parse(ReadFile(path));
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+
+  ASSERT_NE(snapshot->Find("solver"), nullptr);
+  EXPECT_EQ(snapshot->Find("solver")->AsString(), "modified-greedy");
+
+  // Per-phase wall times: the top-level phases sum to at most the root.
+  const obs::Json* phases = snapshot->Find("phases");
+  ASSERT_NE(phases, nullptr);
+  ASSERT_NE(phases->Find("repair"), nullptr);
+  double phase_sum = 0.0;
+  for (const char* phase : {"repair/bind", "repair/locality", "repair/build",
+                            "repair/solve", "repair/apply", "repair/verify"}) {
+    const obs::Json* entry = phases->Find(phase);
+    ASSERT_NE(entry, nullptr) << phase;
+    phase_sum += entry->AsDouble();
+  }
+  EXPECT_LE(phase_sum, phases->Find("repair")->AsDouble() + 1e-6);
+
+  const obs::Json* metrics = snapshot->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const obs::Json* counters = metrics->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  // Per-constraint violation-set counts (2 for ic1, 1 for ic2).
+  ASSERT_NE(counters->Find("violations.constraint.ic1"), nullptr);
+  EXPECT_EQ(counters->Find("violations.constraint.ic1")->AsInt(), 2);
+  EXPECT_EQ(counters->Find("violations.constraint.ic2")->AsInt(), 1);
+  // Solver counters for the configured solver.
+  ASSERT_NE(counters->Find("solver.modified-greedy.runs"), nullptr);
+  EXPECT_GE(counters->Find("solver.modified-greedy.runs")->AsInt(), 1);
+  // Deg(D, IC) gauge.
+  const obs::Json* gauges = metrics->Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_NE(gauges->Find("repair.max_degree"), nullptr);
+  EXPECT_DOUBLE_EQ(gauges->Find("repair.max_degree")->AsDouble(), 2.0);
+
+  // The nested span tree rides along.
+  const obs::Json* trace = snapshot->Find("trace");
+  ASSERT_NE(trace, nullptr);
+  ASSERT_EQ(trace->AsArray().size(), 1u);
+  EXPECT_EQ(trace->AsArray()[0].Find("name")->AsString(), "repair");
+}
+
+TEST_F(CliTest, SolverFlagFlipsCounterBlock) {
+  const std::string path = dir_ + "/metrics_greedy.json";
+  const RunResult result = RunCli(dir_ + "/repair.conf --quiet "
+                                  "--solver greedy --metrics-out " + path);
+  EXPECT_EQ(result.exit_code, 0);
+  auto snapshot = obs::Json::Parse(ReadFile(path));
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_EQ(snapshot->Find("solver")->AsString(), "greedy");
+  const obs::Json* counters = snapshot->Find("metrics")->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->Find("solver.greedy.runs"), nullptr);
+  EXPECT_GE(counters->Find("solver.greedy.runs")->AsInt(), 1);
+  EXPECT_EQ(counters->Find("solver.modified-greedy.runs"), nullptr);
+}
+
+TEST_F(CliTest, TraceFlagPrintsSpanTreeToStderr) {
+  const RunResult result =
+      RunCliStderr(dir_ + "/repair.conf --quiet --trace");
+  EXPECT_EQ(result.exit_code, 0);
+  const std::string& text = result.stdout_text;  // captured stderr
+  EXPECT_NE(text.find("repair"), std::string::npos) << text;
+  EXPECT_NE(text.find("build"), std::string::npos) << text;
+  EXPECT_NE(text.find("solve"), std::string::npos) << text;
+  EXPECT_NE(text.find("ms"), std::string::npos) << text;
+}
+
+TEST_F(CliTest, QuietSilencesIncidentalStderr) {
+  const RunResult result = RunCliStderr(dir_ + "/repair.conf --quiet");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.stdout_text, "") << result.stdout_text;
+}
+
+TEST_F(CliTest, DefaultVerbosityLogsLoadsAndSummary) {
+  const RunResult result = RunCliStderr(dir_ + "/repair.conf");
+  EXPECT_EQ(result.exit_code, 0);
+  const std::string& text = result.stdout_text;  // captured stderr
+  EXPECT_NE(text.find("loaded 3 tuples into Paper"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("solver=modified-greedy"), std::string::npos) << text;
 }
 
 TEST_F(CliTest, QuerySubcommand) {

@@ -1,0 +1,126 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+namespace dbrepair::obs {
+namespace {
+
+TEST(JsonTest, DumpScalars) {
+  EXPECT_EQ(Json().Dump(), "null");
+  EXPECT_EQ(Json(nullptr).Dump(), "null");
+  EXPECT_EQ(Json(true).Dump(), "true");
+  EXPECT_EQ(Json(false).Dump(), "false");
+  EXPECT_EQ(Json(int64_t{42}).Dump(), "42");
+  EXPECT_EQ(Json(int64_t{-7}).Dump(), "-7");
+  EXPECT_EQ(Json("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonTest, IntAndDoubleStayDistinct) {
+  const Json i(int64_t{3});
+  const Json d(3.0);
+  EXPECT_TRUE(i.is_int());
+  EXPECT_FALSE(i.is_double());
+  EXPECT_TRUE(d.is_double());
+  EXPECT_FALSE(d.is_int());
+  // Doubles always reparse as doubles: a ".0" marker is kept.
+  auto reparsed = Json::Parse(d.Dump());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_TRUE(reparsed->is_double());
+  auto reparsed_int = Json::Parse(i.Dump());
+  ASSERT_TRUE(reparsed_int.ok());
+  EXPECT_TRUE(reparsed_int->is_int());
+  EXPECT_EQ(reparsed_int->AsInt(), 3);
+}
+
+TEST(JsonTest, AsDoubleWorksForInts) {
+  EXPECT_DOUBLE_EQ(Json(int64_t{5}).AsDouble(), 5.0);
+  EXPECT_DOUBLE_EQ(Json(2.5).AsDouble(), 2.5);
+}
+
+TEST(JsonTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonEscape("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(JsonEscape("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(JsonEscape("tab\there"), "\"tab\\there\"");
+  EXPECT_EQ(JsonEscape("line\n"), "\"line\\n\"");
+  EXPECT_EQ(JsonEscape(std::string_view("nul\0byte", 8)), "\"nul\\u0000byte\"");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  Json obj = Json::MakeObject();
+  obj.Set("zebra", Json(int64_t{1}));
+  obj.Set("apple", Json(int64_t{2}));
+  obj.Set("mango", Json(int64_t{3}));
+  EXPECT_EQ(obj.Dump(), "{\"zebra\":1,\"apple\":2,\"mango\":3}");
+  // Replacing a key keeps its slot.
+  obj.Set("apple", Json(int64_t{9}));
+  EXPECT_EQ(obj.Dump(), "{\"zebra\":1,\"apple\":9,\"mango\":3}");
+}
+
+TEST(JsonTest, FindReturnsNullptrWhenAbsent) {
+  Json obj = Json::MakeObject();
+  obj.Set("present", Json(true));
+  ASSERT_NE(obj.Find("present"), nullptr);
+  EXPECT_TRUE(obj.Find("present")->AsBool());
+  EXPECT_EQ(obj.Find("absent"), nullptr);
+  EXPECT_EQ(Json(int64_t{1}).Find("anything"), nullptr);
+}
+
+TEST(JsonTest, ParseRoundTripsNestedDocument) {
+  Json doc = Json::MakeObject();
+  doc.Set("name", Json("repair"));
+  doc.Set("count", Json(int64_t{12}));
+  doc.Set("ratio", Json(0.25));
+  Json arr = Json::MakeArray();
+  arr.Append(Json(int64_t{1}));
+  arr.Append(Json(nullptr));
+  arr.Append(Json("x\"y"));
+  doc.Set("items", std::move(arr));
+  Json inner = Json::MakeObject();
+  inner.Set("ok", Json(true));
+  doc.Set("inner", std::move(inner));
+
+  for (const int indent : {-1, 0, 2}) {
+    auto parsed = Json::Parse(doc.Dump(indent));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(*parsed, doc) << "indent=" << indent;
+  }
+}
+
+TEST(JsonTest, ParseHandlesEscapesAndUnicode) {
+  auto parsed = Json::Parse(R"("a\"b\\c\/d\n\tA")");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->AsString(), "a\"b\\c/d\n\tA");
+}
+
+TEST(JsonTest, ParseNumbers) {
+  auto i = Json::Parse("-12");
+  ASSERT_TRUE(i.ok());
+  EXPECT_TRUE(i->is_int());
+  EXPECT_EQ(i->AsInt(), -12);
+
+  auto d = Json::Parse("1.5e2");
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->is_double());
+  EXPECT_DOUBLE_EQ(d->AsDouble(), 150.0);
+}
+
+TEST(JsonTest, ParseErrors) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\":1,}").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::Parse("tru").ok());
+  EXPECT_FALSE(Json::Parse("1 2").ok());  // trailing content
+  EXPECT_FALSE(Json::Parse("{\"a\" 1}").ok());
+}
+
+TEST(JsonTest, PrettyPrintIndents) {
+  Json obj = Json::MakeObject();
+  obj.Set("a", Json(int64_t{1}));
+  const std::string pretty = obj.Dump(2);
+  EXPECT_NE(pretty.find("{\n  \"a\": 1\n}"), std::string::npos) << pretty;
+}
+
+}  // namespace
+}  // namespace dbrepair::obs

@@ -1,0 +1,151 @@
+#include "obs/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dbrepair::obs {
+namespace {
+
+TEST(CounterTest, ConcurrentIncrementsLoseNothing) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      Counter* counter = registry.GetCounter("test.hits");
+      for (uint64_t i = 0; i < kPerThread; ++i) counter->Add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.GetCounter("test.hits")->value(), kThreads * kPerThread);
+}
+
+TEST(CounterTest, HandleIsStableAndResettable) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("a");
+  a->Add(5);
+  EXPECT_EQ(registry.GetCounter("a"), a);  // same handle on re-lookup
+  EXPECT_EQ(a->value(), 5u);
+  registry.Reset();
+  EXPECT_EQ(a->value(), 0u);  // handle survives Reset
+}
+
+TEST(GaugeTest, SetAddValue) {
+  Gauge gauge;
+  gauge.Set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+  gauge.Add(1.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 4.0);
+  gauge.Reset();
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket 0 holds exactly 0; bucket i >= 1 holds [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4u);
+  EXPECT_EQ(Histogram::BucketIndex((uint64_t{1} << 20) - 1), 20u);
+  EXPECT_EQ(Histogram::BucketIndex(uint64_t{1} << 20), 21u);
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), 64u);
+
+  EXPECT_EQ(Histogram::BucketLowerBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketLowerBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketLowerBound(2), 2u);
+  EXPECT_EQ(Histogram::BucketLowerBound(3), 4u);
+  EXPECT_EQ(Histogram::BucketLowerBound(64), uint64_t{1} << 63);
+
+  // Every bucket's lower bound maps back into that bucket.
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketLowerBound(i)), i);
+  }
+}
+
+TEST(HistogramTest, RecordAccumulates) {
+  Histogram h;
+  h.Record(0);
+  h.Record(1);
+  h.Record(2);
+  h.Record(3);
+  h.Record(4);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 10u);
+  EXPECT_EQ(h.bucket(0), 1u);  // {0}
+  EXPECT_EQ(h.bucket(1), 1u);  // {1}
+  EXPECT_EQ(h.bucket(2), 2u);  // {2, 3}
+  EXPECT_EQ(h.bucket(3), 1u);  // {4}
+}
+
+TEST(HistogramTest, ToJsonListsOnlyNonEmptyBuckets) {
+  Histogram h;
+  h.Record(3);
+  h.Record(3);
+  h.Record(100);
+  const Json json = h.ToJson();
+  ASSERT_NE(json.Find("count"), nullptr);
+  EXPECT_EQ(json.Find("count")->AsInt(), 3);
+  EXPECT_EQ(json.Find("sum")->AsInt(), 106);
+  const Json* buckets = json.Find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_EQ(buckets->AsArray().size(), 2u);
+  // [[2, 2], [64, 1]]: lower bounds of buckets for 3 and 100.
+  EXPECT_EQ(buckets->AsArray()[0].AsArray()[0].AsInt(), 2);
+  EXPECT_EQ(buckets->AsArray()[0].AsArray()[1].AsInt(), 2);
+  EXPECT_EQ(buckets->AsArray()[1].AsArray()[0].AsInt(), 64);
+  EXPECT_EQ(buckets->AsArray()[1].AsArray()[1].AsInt(), 1);
+}
+
+TEST(MetricsRegistryTest, SnapshotRoundTripsThroughJson) {
+  MetricsRegistry registry;
+  registry.GetCounter("engine.rows_scanned")->Add(123);
+  registry.GetCounter("solver.greedy.iterations")->Add(4);
+  registry.GetGauge("repair.max_degree")->Set(3.0);
+  registry.GetHistogram("build.fix_set_size")->Record(2);
+
+  const Json snapshot = registry.Snapshot();
+  auto reparsed = Json::Parse(snapshot.Dump(2));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(*reparsed, snapshot);
+
+  const Json* counters = reparsed->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->Find("engine.rows_scanned"), nullptr);
+  EXPECT_EQ(counters->Find("engine.rows_scanned")->AsInt(), 123);
+  EXPECT_EQ(counters->Find("solver.greedy.iterations")->AsInt(), 4);
+  const Json* gauges = reparsed->Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->Find("repair.max_degree")->AsDouble(), 3.0);
+  const Json* histograms = reparsed->Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  EXPECT_EQ(histograms->Find("build.fix_set_size")->Find("count")->AsInt(), 1);
+}
+
+TEST(MetricsRegistryTest, ConcurrentMixedAccess) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < 1000; ++i) {
+        registry.GetCounter("shared")->Add();
+        registry.GetHistogram("h")->Record(static_cast<uint64_t>(t));
+        registry.GetGauge("g." + std::to_string(t))->Set(t);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.GetCounter("shared")->value(), 4000u);
+  EXPECT_EQ(registry.GetHistogram("h")->count(), 4000u);
+}
+
+}  // namespace
+}  // namespace dbrepair::obs

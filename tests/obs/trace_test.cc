@@ -1,0 +1,152 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/context.h"
+
+namespace dbrepair::obs {
+namespace {
+
+TEST(TracerTest, SpansNestInOpenOrder) {
+  Tracer tracer;
+  {
+    Span repair(&tracer, "repair");
+    { Span bind(&tracer, "bind"); }
+    {
+      Span build(&tracer, "build");
+      { Span violations(&tracer, "violations"); }
+      { Span fixes(&tracer, "fixes"); }
+    }
+    { Span solve(&tracer, "solve"); }
+  }
+  const auto roots = tracer.roots();
+  ASSERT_EQ(roots.size(), 1u);
+  const SpanNode& root = *roots[0];
+  EXPECT_EQ(root.name, "repair");
+  EXPECT_FALSE(root.open);
+  ASSERT_EQ(root.children.size(), 3u);
+  EXPECT_EQ(root.children[0]->name, "bind");
+  EXPECT_EQ(root.children[1]->name, "build");
+  EXPECT_EQ(root.children[2]->name, "solve");
+  ASSERT_EQ(root.children[1]->children.size(), 2u);
+  EXPECT_EQ(root.children[1]->children[0]->name, "violations");
+  EXPECT_EQ(root.children[1]->children[1]->name, "fixes");
+}
+
+TEST(TracerTest, FinishReturnsDurationAndIsIdempotent) {
+  Tracer tracer;
+  Span span(&tracer, "work");
+  const double first = span.Finish();
+  const double second = span.Finish();
+  EXPECT_GE(first, 0.0);
+  EXPECT_EQ(first, second);
+  const SpanNode* node = tracer.FindSpan("work");
+  ASSERT_NE(node, nullptr);
+  EXPECT_DOUBLE_EQ(node->duration_seconds, first);
+}
+
+TEST(TracerTest, ChildDurationsBoundedByParent) {
+  Tracer tracer;
+  {
+    Span outer(&tracer, "outer");
+    { Span inner(&tracer, "inner"); }
+  }
+  const SpanNode* outer = tracer.FindSpan("outer");
+  const SpanNode* inner = tracer.FindSpan("outer/inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_GE(inner->start_seconds, outer->start_seconds);
+  EXPECT_LE(inner->duration_seconds, outer->duration_seconds + 1e-9);
+}
+
+TEST(TracerTest, CloseSpanPopsAbandonedChildren) {
+  // An early error return destroys Span objects out of strict order; closing
+  // a parent must finish any deeper spans still open.
+  Tracer tracer;
+  SpanNode* outer = tracer.OpenSpan("outer");
+  tracer.OpenSpan("leaked");
+  tracer.CloseSpan(outer);
+  const SpanNode* leaked = tracer.FindSpan("outer/leaked");
+  ASSERT_NE(leaked, nullptr);
+  EXPECT_FALSE(leaked->open);
+  // A fresh span after the close is a new root, not a child of "outer".
+  { Span next(&tracer, "next"); }
+  EXPECT_EQ(tracer.roots().size(), 2u);
+  EXPECT_NE(tracer.FindSpan("next"), nullptr);
+}
+
+TEST(TracerTest, FindSpanByPath) {
+  Tracer tracer;
+  {
+    Span a(&tracer, "a");
+    Span b(&tracer, "b");
+    Span c(&tracer, "c");
+    c.Finish();
+    b.Finish();
+    a.Finish();
+  }
+  EXPECT_NE(tracer.FindSpan("a"), nullptr);
+  EXPECT_NE(tracer.FindSpan("a/b"), nullptr);
+  EXPECT_NE(tracer.FindSpan("a/b/c"), nullptr);
+  EXPECT_EQ(tracer.FindSpan("a/c"), nullptr);
+  EXPECT_EQ(tracer.FindSpan("nope"), nullptr);
+}
+
+TEST(TracerTest, ClearDropsEverything) {
+  Tracer tracer;
+  { Span s(&tracer, "s"); }
+  EXPECT_EQ(tracer.roots().size(), 1u);
+  tracer.Clear();
+  EXPECT_TRUE(tracer.roots().empty());
+  EXPECT_EQ(tracer.FindSpan("s"), nullptr);
+}
+
+TEST(TracerTest, FormatSpanTreeListsEveryNode) {
+  Tracer tracer;
+  {
+    Span repair(&tracer, "repair");
+    { Span build(&tracer, "build"); }
+  }
+  const std::string text = FormatSpanTrees(tracer);
+  EXPECT_NE(text.find("repair"), std::string::npos) << text;
+  EXPECT_NE(text.find("build"), std::string::npos) << text;
+  EXPECT_NE(text.find("ms"), std::string::npos) << text;
+}
+
+TEST(TracerTest, SpanTreeToJsonShape) {
+  Tracer tracer;
+  {
+    Span repair(&tracer, "repair");
+    { Span solve(&tracer, "solve"); }
+  }
+  const Json json = SpanTreeToJson(*tracer.roots()[0]);
+  EXPECT_EQ(json.Find("name")->AsString(), "repair");
+  EXPECT_TRUE(json.Find("duration_s")->is_double());
+  const Json* children = json.Find("children");
+  ASSERT_NE(children, nullptr);
+  ASSERT_EQ(children->AsArray().size(), 1u);
+  EXPECT_EQ(children->AsArray()[0].Find("name")->AsString(), "solve");
+}
+
+TEST(ScopedObsTest, InstallsAndRestoresCurrentContext) {
+  ObsContext& base = CurrentObs();
+  ObsContext local;
+  {
+    ScopedObs scoped(&local);
+    EXPECT_EQ(&CurrentObs(), &local);
+    // The default-tracer Span constructor writes into the installed context.
+    { Span s("scoped-span"); }
+    EXPECT_NE(local.tracer.FindSpan("scoped-span"), nullptr);
+    ObsContext nested;
+    {
+      ScopedObs inner(&nested);
+      EXPECT_EQ(&CurrentObs(), &nested);
+    }
+    EXPECT_EQ(&CurrentObs(), &local);
+  }
+  EXPECT_EQ(&CurrentObs(), &base);
+  EXPECT_EQ(base.tracer.FindSpan("scoped-span"), nullptr);
+}
+
+}  // namespace
+}  // namespace dbrepair::obs
