@@ -41,6 +41,35 @@ void RunSolver(benchmark::State& state, SolverKind kind) {
   state.counters["cover_weight"] = weight;
 }
 
+// Thread sweep over the build phase (Algorithms 2-4): the violation scan,
+// fix generation, and fix-to-violation linking all shard across the worker
+// count, so build time should drop with threads while the resulting
+// instance stays byte-identical (asserted by tests/repair/differential_test).
+void BM_BuildPipelineThreads(benchmark::State& state) {
+  const auto clients = static_cast<size_t>(state.range(0));
+  const auto threads = static_cast<size_t>(state.range(1));
+  // Prepare the workload once (memoised); only BuildRepairProblem is timed.
+  const PreparedProblem& prepared = ClientBuyProblem(clients, /*seed=*/1);
+  BuildOptions options;
+  options.num_threads = threads;
+  const DistanceFunction distance(DistanceKind::kL1);
+  size_t num_sets = 0;
+  for (auto _ : state) {
+    auto problem = BuildRepairProblem(prepared.workload->db, prepared.bound,
+                                      distance, options);
+    if (!problem.ok()) {
+      state.SkipWithError(problem.status().ToString().c_str());
+      return;
+    }
+    num_sets = problem->instance.num_sets();
+    benchmark::DoNotOptimize(problem->fixes.data());
+  }
+  state.counters["tuples"] =
+      static_cast<double>(prepared.workload->db.TotalTuples());
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["sets"] = static_cast<double>(num_sets);
+}
+
 void BM_Greedy(benchmark::State& state) {
   RunSolver(state, SolverKind::kGreedy);
 }
@@ -67,5 +96,9 @@ BENCHMARK(BM_ModifiedGreedy)->Unit(benchmark::kMillisecond)->Arg(1000)
     ->Arg(3000)->Arg(10000)->Arg(30000)->Arg(100000)->Arg(350000);
 BENCHMARK(BM_ModifiedLayer)->Unit(benchmark::kMillisecond)->Arg(1000)
     ->Arg(3000)->Arg(10000)->Arg(30000)->Arg(100000)->Arg(350000);
+// Build-phase scaling: {clients} x {worker threads}.
+BENCHMARK(BM_BuildPipelineThreads)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgsProduct({{30000, 100000}, {1, 2, 4, 8}});
 
 BENCHMARK_MAIN();

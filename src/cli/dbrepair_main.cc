@@ -3,8 +3,8 @@
 //
 // Usage:
 //   dbrepair [repair] <config> [--solver S] [--distance L1|L2] [--mode M]
-//            [--output PATH] [--metrics-out PATH] [--trace] [--quiet]
-//            [--report]
+//            [--output PATH] [--metrics-out PATH] [--threads N] [--trace]
+//            [--quiet] [--report]
 //   dbrepair check <config> [--quiet]     detect violations; exit 3 if any
 //   dbrepair explain <config>             print locality analysis + SQL views
 //   dbrepair query <config> <SQL>         run a SELECT against the data
@@ -18,6 +18,7 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <utility>
@@ -45,8 +46,8 @@ void PrintUsage() {
       << "usage: dbrepair [repair] <config> [--solver greedy|modified-greedy"
          "|lazy-greedy|layer|modified-layer|exact]\n"
          "                [--distance L1|L2] [--mode update|insert|dump]\n"
-         "                [--output PATH] [--metrics-out PATH] [--trace]\n"
-         "                [--quiet] [--report]\n"
+         "                [--output PATH] [--metrics-out PATH] [--threads N]\n"
+         "                [--trace] [--quiet] [--report]\n"
          "       dbrepair check <config> [--quiet]\n"
          "       dbrepair explain <config>\n"
          "       dbrepair query <config> <SQL>\n"
@@ -54,6 +55,9 @@ void PrintUsage() {
          "  --metrics-out PATH  write the JSON run snapshot (per-phase wall\n"
          "                      times, per-constraint violation counts,\n"
          "                      solver counters, span tree) to PATH\n"
+         "  --threads N         worker threads for the build/verify phases\n"
+         "                      (0 = one per hardware thread, 1 = serial;\n"
+         "                      the repair is identical either way)\n"
          "  --trace             print the nested span tree to stderr\n"
          "  --quiet             suppress incidental output (logger severity\n"
          "                      below 'warn')\n";
@@ -162,6 +166,7 @@ int RunRepair(RepairConfig config, int argc, char** argv, int arg_start) {
   bool quiet = false;
   bool report = false;
   bool trace = false;
+  size_t num_threads = 0;
   std::string metrics_out;
   for (int i = arg_start; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -199,6 +204,15 @@ int RunRepair(RepairConfig config, int argc, char** argv, int arg_start) {
         return Fail(Status::InvalidArgument("--output needs a value"));
       }
       config.output_path = v;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      char* end = nullptr;
+      const long long parsed = v == nullptr ? -1 : std::strtoll(v, &end, 10);
+      if (v == nullptr || *v == '\0' || *end != '\0' || parsed < 0) {
+        return Fail(Status::InvalidArgument(
+            "--threads needs a non-negative integer"));
+      }
+      num_threads = static_cast<size_t>(parsed);
     } else if (arg == "--metrics-out") {
       const char* v = next();
       if (v == nullptr) {
@@ -229,6 +243,7 @@ int RunRepair(RepairConfig config, int argc, char** argv, int arg_start) {
   RepairOptions options;
   options.solver = config.solver;
   options.distance = config.distance;
+  options.num_threads = num_threads;
   auto outcome = RepairDatabase(*db, config.constraints, options);
   if (!outcome.ok()) return Fail(outcome.status());
   if (report) {

@@ -1,6 +1,8 @@
 #include "constraints/violation_engine.h"
 
 #include <algorithm>
+#include <cassert>
+#include <chrono>
 #include <numeric>
 #include <unordered_set>
 
@@ -236,6 +238,21 @@ const ViolationEngine::HashIndex& ViolationEngine::GetIndex(
   return index_cache_.emplace(key, std::move(index)).first->second;
 }
 
+void ViolationEngine::PrewarmIndexes(const Plan& plan) {
+  for (const AtomStep& step : plan.steps) {
+    if (!step.index_positions.empty()) {
+      GetIndex(plan.ic->atoms[step.atom_index].relation_index,
+               step.index_positions);
+    }
+  }
+}
+
+const ViolationEngine::HashIndex* ViolationEngine::FindIndex(
+    uint32_t relation, const std::vector<uint32_t>& positions) const {
+  const auto it = index_cache_.find(std::make_pair(relation, positions));
+  return it == index_cache_.end() ? nullptr : &it->second;
+}
+
 const TableStats& ViolationEngine::GetStats(uint32_t relation) {
   const auto it = stats_cache_.find(relation);
   if (it != stats_cache_.end()) return it->second;
@@ -245,7 +262,8 @@ const TableStats& ViolationEngine::GetStats(uint32_t relation) {
 
 Status ViolationEngine::ExecuteInto(
     const Plan& plan, const AtomRowBounds* bounds,
-    std::unordered_set<ViolationSet, ViolationSetHash>* dedupe_out) {
+    std::unordered_set<ViolationSet, ViolationSetHash>* dedupe_out,
+    ExecCounters* counters) const {
   const BoundConstraint& ic = *plan.ic;
 
   // Rebuild the planned built-ins in the same order BuildPlan indexed them.
@@ -276,8 +294,6 @@ Status ViolationEngine::ExecuteInto(
   std::vector<TupleRef> current(plan.steps.size());
   std::unordered_set<ViolationSet, ViolationSetHash>& dedupe = *dedupe_out;
 
-  // Join-execution metrics, accumulated locally and flushed once per call so
-  // the hot loop never touches an atomic.
   uint64_t rows_scanned = 0;
   uint64_t assignments_found = 0;
 
@@ -313,10 +329,13 @@ Status ViolationEngine::ExecuteInto(
       std::vector<Value> key;
       key.reserve(step.index_classes.size());
       for (int32_t cls : step.index_classes) key.push_back(*binding[cls]);
-      const HashIndex& index =
-          GetIndex(atom.relation_index, step.index_positions);
-      const auto it = index.find(key);
-      if (it == index.end()) return true;  // no matching rows
+      // Read-only lookup (PrewarmIndexes built it), so concurrent shards of
+      // one plan never mutate the cache.
+      const HashIndex* index =
+          FindIndex(atom.relation_index, step.index_positions);
+      assert(index != nullptr && "ExecuteInto requires PrewarmIndexes");
+      const auto it = index->find(key);
+      if (it == index->end()) return true;  // no matching rows
       rows = &it->second;
     } else if (step.range_position >= 0) {
       const BTreeIndex* btree = table.FindOrderedIndex(
@@ -386,10 +405,76 @@ Status ViolationEngine::ExecuteInto(
     return true;
   };
   recurse(recurse, 0);
-  obs::MetricsRegistry& metrics = obs::CurrentObs().metrics;
-  metrics.GetCounter("engine.rows_scanned")->Add(rows_scanned);
-  metrics.GetCounter("engine.assignments_found")->Add(assignments_found);
+  counters->rows_scanned += rows_scanned;
+  counters->assignments_found += assignments_found;
   return status;
+}
+
+Status ViolationEngine::ExecuteShardedInto(
+    const Plan& plan, size_t num_threads,
+    std::unordered_set<ViolationSet, ViolationSetHash>* dedupe,
+    ExecCounters* counters) {
+  using Clock = std::chrono::steady_clock;
+  const BoundConstraint& ic = *plan.ic;
+  const uint32_t driving_atom = plan.steps.front().atom_index;
+  const uint32_t driving_rel = ic.atoms[driving_atom].relation_index;
+  // A few shards per worker so an unlucky shard (one hot join key) does not
+  // leave the other workers idle. Shard boundaries never influence the
+  // output: the shards partition the driving atom's rows, so the merged
+  // dedupe buffer holds exactly the serial scan's violation sets.
+  static constexpr size_t kShardsPerThread = 4;
+  const auto ranges = ShardRanges(db_.table(driving_rel).size(),
+                                  num_threads * kShardsPerThread);
+  if (ranges.size() <= 1) {
+    const AtomRowBounds* no_bounds = nullptr;
+    return ExecuteInto(plan, no_bounds, dedupe, counters);
+  }
+  if (pool_ == nullptr || pool_->num_threads() < num_threads) {
+    pool_ = std::make_unique<ThreadPool>(num_threads);
+  }
+
+  std::vector<std::unordered_set<ViolationSet, ViolationSetHash>> shard_sets(
+      ranges.size());
+  std::vector<ExecCounters> shard_counters(ranges.size());
+  std::vector<Status> shard_status(ranges.size(), Status::OK());
+  std::vector<uint64_t> shard_ns(ranges.size(), 0);
+  ParallelFor(pool_.get(), ranges.size(), [&](size_t s) {
+    const auto start = Clock::now();
+    AtomRowBounds bounds(ic.atoms.size(), std::make_pair(0u, UINT32_MAX));
+    bounds[driving_atom] = {static_cast<uint32_t>(ranges[s].first),
+                           static_cast<uint32_t>(ranges[s].second)};
+    shard_status[s] =
+        ExecuteInto(plan, &bounds, &shard_sets[s], &shard_counters[s]);
+    shard_ns[s] = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start)
+            .count());
+  });
+
+  // Deterministic merge: shard order, with cross-shard dedupe (symmetric
+  // constraints can canonicalise assignments from different shards to the
+  // same tuple set).
+  const auto merge_start = Clock::now();
+  for (size_t s = 0; s < ranges.size(); ++s) {
+    DBREPAIR_RETURN_IF_ERROR(shard_status[s]);
+    counters->MergeFrom(shard_counters[s]);
+    dedupe->merge(shard_sets[s]);
+  }
+  if (dedupe->size() > options_.max_violation_sets) {
+    return Status::ResourceExhausted(
+        "violation-set enumeration exceeded max_violation_sets = " +
+        std::to_string(options_.max_violation_sets));
+  }
+  const auto merge_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      Clock::now() - merge_start);
+
+  obs::MetricsRegistry& metrics = obs::CurrentObs().metrics;
+  metrics.GetCounter("scan.shards")->Add(ranges.size());
+  metrics.GetCounter("scan.merge_ns")
+      ->Add(static_cast<uint64_t>(merge_ns.count()));
+  obs::Histogram* shard_hist = metrics.GetHistogram("scan.shard_ns");
+  for (const uint64_t ns : shard_ns) shard_hist->Record(ns);
+  return Status::OK();
 }
 
 void ViolationEngine::EmitMinimal(
@@ -397,6 +482,7 @@ void ViolationEngine::EmitMinimal(
     std::vector<ViolationSet>* out) {
   // ---- Minimality filter (Definition 2.4). ----
   // A candidate set is dropped when a proper subset is also a violation set.
+  const size_t first_emitted = out->size();
   for (const ViolationSet& vs : dedupe) {
     const size_t k = vs.tuples.size();
     bool minimal = true;
@@ -412,6 +498,13 @@ void ViolationEngine::EmitMinimal(
     }
     if (minimal) out->push_back(vs);
   }
+  // Sorted emission: never let unordered_set iteration order leak into the
+  // output, even before the entry points' final SortViolations pass.
+  std::sort(out->begin() + static_cast<ptrdiff_t>(first_emitted), out->end(),
+            [](const ViolationSet& a, const ViolationSet& b) {
+              if (a.ic_index != b.ic_index) return a.ic_index < b.ic_index;
+              return a.tuples < b.tuples;
+            });
 }
 
 void ViolationEngine::SortViolations(std::vector<ViolationSet>* out) {
@@ -423,15 +516,26 @@ void ViolationEngine::SortViolations(std::vector<ViolationSet>* out) {
 }
 
 Result<std::vector<ViolationSet>> ViolationEngine::FindViolations() {
+  const size_t num_threads = ResolveNumThreads(options_.num_threads);
   std::vector<ViolationSet> out;
+  ExecCounters counters;
   for (const BoundConstraint& ic : ics_) {
     const Plan plan = BuildPlan(ic);
+    PrewarmIndexes(plan);
     std::unordered_set<ViolationSet, ViolationSetHash> dedupe;
-    DBREPAIR_RETURN_IF_ERROR(ExecuteInto(plan, nullptr, &dedupe));
+    if (num_threads <= 1 || plan.steps.empty()) {
+      DBREPAIR_RETURN_IF_ERROR(ExecuteInto(plan, nullptr, &dedupe, &counters));
+    } else {
+      DBREPAIR_RETURN_IF_ERROR(
+          ExecuteShardedInto(plan, num_threads, &dedupe, &counters));
+    }
     EmitMinimal(dedupe, &out);
   }
   SortViolations(&out);
   obs::MetricsRegistry& metrics = obs::CurrentObs().metrics;
+  metrics.GetCounter("engine.rows_scanned")->Add(counters.rows_scanned);
+  metrics.GetCounter("engine.assignments_found")
+      ->Add(counters.assignments_found);
   metrics.GetCounter("engine.enumerations")->Add(1);
   metrics.GetCounter("engine.violation_sets")->Add(out.size());
   return out;
@@ -444,6 +548,7 @@ Result<std::vector<ViolationSet>> ViolationEngine::FindViolationsSince(
         "first_new_row must have one entry per relation");
   }
   std::vector<ViolationSet> out;
+  ExecCounters counters;
   for (const BoundConstraint& ic : ics_) {
     std::unordered_set<ViolationSet, ViolationSetHash> dedupe;
     // Delta-join partition by the first atom bound to a new tuple: atoms
@@ -452,6 +557,7 @@ Result<std::vector<ViolationSet>> ViolationEngine::FindViolationsSince(
     // pivot run.
     for (size_t pivot = 0; pivot < ic.atoms.size(); ++pivot) {
       const Plan pivot_plan = BuildPlan(ic, static_cast<int>(pivot));
+      PrewarmIndexes(pivot_plan);
       AtomRowBounds bounds(ic.atoms.size(),
                            std::make_pair(0u, UINT32_MAX));
       bool feasible = true;
@@ -469,17 +575,23 @@ Result<std::vector<ViolationSet>> ViolationEngine::FindViolationsSince(
         }
       }
       if (!feasible) continue;
-      DBREPAIR_RETURN_IF_ERROR(ExecuteInto(pivot_plan, &bounds, &dedupe));
+      DBREPAIR_RETURN_IF_ERROR(
+          ExecuteInto(pivot_plan, &bounds, &dedupe, &counters));
     }
     EmitMinimal(dedupe, &out);
   }
   SortViolations(&out);
+  obs::MetricsRegistry& metrics = obs::CurrentObs().metrics;
+  metrics.GetCounter("engine.rows_scanned")->Add(counters.rows_scanned);
+  metrics.GetCounter("engine.assignments_found")
+      ->Add(counters.assignments_found);
   return out;
 }
 
 Result<bool> ViolationEngine::Satisfies(
-    const Database& db, const std::vector<BoundConstraint>& ics) {
-  ViolationEngine engine(db, ics);
+    const Database& db, const std::vector<BoundConstraint>& ics,
+    ViolationEngineOptions options) {
+  ViolationEngine engine(db, ics, options);
   DBREPAIR_ASSIGN_OR_RETURN(const std::vector<ViolationSet> violations,
                             engine.FindViolations());
   return violations.empty();

@@ -2,12 +2,14 @@
 #define DBREPAIR_CONSTRAINTS_VIOLATION_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "constraints/ast.h"
 #include "constraints/violation.h"
 #include "storage/database.h"
@@ -19,6 +21,12 @@ struct ViolationEngineOptions {
   /// Safety cap on the number of deduplicated violation sets; exceeded
   /// enumeration returns ResourceExhausted instead of exhausting memory.
   size_t max_violation_sets = 100'000'000;
+  /// Worker threads for FindViolations. 1 (the default) is the exact serial
+  /// path; 0 means one per hardware thread. With N > 1 each constraint's
+  /// driving-table scan is sharded across workers into per-shard dedupe
+  /// buffers that are merged in shard order, so the output — and every
+  /// downstream violation id — is byte-identical to the serial run.
+  size_t num_threads = 1;
 };
 
 /// Enumerates violation sets of linear denial constraints over a Database
@@ -53,7 +61,8 @@ class ViolationEngine {
 
   /// True iff `db` satisfies every constraint (no violation set exists).
   static Result<bool> Satisfies(const Database& db,
-                                const std::vector<BoundConstraint>& ics);
+                                const std::vector<BoundConstraint>& ics,
+                                ViolationEngineOptions options = {});
 
   /// Whether the tuple collection satisfies `ic`, i.e. *no* assignment of
   /// the given tuples (relation index, tuple) to ic's atoms makes the body
@@ -115,17 +124,50 @@ class ViolationEngine {
                             const std::vector<uint32_t>& positions);
   const TableStats& GetStats(uint32_t relation);
 
-  // Per-atom row-id bounds [min, max) used by the delta-join pivots;
-  // nullptr = unrestricted.
+  // Per-atom row-id bounds [min, max) used by the delta-join pivots and the
+  // parallel scan shards; nullptr = unrestricted.
   using AtomRowBounds = std::vector<std::pair<uint32_t, uint32_t>>;
 
+  // Join-execution totals, accumulated locally (per call / per shard) and
+  // flushed to the metrics registry by the entry points, so the hot loop
+  // never touches an atomic and worker threads never resolve CurrentObs().
+  struct ExecCounters {
+    uint64_t rows_scanned = 0;
+    uint64_t assignments_found = 0;
+
+    void MergeFrom(const ExecCounters& other) {
+      rows_scanned += other.rows_scanned;
+      assignments_found += other.assignments_found;
+    }
+  };
+
+  // Builds every hash index the plan's steps will probe. Must be called
+  // before ExecuteInto, whose index lookups are read-only — which is what
+  // makes concurrent shard execution of one plan data-race free.
+  void PrewarmIndexes(const Plan& plan);
+
+  // Read-only cache lookup; nullptr when the index was never built.
+  const HashIndex* FindIndex(uint32_t relation,
+                             const std::vector<uint32_t>& positions) const;
+
   // Recursive join evaluation; inserts canonical tuple sets into `dedupe`.
+  // const (and PrewarmIndexes-dependent) so shards may run concurrently.
   Status ExecuteInto(
       const Plan& plan, const AtomRowBounds* bounds,
-      std::unordered_set<ViolationSet, ViolationSetHash>* dedupe);
+      std::unordered_set<ViolationSet, ViolationSetHash>* dedupe,
+      ExecCounters* counters) const;
+
+  // Parallel FindViolations body for one constraint: shards the driving
+  // (first-in-join-order) atom's table scan across `num_threads` workers
+  // and merges the per-shard dedupe buffers in shard order.
+  Status ExecuteShardedInto(
+      const Plan& plan, size_t num_threads,
+      std::unordered_set<ViolationSet, ViolationSetHash>* dedupe,
+      ExecCounters* counters);
 
   // Minimality filter (Definition 2.4): appends the inclusion-minimal sets
-  // of `dedupe` to `out`.
+  // of `dedupe` to `out` in sorted (ic, tuples) order, so emission never
+  // depends on hash-iteration order.
   static void EmitMinimal(
       const std::unordered_set<ViolationSet, ViolationSetHash>& dedupe,
       std::vector<ViolationSet>* out);
@@ -149,6 +191,9 @@ class ViolationEngine {
                      IndexKeyHash>
       index_cache_;
   std::unordered_map<uint32_t, TableStats> stats_cache_;
+  // Lazily created when FindViolations runs with > 1 effective threads;
+  // reused across constraints and calls.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace dbrepair

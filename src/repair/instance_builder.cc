@@ -1,9 +1,14 @@
 #include "repair/instance_builder.h"
 
+#include <chrono>
 #include <map>
+#include <memory>
 #include <tuple>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
+#include "common/thread_pool.h"
 #include "constraints/locality.h"
 #include "obs/context.h"
 #include "obs/trace.h"
@@ -33,6 +38,37 @@ struct FixKeyHash {
   }
 };
 
+// A candidate discovered by one violation shard, before global id
+// assignment. Shards dedupe locally; the shard-order merge dedupes across
+// shards and hands out ids in exactly the serial first-encounter order.
+struct PendingFix {
+  FixKey key;
+  CandidateFix fix;
+};
+
+// A few shards per worker so one dense shard does not leave the other
+// workers idle; shard boundaries never influence the output.
+constexpr size_t kShardsPerThread = 4;
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+// Flushes the per-shard timing counters of one parallel phase ("fixes",
+// "links"): `<phase>.shards`, `<phase>.shard_ns`, `<phase>.merge_ns`.
+void RecordShardMetrics(obs::MetricsRegistry* metrics, const char* phase,
+                        const std::vector<uint64_t>& shard_ns,
+                        uint64_t merge_ns) {
+  const std::string prefix(phase);
+  metrics->GetCounter(prefix + ".shards")->Add(shard_ns.size());
+  metrics->GetCounter(prefix + ".merge_ns")->Add(merge_ns);
+  obs::Histogram* hist = metrics->GetHistogram(prefix + ".shard_ns");
+  for (const uint64_t ns : shard_ns) hist->Record(ns);
+}
+
 }  // namespace
 
 Result<RepairProblem> BuildRepairProblem(
@@ -41,9 +77,19 @@ Result<RepairProblem> BuildRepairProblem(
   RepairProblem problem;
   obs::ObsContext& obs = obs::CurrentObs();
 
+  const size_t num_threads = ResolveNumThreads(options.num_threads);
+  obs.metrics.GetGauge("parallel.num_threads")
+      ->Set(static_cast<double>(num_threads));
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
+  const size_t max_shards =
+      num_threads > 1 ? num_threads * kShardsPerThread : 1;
+
   // ---- Algorithm 2: the violation-set array A. ----
   obs::Span violations_span(&obs.tracer, "violations");
-  ViolationEngine engine(db, ics, options.engine);
+  ViolationEngineOptions engine_options = options.engine;
+  engine_options.num_threads = num_threads;
+  ViolationEngine engine(db, ics, engine_options);
   DBREPAIR_ASSIGN_OR_RETURN(problem.violations, engine.FindViolations());
   problem.degrees = ComputeDegrees(problem.violations);
   {
@@ -69,49 +115,78 @@ Result<RepairProblem> BuildRepairProblem(
     }
     group.push_back(cmp);
   }
+  // MLF(t, ic, A) depends only on the group, so memoise it once; workers
+  // then share read-only maps.
+  std::map<GroupKey, std::optional<int64_t>> group_values;
+  for (const auto& [key, group] : groups) {
+    group_values.emplace(key, MonoLocalFixValue(group));
+  }
 
+  // Violation shards emit their candidates in scan order into per-shard
+  // buffers; the shard-order merge assigns ids in the exact serial
+  // first-encounter order.
+  const auto fix_ranges = ShardRanges(problem.violations.size(), max_shards);
+  std::vector<std::vector<PendingFix>> shard_fixes(fix_ranges.size());
+  std::vector<uint64_t> fix_shard_ns(fix_ranges.size(), 0);
+  ParallelFor(pool.get(), fix_ranges.size(), [&](size_t s) {
+    const auto start = std::chrono::steady_clock::now();
+    std::unordered_set<FixKey, FixKeyHash> seen;
+    for (size_t vid = fix_ranges[s].first; vid < fix_ranges[s].second;
+         ++vid) {
+      const ViolationSet& v = problem.violations[vid];
+      for (const TupleRef t : v.tuples) {
+        const auto attrs_it = ic_rel_attrs.find({v.ic_index, t.relation});
+        if (attrs_it == ic_rel_attrs.end()) continue;
+        for (const uint32_t attr : attrs_it->second) {
+          const std::optional<int64_t>& new_value =
+              group_values.find({v.ic_index, t.relation, attr})->second;
+          if (!new_value.has_value()) continue;  // non-local ic; skip.
+          const Value& current = db.tuple(t).value(attr);
+          if (current.is_int() && current.AsInt() == *new_value) {
+            continue;  // MLF(t, ic, A) == t changes nothing, solves nothing.
+          }
+          const int64_t old_value = current.is_int() ? current.AsInt() : 0;
+          const FixKey key{t.Packed(), attr, *new_value};
+          if (!seen.insert(key).second) continue;
+          CandidateFix fix;
+          fix.tuple = t;
+          fix.attribute = attr;
+          fix.old_value = old_value;
+          fix.new_value = *new_value;
+          const double alpha =
+              db.schema().relations()[t.relation].attribute(attr).alpha;
+          fix.weight = alpha * distance.ScalarDistance(
+                                   static_cast<double>(old_value),
+                                   static_cast<double>(*new_value));
+          shard_fixes[s].push_back(PendingFix{key, std::move(fix)});
+        }
+      }
+    }
+    fix_shard_ns[s] = ElapsedNs(start);
+  });
+
+  const auto fix_merge_start = std::chrono::steady_clock::now();
   std::unordered_map<FixKey, uint32_t, FixKeyHash> fix_ids;
   std::unordered_map<TupleRef, std::vector<uint32_t>, TupleRefHash>
       tuple_fixes;
-  for (const ViolationSet& v : problem.violations) {
-    for (const TupleRef t : v.tuples) {
-      const auto attrs_it = ic_rel_attrs.find({v.ic_index, t.relation});
-      if (attrs_it == ic_rel_attrs.end()) continue;
-      for (const uint32_t attr : attrs_it->second) {
-        const auto group_it = groups.find({v.ic_index, t.relation, attr});
-        const std::optional<int64_t> new_value =
-            MonoLocalFixValue(group_it->second);
-        if (!new_value.has_value()) continue;  // non-local ic; skip.
-        const Value& current = db.tuple(t).value(attr);
-        if (current.is_int() && current.AsInt() == *new_value) {
-          continue;  // MLF(t, ic, A) == t changes nothing, solves nothing.
-        }
-        const int64_t old_value = current.is_int() ? current.AsInt() : 0;
-        const FixKey key{t.Packed(), attr, *new_value};
-        if (fix_ids.count(key) > 0) continue;
-        const uint32_t id = static_cast<uint32_t>(problem.fixes.size());
-        fix_ids.emplace(key, id);
-        CandidateFix fix;
-        fix.tuple = t;
-        fix.attribute = attr;
-        fix.old_value = old_value;
-        fix.new_value = *new_value;
-        const double alpha =
-            db.schema().relations()[t.relation].attribute(attr).alpha;
-        fix.weight = alpha * distance.ScalarDistance(
-                                 static_cast<double>(old_value),
-                                 static_cast<double>(*new_value));
-        problem.fixes.push_back(std::move(fix));
-        tuple_fixes[t].push_back(id);
-      }
+  for (std::vector<PendingFix>& shard : shard_fixes) {
+    for (PendingFix& pending : shard) {
+      if (fix_ids.count(pending.key) > 0) continue;
+      const uint32_t id = static_cast<uint32_t>(problem.fixes.size());
+      fix_ids.emplace(pending.key, id);
+      tuple_fixes[pending.fix.tuple].push_back(id);
+      problem.fixes.push_back(std::move(pending.fix));
     }
+  }
+  if (num_threads > 1) {
+    RecordShardMetrics(&obs.metrics, "fixes", fix_shard_ns,
+                       ElapsedNs(fix_merge_start));
   }
   obs.metrics.GetCounter("build.candidate_fixes")->Add(problem.fixes.size());
   fixes_span.Finish();
 
   // ---- Algorithm 4: link candidates to the violation sets they solve. ----
   obs::Span setcover_span(&obs.tracer, "setcover");
-  uint64_t satisfies_checks = 0;
   // Materialise each fixed tuple once.
   std::vector<Tuple> fixed_tuples;
   fixed_tuples.reserve(problem.fixes.size());
@@ -121,27 +196,52 @@ Result<RepairProblem> BuildRepairProblem(
     fixed_tuples.push_back(std::move(fixed));
   }
 
-  std::vector<std::pair<uint32_t, const Tuple*>> members;
-  for (uint32_t vid = 0; vid < problem.violations.size(); ++vid) {
-    const ViolationSet& v = problem.violations[vid];
-    const BoundConstraint& ic = ics[v.ic_index];
-    members.clear();
-    for (const TupleRef t : v.tuples) {
-      members.emplace_back(t.relation, &db.tuple(t));
-    }
-    for (size_t j = 0; j < v.tuples.size(); ++j) {
-      const auto fixes_it = tuple_fixes.find(v.tuples[j]);
-      if (fixes_it == tuple_fixes.end()) continue;
-      const Tuple* original = members[j].second;
-      for (const uint32_t f : fixes_it->second) {
-        members[j].second = &fixed_tuples[f];
-        ++satisfies_checks;
-        if (ViolationEngine::SetSatisfies(ic, members)) {
-          problem.fixes[f].solved.push_back(vid);
-        }
+  // Each shard records its (fix, violation) links in scan order; appending
+  // shard by shard reproduces the serial ascending-vid `solved` lists.
+  const auto link_ranges = ShardRanges(problem.violations.size(), max_shards);
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> shard_links(
+      link_ranges.size());
+  std::vector<uint64_t> shard_checks(link_ranges.size(), 0);
+  std::vector<uint64_t> link_shard_ns(link_ranges.size(), 0);
+  ParallelFor(pool.get(), link_ranges.size(), [&](size_t s) {
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::pair<uint32_t, const Tuple*>> members;
+    for (size_t vid = link_ranges[s].first; vid < link_ranges[s].second;
+         ++vid) {
+      const ViolationSet& v = problem.violations[vid];
+      const BoundConstraint& ic = ics[v.ic_index];
+      members.clear();
+      for (const TupleRef t : v.tuples) {
+        members.emplace_back(t.relation, &db.tuple(t));
       }
-      members[j].second = original;
+      for (size_t j = 0; j < v.tuples.size(); ++j) {
+        const auto fixes_it = tuple_fixes.find(v.tuples[j]);
+        if (fixes_it == tuple_fixes.end()) continue;
+        const Tuple* original = members[j].second;
+        for (const uint32_t f : fixes_it->second) {
+          members[j].second = &fixed_tuples[f];
+          ++shard_checks[s];
+          if (ViolationEngine::SetSatisfies(ic, members)) {
+            shard_links[s].emplace_back(f, static_cast<uint32_t>(vid));
+          }
+        }
+        members[j].second = original;
+      }
     }
+    link_shard_ns[s] = ElapsedNs(start);
+  });
+
+  const auto link_merge_start = std::chrono::steady_clock::now();
+  uint64_t satisfies_checks = 0;
+  for (size_t s = 0; s < link_ranges.size(); ++s) {
+    satisfies_checks += shard_checks[s];
+    for (const auto& [f, vid] : shard_links[s]) {
+      problem.fixes[f].solved.push_back(vid);
+    }
+  }
+  if (num_threads > 1) {
+    RecordShardMetrics(&obs.metrics, "links", link_shard_ns,
+                       ElapsedNs(link_merge_start));
   }
 
   // ---- Definition 3.1: the pure MWSCP view. ----

@@ -26,7 +26,16 @@ struct RepairProblem {
 };
 
 struct BuildOptions {
+  /// `engine.num_threads` is overridden by `num_threads` below, so one knob
+  /// governs the whole build.
   ViolationEngineOptions engine;
+  /// Worker threads for the three parallelisable build phases: the
+  /// violation scan, mono-local fix generation, and fix-to-violation
+  /// linking. 1 (the default) is the exact serial path; 0 means one per
+  /// hardware thread. Any value produces a byte-identical RepairProblem:
+  /// shards partition the violation list and are merged in shard order, so
+  /// fix ids, solved-set order, and the MWSCP instance never change.
+  size_t num_threads = 1;
 };
 
 /// Builds the MWSCP instance (U, S, w)^(D, IC) of Definition 3.1:

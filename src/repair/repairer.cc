@@ -24,9 +24,11 @@ Result<RepairOutcome> RepairBoundImpl(const Database& db,
   const DistanceFunction distance(options.distance);
 
   obs::Span build_span(&obs.tracer, "build");
+  BuildOptions build_options = options.build;
+  build_options.num_threads = options.num_threads;
   DBREPAIR_ASSIGN_OR_RETURN(
       const RepairProblem problem,
-      BuildRepairProblem(db, ics, distance, options.build));
+      BuildRepairProblem(db, ics, distance, build_options));
   const double build_seconds = build_span.Finish();
 
   obs::Span solve_span(&obs.tracer, "solve");
@@ -46,8 +48,11 @@ Result<RepairOutcome> RepairBoundImpl(const Database& db,
   double verify_seconds = 0.0;
   if (options.verify) {
     obs::Span verify_span(&obs.tracer, "verify");
-    DBREPAIR_ASSIGN_OR_RETURN(const bool consistent,
-                              ViolationEngine::Satisfies(repaired, ics));
+    ViolationEngineOptions verify_options = build_options.engine;
+    verify_options.num_threads = options.num_threads;
+    DBREPAIR_ASSIGN_OR_RETURN(
+        const bool consistent,
+        ViolationEngine::Satisfies(repaired, ics, verify_options));
     verify_seconds = verify_span.Finish();
     if (!consistent) {
       return Status::Internal(

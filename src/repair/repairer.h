@@ -28,6 +28,13 @@ struct RepairOptions {
   /// Post-process the cover with PruneRedundantSets before materialising
   /// the repair (never worsens the distance; an ablation of the pipeline).
   bool prune_cover = false;
+  /// Worker threads for the build and verify phases (the solve/apply phases
+  /// stay serial — they are ordered scans over the already-built instance).
+  /// 0 (the default) means one per hardware thread; 1 is the exact serial
+  /// path. Any value produces a byte-identical repair: parallel phases shard
+  /// their input and merge per-shard buffers in shard order, so no output
+  /// ever depends on thread scheduling. Overrides `build.num_threads`.
+  size_t num_threads = 0;
   BuildOptions build;
 };
 

@@ -59,7 +59,11 @@ RunResult RunCliStderr(const std::string& args) {
 class CliTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "/dbrepair_cli";
+    // One directory per test: ctest -j runs the discovered tests as
+    // concurrent processes, and a shared directory would let one test's
+    // SetUp truncate the config while another test's subprocess reads it.
+    dir_ = ::testing::TempDir() + "/dbrepair_cli_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
     const std::string mkdir = "mkdir -p " + dir_;
     ASSERT_EQ(std::system(mkdir.c_str()), 0);
     WriteFile(dir_ + "/paper.csv",
@@ -132,6 +136,26 @@ TEST_F(CliTest, SolverOverrideWorks) {
                                     std::string(solver));
     EXPECT_EQ(result.exit_code, 0) << solver;
     EXPECT_NE(result.stdout_text.find("Paper("), std::string::npos);
+  }
+}
+
+TEST_F(CliTest, ThreadsFlagDoesNotChangeTheRepair) {
+  const RunResult serial = RunCli(dir_ + "/repair.conf --quiet --threads 1");
+  ASSERT_EQ(serial.exit_code, 0);
+  for (const char* threads : {"0", "4"}) {
+    const RunResult parallel = RunCli(dir_ + "/repair.conf --quiet --threads " +
+                                      std::string(threads));
+    EXPECT_EQ(parallel.exit_code, 0) << threads;
+    EXPECT_EQ(parallel.stdout_text, serial.stdout_text)
+        << "--threads " << threads << " changed the output";
+  }
+}
+
+TEST_F(CliTest, ThreadsFlagRejectsGarbage) {
+  for (const char* bad : {"-1", "two", ""}) {
+    const RunResult result =
+        RunCli(dir_ + "/repair.conf --threads '" + std::string(bad) + "'");
+    EXPECT_NE(result.exit_code, 0) << "--threads " << bad;
   }
 }
 

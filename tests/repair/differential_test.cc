@@ -1,0 +1,301 @@
+// Randomized differential harness for the parallel repair pipeline.
+//
+// Every case builds the same repair problem serially (num_threads = 1) and
+// with 2, 4, and 8 worker threads, and requires the results to be
+// *identical* — violation lists, fix ids, solved-set order, the MWSCP
+// instance (bit-equal weights), the applied updates, and the realised
+// distance. The parallel phases shard their input and merge per-shard
+// buffers in shard order precisely so this holds; any scheduling leak into
+// the output fails here.
+//
+// The same cases double as a solver-validity sweep: every solver must
+// return a valid cover, the greedy family must agree with itself exactly,
+// and where the exact optimum is tractable the approximation factors of the
+// paper (H_k for greedy, f for layer) must hold.
+//
+// Case count: 64 seeds x 3 random single-relation shapes (192) + 8 seeds of
+// Client/Buy + 8 seeds of Census = 208 randomized cases.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "constraints/parser.h"
+#include "common/rng.h"
+#include "gen/census.h"
+#include "gen/client_buy.h"
+#include "repair/instance_builder.h"
+#include "repair/repairer.h"
+#include "repair/setcover/solvers.h"
+
+namespace dbrepair {
+namespace {
+
+constexpr size_t kThreadCounts[] = {2, 4, 8};
+
+void ExpectSameProblem(const RepairProblem& serial,
+                       const RepairProblem& parallel, size_t threads) {
+  ASSERT_EQ(serial.violations.size(), parallel.violations.size())
+      << "threads=" << threads;
+  for (size_t i = 0; i < serial.violations.size(); ++i) {
+    ASSERT_TRUE(serial.violations[i] == parallel.violations[i])
+        << "violation " << i << " differs at threads=" << threads << ": "
+        << serial.violations[i].ToString() << " vs "
+        << parallel.violations[i].ToString();
+  }
+  ASSERT_EQ(serial.fixes.size(), parallel.fixes.size())
+      << "threads=" << threads;
+  for (size_t i = 0; i < serial.fixes.size(); ++i) {
+    const CandidateFix& a = serial.fixes[i];
+    const CandidateFix& b = parallel.fixes[i];
+    ASSERT_EQ(a.tuple.Packed(), b.tuple.Packed()) << "fix " << i;
+    ASSERT_EQ(a.attribute, b.attribute) << "fix " << i;
+    ASSERT_EQ(a.old_value, b.old_value) << "fix " << i;
+    ASSERT_EQ(a.new_value, b.new_value) << "fix " << i;
+    ASSERT_EQ(a.weight, b.weight) << "fix " << i;  // bit-equal, not NEAR
+    ASSERT_EQ(a.solved, b.solved) << "fix " << i;
+  }
+  ASSERT_EQ(serial.instance.num_elements, parallel.instance.num_elements);
+  ASSERT_EQ(serial.instance.weights, parallel.instance.weights);
+  ASSERT_EQ(serial.instance.sets, parallel.instance.sets);
+  ASSERT_EQ(serial.instance.element_sets, parallel.instance.element_sets);
+}
+
+void ExpectSameRepair(const RepairOutcome& serial,
+                      const RepairOutcome& parallel, size_t threads) {
+  ASSERT_EQ(serial.updates.size(), parallel.updates.size())
+      << "threads=" << threads;
+  for (size_t i = 0; i < serial.updates.size(); ++i) {
+    const AppliedUpdate& a = serial.updates[i];
+    const AppliedUpdate& b = parallel.updates[i];
+    ASSERT_EQ(a.tuple.Packed(), b.tuple.Packed()) << "update " << i;
+    ASSERT_EQ(a.attribute, b.attribute) << "update " << i;
+    ASSERT_EQ(a.old_value, b.old_value) << "update " << i;
+    ASSERT_EQ(a.new_value, b.new_value) << "update " << i;
+  }
+  ASSERT_EQ(serial.stats.distance, parallel.stats.distance);  // bit-equal
+  ASSERT_EQ(serial.stats.cover_weight, parallel.stats.cover_weight);
+  // Byte-identical repaired instances, tuple by tuple.
+  for (size_t r = 0; r < serial.repaired.schema().relations().size(); ++r) {
+    const Table& at = serial.repaired.table(r);
+    const Table& bt = parallel.repaired.table(r);
+    ASSERT_EQ(at.size(), bt.size());
+    for (size_t row = 0; row < at.size(); ++row) {
+      ASSERT_TRUE(at.row(row) == bt.row(row))
+          << "relation " << r << " row " << row << " threads=" << threads;
+    }
+  }
+}
+
+// Serial-vs-parallel equality of the built problem and of the end-to-end
+// repair, for one workload.
+void RunDifferentialCase(const Database& db,
+                         const std::vector<DenialConstraint>& ics) {
+  auto bound = BindAll(db.schema(), ics);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  const DistanceFunction distance(DistanceKind::kL1);
+
+  BuildOptions serial_build;
+  serial_build.num_threads = 1;
+  auto serial = BuildRepairProblem(db, *bound, distance, serial_build);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  for (const size_t threads : kThreadCounts) {
+    BuildOptions parallel_build;
+    parallel_build.num_threads = threads;
+    auto parallel = BuildRepairProblem(db, *bound, distance, parallel_build);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ExpectSameProblem(*serial, *parallel, threads);
+  }
+
+  RepairOptions serial_repair;
+  serial_repair.num_threads = 1;
+  auto serial_outcome = RepairDatabase(db, ics, serial_repair);
+  ASSERT_TRUE(serial_outcome.ok()) << serial_outcome.status().ToString();
+  for (const size_t threads : kThreadCounts) {
+    RepairOptions parallel_repair;
+    parallel_repair.num_threads = threads;
+    auto parallel_outcome = RepairDatabase(db, ics, parallel_repair);
+    ASSERT_TRUE(parallel_outcome.ok())
+        << parallel_outcome.status().ToString();
+    ExpectSameRepair(*serial_outcome, *parallel_outcome, threads);
+  }
+}
+
+double Harmonic(size_t k) {
+  double h = 0;
+  for (size_t i = 1; i <= k; ++i) h += 1.0 / static_cast<double>(i);
+  return h;
+}
+
+// Every solver returns a valid cover; the greedy family agrees with itself
+// exactly; approximation factors hold against the exact optimum when the
+// instance is small enough to solve exactly.
+void RunSolverValidityCase(const Database& db,
+                           const std::vector<DenialConstraint>& ics) {
+  auto bound = BindAll(db.schema(), ics);
+  ASSERT_TRUE(bound.ok());
+  auto problem =
+      BuildRepairProblem(db, *bound, DistanceFunction(DistanceKind::kL1));
+  ASSERT_TRUE(problem.ok()) << problem.status().ToString();
+  const SetCoverInstance& instance = problem->instance;
+  if (instance.num_sets() == 0) return;  // consistent instance
+  ASSERT_TRUE(instance.Validate().ok());
+
+  auto greedy = SolveSetCover(SolverKind::kGreedy, instance);
+  auto lazy = SolveSetCover(SolverKind::kLazyGreedy, instance);
+  auto modified = SolveSetCover(SolverKind::kModifiedGreedy, instance);
+  auto layer = SolveSetCover(SolverKind::kLayer, instance);
+  auto modified_layer = SolveSetCover(SolverKind::kModifiedLayer, instance);
+  for (const auto* solution :
+       {&greedy, &lazy, &modified, &layer, &modified_layer}) {
+    ASSERT_TRUE(solution->ok()) << solution->status().ToString();
+    EXPECT_TRUE(instance.IsCover((*solution)->chosen));
+    EXPECT_NEAR((*solution)->weight,
+                instance.SelectionWeight((*solution)->chosen), 1e-9);
+  }
+  // The three greedy implementations are the same algorithm.
+  EXPECT_EQ(greedy->chosen, lazy->chosen);
+  EXPECT_EQ(greedy->chosen, modified->chosen);
+  // The two layer implementations agree up to floating-point drift.
+  EXPECT_NEAR(layer->weight, modified_layer->weight,
+              1e-6 * (1.0 + layer->weight));
+
+  if (instance.num_sets() > 28) return;  // exact optimum intractable
+  auto exact = SolveSetCover(SolverKind::kExact, instance);
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  EXPECT_TRUE(instance.IsCover(exact->chosen));
+  const double opt = exact->weight;
+  size_t max_set_size = 0;
+  for (const auto& s : instance.sets) {
+    max_set_size = std::max(max_set_size, s.size());
+  }
+  const double h_k = Harmonic(max_set_size);
+  const double f = static_cast<double>(instance.MaxFrequency());
+  EXPECT_GE(greedy->weight, opt - 1e-9);
+  EXPECT_LE(greedy->weight, h_k * opt + 1e-9) << "greedy beyond H_k * OPT";
+  EXPECT_GE(layer->weight, opt - 1e-9);
+  EXPECT_LE(layer->weight, f * opt + 1e-9) << "layer beyond f * OPT";
+}
+
+// A random workload over R(K, G, A, B) and S(K2, G2, C): K/K2 are keys, G a
+// hard join attribute, A is flexible and only ever lower-bounded (a < X),
+// B and C flexible and only upper-bounded — so every generated IC set is
+// local by construction. `shape` picks the constraint template. The join
+// shape spans two relations (like the paper's Client/Buy ic1) rather than
+// self-joining R: when one tuple can fill every atom, singleton violation
+// sets mask their pair supersets from the minimality filter, and covering
+// only minimal sets no longer implies consistency (see DESIGN.md).
+void MakeRandomWorkload(uint64_t seed, int shape, Database* out_db,
+                        std::vector<DenialConstraint>* out_ics) {
+  Rng rng(seed * 3 + static_cast<uint64_t>(shape));
+  auto schema = std::make_shared<Schema>();
+  ASSERT_TRUE(schema
+                  ->AddRelation(RelationSchema(
+                      "R",
+                      {AttributeDef{"K", Type::kInt64, false, 1.0},
+                       AttributeDef{"G", Type::kInt64, false, 1.0},
+                       AttributeDef{"A", Type::kInt64, true, 1.0},
+                       AttributeDef{"B", Type::kInt64, true, 2.0}},
+                      {"K"}))
+                  .ok());
+  ASSERT_TRUE(schema
+                  ->AddRelation(RelationSchema(
+                      "S",
+                      {AttributeDef{"K2", Type::kInt64, false, 1.0},
+                       AttributeDef{"G2", Type::kInt64, false, 1.0},
+                       AttributeDef{"C", Type::kInt64, true, 1.0}},
+                      {"K2"}))
+                  .ok());
+  Database db(schema);
+  const size_t rows = 40 + rng.Uniform(31);
+  for (size_t i = 0; i < rows; ++i) {
+    ASSERT_TRUE(db.Insert("R", {Value::Int(static_cast<int64_t>(i)),
+                                Value::Int(rng.UniformInRange(0, 7)),
+                                Value::Int(rng.UniformInRange(0, 100)),
+                                Value::Int(rng.UniformInRange(0, 100))})
+                    .ok());
+  }
+  const size_t s_rows = 20 + rng.Uniform(21);
+  for (size_t i = 0; i < s_rows; ++i) {
+    ASSERT_TRUE(db.Insert("S", {Value::Int(static_cast<int64_t>(i)),
+                                Value::Int(rng.UniformInRange(0, 7)),
+                                Value::Int(rng.UniformInRange(0, 100))})
+                    .ok());
+  }
+  const std::string x = std::to_string(rng.UniformInRange(20, 50));
+  const std::string y = std::to_string(rng.UniformInRange(50, 80));
+  std::string text;
+  switch (shape) {
+    case 0:  // two independent single-tuple constraints
+      text = ":- R(k, g, a, b), a < " + x + "\n:- R(k, g, a, b), b > " + y +
+             "\n";
+      break;
+    case 1:  // one conjunctive single-tuple constraint
+      text = ":- R(k, g, a, b), a < " + x + ", b > " + y + "\n";
+      break;
+    default:  // two-relation join on the hard attribute G
+      text = ":- R(k, g, a, b), S(k2, g, c), a < " + x + ", c > " + y + "\n";
+      break;
+  }
+  auto ics = ParseConstraintSet(text);
+  ASSERT_TRUE(ics.ok()) << ics.status().ToString();
+  *out_db = std::move(db);
+  *out_ics = std::move(ics).value();
+}
+
+class RandomWorkloadDifferentialTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomWorkloadDifferentialTest, ParallelEqualsSerial) {
+  for (int shape = 0; shape < 3; ++shape) {
+    SCOPED_TRACE("shape " + std::to_string(shape));
+    Database db(std::make_shared<Schema>());
+    std::vector<DenialConstraint> ics;
+    MakeRandomWorkload(GetParam(), shape, &db, &ics);
+    RunDifferentialCase(db, ics);
+  }
+}
+
+TEST_P(RandomWorkloadDifferentialTest, SolversReturnValidBoundedCovers) {
+  for (int shape = 0; shape < 3; ++shape) {
+    SCOPED_TRACE("shape " + std::to_string(shape));
+    Database db(std::make_shared<Schema>());
+    std::vector<DenialConstraint> ics;
+    MakeRandomWorkload(GetParam(), shape, &db, &ics);
+    RunSolverValidityCase(db, ics);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorkloadDifferentialTest,
+                         ::testing::Range<uint64_t>(1, 65));
+
+class GeneratorDifferentialTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(GeneratorDifferentialTest, ClientBuyParallelEqualsSerial) {
+  ClientBuyOptions options;
+  options.num_clients = 25;
+  options.seed = GetParam();
+  auto workload = GenerateClientBuy(options);
+  ASSERT_TRUE(workload.ok());
+  RunDifferentialCase(workload->db, workload->ics);
+  RunSolverValidityCase(workload->db, workload->ics);
+}
+
+TEST_P(GeneratorDifferentialTest, CensusParallelEqualsSerial) {
+  CensusOptions options;
+  options.num_households = 12;
+  options.seed = GetParam();
+  auto workload = GenerateCensus(options);
+  ASSERT_TRUE(workload.ok());
+  RunDifferentialCase(workload->db, workload->ics);
+  RunSolverValidityCase(workload->db, workload->ics);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorDifferentialTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace dbrepair

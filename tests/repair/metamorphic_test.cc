@@ -1,0 +1,160 @@
+// Metamorphic properties of the repair pipeline: transformations of the
+// input that provably must not change the (normalized) repair.
+//
+//  * Duplicating a consistent tuple under a fresh key adds no violations,
+//    so the applied updates are unchanged.
+//  * Permuting the tuple order relabels row ids but cannot change which
+//    logical tuples are updated to what (for single-tuple constraints,
+//    whose fixes are forced).
+//  * Scaling every attribute weight by a positive constant rescales all
+//    set weights uniformly, so greedy makes the same choices and the
+//    updates are identical, while cover weight and distance scale by
+//    exactly that constant.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "constraints/parser.h"
+#include "common/rng.h"
+#include "gen/client_buy.h"
+#include "repair/repairer.h"
+
+namespace dbrepair {
+namespace {
+
+// Applied updates compared structurally (same rows, same values).
+void ExpectSameUpdates(const std::vector<AppliedUpdate>& a,
+                       const std::vector<AppliedUpdate>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tuple.Packed(), b[i].tuple.Packed()) << "update " << i;
+    EXPECT_EQ(a[i].attribute, b[i].attribute) << "update " << i;
+    EXPECT_EQ(a[i].old_value, b[i].old_value) << "update " << i;
+    EXPECT_EQ(a[i].new_value, b[i].new_value) << "update " << i;
+  }
+}
+
+TEST(MetamorphicTest, DuplicatingConsistentTupleLeavesRepairUnchanged) {
+  ClientBuyOptions options;
+  options.num_clients = 40;
+  options.seed = 7;
+  auto workload = GenerateClientBuy(options);
+  ASSERT_TRUE(workload.ok());
+
+  const auto base = RepairDatabase(workload->db, workload->ics);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+
+  // Same workload again (the generator is deterministic in the seed), plus
+  // an adult with modest credit, who violates nothing alone or joined.
+  auto grown = GenerateClientBuy(options);
+  ASSERT_TRUE(grown.ok());
+  ASSERT_TRUE(grown->db
+                  .Insert("Client", {Value::Int(1'000'000), Value::Int(45),
+                                     Value::Int(10)})
+                  .ok());
+  const auto with_extra = RepairDatabase(grown->db, workload->ics);
+  ASSERT_TRUE(with_extra.ok()) << with_extra.status().ToString();
+
+  EXPECT_EQ(base->stats.num_violations, with_extra->stats.num_violations);
+  ExpectSameUpdates(base->updates, with_extra->updates);
+  EXPECT_EQ(base->stats.distance, with_extra->stats.distance);
+}
+
+TEST(MetamorphicTest, PermutingTupleOrderPermutesButPreservesTheRepair) {
+  // Single-tuple constraints force each violating tuple's fix, so the
+  // repair, normalized by key, cannot depend on insertion order.
+  auto schema = std::make_shared<Schema>();
+  ASSERT_TRUE(schema
+                  ->AddRelation(RelationSchema(
+                      "R",
+                      {AttributeDef{"K", Type::kInt64, false, 1.0},
+                       AttributeDef{"A", Type::kInt64, true, 1.0},
+                       AttributeDef{"B", Type::kInt64, true, 1.0}},
+                      {"K"}))
+                  .ok());
+  auto ics = ParseConstraintSet(
+      ":- R(k, a, b), a < 20\n"
+      ":- R(k, a, b), b > 80\n");
+  ASSERT_TRUE(ics.ok());
+
+  Rng rng(11);
+  std::vector<std::vector<Value>> rows;
+  for (int64_t k = 0; k < 60; ++k) {
+    rows.push_back({Value::Int(k), Value::Int(rng.UniformInRange(0, 100)),
+                    Value::Int(rng.UniformInRange(0, 100))});
+  }
+  auto shuffled = rows;
+  for (size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.Uniform(i)]);
+  }
+
+  // key -> {(attribute, new value)}: the row-id-free view of a repair.
+  const auto normalize = [&](const std::vector<std::vector<Value>>& input)
+      -> std::map<int64_t, std::map<uint32_t, int64_t>> {
+    Database db(schema);
+    for (const auto& row : input) EXPECT_TRUE(db.Insert("R", row).ok());
+    const auto outcome = RepairDatabase(db, *ics);
+    EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+    std::map<int64_t, std::map<uint32_t, int64_t>> byKey;
+    for (const AppliedUpdate& u : outcome->updates) {
+      const int64_t key = db.tuple(u.tuple).value(0).AsInt();
+      byKey[key][u.attribute] = u.new_value;
+    }
+    return byKey;
+  };
+
+  EXPECT_EQ(normalize(rows), normalize(shuffled));
+}
+
+TEST(MetamorphicTest, ScalingAllWeightsScalesDistanceNotTheRepair) {
+  // 4x is exactly representable, so every set weight scales bit-exactly and
+  // greedy's comparisons (and tie-breaks) are unchanged.
+  constexpr double kScale = 4.0;
+  const auto make_schema = [&](double factor) {
+    auto schema = std::make_shared<Schema>();
+    EXPECT_TRUE(schema
+                    ->AddRelation(RelationSchema(
+                        "R",
+                        {AttributeDef{"K", Type::kInt64, false, 1.0},
+                         AttributeDef{"A", Type::kInt64, true,
+                                      1.25 * factor},
+                         AttributeDef{"B", Type::kInt64, true,
+                                      0.75 * factor}},
+                        {"K"}))
+                    .ok());
+    return schema;
+  };
+  auto ics = ParseConstraintSet(
+      ":- R(k, a, b), a < 30\n"
+      ":- R(k, a, b), a < 15, b > 60\n");
+  ASSERT_TRUE(ics.ok());
+
+  Rng rng(23);
+  std::vector<std::vector<Value>> rows;
+  for (int64_t k = 0; k < 50; ++k) {
+    rows.push_back({Value::Int(k), Value::Int(rng.UniformInRange(0, 60)),
+                    Value::Int(rng.UniformInRange(0, 100))});
+  }
+  const auto repair_with = [&](double factor) {
+    Database db(make_schema(factor));
+    for (const auto& row : rows) EXPECT_TRUE(db.Insert("R", row).ok());
+    auto outcome = RepairDatabase(db, *ics);
+    EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+    return std::move(outcome).value();
+  };
+
+  const RepairOutcome base = repair_with(1.0);
+  const RepairOutcome scaled = repair_with(kScale);
+  ASSERT_GT(base.updates.size(), 0u) << "workload came out consistent";
+  ExpectSameUpdates(base.updates, scaled.updates);
+  EXPECT_DOUBLE_EQ(scaled.stats.cover_weight,
+                   kScale * base.stats.cover_weight);
+  EXPECT_DOUBLE_EQ(scaled.stats.distance, kScale * base.stats.distance);
+}
+
+}  // namespace
+}  // namespace dbrepair
