@@ -11,6 +11,7 @@
 // An exact optimum is added at sizes where branch & bound is tractable.
 
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "bench_util.h"
@@ -55,9 +56,16 @@ const PreparedProblem& OverlapProblem(size_t num_clients, uint64_t seed) {
 
 }  // namespace
 
-int main() {
-  const std::vector<size_t> client_counts = {100,  300,   1000, 3000,
-                                             10000, 30000, 100000};
+// An optional argv[1] caps the client count, so the smoke tests and the
+// benchmark-summary script can run the full sweep structure in seconds.
+int main(int argc, char** argv) {
+  size_t max_clients = 100000;
+  if (argc > 1) max_clients = static_cast<size_t>(std::atoll(argv[1]));
+  std::vector<size_t> client_counts;
+  for (const size_t c : {100, 300, 1000, 3000, 10000, 30000, 100000}) {
+    if (c <= max_clients) client_counts.push_back(c);
+  }
+  if (client_counts.empty()) client_counts.push_back(max_clients);
   const std::vector<uint64_t> seeds = {1, 2, 3};
   const size_t exact_cap = 3000;  // branch & bound beyond this is hopeless
 
@@ -111,7 +119,9 @@ int main() {
   std::printf("# and the PruneRedundantSets ablation\n");
   std::printf("%10s %12s %12s %12s %12s %12s\n", "tuples", "greedy",
               "grdy+prune", "layer", "layr+prune", "optimal");
-  for (const size_t clients : {100, 300, 1000, 3000, 10000}) {
+  for (const size_t clients : {size_t{100}, size_t{300}, size_t{1000},
+                               size_t{3000}, size_t{10000}}) {
+    if (clients > max_clients && clients != 100) break;
     double greedy_total = 0, greedy_pruned = 0;
     double layer_total = 0, layer_pruned = 0;
     double exact_total = 0;

@@ -12,7 +12,9 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "constraints/violation_engine.h"
 #include "repair/setcover/solvers.h"
+#include "storage/column_view.h"
 
 using namespace dbrepair;        // NOLINT(build/namespaces)
 using namespace dbrepair::bench; // NOLINT(build/namespaces)
@@ -70,6 +72,83 @@ void BM_BuildPipelineThreads(benchmark::State& state) {
   state.counters["sets"] = static_cast<double>(num_sets);
 }
 
+// Row-store scan vs columnar scan on the single-threaded build phase: the
+// same BuildRepairProblem call with the typed-array path toggled off/on.
+// items_per_second (tuples scanned per second of build time) is the
+// headline throughput number BENCH_summary.json tracks.
+void RunBuildScan(benchmark::State& state, bool use_columnar) {
+  const auto clients = static_cast<size_t>(state.range(0));
+  const PreparedProblem& prepared = ClientBuyProblem(clients, /*seed=*/1);
+  BuildOptions options;
+  options.num_threads = 1;
+  options.use_columnar_scan = use_columnar;
+  const DistanceFunction distance(DistanceKind::kL1);
+  size_t num_sets = 0;
+  for (auto _ : state) {
+    auto problem = BuildRepairProblem(prepared.workload->db, prepared.bound,
+                                      distance, options);
+    if (!problem.ok()) {
+      state.SkipWithError(problem.status().ToString().c_str());
+      return;
+    }
+    num_sets = problem->instance.num_sets();
+    benchmark::DoNotOptimize(problem->fixes.data());
+  }
+  const auto tuples = prepared.workload->db.TotalTuples();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * tuples));
+  state.counters["tuples"] = static_cast<double>(tuples);
+  state.counters["sets"] = static_cast<double>(num_sets);
+}
+
+void BM_BuildPipelineRowScan(benchmark::State& state) {
+  RunBuildScan(state, /*use_columnar=*/false);
+}
+void BM_BuildPipelineColumnarScan(benchmark::State& state) {
+  RunBuildScan(state, /*use_columnar=*/true);
+}
+
+// The build phase's violation scan in isolation — scanning the driving
+// tables and probing the join indexes to enumerate the violation sets,
+// which is what the columnar layer accelerates. Each iteration runs the
+// scan exactly as BuildRepairProblem does: a fresh engine (planner stats
+// and join indexes rebuilt, nothing amortised across iterations), and the
+// columnar variant additionally pays the full snapshot build.
+// items_per_second = tuples scanned per second of scan time; the
+// columnar-vs-row ratio of this pair is BENCH_summary.json's headline
+// build-phase speedup.
+void RunViolationScan(benchmark::State& state, bool use_columnar) {
+  const auto clients = static_cast<size_t>(state.range(0));
+  const PreparedProblem& prepared = ClientBuyProblem(clients, /*seed=*/1);
+  size_t num_violations = 0;
+  for (auto _ : state) {
+    ColumnSnapshot snapshot;
+    ViolationEngineOptions options;
+    if (use_columnar) {
+      snapshot = ColumnSnapshot::Build(prepared.workload->db);
+      options.columnar = &snapshot;
+    }
+    ViolationEngine engine(prepared.workload->db, prepared.bound, options);
+    auto violations = engine.FindViolations();
+    if (!violations.ok()) {
+      state.SkipWithError(violations.status().ToString().c_str());
+      return;
+    }
+    num_violations = violations->size();
+    benchmark::DoNotOptimize(violations->data());
+  }
+  const auto tuples = prepared.workload->db.TotalTuples();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * tuples));
+  state.counters["tuples"] = static_cast<double>(tuples);
+  state.counters["violations"] = static_cast<double>(num_violations);
+}
+
+void BM_ViolationScanRow(benchmark::State& state) {
+  RunViolationScan(state, /*use_columnar=*/false);
+}
+void BM_ViolationScanColumnar(benchmark::State& state) {
+  RunViolationScan(state, /*use_columnar=*/true);
+}
+
 void BM_Greedy(benchmark::State& state) {
   RunSolver(state, SolverKind::kGreedy);
 }
@@ -100,5 +179,14 @@ BENCHMARK(BM_ModifiedLayer)->Unit(benchmark::kMillisecond)->Arg(1000)
 BENCHMARK(BM_BuildPipelineThreads)
     ->Unit(benchmark::kMillisecond)
     ->ArgsProduct({{30000, 100000}, {1, 2, 4, 8}});
+// Scan-path comparison at the Figure-3 100k scale, single thread.
+BENCHMARK(BM_BuildPipelineRowScan)
+    ->Unit(benchmark::kMillisecond)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_BuildPipelineColumnarScan)
+    ->Unit(benchmark::kMillisecond)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_ViolationScanRow)
+    ->Unit(benchmark::kMillisecond)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_ViolationScanColumnar)
+    ->Unit(benchmark::kMillisecond)->Arg(1000)->Arg(100000);
 
 BENCHMARK_MAIN();

@@ -47,7 +47,7 @@ void PrintUsage() {
          "|lazy-greedy|layer|modified-layer|exact]\n"
          "                [--distance L1|L2] [--mode update|insert|dump]\n"
          "                [--output PATH] [--metrics-out PATH] [--threads N]\n"
-         "                [--trace] [--quiet] [--report]\n"
+         "                [--no-columnar] [--trace] [--quiet] [--report]\n"
          "       dbrepair check <config> [--quiet]\n"
          "       dbrepair explain <config>\n"
          "       dbrepair query <config> <SQL>\n"
@@ -58,6 +58,8 @@ void PrintUsage() {
          "  --threads N         worker threads for the build/verify phases\n"
          "                      (0 = one per hardware thread, 1 = serial;\n"
          "                      the repair is identical either way)\n"
+         "  --no-columnar       force the row-store scan path instead of the\n"
+         "                      columnar snapshot (same repair, slower scan)\n"
          "  --trace             print the nested span tree to stderr\n"
          "  --quiet             suppress incidental output (logger severity\n"
          "                      below 'warn')\n";
@@ -166,6 +168,7 @@ int RunRepair(RepairConfig config, int argc, char** argv, int arg_start) {
   bool quiet = false;
   bool report = false;
   bool trace = false;
+  bool use_columnar = true;
   size_t num_threads = 0;
   std::string metrics_out;
   for (int i = arg_start; i < argc; ++i) {
@@ -219,6 +222,8 @@ int RunRepair(RepairConfig config, int argc, char** argv, int arg_start) {
         return Fail(Status::InvalidArgument("--metrics-out needs a value"));
       }
       metrics_out = v;
+    } else if (arg == "--no-columnar") {
+      use_columnar = false;
     } else if (arg == "--trace") {
       trace = true;
     } else if (arg == "--quiet") {
@@ -244,6 +249,7 @@ int RunRepair(RepairConfig config, int argc, char** argv, int arg_start) {
   options.solver = config.solver;
   options.distance = config.distance;
   options.num_threads = num_threads;
+  options.use_columnar_scan = use_columnar;
   auto outcome = RepairDatabase(*db, config.constraints, options);
   if (!outcome.ok()) return Fail(outcome.status());
   if (report) {

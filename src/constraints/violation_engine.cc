@@ -1,8 +1,10 @@
 #include "constraints/violation_engine.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <chrono>
+#include <cmath>
 #include <numeric>
 #include <unordered_set>
 
@@ -41,12 +43,162 @@ struct PlannedBuiltin {
   const Value* rhs_const = nullptr;
 };
 
+// The planned built-ins of `ic` in the order BuildPlan indexed them (merged
+// `x = y` equalities excluded). Deterministic, so executors and the columnar
+// preparer can rebuild the same list independently.
+std::vector<PlannedBuiltin> RebuildPlannedBuiltins(const BoundConstraint& ic) {
+  UnionFind uf(ic.var_names.size());
+  for (const BoundBuiltin& b : ic.builtins) {
+    if (b.rhs_is_var && b.op == CompareOp::kEq) uf.Union(b.lhs_var, b.rhs_var);
+  }
+  std::vector<PlannedBuiltin> builtins;
+  for (const BoundBuiltin& b : ic.builtins) {
+    if (b.rhs_is_var && b.op == CompareOp::kEq) continue;
+    PlannedBuiltin pb;
+    pb.lhs_class = uf.Find(b.lhs_var);
+    pb.op = b.op;
+    pb.rhs_is_var = b.rhs_is_var;
+    if (b.rhs_is_var) {
+      pb.rhs_class = uf.Find(b.rhs_var);
+    } else {
+      pb.rhs_const = &b.rhs_const;
+    }
+    builtins.push_back(pb);
+  }
+  return builtins;
+}
+
+// Seed/step for multi-column composite key codes. Single-column keys use the
+// raw (injective) column code instead, so only composites can collide — and
+// composite probes verify each candidate row's codes column by column.
+constexpr uint64_t kKeySeed = 0xcbf29ce484222325ULL;
+
+uint64_t CombineKeyCodes(uint64_t h, uint64_t code) {
+  return (h ^ code) * 0x100000001b3ULL;
+}
+
+// EvalCompare's tail over an already-computed three-way comparison.
+bool CmpHolds(CompareOp op, int cmp) {
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
 }  // namespace
 
-// Holds per-plan rewritten built-ins outside the header-visible Plan to keep
-// the header lean; keyed by position in `steps[*].builtins`.
-struct PlanBuiltins {
-  std::vector<PlannedBuiltin> builtins;
+// Typed execution state mirroring one Plan over a ColumnSnapshot. Built by
+// PrepareColumnar only when every comparison the plan performs is provably
+// identical under the typed encodings; otherwise the constraint stays on the
+// row path (plan.columnar == nullptr).
+struct ColumnarPlan {
+  // A column devirtualised to its raw array pointer, so the hot loop pays
+  // one predictable switch and one indexed load per code instead of chasing
+  // ColumnData's type and vector headers every row.
+  struct ColRef {
+    enum class Kind : uint8_t { kI64, kF64, kU32 };
+    Kind kind = Kind::kI64;
+    const void* data = nullptr;
+
+    static ColRef Of(const ColumnData& col) {
+      switch (col.type) {
+        case Type::kInt64:
+          return {Kind::kI64, col.ints.data()};
+        case Type::kDouble:
+          return {Kind::kF64, col.doubles.data()};
+        case Type::kString:
+          return {Kind::kU32, col.codes.data()};
+      }
+      return {};
+    }
+
+    // Same value as ColumnData::KeyCode on the column this was taken from.
+    uint64_t Code(uint32_t row) const {
+      switch (kind) {
+        case Kind::kI64:
+          return std::bit_cast<uint64_t>(
+              static_cast<const int64_t*>(data)[row]);
+        case Kind::kF64:
+          return std::bit_cast<uint64_t>(
+              static_cast<const double*>(data)[row]);
+        case Kind::kU32:
+          return static_cast<const uint32_t*>(data)[row];
+      }
+      return 0;
+    }
+  };
+
+  // A constant check against one column (row path: Value::operator==).
+  // `data` points at the raw array the mode indexes.
+  struct ConstCheck {
+    enum class Mode {
+      kNever,        // can never match a clean row (NULL / mixed-type const)
+      kInt,          // ints[row] == i
+      kIntToDouble,  // double(ints[row]) == d  (int column vs double const,
+                     //  the same promotion Value::AsNumeric performs)
+      kDouble,       // doubles[row] == d
+      kCode,         // codes[row] == code (0 = const not in the dictionary)
+    };
+    const void* data = nullptr;
+    Mode mode = Mode::kNever;
+    int64_t i = 0;
+    double d = 0.0;
+    uint32_t code = 0;
+  };
+
+  // A column whose key code is bound into / compared against a class slot.
+  struct ClsCol {
+    ColRef col;
+    int32_t cls = -1;
+  };
+
+  // A built-in over binding codes. The row path's per-Value type dispatch is
+  // resolved at prepare time into one of four evaluators.
+  struct TypedBuiltin {
+    enum class Eval {
+      kConst,   // statically known result (NULL const, string/number mix)
+      kIntInt,  // exact int64 comparison
+      kNum,     // double comparison; int codes promoted like Value::AsNumeric
+      kCode,    // dictionary-code equality (kEq / kNe only)
+    };
+    Eval eval = Eval::kConst;
+    CompareOp op = CompareOp::kEq;
+    int32_t lhs_class = -1;
+    bool lhs_is_int = false;  // kNum: the lhs binding decodes as int64
+    bool rhs_is_var = false;
+    int32_t rhs_class = -1;
+    bool rhs_is_int = false;  // kNum: the rhs binding decodes as int64
+    int64_t rhs_i = 0;
+    double rhs_d = 0.0;
+    uint64_t rhs_code = 0;
+    bool const_result = false;
+  };
+
+  // Parallel to Plan::steps / AtomStep's position vectors.
+  struct Step {
+    const RelationColumns* rel = nullptr;
+    std::vector<ConstCheck> consts;
+    std::vector<ClsCol> joins;
+    // Binds of compared classes only; a binding code nothing will ever read
+    // again is not written (the row path's pointer is equally never read).
+    std::vector<ClsCol> binds;
+    std::vector<ColRef> index_cols;
+  };
+
+  std::vector<Step> steps;
+  // Same indexing as the row path's rebuilt PlannedBuiltin vector.
+  std::vector<TypedBuiltin> builtins;
 };
 
 ViolationEngine::ViolationEngine(const Database& db,
@@ -238,11 +390,89 @@ const ViolationEngine::HashIndex& ViolationEngine::GetIndex(
   return index_cache_.emplace(key, std::move(index)).first->second;
 }
 
+void ViolationEngine::CodeIndex::Build(const std::vector<uint64_t>& codes) {
+  const auto n = static_cast<uint32_t>(codes.size());
+  size_t capacity = 16;
+  while (capacity < size_t{n} * 2) capacity <<= 1;  // load factor <= 0.5
+  groups.assign(capacity, Group{});
+  mask = capacity - 1;
+  // Pass 1: claim a slot per distinct key and count its rows.
+  for (uint32_t row = 0; row < n; ++row) {
+    const uint64_t key = codes[row];
+    for (uint64_t i = Slot(key, mask);; i = (i + 1) & mask) {
+      Group& g = groups[i];
+      if (g.count == 0) g.key = key;
+      if (g.key == key) {
+        ++g.count;
+        break;
+      }
+    }
+  }
+  // Exclusive prefix sum over the groups; the slot order itself never
+  // matters because a probe only ever reads a single group's span.
+  uint32_t offset = 0;
+  for (Group& g : groups) {
+    if (g.count == 0) continue;
+    g.offset = offset;
+    offset += g.count;
+  }
+  // Pass 2: place rows ascending within each group, reusing `offset` as the
+  // fill cursor, then rewind the cursors.
+  rows.resize(n);
+  for (uint32_t row = 0; row < n; ++row) {
+    const uint64_t key = codes[row];
+    for (uint64_t i = Slot(key, mask);; i = (i + 1) & mask) {
+      Group& g = groups[i];
+      if (g.key == key && g.count != 0) {
+        rows[g.offset++] = row;
+        break;
+      }
+    }
+  }
+  for (Group& g : groups) g.offset -= g.count;
+}
+
+const ViolationEngine::CodeIndex& ViolationEngine::GetCodeIndex(
+    uint32_t relation, const std::vector<uint32_t>& positions) {
+  const auto key = std::make_pair(relation, positions);
+  const auto it = code_index_cache_.find(key);
+  if (it != code_index_cache_.end()) return it->second;
+  CodeIndex index;
+  index.exact = positions.size() == 1;
+  const RelationColumns& rel = options_.columnar->relation(relation);
+  const auto n = static_cast<uint32_t>(rel.row_count);
+  // Pack each row's key code once; both counting passes reuse the array.
+  std::vector<uint64_t> codes(n);
+  if (index.exact) {
+    const ColumnData& col = rel.columns[positions[0]];
+    for (uint32_t row = 0; row < n; ++row) codes[row] = col.KeyCode(row);
+  } else {
+    for (uint32_t row = 0; row < n; ++row) {
+      uint64_t code = kKeySeed;
+      for (const uint32_t pos : positions) {
+        code = CombineKeyCodes(code, rel.columns[pos].KeyCode(row));
+      }
+      codes[row] = code;
+    }
+  }
+  index.Build(codes);
+  return code_index_cache_.emplace(key, std::move(index)).first->second;
+}
+
+const ViolationEngine::CodeIndex* ViolationEngine::FindCodeIndex(
+    uint32_t relation, const std::vector<uint32_t>& positions) const {
+  const auto it = code_index_cache_.find(std::make_pair(relation, positions));
+  return it == code_index_cache_.end() ? nullptr : &it->second;
+}
+
 void ViolationEngine::PrewarmIndexes(const Plan& plan) {
   for (const AtomStep& step : plan.steps) {
-    if (!step.index_positions.empty()) {
-      GetIndex(plan.ic->atoms[step.atom_index].relation_index,
-               step.index_positions);
+    if (step.index_positions.empty()) continue;
+    const uint32_t relation = plan.ic->atoms[step.atom_index].relation_index;
+    if (plan.columnar != nullptr) {
+      GetCodeIndex(relation, step.index_positions);
+    } else {
+      GetIndex(relation, step.index_positions);
     }
   }
 }
@@ -256,6 +486,25 @@ const ViolationEngine::HashIndex* ViolationEngine::FindIndex(
 const TableStats& ViolationEngine::GetStats(uint32_t relation) {
   const auto it = stats_cache_.find(relation);
   if (it != stats_cache_.end()) return it->second;
+  // With a fresh columnar snapshot of an all-clean relation, derive the
+  // planner statistics from the typed arrays (sampled distinct/histograms,
+  // see ComputeColumnStats) instead of the full Value scan. Estimates may
+  // differ, so the join order may too — the enumerated violation sets never
+  // do, and relations the snapshot cannot serve keep the exact row stats.
+  if (options_.columnar != nullptr && options_.columnar->valid() &&
+      relation < options_.columnar->relation_count()) {
+    const RelationColumns& rel = options_.columnar->relation(relation);
+    const Table& table = db_.table(relation);
+    const bool fresh = rel.row_count == table.size() &&
+                       rel.columns.size() == table.schema().arity();
+    const bool all_clean =
+        fresh && std::all_of(rel.columns.begin(), rel.columns.end(),
+                             [](const ColumnData& c) { return c.clean(); });
+    if (all_clean) {
+      return stats_cache_.emplace(relation, ComputeColumnStats(rel))
+          .first->second;
+    }
+  }
   return stats_cache_.emplace(relation, ComputeTableStats(db_.table(relation)))
       .first->second;
 }
@@ -264,31 +513,20 @@ Status ViolationEngine::ExecuteInto(
     const Plan& plan, const AtomRowBounds* bounds,
     std::unordered_set<ViolationSet, ViolationSetHash>* dedupe_out,
     ExecCounters* counters) const {
+  if (plan.columnar != nullptr) {
+    return ExecuteColumnarInto(plan, bounds, dedupe_out, counters);
+  }
+  return ExecuteRowInto(plan, bounds, dedupe_out, counters);
+}
+
+Status ViolationEngine::ExecuteRowInto(
+    const Plan& plan, const AtomRowBounds* bounds,
+    std::unordered_set<ViolationSet, ViolationSetHash>* dedupe_out,
+    ExecCounters* counters) const {
   const BoundConstraint& ic = *plan.ic;
 
   // Rebuild the planned built-ins in the same order BuildPlan indexed them.
-  std::vector<PlannedBuiltin> builtins;
-  {
-    UnionFind uf(ic.var_names.size());
-    for (const BoundBuiltin& b : ic.builtins) {
-      if (b.rhs_is_var && b.op == CompareOp::kEq) {
-        uf.Union(b.lhs_var, b.rhs_var);
-      }
-    }
-    for (const BoundBuiltin& b : ic.builtins) {
-      if (b.rhs_is_var && b.op == CompareOp::kEq) continue;
-      PlannedBuiltin pb;
-      pb.lhs_class = uf.Find(b.lhs_var);
-      pb.op = b.op;
-      pb.rhs_is_var = b.rhs_is_var;
-      if (b.rhs_is_var) {
-        pb.rhs_class = uf.Find(b.rhs_var);
-      } else {
-        pb.rhs_const = &b.rhs_const;
-      }
-      builtins.push_back(pb);
-    }
-  }
+  const std::vector<PlannedBuiltin> builtins = RebuildPlannedBuiltins(ic);
 
   std::vector<const Value*> binding(plan.num_classes, nullptr);
   std::vector<TupleRef> current(plan.steps.size());
@@ -410,6 +648,402 @@ Status ViolationEngine::ExecuteInto(
   return status;
 }
 
+std::shared_ptr<const ColumnarPlan> ViolationEngine::PrepareColumnar(
+    const Plan& plan) const {
+  const ColumnSnapshot* snap = options_.columnar;
+  if (snap == nullptr || !snap->valid() || plan.steps.empty()) return nullptr;
+  if (snap->relation_count() != db_.relation_count()) return nullptr;
+  const BoundConstraint& ic = *plan.ic;
+
+  for (const AtomStep& step : plan.steps) {
+    const BoundAtom& atom = ic.atoms[step.atom_index];
+    const RelationColumns& rel = snap->relation(atom.relation_index);
+    // A stale snapshot (the row store grew or shrank since Build) or arity
+    // drift disqualifies the whole constraint.
+    if (rel.row_count != db_.table(atom.relation_index).size() ||
+        rel.columns.size() != atom.var_ids.size()) {
+      return nullptr;
+    }
+  }
+
+  const std::vector<PlannedBuiltin> planned = RebuildPlannedBuiltins(ic);
+
+  // A class is "compared" when its binding code is ever read again: joined,
+  // index-probed, or fed to a built-in. Compared classes must draw from
+  // clean columns of one declared type for code equality to coincide with
+  // Value equality; bind-only classes are unconstrained (their code is never
+  // read, exactly like the row path's never-read binding pointer).
+  std::vector<std::vector<const ColumnData*>> sources(plan.num_classes);
+  for (const AtomStep& step : plan.steps) {
+    const RelationColumns& rel =
+        snap->relation(ic.atoms[step.atom_index].relation_index);
+    for (const auto& [pos, cls] : step.bind_positions) {
+      sources[cls].push_back(&rel.columns[pos]);
+    }
+    for (const auto& [pos, cls] : step.join_positions) {
+      sources[cls].push_back(&rel.columns[pos]);
+    }
+    for (size_t i = 0; i < step.index_positions.size(); ++i) {
+      sources[step.index_classes[i]].push_back(
+          &rel.columns[step.index_positions[i]]);
+    }
+  }
+  std::vector<bool> compared(plan.num_classes, false);
+  for (size_t cls = 0; cls < plan.num_classes; ++cls) {
+    compared[cls] = sources[cls].size() > 1;
+  }
+  for (const PlannedBuiltin& pb : planned) {
+    compared[pb.lhs_class] = true;
+    if (pb.rhs_is_var) compared[pb.rhs_class] = true;
+  }
+  std::vector<Type> class_kinds(plan.num_classes, Type::kInt64);
+  for (size_t cls = 0; cls < plan.num_classes; ++cls) {
+    if (!compared[cls]) continue;
+    if (sources[cls].empty()) return nullptr;
+    const Type kind = sources[cls].front()->type;
+    for (const ColumnData* col : sources[cls]) {
+      // Cross-kind classes (an int column joined against a double column)
+      // compare by numeric promotion in the row path; their key codes are
+      // incompatible bit patterns.
+      if (col->type != kind || !col->clean()) return nullptr;
+    }
+    class_kinds[cls] = kind;
+  }
+
+  auto cplan = std::make_shared<ColumnarPlan>();
+
+  using Eval = ColumnarPlan::TypedBuiltin::Eval;
+  cplan->builtins.reserve(planned.size());
+  for (const PlannedBuiltin& pb : planned) {
+    ColumnarPlan::TypedBuiltin tb;
+    tb.op = pb.op;
+    tb.lhs_class = pb.lhs_class;
+    const Type lk = class_kinds[pb.lhs_class];
+    if (pb.rhs_is_var) {
+      tb.rhs_is_var = true;
+      tb.rhs_class = pb.rhs_class;
+      const Type rk = class_kinds[pb.rhs_class];
+      if (lk == Type::kString && rk == Type::kString) {
+        // Dictionary codes are unordered; only (in)equality maps onto them.
+        if (pb.op != CompareOp::kEq && pb.op != CompareOp::kNe) return nullptr;
+        tb.eval = Eval::kCode;
+      } else if (lk == Type::kString || rk == Type::kString) {
+        tb.eval = Eval::kConst;
+        tb.const_result = pb.op == CompareOp::kNe;  // EvalCompare's mix rule
+      } else if (lk == Type::kInt64 && rk == Type::kInt64) {
+        tb.eval = Eval::kIntInt;
+      } else if (lk == Type::kDouble && rk == Type::kDouble) {
+        tb.eval = Eval::kNum;
+      } else {
+        // Int/double kind mix: ints stored inside the kDouble column would
+        // compare exactly (int vs int) in the row path; the typed view
+        // cannot reproduce that beyond ±2^53, and the int column is not
+        // bounded. Row path.
+        return nullptr;
+      }
+    } else {
+      const Value& c = *pb.rhs_const;
+      if (c.is_null()) {
+        tb.eval = Eval::kConst;
+        tb.const_result = false;  // NULL compares false under every operator
+      } else if (lk == Type::kString) {
+        if (!c.is_string()) {
+          tb.eval = Eval::kConst;
+          tb.const_result = pb.op == CompareOp::kNe;
+        } else if (pb.op == CompareOp::kEq || pb.op == CompareOp::kNe) {
+          tb.eval = Eval::kCode;
+          tb.rhs_code = snap->interner().Find(c.AsString());
+        } else {
+          return nullptr;  // lexicographic order is not code order
+        }
+      } else if (c.is_string()) {
+        tb.eval = Eval::kConst;
+        tb.const_result = pb.op == CompareOp::kNe;
+      } else if (lk == Type::kInt64 && c.is_int()) {
+        tb.eval = Eval::kIntInt;
+        tb.rhs_i = c.AsInt();
+      } else {
+        // Value::Compare treats NaN as equal to every number (cmp == 0); an
+        // IEEE comparison would not, so NaN bounds stay on the row path.
+        if (c.is_double() && std::isnan(c.AsDouble())) return nullptr;
+        // An int bound beyond ±2^53 against a kDouble column: stored ints
+        // would compare exactly in the row path, the double view rounds.
+        if (lk == Type::kDouble && c.is_int() &&
+            (c.AsInt() > kColumnarExactIntBound ||
+             c.AsInt() < -kColumnarExactIntBound)) {
+          return nullptr;
+        }
+        tb.eval = Eval::kNum;
+        tb.rhs_d = c.AsNumeric();
+      }
+    }
+    tb.lhs_is_int = lk == Type::kInt64;
+    if (tb.rhs_is_var) {
+      tb.rhs_is_int = class_kinds[tb.rhs_class] == Type::kInt64;
+    }
+    cplan->builtins.push_back(tb);
+  }
+
+  cplan->steps.resize(plan.steps.size());
+  for (size_t d = 0; d < plan.steps.size(); ++d) {
+    const AtomStep& step = plan.steps[d];
+    const BoundAtom& atom = ic.atoms[step.atom_index];
+    const RelationColumns& rel = snap->relation(atom.relation_index);
+    ColumnarPlan::Step& cstep = cplan->steps[d];
+    cstep.rel = &rel;
+    using Mode = ColumnarPlan::ConstCheck::Mode;
+    for (const uint32_t pos : step.const_positions) {
+      const ColumnData& col = rel.columns[pos];
+      // NULLs encode as 0 / code 0 and would collide with real values.
+      if (!col.clean()) return nullptr;
+      const Value& c = atom.constants[pos];
+      ColumnarPlan::ConstCheck cc;
+      cc.data = ColumnarPlan::ColRef::Of(col).data;
+      if (c.is_null()) {
+        cc.mode = Mode::kNever;  // a clean column never equals NULL
+      } else {
+        switch (col.type) {
+          case Type::kInt64:
+            if (c.is_int()) {
+              cc.mode = Mode::kInt;
+              cc.i = c.AsInt();
+            } else if (c.is_double()) {
+              cc.mode = Mode::kIntToDouble;
+              cc.d = c.AsDouble();
+            } else {
+              cc.mode = Mode::kNever;
+            }
+            break;
+          case Type::kDouble:
+            if (c.is_int() && (c.AsInt() > kColumnarExactIntBound ||
+                               c.AsInt() < -kColumnarExactIntBound)) {
+              return nullptr;  // stored ints compare exactly in the row path
+            }
+            if (c.is_int() || c.is_double()) {
+              cc.mode = Mode::kDouble;
+              cc.d = c.AsNumeric();
+            } else {
+              cc.mode = Mode::kNever;
+            }
+            break;
+          case Type::kString:
+            if (c.is_string()) {
+              cc.mode = Mode::kCode;
+              cc.code = snap->interner().Find(c.AsString());
+            } else {
+              cc.mode = Mode::kNever;
+            }
+            break;
+        }
+      }
+      cstep.consts.push_back(cc);
+    }
+    for (const auto& [pos, cls] : step.join_positions) {
+      cstep.joins.push_back({ColumnarPlan::ColRef::Of(rel.columns[pos]), cls});
+    }
+    for (const auto& [pos, cls] : step.bind_positions) {
+      if (compared[cls]) {
+        cstep.binds.push_back(
+            {ColumnarPlan::ColRef::Of(rel.columns[pos]), cls});
+      }
+    }
+    for (const uint32_t pos : step.index_positions) {
+      cstep.index_cols.push_back(ColumnarPlan::ColRef::Of(rel.columns[pos]));
+    }
+  }
+  return cplan;
+}
+
+Status ViolationEngine::ExecuteColumnarInto(
+    const Plan& plan, const AtomRowBounds* bounds,
+    std::unordered_set<ViolationSet, ViolationSetHash>* dedupe_out,
+    ExecCounters* counters) const {
+  const BoundConstraint& ic = *plan.ic;
+  const ColumnarPlan& cp = *plan.columnar;
+
+  std::vector<uint64_t> binding(plan.num_classes, 0);
+  std::vector<TupleRef> current(plan.steps.size());
+  std::unordered_set<ViolationSet, ViolationSetHash>& dedupe = *dedupe_out;
+
+  uint64_t rows_scanned = 0;
+  uint64_t assignments_found = 0;
+
+  auto eval_builtin = [&](const ColumnarPlan::TypedBuiltin& tb) -> bool {
+    using Eval = ColumnarPlan::TypedBuiltin::Eval;
+    switch (tb.eval) {
+      case Eval::kConst:
+        return tb.const_result;
+      case Eval::kIntInt: {
+        const int64_t a = std::bit_cast<int64_t>(binding[tb.lhs_class]);
+        const int64_t b = tb.rhs_is_var
+                              ? std::bit_cast<int64_t>(binding[tb.rhs_class])
+                              : tb.rhs_i;
+        return CmpHolds(tb.op, a < b ? -1 : (a > b ? 1 : 0));
+      }
+      case Eval::kNum: {
+        const double a =
+            tb.lhs_is_int ? static_cast<double>(
+                                std::bit_cast<int64_t>(binding[tb.lhs_class]))
+                          : std::bit_cast<double>(binding[tb.lhs_class]);
+        double b;
+        if (tb.rhs_is_var) {
+          b = tb.rhs_is_int ? static_cast<double>(std::bit_cast<int64_t>(
+                                  binding[tb.rhs_class]))
+                            : std::bit_cast<double>(binding[tb.rhs_class]);
+        } else {
+          b = tb.rhs_d;
+        }
+        return CmpHolds(tb.op, a < b ? -1 : (a > b ? 1 : 0));
+      }
+      case Eval::kCode: {
+        const uint64_t b = tb.rhs_is_var ? binding[tb.rhs_class] : tb.rhs_code;
+        return (tb.op == CompareOp::kEq) == (binding[tb.lhs_class] == b);
+      }
+    }
+    return false;
+  };
+
+  Status status = Status::OK();
+  auto recurse = [&](auto&& self, size_t depth) -> bool {  // false = abort
+    if (depth == plan.steps.size()) {
+      ++assignments_found;
+      ViolationSet vs;
+      vs.ic_index = ic.ic_index;
+      vs.tuples = current;
+      std::sort(vs.tuples.begin(), vs.tuples.end());
+      vs.tuples.erase(std::unique(vs.tuples.begin(), vs.tuples.end()),
+                      vs.tuples.end());
+      if (dedupe.insert(std::move(vs)).second &&
+          dedupe.size() > options_.max_violation_sets) {
+        status = Status::ResourceExhausted(
+            "violation-set enumeration exceeded max_violation_sets = " +
+            std::to_string(options_.max_violation_sets));
+        return false;
+      }
+      return true;
+    }
+    const AtomStep& step = plan.steps[depth];
+    const ColumnarPlan::Step& cstep = cp.steps[depth];
+    const BoundAtom& atom = ic.atoms[step.atom_index];
+
+    // Candidate rows: code index on join columns, then B+-tree range scan,
+    // then a direct walk over the column arrays (no materialised id list).
+    const uint32_t* cand = nullptr;
+    uint32_t cand_count = 0;
+    bool have_candidates = false;
+    std::vector<uint32_t> scan_rows;
+    bool verify_key = false;
+    if (!step.index_positions.empty()) {
+      uint64_t key;
+      if (step.index_classes.size() == 1) {
+        key = binding[step.index_classes[0]];
+      } else {
+        key = kKeySeed;
+        for (const int32_t cls : step.index_classes) {
+          key = CombineKeyCodes(key, binding[cls]);
+        }
+      }
+      const CodeIndex* index =
+          FindCodeIndex(atom.relation_index, step.index_positions);
+      assert(index != nullptr &&
+             "ExecuteColumnarInto requires PrewarmIndexes");
+      std::tie(cand, cand_count) = index->Find(key);
+      if (cand == nullptr) return true;  // no matching rows
+      have_candidates = true;
+      verify_key = !index->exact;
+    } else if (step.range_position >= 0) {
+      // The B+-tree walk is shared with the row path: it yields a candidate
+      // superset and the range built-in still filters below.
+      const BTreeIndex* btree = db_.table(atom.relation_index)
+                                    .FindOrderedIndex(
+                                        static_cast<size_t>(
+                                            step.range_position));
+      const bool upper = step.range_op == CompareOp::kLt ||
+                         step.range_op == CompareOp::kLe;
+      const bool strict = step.range_op == CompareOp::kLt ||
+                          step.range_op == CompareOp::kGt;
+      scan_rows = upper ? btree->RangeScan(std::nullopt, false,
+                                           step.range_bound, strict)
+                        : btree->RangeScan(step.range_bound, strict,
+                                           std::nullopt, false);
+      cand = scan_rows.data();
+      cand_count = static_cast<uint32_t>(scan_rows.size());
+      have_candidates = true;
+    }
+
+    const auto [min_row, max_row] =
+        bounds != nullptr ? (*bounds)[step.atom_index]
+                          : std::make_pair(0u, UINT32_MAX);
+
+    // One candidate row through the step's checks, in the row path's exact
+    // order: key verify (composite probes only), consts, joins, binds,
+    // built-ins. Returns false only on abort.
+    auto scan_row = [&](const uint32_t row) -> bool {
+      ++rows_scanned;
+      if (verify_key) {
+        for (size_t i = 0; i < cstep.index_cols.size(); ++i) {
+          if (cstep.index_cols[i].Code(row) !=
+              binding[step.index_classes[i]]) {
+            return true;  // composite-hash collision, not a key match
+          }
+        }
+      }
+      for (const ColumnarPlan::ConstCheck& cc : cstep.consts) {
+        using Mode = ColumnarPlan::ConstCheck::Mode;
+        bool match = false;
+        switch (cc.mode) {
+          case Mode::kNever:
+            break;
+          case Mode::kInt:
+            match = static_cast<const int64_t*>(cc.data)[row] == cc.i;
+            break;
+          case Mode::kIntToDouble:
+            match = static_cast<double>(
+                        static_cast<const int64_t*>(cc.data)[row]) == cc.d;
+            break;
+          case Mode::kDouble:
+            match = static_cast<const double*>(cc.data)[row] == cc.d;
+            break;
+          case Mode::kCode:
+            match = static_cast<const uint32_t*>(cc.data)[row] == cc.code;
+            break;
+        }
+        if (!match) return true;
+      }
+      for (const ColumnarPlan::ClsCol& jc : cstep.joins) {
+        if (jc.col.Code(row) != binding[jc.cls]) return true;
+      }
+      for (const ColumnarPlan::ClsCol& bc : cstep.binds) {
+        binding[bc.cls] = bc.col.Code(row);
+      }
+      for (const uint32_t b : step.builtins) {
+        if (!eval_builtin(cp.builtins[b])) return true;
+      }
+      current[depth] = TupleRef{atom.relation_index, row};
+      return self(self, depth + 1);
+    };
+
+    if (have_candidates) {
+      for (uint32_t k = 0; k < cand_count; ++k) {
+        const uint32_t row = cand[k];
+        if (row < min_row || row >= max_row) continue;
+        if (!scan_row(row)) return false;
+      }
+    } else {
+      const uint32_t hi = std::min<uint32_t>(
+          max_row, static_cast<uint32_t>(cstep.rel->row_count));
+      for (uint32_t row = min_row; row < hi; ++row) {
+        if (!scan_row(row)) return false;
+      }
+    }
+    return true;
+  };
+  recurse(recurse, 0);
+  counters->rows_scanned += rows_scanned;
+  counters->assignments_found += assignments_found;
+  return status;
+}
+
 Status ViolationEngine::ExecuteShardedInto(
     const Plan& plan, size_t num_threads,
     std::unordered_set<ViolationSet, ViolationSetHash>* dedupe,
@@ -519,8 +1153,18 @@ Result<std::vector<ViolationSet>> ViolationEngine::FindViolations() {
   const size_t num_threads = ResolveNumThreads(options_.num_threads);
   std::vector<ViolationSet> out;
   ExecCounters counters;
+  uint64_t columnar_plans = 0;
+  uint64_t columnar_fallbacks = 0;
   for (const BoundConstraint& ic : ics_) {
-    const Plan plan = BuildPlan(ic);
+    Plan plan = BuildPlan(ic);
+    plan.columnar = PrepareColumnar(plan);
+    if (options_.columnar != nullptr) {
+      if (plan.columnar != nullptr) {
+        ++columnar_plans;
+      } else {
+        ++columnar_fallbacks;
+      }
+    }
     PrewarmIndexes(plan);
     std::unordered_set<ViolationSet, ViolationSetHash> dedupe;
     if (num_threads <= 1 || plan.steps.empty()) {
@@ -538,6 +1182,10 @@ Result<std::vector<ViolationSet>> ViolationEngine::FindViolations() {
       ->Add(counters.assignments_found);
   metrics.GetCounter("engine.enumerations")->Add(1);
   metrics.GetCounter("engine.violation_sets")->Add(out.size());
+  if (options_.columnar != nullptr) {
+    metrics.GetCounter("scan.columnar.plans")->Add(columnar_plans);
+    metrics.GetCounter("scan.columnar.fallbacks")->Add(columnar_fallbacks);
+  }
   return out;
 }
 

@@ -12,10 +12,14 @@
 #include "common/thread_pool.h"
 #include "constraints/ast.h"
 #include "constraints/violation.h"
+#include "storage/column_view.h"
 #include "storage/database.h"
 #include "storage/statistics.h"
 
 namespace dbrepair {
+
+// Per-plan columnar execution state; defined in violation_engine.cc.
+struct ColumnarPlan;
 
 struct ViolationEngineOptions {
   /// Safety cap on the number of deduplicated violation sets; exceeded
@@ -27,6 +31,15 @@ struct ViolationEngineOptions {
   /// buffers that are merged in shard order, so the output — and every
   /// downstream violation id — is byte-identical to the serial run.
   size_t num_threads = 1;
+  /// Optional columnar view of the same database (non-owning; must match
+  /// the Database row for row). When set, FindViolations evaluates each
+  /// constraint against raw typed arrays and dictionary codes instead of
+  /// Tuple/Value objects, with join hash indexes keyed on packed uint64
+  /// composites. Constraints the columnar encoding cannot serve exactly
+  /// (NULLs or mixed-type columns in compared positions, cross-type join
+  /// classes, NaN doubles, a stale snapshot) fall back to the row path per
+  /// constraint, so the enumerated violation sets are always identical.
+  const ColumnSnapshot* columnar = nullptr;
 };
 
 /// Enumerates violation sets of linear denial constraints over a Database
@@ -103,6 +116,9 @@ class ViolationEngine {
     const BoundConstraint* ic = nullptr;
     std::vector<AtomStep> steps;
     size_t num_classes = 0;
+    // Set when the columnar snapshot can serve this constraint exactly;
+    // ExecuteInto then runs the typed-array path instead of the row path.
+    std::shared_ptr<const ColumnarPlan> columnar;
   };
 
   // Hash index: join-column values -> row ids, cached per (relation, cols).
@@ -117,12 +133,63 @@ class ViolationEngine {
       std::unordered_map<std::vector<Value>, std::vector<uint32_t>,
                          VecValueHash>;
 
+  // Columnar join index: packed 64-bit key codes -> row ids. With a single
+  // key column the packing is the column's injective KeyCode (`exact`);
+  // multi-column keys are hash-combined, and probes then verify the
+  // candidate rows' codes column by column.
+  //
+  // Layout: one open-addressing table (power-of-2 capacity, linear probing,
+  // `count == 0` marks an empty slot — every present key owns >= 1 row) whose
+  // groups are (offset, count) spans into a single packed row-id array. Rows
+  // stay ascending within each group, so probe iteration order matches the
+  // per-key order the row path's HashIndex produces. Built in two counting
+  // passes with zero per-key heap allocations.
+  struct CodeIndex {
+    struct Group {
+      uint64_t key = 0;
+      uint32_t offset = 0;
+      uint32_t count = 0;
+    };
+    std::vector<Group> groups;
+    std::vector<uint32_t> rows;
+    uint64_t mask = 0;
+    bool exact = false;
+
+    static uint64_t Slot(uint64_t key, uint64_t mask) {
+      uint64_t h = key * 0x9e3779b97f4a7c15ULL;
+      h ^= h >> 32;
+      return h & mask;
+    }
+
+    // Two-pass counting build from one key code per row.
+    void Build(const std::vector<uint64_t>& codes);
+
+    // Candidate rows for `key`: (first, count), or (nullptr, 0).
+    std::pair<const uint32_t*, uint32_t> Find(uint64_t key) const {
+      if (groups.empty()) return {nullptr, 0};
+      for (uint64_t i = Slot(key, mask);; i = (i + 1) & mask) {
+        const Group& g = groups[i];
+        if (g.count == 0) return {nullptr, 0};
+        if (g.key == key) return {rows.data() + g.offset, g.count};
+      }
+    }
+  };
+
   // `forced_first_atom` >= 0 pins that atom to the front of the join
   // order (used by the delta-join pivots so the batch scan leads).
   Plan BuildPlan(const BoundConstraint& ic, int forced_first_atom = -1);
   const HashIndex& GetIndex(uint32_t relation,
                             const std::vector<uint32_t>& positions);
   const TableStats& GetStats(uint32_t relation);
+
+  // Columnar eligibility + preparation: nullptr when options_.columnar is
+  // unset or cannot reproduce the row path's semantics for this constraint
+  // exactly (see ViolationEngineOptions::columnar).
+  std::shared_ptr<const ColumnarPlan> PrepareColumnar(const Plan& plan) const;
+  const CodeIndex& GetCodeIndex(uint32_t relation,
+                                const std::vector<uint32_t>& positions);
+  const CodeIndex* FindCodeIndex(uint32_t relation,
+                                 const std::vector<uint32_t>& positions) const;
 
   // Per-atom row-id bounds [min, max) used by the delta-join pivots and the
   // parallel scan shards; nullptr = unrestricted.
@@ -152,7 +219,22 @@ class ViolationEngine {
 
   // Recursive join evaluation; inserts canonical tuple sets into `dedupe`.
   // const (and PrewarmIndexes-dependent) so shards may run concurrently.
+  // Dispatches to ExecuteColumnarInto when the plan carries columnar state.
   Status ExecuteInto(
+      const Plan& plan, const AtomRowBounds* bounds,
+      std::unordered_set<ViolationSet, ViolationSetHash>* dedupe,
+      ExecCounters* counters) const;
+
+  // The same join, evaluated over typed column arrays and packed key codes
+  // (no Value touched in the loop). Enumerates exactly the row path's
+  // assignments — PrepareColumnar only accepts constraints where the typed
+  // encodings are provably equivalent to Value comparison.
+  Status ExecuteColumnarInto(
+      const Plan& plan, const AtomRowBounds* bounds,
+      std::unordered_set<ViolationSet, ViolationSetHash>* dedupe,
+      ExecCounters* counters) const;
+
+  Status ExecuteRowInto(
       const Plan& plan, const AtomRowBounds* bounds,
       std::unordered_set<ViolationSet, ViolationSetHash>* dedupe,
       ExecCounters* counters) const;
@@ -190,6 +272,9 @@ class ViolationEngine {
   std::unordered_map<std::pair<uint32_t, std::vector<uint32_t>>, HashIndex,
                      IndexKeyHash>
       index_cache_;
+  std::unordered_map<std::pair<uint32_t, std::vector<uint32_t>>, CodeIndex,
+                     IndexKeyHash>
+      code_index_cache_;
   std::unordered_map<uint32_t, TableStats> stats_cache_;
   // Lazily created when FindViolations runs with > 1 effective threads;
   // reused across constraints and calls.

@@ -85,10 +85,21 @@ Result<RepairProblem> BuildRepairProblem(
   const size_t max_shards =
       num_threads > 1 ? num_threads * kShardsPerThread : 1;
 
-  // ---- Algorithm 2: the violation-set array A. ----
-  obs::Span violations_span(&obs.tracer, "violations");
+  // ---- Columnar snapshot of the row store (typed scan input). ----
   ViolationEngineOptions engine_options = options.engine;
   engine_options.num_threads = num_threads;
+  if (options.use_columnar_scan && engine_options.columnar == nullptr) {
+    obs::Span snapshot_span(&obs.tracer, "snapshot");
+    const auto snapshot_start = std::chrono::steady_clock::now();
+    problem.snapshot = ColumnSnapshot::Build(db, pool.get());
+    engine_options.columnar = &problem.snapshot;
+    obs.metrics.GetCounter("scan.columnar.snapshot_ns")
+        ->Add(ElapsedNs(snapshot_start));
+    obs.metrics.GetCounter("scan.columnar.snapshots")->Add(1);
+  }
+
+  // ---- Algorithm 2: the violation-set array A. ----
+  obs::Span violations_span(&obs.tracer, "violations");
   ViolationEngine engine(db, ics, engine_options);
   DBREPAIR_ASSIGN_OR_RETURN(problem.violations, engine.FindViolations());
   problem.degrees = ComputeDegrees(problem.violations);

@@ -1,0 +1,200 @@
+#include "storage/column_view.h"
+
+#include <cmath>
+#include <utility>
+
+namespace dbrepair {
+
+namespace {
+
+// Sizes `col`'s typed vector for `n` rows.
+void SizeColumn(size_t n, ColumnData* col) {
+  switch (col->type) {
+    case Type::kInt64:
+      col->ints.resize(n);
+      break;
+    case Type::kDouble:
+      col->doubles.resize(n);
+      break;
+    case Type::kString:
+      col->codes.resize(n);
+      break;
+  }
+}
+
+// Encodes one cell into `col` at `row`. The single definition of the typed
+// encoding (null/lossy rules), shared by the per-column and row-major fills.
+inline void FillCell(const Value& v, uint32_t row,
+                     const StringInterner& interner, ColumnData* col) {
+  if (v.is_null()) {
+    col->has_nulls = true;
+    switch (col->type) {
+      case Type::kInt64:
+        col->ints[row] = 0;
+        break;
+      case Type::kDouble:
+        col->doubles[row] = 0.0;
+        break;
+      case Type::kString:
+        col->codes[row] = StringInterner::kNullCode;
+        break;
+    }
+    return;
+  }
+  switch (col->type) {
+    case Type::kInt64:
+      if (v.is_int()) {
+        col->ints[row] = v.AsInt();
+      } else {
+        col->lossy = true;  // runtime type contradicts the declared type
+        col->ints[row] = 0;
+      }
+      break;
+    case Type::kDouble:
+      if (v.is_int() || v.is_double()) {
+        // Ints are legal in kDouble columns; beyond ±2^53 the double view
+        // can no longer reproduce Value's exact int-vs-int comparisons.
+        if (v.is_int() && (v.AsInt() > kColumnarExactIntBound ||
+                           v.AsInt() < -kColumnarExactIntBound)) {
+          col->lossy = true;
+        }
+        double d = v.AsNumeric();
+        if (std::isnan(d)) col->lossy = true;  // NaN != NaN under Value
+        if (d == 0.0) d = 0.0;                 // normalise -0.0
+        col->doubles[row] = d;
+      } else {
+        col->lossy = true;
+        col->doubles[row] = 0.0;
+      }
+      break;
+    case Type::kString:
+      if (v.is_string()) {
+        col->codes[row] = interner.Find(v.AsString());
+      } else {
+        col->lossy = true;
+        col->codes[row] = StringInterner::kNullCode;
+      }
+      break;
+  }
+}
+
+// Fills `col` (already typed) from one relation's rows. The interner must
+// already contain every string of the column (Find only), so concurrent
+// fills of different columns never mutate shared state.
+void FillColumn(const Table& table, size_t position,
+                const StringInterner& interner, ColumnData* col) {
+  const size_t n = table.size();
+  SizeColumn(n, col);
+  for (uint32_t row = 0; row < n; ++row) {
+    FillCell(table.row(row).value(position), row, interner, col);
+  }
+}
+
+// Serial fast path: one row-major pass filling every column, so each
+// tuple's header is walked once instead of once per column. Produces
+// exactly the per-column fill's vectors and flags.
+void FillRelationRowMajor(const Table& table, const StringInterner& interner,
+                          RelationColumns* rel) {
+  const size_t n = table.size();
+  const size_t arity = rel->columns.size();
+  for (ColumnData& col : rel->columns) SizeColumn(n, &col);
+  for (uint32_t row = 0; row < n; ++row) {
+    const Tuple& tuple = table.row(row);
+    for (size_t c = 0; c < arity; ++c) {
+      FillCell(tuple.value(c), row, interner, &rel->columns[c]);
+    }
+  }
+}
+
+// Serial, deterministic interning pass over one relation's string columns:
+// codes are assigned in (column, row) first-encounter order.
+void InternRelationStrings(const Table& table, StringInterner* interner) {
+  const RelationSchema& schema = table.schema();
+  for (size_t c = 0; c < schema.arity(); ++c) {
+    if (schema.attribute(c).type != Type::kString) continue;
+    for (uint32_t row = 0; row < table.size(); ++row) {
+      const Value& v = table.row(row).value(c);
+      if (v.is_string()) interner->Intern(v.AsString());
+    }
+  }
+}
+
+std::shared_ptr<RelationColumns> MakeShell(const Table& table) {
+  auto rel = std::make_shared<RelationColumns>();
+  rel->row_count = table.size();
+  const RelationSchema& schema = table.schema();
+  rel->columns.resize(schema.arity());
+  for (size_t c = 0; c < schema.arity(); ++c) {
+    rel->columns[c].type = schema.attribute(c).type;
+  }
+  return rel;
+}
+
+std::shared_ptr<const RelationColumns> BuildRelation(
+    const Table& table, const StringInterner& interner, ThreadPool* pool) {
+  auto rel = MakeShell(table);
+  if (pool == nullptr) {
+    FillRelationRowMajor(table, interner, rel.get());
+  } else {
+    ParallelFor(pool, rel->columns.size(), [&](size_t c) {
+      FillColumn(table, c, interner, &rel->columns[c]);
+    });
+  }
+  return rel;
+}
+
+}  // namespace
+
+ColumnSnapshot ColumnSnapshot::Build(const Database& db, ThreadPool* pool) {
+  ColumnSnapshot snapshot;
+  snapshot.interner_ = std::make_shared<StringInterner>();
+  for (size_t r = 0; r < db.relation_count(); ++r) {
+    InternRelationStrings(db.table(r), snapshot.interner_.get());
+  }
+  std::vector<std::shared_ptr<RelationColumns>> shells(db.relation_count());
+  for (uint32_t r = 0; r < db.relation_count(); ++r) {
+    shells[r] = MakeShell(db.table(r));
+  }
+  const StringInterner& interner = *snapshot.interner_;
+  if (pool == nullptr) {
+    // Serial: row-major, one tuple walk per relation.
+    for (uint32_t r = 0; r < db.relation_count(); ++r) {
+      FillRelationRowMajor(db.table(r), interner, shells[r].get());
+    }
+  } else {
+    // Parallel: fan the typed fills out over every (relation, column) pair;
+    // the fills are read-only against the row store and the interner.
+    std::vector<std::pair<uint32_t, uint32_t>> work;
+    for (uint32_t r = 0; r < db.relation_count(); ++r) {
+      for (size_t c = 0; c < db.table(r).schema().arity(); ++c) {
+        work.emplace_back(r, static_cast<uint32_t>(c));
+      }
+    }
+    ParallelFor(pool, work.size(), [&](size_t i) {
+      const auto [r, c] = work[i];
+      FillColumn(db.table(r), c, interner, &shells[r]->columns[c]);
+    });
+  }
+  snapshot.relations_.assign(shells.begin(), shells.end());
+  return snapshot;
+}
+
+ColumnSnapshot ColumnSnapshot::Rebase(
+    const Database& new_db, const std::vector<uint32_t>& dirty_relations) const {
+  if (!valid() || new_db.relation_count() != relations_.size()) {
+    return Build(new_db);
+  }
+  ColumnSnapshot snapshot;
+  snapshot.interner_ = interner_;
+  snapshot.relations_ = relations_;
+  for (const uint32_t r : dirty_relations) {
+    // Repairs only rewrite int attributes, but stay general: new strings in
+    // a dirty relation are appended to the shared dictionary.
+    InternRelationStrings(new_db.table(r), snapshot.interner_.get());
+    snapshot.relations_[r] =
+        BuildRelation(new_db.table(r), *snapshot.interner_, nullptr);
+  }
+  return snapshot;
+}
+
+}  // namespace dbrepair

@@ -1,8 +1,9 @@
 #ifndef DBREPAIR_STORAGE_DATABASE_H_
 #define DBREPAIR_STORAGE_DATABASE_H_
 
+#include <cstdint>
 #include <memory>
-#include <string>
+#include <string_view>
 #include <vector>
 
 #include "catalog/schema.h"

@@ -1,7 +1,11 @@
 #include "storage/statistics.h"
 
 #include <algorithm>
+#include <cmath>
+#include <unordered_map>
 #include <unordered_set>
+
+#include "storage/column_view.h"
 
 namespace dbrepair {
 
@@ -45,6 +49,93 @@ TableStats ComputeTableStats(const Table& table) {
       const size_t end = values.size() * b / buckets;  // cumulative count
       col.bucket_upper.push_back(values[end - 1]);
       col.bucket_cumulative.push_back(end);
+    }
+  }
+  return stats;
+}
+
+namespace {
+
+/// Target sample size for ComputeColumnStats' distinct / histogram pass.
+constexpr size_t kStatsSampleTarget = 2048;
+
+}  // namespace
+
+TableStats ComputeColumnStats(const RelationColumns& rel) {
+  TableStats stats;
+  const size_t n = rel.row_count;
+  stats.row_count = n;
+  stats.columns.resize(rel.columns.size());
+  if (n == 0) return stats;
+  const size_t stride = std::max<size_t>(1, n / kStatsSampleTarget);
+
+  for (size_t c = 0; c < rel.columns.size(); ++c) {
+    const ColumnData& data = rel.columns[c];
+    ColumnStats& col = stats.columns[c];
+    col.non_null = n;  // clean() columns hold no NULLs
+
+    // Exact min/max in one vectorisable pass over the typed array.
+    const bool numeric = data.type != Type::kString;
+    if (numeric) {
+      col.has_range = true;
+      if (data.type == Type::kInt64) {
+        const auto [lo, hi] =
+            std::minmax_element(data.ints.begin(), data.ints.end());
+        col.min = static_cast<double>(*lo);
+        col.max = static_cast<double>(*hi);
+      } else {
+        const auto [lo, hi] =
+            std::minmax_element(data.doubles.begin(), data.doubles.end());
+        col.min = *lo;
+        col.max = *hi;
+      }
+    }
+
+    // Fixed-stride sample: key-code occurrence counts for the distinct
+    // estimate, raw numeric values for the histogram.
+    std::unordered_map<uint64_t, uint32_t> counts;
+    std::vector<double> values;
+    for (size_t row = 0; row < n; row += stride) {
+      ++counts[data.KeyCode(static_cast<uint32_t>(row))];
+      if (numeric) {
+        values.push_back(data.type == Type::kInt64
+                             ? static_cast<double>(data.ints[row])
+                             : data.doubles[row]);
+      }
+    }
+    const size_t s = (n + stride - 1) / stride;
+
+    // Distinct estimate. A duplicate-free sample reads as a key column
+    // (where GEE's sqrt scaling would badly undershoot — 1/distinct drives
+    // equality selectivity, so key columns must estimate high); otherwise
+    // GEE: sampled-distinct plus the once-seen values scaled by sqrt(n / s),
+    // clamped to [sampled-distinct, n].
+    size_t once = 0;
+    for (const auto& [code, count] : counts) {
+      if (count == 1) ++once;
+    }
+    if (counts.size() == s) {
+      col.distinct = n;
+    } else {
+      const double scale =
+          std::sqrt(static_cast<double>(n) / static_cast<double>(s)) - 1.0;
+      const double estimate = static_cast<double>(counts.size()) +
+                              scale * static_cast<double>(once);
+      col.distinct = static_cast<size_t>(
+          std::clamp(estimate, static_cast<double>(counts.size()),
+                     static_cast<double>(n)));
+    }
+
+    // Equi-depth histogram over the sample, cumulative counts scaled back to
+    // the full row count (the last bucket lands exactly on non_null).
+    if (!values.empty()) {
+      std::sort(values.begin(), values.end());
+      const size_t buckets = std::min(kHistogramBuckets, values.size());
+      for (size_t b = 1; b <= buckets; ++b) {
+        const size_t end = values.size() * b / buckets;
+        col.bucket_upper.push_back(values[end - 1]);
+        col.bucket_cumulative.push_back(end * n / values.size());
+      }
     }
   }
   return stats;

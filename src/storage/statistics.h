@@ -1,7 +1,7 @@
 #ifndef DBREPAIR_STORAGE_STATISTICS_H_
 #define DBREPAIR_STORAGE_STATISTICS_H_
 
-#include <cstdint>
+#include <cstddef>
 #include <vector>
 
 #include "constraints/ast.h"  // CompareOp
@@ -38,6 +38,19 @@ inline constexpr size_t kHistogramBuckets = 32;
 /// Scans the table once and computes the statistics (including the
 /// equi-depth histograms; numeric columns are sorted once each).
 TableStats ComputeTableStats(const Table& table);
+
+struct RelationColumns;  // storage/column_view.h
+
+/// Planner statistics from a columnar snapshot relation, orders of magnitude
+/// cheaper than the row scan: row count, non-null counts, and min/max are
+/// exact (one pass over the typed arrays); distinct counts and equi-depth
+/// histograms come from a fixed-stride row sample (deterministic — no RNG),
+/// with distinct extrapolated by the GEE estimator. Requires every column to
+/// be clean() (no NULLs, nothing lossy); callers keep ComputeTableStats as
+/// the fallback. Estimates can differ from the row scan's exact values, so
+/// the planner may pick a different join order — which never changes the
+/// enumerated violation sets (set semantics), only how fast they are found.
+TableStats ComputeColumnStats(const RelationColumns& rel);
 
 /// Estimated fraction of the column's non-null values strictly below `c`,
 /// from the histogram when present, else linear interpolation in

@@ -1,8 +1,7 @@
 #ifndef DBREPAIR_STORAGE_TABLE_H_
 #define DBREPAIR_STORAGE_TABLE_H_
 
-#include <cstdint>
-#include <map>
+#include <cstddef>
 #include <unordered_map>
 #include <vector>
 
@@ -62,7 +61,9 @@ class Table {
   const RelationSchema* schema_;
   std::vector<Tuple> rows_;
   std::unordered_map<std::vector<Value>, size_t, KeyHash> key_index_;
-  std::map<size_t, BTreeIndex> ordered_indexes_;
+  // Secondary B+-tree indexes by attribute position. Maintained per index
+  // on insert, so the container's iteration order never affects anything.
+  std::unordered_map<size_t, BTreeIndex> ordered_indexes_;
 };
 
 }  // namespace dbrepair

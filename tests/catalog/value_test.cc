@@ -81,6 +81,28 @@ TEST(ValueTest, HashConsistentWithEquality) {
   EXPECT_EQ(Value().Hash(), Value().Hash());
 }
 
+// The invariant hash-keyed containers (the engine's join indexes, the
+// table's key index) rely on: whenever two Values compare equal, they hash
+// equal — in particular an int and the integral double holding the same
+// number.
+TEST(ValueTest, IntAndIntegralDoubleHashEqual) {
+  const int64_t cases[] = {0,          1,     -1,        17,      -42,
+                           1 << 20,    -(1 << 20),       1062599, 25,
+                           (int64_t{1} << 53) - 1,       -((int64_t{1} << 53) - 1)};
+  for (const int64_t i : cases) {
+    const Value as_int = Value::Int(i);
+    const Value as_double = Value::Double(static_cast<double>(i));
+    ASSERT_TRUE(as_int == as_double) << i;
+    EXPECT_EQ(as_int.Hash(), as_double.Hash()) << i;
+  }
+  // -0.0 equals 0 and must land in the same bucket.
+  ASSERT_TRUE(Value::Int(0) == Value::Double(-0.0));
+  EXPECT_EQ(Value::Int(0).Hash(), Value::Double(-0.0).Hash());
+  // Sanity: a non-integral double equals no int, so no constraint applies —
+  // but it must still hash like itself.
+  EXPECT_EQ(Value::Double(2.5).Hash(), Value::Double(2.5).Hash());
+}
+
 TEST(TypeTest, Names) {
   EXPECT_STREQ(TypeName(Type::kInt64), "INT");
   EXPECT_STREQ(TypeName(Type::kDouble), "DOUBLE");

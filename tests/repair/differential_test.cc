@@ -15,6 +15,11 @@
 //
 // Case count: 64 seeds x 3 random single-relation shapes (192) + 8 seeds of
 // Client/Buy + 8 seeds of Census = 208 randomized cases.
+//
+// A second oracle checks the columnar scan: the same workloads — plus 32
+// seeds x 3 mixed-type shapes with string join keys, DOUBLE columns and
+// injected NULLs — are replayed with `use_columnar_scan` off and on at 1
+// and 4 threads, and the problems and repairs must be byte-identical.
 
 #include <gtest/gtest.h>
 
@@ -120,6 +125,44 @@ void RunDifferentialCase(const Database& db,
     ASSERT_TRUE(parallel_outcome.ok())
         << parallel_outcome.status().ToString();
     ExpectSameRepair(*serial_outcome, *parallel_outcome, threads);
+  }
+}
+
+// Columnar-vs-row oracle: with `use_columnar_scan` toggled off and on, the
+// built problem and the end-to-end repair must be byte-identical at every
+// tested thread count — the row path is the ground truth the typed-array
+// scan is checked against.
+void RunColumnarDifferentialCase(const Database& db,
+                                 const std::vector<DenialConstraint>& ics) {
+  auto bound = BindAll(db.schema(), ics);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  const DistanceFunction distance(DistanceKind::kL1);
+  for (const size_t threads : {size_t{1}, size_t{4}}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    BuildOptions row_build;
+    row_build.num_threads = threads;
+    row_build.use_columnar_scan = false;
+    auto row = BuildRepairProblem(db, *bound, distance, row_build);
+    ASSERT_TRUE(row.ok()) << row.status().ToString();
+    BuildOptions columnar_build;
+    columnar_build.num_threads = threads;
+    columnar_build.use_columnar_scan = true;
+    auto columnar = BuildRepairProblem(db, *bound, distance, columnar_build);
+    ASSERT_TRUE(columnar.ok()) << columnar.status().ToString();
+    ExpectSameProblem(*row, *columnar, threads);
+
+    RepairOptions row_repair;
+    row_repair.num_threads = threads;
+    row_repair.use_columnar_scan = false;
+    auto row_outcome = RepairDatabase(db, ics, row_repair);
+    ASSERT_TRUE(row_outcome.ok()) << row_outcome.status().ToString();
+    RepairOptions columnar_repair;
+    columnar_repair.num_threads = threads;
+    columnar_repair.use_columnar_scan = true;
+    auto columnar_outcome = RepairDatabase(db, ics, columnar_repair);
+    ASSERT_TRUE(columnar_outcome.ok())
+        << columnar_outcome.status().ToString();
+    ExpectSameRepair(*row_outcome, *columnar_outcome, threads);
   }
 }
 
@@ -245,6 +288,88 @@ void MakeRandomWorkload(uint64_t seed, int shape, Database* out_db,
   *out_ics = std::move(ics).value();
 }
 
+// A workload exercising the columnar layer's non-int machinery: U and V
+// join on a dictionary-coded string attribute SG, D and C are DOUBLE
+// columns holding a mix of int and double Values (both legal per
+// Table::CheckTypes), and a small fraction of SG cells are NULL — which
+// marks the column unclean and forces the engine's per-constraint row
+// fallback, so the fallback path is differentially tested too. Only A is
+// flexible (flexible attributes must be INT — repairs take values in Z),
+// so every violation is repaired through A; per the MakeRandomWorkload
+// locality convention A is only ever lower-bounded.
+void MakeMixedTypeWorkload(uint64_t seed, int shape, Database* out_db,
+                           std::vector<DenialConstraint>* out_ics) {
+  Rng rng(seed * 7 + static_cast<uint64_t>(shape));
+  auto schema = std::make_shared<Schema>();
+  ASSERT_TRUE(schema
+                  ->AddRelation(RelationSchema(
+                      "U",
+                      {AttributeDef{"K", Type::kInt64, false, 1.0},
+                       AttributeDef{"SG", Type::kString, false, 1.0},
+                       AttributeDef{"A", Type::kInt64, true, 1.0},
+                       AttributeDef{"D", Type::kDouble, false, 2.0}},
+                      {"K"}))
+                  .ok());
+  ASSERT_TRUE(schema
+                  ->AddRelation(RelationSchema(
+                      "V",
+                      {AttributeDef{"K2", Type::kInt64, false, 1.0},
+                       AttributeDef{"SG2", Type::kString, false, 1.0},
+                       AttributeDef{"C", Type::kDouble, false, 1.0}},
+                      {"K2"}))
+                  .ok());
+  Database db(schema);
+  const char* pool[] = {"s0", "s1", "s2", "hot", "s3", "s4"};
+  // NULLs only in shape 2's variant with seed parity, so both the clean
+  // (all-columnar) and unclean (fallback) paths get coverage.
+  const bool inject_nulls = shape == 2 && seed % 2 == 0;
+  auto make_sg = [&]() {
+    if (inject_nulls && rng.Uniform(10) == 0) return Value();
+    return Value::String(pool[rng.Uniform(6)]);
+  };
+  auto make_double = [&](int lo, int hi) {
+    const int v = static_cast<int>(rng.UniformInRange(lo * 2, hi * 2));
+    // Half the cells are int Values living in a DOUBLE column; one cell is
+    // a negative zero (the snapshot normalises it, equality must not care).
+    if (v == lo * 2 && rng.Uniform(4) == 0) return Value::Double(-0.0);
+    if (rng.Uniform(2) == 0) return Value::Int(v / 2);
+    return Value::Double(v / 2.0);
+  };
+  const size_t rows = 40 + rng.Uniform(31);
+  for (size_t i = 0; i < rows; ++i) {
+    ASSERT_TRUE(db.Insert("U", {Value::Int(static_cast<int64_t>(i)),
+                                make_sg(),
+                                Value::Int(rng.UniformInRange(0, 100)),
+                                make_double(0, 100)})
+                    .ok());
+  }
+  const size_t v_rows = 20 + rng.Uniform(21);
+  for (size_t i = 0; i < v_rows; ++i) {
+    ASSERT_TRUE(db.Insert("V", {Value::Int(static_cast<int64_t>(i)),
+                                make_sg(), make_double(0, 100)})
+                    .ok());
+  }
+  const std::string x = std::to_string(rng.UniformInRange(20, 50));
+  const std::string y = std::to_string(rng.UniformInRange(50, 80));
+  std::string text;
+  switch (shape) {
+    case 0:  // single-tuple, fractional double bound on a DOUBLE column
+      text = ":- U(k, sg, a, d), a < " + x + ", d > " + y + ".5\n";
+      break;
+    case 1:  // string-constant selection on the dictionary column
+      text = ":- U(k, sg, a, d), sg = 'hot', a < " + x + "\n";
+      break;
+    default:  // join on the string attribute (dictionary-code join)
+      text = ":- U(k, sg, a, d), V(k2, sg, c), a < " + x + ", c > " + y +
+             ".5\n";
+      break;
+  }
+  auto ics = ParseConstraintSet(text);
+  ASSERT_TRUE(ics.ok()) << ics.status().ToString();
+  *out_db = std::move(db);
+  *out_ics = std::move(ics).value();
+}
+
 class RandomWorkloadDifferentialTest
     : public ::testing::TestWithParam<uint64_t> {};
 
@@ -268,8 +393,35 @@ TEST_P(RandomWorkloadDifferentialTest, SolversReturnValidBoundedCovers) {
   }
 }
 
+TEST_P(RandomWorkloadDifferentialTest, ColumnarEqualsRow) {
+  for (int shape = 0; shape < 3; ++shape) {
+    SCOPED_TRACE("shape " + std::to_string(shape));
+    Database db(std::make_shared<Schema>());
+    std::vector<DenialConstraint> ics;
+    MakeRandomWorkload(GetParam(), shape, &db, &ics);
+    RunColumnarDifferentialCase(db, ics);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorkloadDifferentialTest,
                          ::testing::Range<uint64_t>(1, 65));
+
+class MixedTypeDifferentialTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(MixedTypeDifferentialTest, ColumnarEqualsRow) {
+  for (int shape = 0; shape < 3; ++shape) {
+    SCOPED_TRACE("shape " + std::to_string(shape));
+    Database db(std::make_shared<Schema>());
+    std::vector<DenialConstraint> ics;
+    MakeMixedTypeWorkload(GetParam(), shape, &db, &ics);
+    RunColumnarDifferentialCase(db, ics);
+    RunDifferentialCase(db, ics);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MixedTypeDifferentialTest,
+                         ::testing::Range<uint64_t>(1, 33));
 
 class GeneratorDifferentialTest : public ::testing::TestWithParam<uint64_t> {
 };
@@ -282,6 +434,24 @@ TEST_P(GeneratorDifferentialTest, ClientBuyParallelEqualsSerial) {
   ASSERT_TRUE(workload.ok());
   RunDifferentialCase(workload->db, workload->ics);
   RunSolverValidityCase(workload->db, workload->ics);
+}
+
+TEST_P(GeneratorDifferentialTest, ClientBuyColumnarEqualsRow) {
+  ClientBuyOptions options;
+  options.num_clients = 25;
+  options.seed = GetParam();
+  auto workload = GenerateClientBuy(options);
+  ASSERT_TRUE(workload.ok());
+  RunColumnarDifferentialCase(workload->db, workload->ics);
+}
+
+TEST_P(GeneratorDifferentialTest, CensusColumnarEqualsRow) {
+  CensusOptions options;
+  options.num_households = 12;
+  options.seed = GetParam();
+  auto workload = GenerateCensus(options);
+  ASSERT_TRUE(workload.ok());
+  RunColumnarDifferentialCase(workload->db, workload->ics);
 }
 
 TEST_P(GeneratorDifferentialTest, CensusParallelEqualsSerial) {
