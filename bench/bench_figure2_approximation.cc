@@ -12,9 +12,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/flags.h"
 #include "repair/setcover/prune.h"
 #include "repair/setcover/solvers.h"
 
@@ -48,7 +50,7 @@ const PreparedProblem& OverlapProblem(size_t num_clients, uint64_t seed) {
   if (!bound.ok()) std::abort();
   prepared.bound = std::move(bound).value();
   auto problem = BuildRepairProblem(prepared.workload->db, prepared.bound,
-                                    DistanceFunction());
+                                    DistanceFunction(), SharedBuildOptions());
   if (!problem.ok()) std::abort();
   prepared.problem = std::move(problem).value();
   return cache->emplace(key, std::move(prepared)).first->second;
@@ -56,11 +58,34 @@ const PreparedProblem& OverlapProblem(size_t num_clients, uint64_t seed) {
 
 }  // namespace
 
-// An optional argv[1] caps the client count, so the smoke tests and the
-// benchmark-summary script can run the full sweep structure in seconds.
+// An optional positional argument caps the client count, so the smoke tests
+// and the benchmark-summary script can run the full sweep structure in
+// seconds. The shared --threads / --no-columnar flags (common/flags.h, same
+// spellings as the CLI) feed the instance builds.
 int main(int argc, char** argv) {
+  size_t num_threads = 1;
+  bool no_columnar = false;
+  std::vector<std::string> positional;
+  FlagSet flags;
+  flags.AddSize(kFlagThreads, &num_threads,
+                "worker threads for the instance builds (0 = auto)");
+  flags.AddBool(kFlagNoColumnar, &no_columnar,
+                "force the row-store scan path in the instance builds");
+  const Status parsed = flags.Parse(argc, argv, 1, &positional);
+  if (!parsed.ok() || positional.size() > 1) {
+    std::fprintf(stderr,
+                 "usage: bench_figure2_approximation [max_clients]\n%s%s",
+                 flags.Usage().c_str(),
+                 parsed.ok() ? "" : (parsed.ToString() + "\n").c_str());
+    return 2;
+  }
+  SharedBuildOptions().num_threads = num_threads;
+  SharedBuildOptions().use_columnar_scan = !no_columnar;
+
   size_t max_clients = 100000;
-  if (argc > 1) max_clients = static_cast<size_t>(std::atoll(argv[1]));
+  if (!positional.empty()) {
+    max_clients = static_cast<size_t>(std::atoll(positional[0].c_str()));
+  }
   std::vector<size_t> client_counts;
   for (const size_t c : {100, 300, 1000, 3000, 10000, 30000, 100000}) {
     if (c <= max_clients) client_counts.push_back(c);

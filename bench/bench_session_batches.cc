@@ -1,0 +1,130 @@
+// RepairSession vs full re-repair on arriving batches.
+//
+// Setup: a clean Client/Buy base of ~N total rows (state.range(0)), then a
+// stream of dirty batches each 1% of the base — minors with offending
+// credit and purchases, so every batch adds ic1 and ic2 violations.
+//
+// BM_SessionBatch measures one ApplyBatch against a long-lived session:
+// delta-join only the new rows, patch the cached MWSCP instance, continue
+// the incremental greedy cover, apply, incrementally verify.
+//
+// BM_FullRepairPerBatch is the baseline the session replaces: insert the
+// same batch into a growing instance and run the whole RepairDatabase
+// pipeline from scratch (bind, locality, full enumeration, full build,
+// full solve). The acceptance target for the session layer is >= 3x over
+// this baseline at the 100k-row scale (tools/run_benchmarks.sh records the
+// median pair under "session_headline").
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "repair/api.h"
+
+using namespace dbrepair;        // NOLINT(build/namespaces)
+using namespace dbrepair::bench; // NOLINT(build/namespaces)
+
+namespace {
+
+// A consistent base of roughly `total_rows` tuples (1 client + 2 buys per
+// client), memoised per size.
+const GeneratedWorkload& CleanBase(size_t total_rows) {
+  InstallObsSnapshotAtExit();
+  static auto* cache = new std::map<size_t, GeneratedWorkload>();
+  const auto it = cache->find(total_rows);
+  if (it != cache->end()) return it->second;
+  ClientBuyOptions options;
+  options.num_clients = total_rows / 3;
+  options.inconsistency_ratio = 0.0;
+  options.seed = 1;
+  auto workload = GenerateClientBuy(options);
+  if (!workload.ok()) std::abort();
+  return cache->emplace(total_rows, std::move(workload).value())
+      .first->second;
+}
+
+// `rows` dirty rows starting at client id `key_base`: minor clients whose
+// credit violates ic2 paired with purchases violating ic1.
+std::vector<BatchRow> MakeDirtyBatch(size_t rows, int64_t key_base) {
+  std::vector<BatchRow> batch;
+  batch.reserve(rows);
+  for (size_t i = 0; batch.size() + 2 <= rows; ++i) {
+    const int64_t id = key_base + static_cast<int64_t>(i);
+    batch.push_back(BatchRow{
+        "Client", {Value::Int(id), Value::Int(15), Value::Int(90)}});
+    batch.push_back(
+        BatchRow{"Buy", {Value::Int(id), Value::Int(1), Value::Int(60)}});
+  }
+  return batch;
+}
+
+void BM_SessionBatch(benchmark::State& state) {
+  const GeneratedWorkload& base = CleanBase(static_cast<size_t>(state.range(0)));
+  RepairOptions options;
+  options.num_threads = 1;
+  auto session = RepairSession::Open(base.db, base.ics, options);
+  if (!session.ok()) {
+    state.SkipWithError(session.status().ToString().c_str());
+    return;
+  }
+  const size_t batch_rows = static_cast<size_t>(state.range(0)) / 100;
+  int64_t key_base = 10'000'000;
+  size_t violations = 0;
+  for (auto _ : state) {
+    const auto batch = MakeDirtyBatch(batch_rows, key_base);
+    key_base += static_cast<int64_t>(batch_rows);
+    auto stats = (*session)->ApplyBatch(batch);
+    if (!stats.ok()) {
+      state.SkipWithError(stats.status().ToString().c_str());
+      return;
+    }
+    violations = stats->num_new_violations;
+    benchmark::DoNotOptimize(violations);
+  }
+  state.counters["batch_rows"] = static_cast<double>(batch_rows);
+  state.counters["violations_per_batch"] = static_cast<double>(violations);
+}
+
+void BM_FullRepairPerBatch(benchmark::State& state) {
+  const GeneratedWorkload& base = CleanBase(static_cast<size_t>(state.range(0)));
+  RepairOptions options;
+  options.num_threads = 1;
+  Database db = base.db.Clone();
+  const size_t batch_rows = static_cast<size_t>(state.range(0)) / 100;
+  int64_t key_base = 10'000'000;
+  for (auto _ : state) {
+    const auto batch = MakeDirtyBatch(batch_rows, key_base);
+    key_base += static_cast<int64_t>(batch_rows);
+    for (const BatchRow& row : batch) {
+      auto inserted = db.Insert(row.relation, row.values);
+      if (!inserted.ok()) {
+        state.SkipWithError(inserted.status().ToString().c_str());
+        return;
+      }
+    }
+    auto outcome = RepairDatabase(db, base.ics, options);
+    if (!outcome.ok()) {
+      state.SkipWithError(outcome.status().ToString().c_str());
+      return;
+    }
+    db = std::move(outcome->repaired);
+    benchmark::DoNotOptimize(db.TotalTuples());
+  }
+  state.counters["batch_rows"] = static_cast<double>(batch_rows);
+}
+
+}  // namespace
+
+BENCHMARK(BM_SessionBatch)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(10000)
+    ->Arg(100000);
+BENCHMARK(BM_FullRepairPerBatch)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(10000)
+    ->Arg(100000);
+
+BENCHMARK_MAIN();

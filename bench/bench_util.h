@@ -42,6 +42,14 @@ struct PreparedProblem {
   RepairProblem problem;
 };
 
+/// Build options the memoised problem builders below use. Benchmark mains
+/// that take the shared --threads / --no-columnar flags (common/flags.h)
+/// write them here before the first problem is built.
+inline BuildOptions& SharedBuildOptions() {
+  static BuildOptions options;
+  return options;
+}
+
 /// Builds (and memoises) a Client/Buy problem for `num_clients` and `seed`.
 /// ~30% of tuples are involved in inconsistencies, as in Section 4.
 inline const PreparedProblem& ClientBuyProblem(size_t num_clients,
@@ -68,7 +76,8 @@ inline const PreparedProblem& ClientBuyProblem(size_t num_clients,
   if (!bound.ok()) std::abort();
   prepared.bound = std::move(bound).value();
   auto problem = BuildRepairProblem(prepared.workload->db, prepared.bound,
-                                    DistanceFunction(DistanceKind::kL1));
+                                    DistanceFunction(DistanceKind::kL1),
+                                    SharedBuildOptions());
   if (!problem.ok()) std::abort();
   prepared.problem = std::move(problem).value();
   return cache->emplace(key, std::move(prepared)).first->second;
@@ -101,7 +110,8 @@ inline const PreparedProblem& CensusProblem(size_t households,
   if (!bound.ok()) std::abort();
   prepared.bound = std::move(bound).value();
   auto problem = BuildRepairProblem(prepared.workload->db, prepared.bound,
-                                    DistanceFunction(DistanceKind::kL1));
+                                    DistanceFunction(DistanceKind::kL1),
+                                    SharedBuildOptions());
   if (!problem.ok()) std::abort();
   prepared.problem = std::move(problem).value();
   return cache->emplace(key, std::move(prepared)).first->second;

@@ -16,13 +16,18 @@
 // prints the span tree to stderr, and --metrics-out writes the single-
 // document JSON run snapshot (phases, counters, gauges, histograms, trace).
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "common/flags.h"
+#include "common/strings.h"
 #include "constraints/locality.h"
 #include "constraints/violation_engine.h"
 #include "io/config.h"
@@ -30,7 +35,7 @@
 #include "io/export.h"
 #include "io/report.h"
 #include "obs/context.h"
-#include "repair/repairer.h"
+#include "repair/api.h"
 #include "sql/executor.h"
 #include "sql/views.h"
 
@@ -47,7 +52,9 @@ void PrintUsage() {
          "|lazy-greedy|layer|modified-layer|exact]\n"
          "                [--distance L1|L2] [--mode update|insert|dump]\n"
          "                [--output PATH] [--metrics-out PATH] [--threads N]\n"
-         "                [--no-columnar] [--trace] [--quiet] [--report]\n"
+         "                [--no-columnar] [--batch-file PATH]"
+         " [--batch-size N]\n"
+         "                [--trace] [--quiet] [--report]\n"
          "       dbrepair check <config> [--quiet]\n"
          "       dbrepair explain <config>\n"
          "       dbrepair query <config> <SQL>\n"
@@ -60,6 +67,13 @@ void PrintUsage() {
          "                      the repair is identical either way)\n"
          "  --no-columnar       force the row-store scan path instead of the\n"
          "                      columnar snapshot (same repair, slower scan)\n"
+         "  --batch-file PATH   after the initial repair, replay PATH's\n"
+         "                      'relation,v1,v2,...' lines through a repair\n"
+         "                      session: rows are inserted in batches and\n"
+         "                      consistency is restored incrementally after\n"
+         "                      each one ('#' lines are comments)\n"
+         "  --batch-size N      rows per session batch (0 = the whole file\n"
+         "                      as one batch)\n"
          "  --trace             print the nested span tree to stderr\n"
          "  --quiet             suppress incidental output (logger severity\n"
          "                      below 'warn')\n";
@@ -164,77 +178,169 @@ int RunQuery(const RepairConfig& config, const std::string& sql) {
   return 0;
 }
 
+// Parses a --batch-file: each non-empty, non-'#' line is
+// `relation,v1,v2,...`, with the values converted to the relation's
+// declared column types.
+Result<std::vector<BatchRow>> LoadBatchFile(const Database& db,
+                                            const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  std::vector<BatchRow> rows;
+  std::string raw;
+  size_t line_number = 0;
+  while (std::getline(in, raw)) {
+    ++line_number;
+    std::string_view line = raw;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    line = TrimWhitespace(line);
+    if (line.empty() || line.front() == '#') continue;
+    DBREPAIR_ASSIGN_OR_RETURN(const std::vector<std::string> fields,
+                              ParseCsvLine(line, ','));
+    const std::string relation(TrimWhitespace(fields[0]));
+    const Table* table = db.FindTable(relation);
+    if (table == nullptr) {
+      return Status::NotFound("batch line " + std::to_string(line_number) +
+                              ": unknown relation '" + relation + "'");
+    }
+    const RelationSchema& schema = table->schema();
+    if (fields.size() != schema.arity() + 1) {
+      return Status::ParseError(
+          "batch line " + std::to_string(line_number) + " has " +
+          std::to_string(fields.size() - 1) + " values for '" + relation +
+          "', expected " + std::to_string(schema.arity()));
+    }
+    BatchRow row;
+    row.relation = relation;
+    row.values.reserve(schema.arity());
+    for (size_t i = 0; i < schema.arity(); ++i) {
+      DBREPAIR_ASSIGN_OR_RETURN(
+          Value v, CsvFieldToValue(fields[i + 1], schema.attribute(i).type));
+      row.values.push_back(std::move(v));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+// The --batch-file path: open a RepairSession over the base data, replay
+// the file's rows through it in batches, export the final instance.
+int RunSessionReplay(const RepairConfig& config, const Database& db,
+                     const RepairOptions& options,
+                     const std::string& batch_file, size_t batch_size,
+                     bool report, obs::ObsContext& obs) {
+  auto rows = LoadBatchFile(db, batch_file);
+  if (!rows.ok()) return Fail(rows.status());
+
+  auto session = RepairSession::Open(db, config.constraints, options);
+  if (!session.ok()) return Fail(session.status());
+  RepairSession& s = **session;
+  obs.logger.Info(Printf(
+      "session open: violations=%zu fixes=%zu updates=%zu cover_weight=%.6g",
+      s.stats().total_violations, s.stats().total_fixes,
+      s.stats().total_updates, s.stats().cover_weight));
+
+  std::vector<AppliedUpdate> all_updates = s.open_updates();
+  const size_t chunk = batch_size == 0 ? rows->size() : batch_size;
+  size_t batch_index = 0;
+  for (size_t begin = 0; begin < rows->size(); begin += chunk) {
+    const size_t end = std::min(begin + chunk, rows->size());
+    const std::vector<BatchRow> batch(rows->begin() + begin,
+                                      rows->begin() + end);
+    auto stats = s.ApplyBatch(batch);
+    if (!stats.ok()) return Fail(stats.status());
+    ++batch_index;
+    obs.logger.Info(Printf(
+        "batch %zu: rows=%zu new_violations=%zu chosen=%zu updates=%zu "
+        "detect=%.3fs solve=%.3fs total=%.3fs",
+        batch_index, stats->num_rows, stats->num_new_violations,
+        stats->num_chosen_fixes, stats->num_updates, stats->detect_seconds,
+        stats->solve_seconds, stats->total_seconds));
+    all_updates.insert(all_updates.end(), stats->updates.begin(),
+                       stats->updates.end());
+  }
+  obs.logger.Info(Printf(
+      "session done: batches=%zu rows=%zu violations=%zu updates=%zu "
+      "cover_weight=%.6g distance=%.6g",
+      s.stats().num_batches, s.stats().total_rows_inserted,
+      s.stats().total_violations, s.stats().total_updates,
+      s.stats().cover_weight, s.cumulative_distance()));
+  if (report) {
+    std::fprintf(stderr,
+                 "repair session: %zu batches, %zu rows inserted, "
+                 "%zu updates, distance %.6g\n",
+                 s.stats().num_batches, s.stats().total_rows_inserted,
+                 s.stats().total_updates, s.cumulative_distance());
+  }
+
+  auto exported = ExportRepair(s.db(), all_updates, config.mode);
+  if (!exported.ok()) return Fail(exported.status());
+  if (config.output_path.empty()) {
+    std::cout << exported.value();
+  } else {
+    const Status st = WriteTextFile(config.output_path, exported.value());
+    if (!st.ok()) return Fail(st);
+    obs.logger.Info("wrote " + std::string(ExportModeName(config.mode)) +
+                    " export to " + config.output_path);
+  }
+  return 0;
+}
+
 int RunRepair(RepairConfig config, int argc, char** argv, int arg_start) {
   bool quiet = false;
   bool report = false;
   bool trace = false;
-  bool use_columnar = true;
+  bool no_columnar = false;
   size_t num_threads = 0;
+  size_t batch_size = 0;
   std::string metrics_out;
-  for (int i = arg_start; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) return nullptr;
-      return argv[++i];
-    };
-    if (arg == "--solver") {
-      const char* v = next();
-      if (v == nullptr) {
-        return Fail(Status::InvalidArgument("--solver needs a value"));
-      }
-      auto solver = ParseSolverKind(v);
-      if (!solver.ok()) return Fail(solver.status());
-      config.solver = solver.value();
-    } else if (arg == "--distance") {
-      const char* v = next();
-      if (v == nullptr) {
-        return Fail(Status::InvalidArgument("--distance needs a value"));
-      }
-      auto distance = ParseDistanceKind(v);
-      if (!distance.ok()) return Fail(distance.status());
-      config.distance = distance.value();
-    } else if (arg == "--mode") {
-      const char* v = next();
-      if (v == nullptr) {
-        return Fail(Status::InvalidArgument("--mode needs a value"));
-      }
-      auto mode = ParseExportMode(v);
-      if (!mode.ok()) return Fail(mode.status());
-      config.mode = mode.value();
-    } else if (arg == "--output") {
-      const char* v = next();
-      if (v == nullptr) {
-        return Fail(Status::InvalidArgument("--output needs a value"));
-      }
-      config.output_path = v;
-    } else if (arg == "--threads") {
-      const char* v = next();
-      char* end = nullptr;
-      const long long parsed = v == nullptr ? -1 : std::strtoll(v, &end, 10);
-      if (v == nullptr || *v == '\0' || *end != '\0' || parsed < 0) {
-        return Fail(Status::InvalidArgument(
-            "--threads needs a non-negative integer"));
-      }
-      num_threads = static_cast<size_t>(parsed);
-    } else if (arg == "--metrics-out") {
-      const char* v = next();
-      if (v == nullptr) {
-        return Fail(Status::InvalidArgument("--metrics-out needs a value"));
-      }
-      metrics_out = v;
-    } else if (arg == "--no-columnar") {
-      use_columnar = false;
-    } else if (arg == "--trace") {
-      trace = true;
-    } else if (arg == "--quiet") {
-      quiet = true;
-    } else if (arg == "--report") {
-      report = true;
-    } else {
-      PrintUsage();
-      return 2;
-    }
+  std::string solver_name;
+  std::string distance_name;
+  std::string mode_name;
+  std::string output_path;
+  std::string batch_file;
+
+  FlagSet flags;
+  flags.AddString(kFlagSolver, &solver_name,
+                  "set-cover solver (greedy|modified-greedy|lazy-greedy|"
+                  "layer|modified-layer|exact)");
+  flags.AddString("--distance", &distance_name, "distance norm (L1|L2)");
+  flags.AddString("--mode", &mode_name, "export mode (update|insert|dump)");
+  flags.AddString("--output", &output_path, "write the export to PATH");
+  flags.AddSize(kFlagThreads, &num_threads,
+                "worker threads (0 = auto, 1 = serial)");
+  flags.AddString("--metrics-out", &metrics_out,
+                  "write the JSON run snapshot to PATH");
+  flags.AddBool(kFlagNoColumnar, &no_columnar,
+                "force the row-store scan path");
+  flags.AddString("--batch-file", &batch_file,
+                  "replay 'relation,v1,...' rows through a repair session");
+  flags.AddSize("--batch-size", &batch_size,
+                "rows per session batch (0 = one batch)");
+  flags.AddBool("--trace", &trace, "print the span tree to stderr");
+  flags.AddBool("--quiet", &quiet, "suppress incidental output");
+  flags.AddBool("--report", &report, "print the repair report to stderr");
+  const Status parsed = flags.Parse(argc, argv, arg_start);
+  if (!parsed.ok()) {
+    std::cerr << "dbrepair: " << parsed.ToString() << "\n";
+    PrintUsage();
+    return 2;
   }
+  if (!solver_name.empty()) {
+    auto solver = ParseSolverKind(solver_name);
+    if (!solver.ok()) return Fail(solver.status());
+    config.solver = solver.value();
+  }
+  if (!distance_name.empty()) {
+    auto distance = ParseDistanceKind(distance_name);
+    if (!distance.ok()) return Fail(distance.status());
+    config.distance = distance.value();
+  }
+  if (!mode_name.empty()) {
+    auto mode = ParseExportMode(mode_name);
+    if (!mode.ok()) return Fail(mode.status());
+    config.mode = mode.value();
+  }
+  if (!output_path.empty()) config.output_path = output_path;
 
   // The run's observability state; everything the pipeline records lands
   // here rather than in the process-wide default registry.
@@ -249,21 +355,43 @@ int RunRepair(RepairConfig config, int argc, char** argv, int arg_start) {
   options.solver = config.solver;
   options.distance = config.distance;
   options.num_threads = num_threads;
-  options.use_columnar_scan = use_columnar;
-  auto outcome = RepairDatabase(*db, config.constraints, options);
-  if (!outcome.ok()) return Fail(outcome.status());
-  if (report) {
-    std::cerr << FormatRepairReport(*db, outcome.value());
+  options.use_columnar_scan = !no_columnar;
+  const Status valid = options.Validate();
+  if (!valid.ok()) return Fail(valid);
+
+  int exit_code = 0;
+  if (!batch_file.empty()) {
+    exit_code = RunSessionReplay(config, *db, options, batch_file, batch_size,
+                                 report, obs);
+  } else {
+    auto outcome = RepairDatabase(*db, config.constraints, options);
+    if (!outcome.ok()) return Fail(outcome.status());
+    if (report) {
+      std::cerr << FormatRepairReport(*db, outcome.value());
+    }
+    const RepairStats& stats = outcome.value().stats;
+    obs.logger.Info(Printf(
+        "solver=%s violations=%zu candidate_fixes=%zu chosen=%zu "
+        "updates=%zu max_degree=%u cover_weight=%.6g "
+        "distance=%.6g build=%.3fs solve=%.3fs",
+        SolverKindName(config.solver), stats.num_violations,
+        stats.num_candidate_fixes, stats.num_chosen_fixes, stats.num_updates,
+        stats.max_degree, stats.cover_weight, stats.distance,
+        stats.build_seconds, stats.solve_seconds));
+
+    auto exported = ExportRepair(outcome.value().repaired,
+                                 outcome.value().updates, config.mode);
+    if (!exported.ok()) return Fail(exported.status());
+    if (config.output_path.empty()) {
+      std::cout << exported.value();
+    } else {
+      const Status st = WriteTextFile(config.output_path, exported.value());
+      if (!st.ok()) return Fail(st);
+      obs.logger.Info("wrote " + std::string(ExportModeName(config.mode)) +
+                      " export to " + config.output_path);
+    }
   }
-  const RepairStats& stats = outcome.value().stats;
-  obs.logger.Info(Printf(
-      "solver=%s violations=%zu candidate_fixes=%zu chosen=%zu "
-      "updates=%zu max_degree=%u cover_weight=%.6g "
-      "distance=%.6g build=%.3fs solve=%.3fs",
-      SolverKindName(config.solver), stats.num_violations,
-      stats.num_candidate_fixes, stats.num_chosen_fixes, stats.num_updates,
-      stats.max_degree, stats.cover_weight, stats.distance,
-      stats.build_seconds, stats.solve_seconds));
+  if (exit_code != 0) return exit_code;
 
   if (trace) {
     std::cerr << obs::FormatSpanTrees(obs.tracer);
@@ -274,18 +402,6 @@ int RunRepair(RepairConfig config, int argc, char** argv, int arg_start) {
     const Status st = WriteTextFile(metrics_out, snapshot.Dump(2) + "\n");
     if (!st.ok()) return Fail(st);
     obs.logger.Info("wrote metrics snapshot to " + metrics_out);
-  }
-
-  auto exported = ExportRepair(outcome.value().repaired,
-                               outcome.value().updates, config.mode);
-  if (!exported.ok()) return Fail(exported.status());
-  if (config.output_path.empty()) {
-    std::cout << exported.value();
-  } else {
-    const Status st = WriteTextFile(config.output_path, exported.value());
-    if (!st.ok()) return Fail(st);
-    obs.logger.Info("wrote " + std::string(ExportModeName(config.mode)) +
-                    " export to " + config.output_path);
   }
   return 0;
 }

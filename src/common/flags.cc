@@ -1,0 +1,92 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+namespace dbrepair {
+
+void FlagSet::AddBool(const std::string& name, bool* value,
+                      const std::string& help) {
+  Flag flag;
+  flag.name = name;
+  flag.kind = Kind::kBool;
+  flag.bool_value = value;
+  flag.help = help;
+  flags_.push_back(std::move(flag));
+}
+
+void FlagSet::AddString(const std::string& name, std::string* value,
+                        const std::string& help) {
+  Flag flag;
+  flag.name = name;
+  flag.kind = Kind::kString;
+  flag.string_value = value;
+  flag.help = help;
+  flags_.push_back(std::move(flag));
+}
+
+void FlagSet::AddSize(const std::string& name, size_t* value,
+                      const std::string& help) {
+  Flag flag;
+  flag.name = name;
+  flag.kind = Kind::kSize;
+  flag.size_value = value;
+  flag.help = help;
+  flags_.push_back(std::move(flag));
+}
+
+const FlagSet::Flag* FlagSet::Find(const std::string& name) const {
+  for (const Flag& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+Status FlagSet::Parse(int argc, char** argv, int start,
+                      std::vector<std::string>* positional) const {
+  for (int i = start; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      if (positional == nullptr) {
+        return Status::InvalidArgument("unexpected argument '" + arg + "'");
+      }
+      positional->push_back(arg);
+      continue;
+    }
+    const Flag* flag = Find(arg);
+    if (flag == nullptr) {
+      return Status::InvalidArgument("unknown flag '" + arg + "'");
+    }
+    if (flag->kind == Kind::kBool) {
+      *flag->bool_value = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument(flag->name + " needs a value");
+    }
+    const char* value = argv[++i];
+    if (flag->kind == Kind::kString) {
+      *flag->string_value = value;
+      continue;
+    }
+    char* end = nullptr;
+    const long long parsed = std::strtoll(value, &end, 10);
+    if (*value == '\0' || end == nullptr || *end != '\0' || parsed < 0) {
+      return Status::InvalidArgument(flag->name +
+                                     " needs a non-negative integer");
+    }
+    *flag->size_value = static_cast<size_t>(parsed);
+  }
+  return Status::OK();
+}
+
+std::string FlagSet::Usage() const {
+  std::string out;
+  for (const Flag& flag : flags_) {
+    out += "  " + flag.name;
+    if (flag.kind != Kind::kBool) out += " <value>";
+    out += "\n      " + flag.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace dbrepair

@@ -510,20 +510,21 @@ const TableStats& ViolationEngine::GetStats(uint32_t relation) {
 }
 
 Status ViolationEngine::ExecuteInto(
-    const Plan& plan, const AtomRowBounds* bounds,
+    const Plan& plan, const AtomFilters* filters,
     std::unordered_set<ViolationSet, ViolationSetHash>* dedupe_out,
     ExecCounters* counters) const {
   if (plan.columnar != nullptr) {
-    return ExecuteColumnarInto(plan, bounds, dedupe_out, counters);
+    return ExecuteColumnarInto(plan, filters, dedupe_out, counters);
   }
-  return ExecuteRowInto(plan, bounds, dedupe_out, counters);
+  return ExecuteRowInto(plan, filters, dedupe_out, counters);
 }
 
 Status ViolationEngine::ExecuteRowInto(
-    const Plan& plan, const AtomRowBounds* bounds,
+    const Plan& plan, const AtomFilters* filters,
     std::unordered_set<ViolationSet, ViolationSetHash>* dedupe_out,
     ExecCounters* counters) const {
   const BoundConstraint& ic = *plan.ic;
+  const AtomFilter no_filter;
 
   // Rebuild the planned built-ins in the same order BuildPlan indexed them.
   const std::vector<PlannedBuiltin> builtins = RebuildPlannedBuiltins(ic);
@@ -559,8 +560,11 @@ Status ViolationEngine::ExecuteRowInto(
     const BoundAtom& atom = ic.atoms[step.atom_index];
     const Table& table = db_.table(atom.relation_index);
 
+    const AtomFilter& filter =
+        filters != nullptr ? (*filters)[step.atom_index] : no_filter;
+
     // Candidate rows: hash index on join columns, then B+-tree range scan,
-    // then full scan.
+    // then full scan (over the filter's exact row list when it has one).
     const std::vector<uint32_t>* rows = nullptr;
     std::vector<uint32_t> scan_rows;
     if (!step.index_positions.empty()) {
@@ -587,26 +591,21 @@ Status ViolationEngine::ExecuteRowInto(
                         : btree->RangeScan(step.range_bound, strict,
                                            std::nullopt, false);
       rows = &scan_rows;
+    } else if (filter.exact_rows != nullptr) {
+      // The filter precomputed exactly the admissible rows (ascending).
+      rows = filter.exact_rows;
     } else {
-      scan_rows.resize(table.size());
-      std::iota(scan_rows.begin(), scan_rows.end(), 0);
+      // Full scan: walk only the filter's [min, max) window.
+      const uint32_t lo = filter.min_row;
+      const uint32_t hi = std::min<uint32_t>(
+          filter.max_row, static_cast<uint32_t>(table.size()));
+      scan_rows.reserve(hi > lo ? hi - lo : 0);
+      for (uint32_t r = lo; r < hi; ++r) scan_rows.push_back(r);
       rows = &scan_rows;
     }
 
-    const auto [min_row, max_row] =
-        bounds != nullptr ? (*bounds)[step.atom_index]
-                          : std::make_pair(0u, UINT32_MAX);
-    if (rows == &scan_rows && step.range_position < 0 &&
-        (min_row > 0 || max_row < table.size())) {
-      // Full scan with row bounds: walk only the bounded range.
-      const uint32_t lo = min_row;
-      const uint32_t hi = std::min<uint32_t>(
-          max_row, static_cast<uint32_t>(table.size()));
-      scan_rows.clear();
-      for (uint32_t r = lo; r < hi; ++r) scan_rows.push_back(r);
-    }
     for (const uint32_t row : *rows) {
-      if (row < min_row || row >= max_row) continue;
+      if (!filter.Admits(row)) continue;
       ++rows_scanned;
       const Tuple& tuple = table.row(row);
       bool ok = true;
@@ -855,11 +854,12 @@ std::shared_ptr<const ColumnarPlan> ViolationEngine::PrepareColumnar(
 }
 
 Status ViolationEngine::ExecuteColumnarInto(
-    const Plan& plan, const AtomRowBounds* bounds,
+    const Plan& plan, const AtomFilters* filters,
     std::unordered_set<ViolationSet, ViolationSetHash>* dedupe_out,
     ExecCounters* counters) const {
   const BoundConstraint& ic = *plan.ic;
   const ColumnarPlan& cp = *plan.columnar;
+  const AtomFilter no_filter;
 
   std::vector<uint64_t> binding(plan.num_classes, 0);
   std::vector<TupleRef> current(plan.steps.size());
@@ -971,9 +971,8 @@ Status ViolationEngine::ExecuteColumnarInto(
       have_candidates = true;
     }
 
-    const auto [min_row, max_row] =
-        bounds != nullptr ? (*bounds)[step.atom_index]
-                          : std::make_pair(0u, UINT32_MAX);
+    const AtomFilter& filter =
+        filters != nullptr ? (*filters)[step.atom_index] : no_filter;
 
     // One candidate row through the step's checks, in the row path's exact
     // order: key verify (composite probes only), consts, joins, binds,
@@ -1026,14 +1025,28 @@ Status ViolationEngine::ExecuteColumnarInto(
     if (have_candidates) {
       for (uint32_t k = 0; k < cand_count; ++k) {
         const uint32_t row = cand[k];
-        if (row < min_row || row >= max_row) continue;
+        if (!filter.Admits(row)) continue;
+        if (!scan_row(row)) return false;
+      }
+    } else if (filter.exact_rows != nullptr) {
+      // The filter precomputed exactly the admissible rows (ascending).
+      for (const uint32_t row : *filter.exact_rows) {
         if (!scan_row(row)) return false;
       }
     } else {
       const uint32_t hi = std::min<uint32_t>(
-          max_row, static_cast<uint32_t>(cstep.rel->row_count));
-      for (uint32_t row = min_row; row < hi; ++row) {
-        if (!scan_row(row)) return false;
+          filter.max_row, static_cast<uint32_t>(cstep.rel->row_count));
+      if (filter.member == nullptr) {
+        // Hot path (unrestricted / windowed direct walk): no per-row check
+        // beyond the loop bound.
+        for (uint32_t row = filter.min_row; row < hi; ++row) {
+          if (!scan_row(row)) return false;
+        }
+      } else {
+        for (uint32_t row = filter.min_row; row < hi; ++row) {
+          if (((*filter.member)[row] != 0) == filter.exclude) continue;
+          if (!scan_row(row)) return false;
+        }
       }
     }
     return true;
@@ -1060,8 +1073,8 @@ Status ViolationEngine::ExecuteShardedInto(
   const auto ranges = ShardRanges(db_.table(driving_rel).size(),
                                   num_threads * kShardsPerThread);
   if (ranges.size() <= 1) {
-    const AtomRowBounds* no_bounds = nullptr;
-    return ExecuteInto(plan, no_bounds, dedupe, counters);
+    const AtomFilters* no_filters = nullptr;
+    return ExecuteInto(plan, no_filters, dedupe, counters);
   }
   if (pool_ == nullptr || pool_->num_threads() < num_threads) {
     pool_ = std::make_unique<ThreadPool>(num_threads);
@@ -1074,11 +1087,13 @@ Status ViolationEngine::ExecuteShardedInto(
   std::vector<uint64_t> shard_ns(ranges.size(), 0);
   ParallelFor(pool_.get(), ranges.size(), [&](size_t s) {
     const auto start = Clock::now();
-    AtomRowBounds bounds(ic.atoms.size(), std::make_pair(0u, UINT32_MAX));
-    bounds[driving_atom] = {static_cast<uint32_t>(ranges[s].first),
-                           static_cast<uint32_t>(ranges[s].second)};
+    AtomFilters shard_filters(ic.atoms.size());
+    shard_filters[driving_atom].min_row =
+        static_cast<uint32_t>(ranges[s].first);
+    shard_filters[driving_atom].max_row =
+        static_cast<uint32_t>(ranges[s].second);
     shard_status[s] =
-        ExecuteInto(plan, &bounds, &shard_sets[s], &shard_counters[s]);
+        ExecuteInto(plan, &shard_filters, &shard_sets[s], &shard_counters[s]);
     shard_ns[s] = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                              start)
@@ -1197,6 +1212,8 @@ Result<std::vector<ViolationSet>> ViolationEngine::FindViolationsSince(
   }
   std::vector<ViolationSet> out;
   ExecCounters counters;
+  uint64_t columnar_plans = 0;
+  uint64_t columnar_fallbacks = 0;
   for (const BoundConstraint& ic : ics_) {
     std::unordered_set<ViolationSet, ViolationSetHash> dedupe;
     // Delta-join partition by the first atom bound to a new tuple: atoms
@@ -1204,18 +1221,15 @@ Result<std::vector<ViolationSet>> ViolationEngine::FindViolationsSince(
     // everything. Every assignment with >= 1 new tuple lands in exactly one
     // pivot run.
     for (size_t pivot = 0; pivot < ic.atoms.size(); ++pivot) {
-      const Plan pivot_plan = BuildPlan(ic, static_cast<int>(pivot));
-      PrewarmIndexes(pivot_plan);
-      AtomRowBounds bounds(ic.atoms.size(),
-                           std::make_pair(0u, UINT32_MAX));
+      AtomFilters filters(ic.atoms.size());
       bool feasible = true;
       for (size_t a = 0; a < ic.atoms.size(); ++a) {
         const uint32_t threshold = first_new_row[ic.atoms[a].relation_index];
         if (a < pivot) {
-          bounds[a] = {0u, threshold};  // old rows only
+          filters[a].max_row = threshold;  // old rows only
           if (threshold == 0) feasible = false;
         } else if (a == pivot) {
-          bounds[a] = {threshold, UINT32_MAX};  // new rows only
+          filters[a].min_row = threshold;  // new rows only
           if (threshold >=
               db_.table(ic.atoms[a].relation_index).size()) {
             feasible = false;
@@ -1223,8 +1237,18 @@ Result<std::vector<ViolationSet>> ViolationEngine::FindViolationsSince(
         }
       }
       if (!feasible) continue;
+      Plan pivot_plan = BuildPlan(ic, static_cast<int>(pivot));
+      pivot_plan.columnar = PrepareColumnar(pivot_plan);
+      if (options_.columnar != nullptr) {
+        if (pivot_plan.columnar != nullptr) {
+          ++columnar_plans;
+        } else {
+          ++columnar_fallbacks;
+        }
+      }
+      PrewarmIndexes(pivot_plan);
       DBREPAIR_RETURN_IF_ERROR(
-          ExecuteInto(pivot_plan, &bounds, &dedupe, &counters));
+          ExecuteInto(pivot_plan, &filters, &dedupe, &counters));
     }
     EmitMinimal(dedupe, &out);
   }
@@ -1233,7 +1257,99 @@ Result<std::vector<ViolationSet>> ViolationEngine::FindViolationsSince(
   metrics.GetCounter("engine.rows_scanned")->Add(counters.rows_scanned);
   metrics.GetCounter("engine.assignments_found")
       ->Add(counters.assignments_found);
+  if (options_.columnar != nullptr) {
+    metrics.GetCounter("scan.columnar.plans")->Add(columnar_plans);
+    metrics.GetCounter("scan.columnar.fallbacks")->Add(columnar_fallbacks);
+  }
   return out;
+}
+
+Result<std::vector<ViolationSet>> ViolationEngine::FindViolationsTouching(
+    const std::vector<std::vector<uint8_t>>& dirty_rows) {
+  if (dirty_rows.size() != db_.relation_count()) {
+    return Status::InvalidArgument(
+        "dirty_rows must have one bitmap per relation");
+  }
+  for (uint32_t r = 0; r < dirty_rows.size(); ++r) {
+    if (dirty_rows[r].size() != db_.table(r).size()) {
+      return Status::InvalidArgument(
+          "dirty_rows bitmap of relation " + std::to_string(r) +
+          " must have one byte per row");
+    }
+  }
+  // Materialise each relation's ascending dirty-row list once; the pivot's
+  // driving scan walks it instead of the whole table.
+  std::vector<std::vector<uint32_t>> dirty_lists(dirty_rows.size());
+  for (size_t r = 0; r < dirty_rows.size(); ++r) {
+    for (uint32_t row = 0; row < dirty_rows[r].size(); ++row) {
+      if (dirty_rows[r][row] != 0) dirty_lists[r].push_back(row);
+    }
+  }
+
+  std::vector<ViolationSet> out;
+  ExecCounters counters;
+  uint64_t columnar_plans = 0;
+  uint64_t columnar_fallbacks = 0;
+  for (const BoundConstraint& ic : ics_) {
+    std::unordered_set<ViolationSet, ViolationSetHash> dedupe;
+    // FindViolationsSince's partition with "new" generalised to "dirty":
+    // atoms before the pivot bind clean rows only, the pivot binds dirty
+    // rows only, later atoms bind anything — every assignment touching >= 1
+    // dirty row lands in exactly one pivot run.
+    for (size_t pivot = 0; pivot < ic.atoms.size(); ++pivot) {
+      const uint32_t pivot_rel = ic.atoms[pivot].relation_index;
+      if (dirty_lists[pivot_rel].empty()) continue;  // pivot has no dirty row
+      AtomFilters filters(ic.atoms.size());
+      for (size_t a = 0; a < ic.atoms.size(); ++a) {
+        const uint32_t rel = ic.atoms[a].relation_index;
+        if (a < pivot) {
+          filters[a].member = &dirty_rows[rel];
+          filters[a].exclude = true;  // clean rows only
+        } else if (a == pivot) {
+          filters[a].member = &dirty_rows[rel];
+          filters[a].exact_rows = &dirty_lists[rel];  // dirty rows only
+        }
+      }
+      Plan pivot_plan = BuildPlan(ic, static_cast<int>(pivot));
+      pivot_plan.columnar = PrepareColumnar(pivot_plan);
+      if (options_.columnar != nullptr) {
+        if (pivot_plan.columnar != nullptr) {
+          ++columnar_plans;
+        } else {
+          ++columnar_fallbacks;
+        }
+      }
+      PrewarmIndexes(pivot_plan);
+      DBREPAIR_RETURN_IF_ERROR(
+          ExecuteInto(pivot_plan, &filters, &dedupe, &counters));
+    }
+    EmitMinimal(dedupe, &out);
+  }
+  SortViolations(&out);
+  obs::MetricsRegistry& metrics = obs::CurrentObs().metrics;
+  metrics.GetCounter("engine.rows_scanned")->Add(counters.rows_scanned);
+  metrics.GetCounter("engine.assignments_found")
+      ->Add(counters.assignments_found);
+  if (options_.columnar != nullptr) {
+    metrics.GetCounter("scan.columnar.plans")->Add(columnar_plans);
+    metrics.GetCounter("scan.columnar.fallbacks")->Add(columnar_fallbacks);
+  }
+  return out;
+}
+
+void ViolationEngine::InvalidateRelations(
+    const std::vector<uint32_t>& relations) {
+  for (const uint32_t rel : relations) {
+    stats_cache_.erase(rel);
+    for (auto it = index_cache_.begin(); it != index_cache_.end();) {
+      it = it->first.first == rel ? index_cache_.erase(it) : std::next(it);
+    }
+    for (auto it = code_index_cache_.begin();
+         it != code_index_cache_.end();) {
+      it = it->first.first == rel ? code_index_cache_.erase(it)
+                                  : std::next(it);
+    }
+  }
 }
 
 Result<bool> ViolationEngine::Satisfies(

@@ -72,6 +72,26 @@ class ViolationEngine {
   Result<std::vector<ViolationSet>> FindViolationsSince(
       const std::vector<uint32_t>& first_new_row);
 
+  /// Generalisation of FindViolationsSince to an arbitrary set of dirty
+  /// rows: enumerates the minimal violation sets involving at least one row
+  /// whose per-relation bitmap entry is non-zero (`dirty_rows[rel][row]`).
+  /// Each bitmap must have exactly one byte per row of its relation. Used by
+  /// repair sessions to verify a batch incrementally — after a batch the
+  /// dirty rows are the appended suffix plus the scattered rows the applied
+  /// fixes updated in place, so a suffix mark cannot describe them. Same
+  /// pivot partition as FindViolationsSince: atoms before the pivot bind
+  /// clean rows only, the pivot binds dirty rows only, later atoms bind
+  /// anything, so no assignment is enumerated twice.
+  Result<std::vector<ViolationSet>> FindViolationsTouching(
+      const std::vector<std::vector<uint8_t>>& dirty_rows);
+
+  /// Drops every cached per-relation structure (join hash indexes, columnar
+  /// code indexes, planner statistics) of the listed relations. Long-lived
+  /// engines (repair sessions) must call this after the underlying rows of
+  /// a relation change — the caches are built lazily and are otherwise
+  /// assumed immortal.
+  void InvalidateRelations(const std::vector<uint32_t>& relations);
+
   /// True iff `db` satisfies every constraint (no violation set exists).
   static Result<bool> Satisfies(const Database& db,
                                 const std::vector<BoundConstraint>& ics,
@@ -191,9 +211,35 @@ class ViolationEngine {
   const CodeIndex* FindCodeIndex(uint32_t relation,
                                  const std::vector<uint32_t>& positions) const;
 
-  // Per-atom row-id bounds [min, max) used by the delta-join pivots and the
-  // parallel scan shards; nullptr = unrestricted.
-  using AtomRowBounds = std::vector<std::pair<uint32_t, uint32_t>>;
+  // Per-atom row admission filter, used by the delta-join pivots, the
+  // dirty-row pivots, and the parallel scan shards. The [min_row, max_row)
+  // window serves contiguous partitions (shards, append suffixes); the
+  // optional membership bitmap serves scattered dirty-row sets; and
+  // `exact_rows` lets a driving-atom full scan walk a precomputed row list
+  // instead of the whole table.
+  struct AtomFilter {
+    uint32_t min_row = 0;
+    uint32_t max_row = UINT32_MAX;
+    // When set (one byte per row), a row is admitted iff its entry is
+    // non-zero — inverted by `exclude`. Composes with the window above.
+    const std::vector<uint8_t>* member = nullptr;
+    bool exclude = false;
+    // When set, a full scan at this atom enumerates exactly these rows
+    // (ascending) instead of the whole table. Candidates from hash/range
+    // indexes ignore it and rely on Admits.
+    const std::vector<uint32_t>* exact_rows = nullptr;
+
+    bool Admits(uint32_t row) const {
+      if (row < min_row || row >= max_row) return false;
+      if (member != nullptr && ((*member)[row] != 0) == exclude) return false;
+      return true;
+    }
+    bool Unrestricted() const {
+      return min_row == 0 && max_row == UINT32_MAX && member == nullptr;
+    }
+  };
+  // One filter per atom of the constraint; nullptr = unrestricted.
+  using AtomFilters = std::vector<AtomFilter>;
 
   // Join-execution totals, accumulated locally (per call / per shard) and
   // flushed to the metrics registry by the entry points, so the hot loop
@@ -221,7 +267,7 @@ class ViolationEngine {
   // const (and PrewarmIndexes-dependent) so shards may run concurrently.
   // Dispatches to ExecuteColumnarInto when the plan carries columnar state.
   Status ExecuteInto(
-      const Plan& plan, const AtomRowBounds* bounds,
+      const Plan& plan, const AtomFilters* filters,
       std::unordered_set<ViolationSet, ViolationSetHash>* dedupe,
       ExecCounters* counters) const;
 
@@ -230,12 +276,12 @@ class ViolationEngine {
   // assignments — PrepareColumnar only accepts constraints where the typed
   // encodings are provably equivalent to Value comparison.
   Status ExecuteColumnarInto(
-      const Plan& plan, const AtomRowBounds* bounds,
+      const Plan& plan, const AtomFilters* filters,
       std::unordered_set<ViolationSet, ViolationSetHash>* dedupe,
       ExecCounters* counters) const;
 
   Status ExecuteRowInto(
-      const Plan& plan, const AtomRowBounds* bounds,
+      const Plan& plan, const AtomFilters* filters,
       std::unordered_set<ViolationSet, ViolationSetHash>* dedupe,
       ExecCounters* counters) const;
 

@@ -42,9 +42,7 @@ Result<std::vector<std::string>> ParseCsvLine(std::string_view line,
   return fields;
 }
 
-namespace {
-
-Result<Value> FieldToValue(const std::string& field, Type type) {
+Result<Value> CsvFieldToValue(const std::string& field, Type type) {
   const std::string_view trimmed = TrimWhitespace(field);
   if (trimmed.empty()) return Value();  // NULL
   switch (type) {
@@ -61,6 +59,8 @@ Result<Value> FieldToValue(const std::string& field, Type type) {
   }
   return Status::Internal("unreachable type");
 }
+
+namespace {
 
 std::string ValueToField(const Value& v, char delimiter) {
   if (v.is_null()) return "";
@@ -136,8 +136,8 @@ Result<size_t> LoadCsvString(Database* db, std::string_view relation,
     values.reserve(fields.size());
     for (size_t i = 0; i < fields.size(); ++i) {
       DBREPAIR_ASSIGN_OR_RETURN(Value v,
-                                FieldToValue(fields[i],
-                                             schema.attribute(i).type));
+                                CsvFieldToValue(fields[i],
+                                                schema.attribute(i).type));
       values.push_back(std::move(v));
     }
     DBREPAIR_RETURN_IF_ERROR(db->Insert(relation, std::move(values)).status());

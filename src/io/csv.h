@@ -20,6 +20,11 @@ struct CsvOptions {
 Result<std::vector<std::string>> ParseCsvLine(std::string_view line,
                                               char delimiter);
 
+/// Converts one CSV field to a Value of the given column type (empty field
+/// = NULL, whitespace trimmed). Shared by the CSV loader and the CLI's
+/// batch-file reader.
+Result<Value> CsvFieldToValue(const std::string& field, Type type);
+
 /// Loads CSV `data` into relation `relation` of `db`, converting each field
 /// to the column type. Returns the number of inserted rows.
 Result<size_t> LoadCsvString(Database* db, std::string_view relation,

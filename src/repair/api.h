@@ -1,0 +1,22 @@
+#ifndef DBREPAIR_REPAIR_API_H_
+#define DBREPAIR_REPAIR_API_H_
+
+/// Umbrella header for the public repair API. Library consumers include
+/// this one header and get both entry styles:
+///
+///  * one-shot: RepairDatabase(db, ics, options) — bind, build, solve,
+///    apply, verify, return the repaired clone (repair/repairer.h);
+///  * incremental: RepairSession::Open(db, ics, options) once, then
+///    ApplyBatch(rows) per arriving batch — cached columnar snapshot,
+///    delta violation detection, and in-place set-cover maintenance
+///    (repair/session.h).
+///
+/// RepairOptions, RepairOutcome, and RepairStats are shared between the
+/// two. The old RepairDatabaseBound spelling still compiles but is
+/// deprecated in favour of the RepairDatabase overload on bound
+/// constraints.
+
+#include "repair/repairer.h"  // IWYU pragma: export
+#include "repair/session.h"   // IWYU pragma: export
+
+#endif  // DBREPAIR_REPAIR_API_H_

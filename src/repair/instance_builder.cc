@@ -71,45 +71,15 @@ void RecordShardMetrics(obs::MetricsRegistry* metrics, const char* phase,
 
 }  // namespace
 
-Result<RepairProblem> BuildRepairProblem(
+Result<std::vector<CandidateFix>> GenerateCandidateFixes(
     const Database& db, const std::vector<BoundConstraint>& ics,
-    const DistanceFunction& distance, const BuildOptions& options) {
-  RepairProblem problem;
+    const DistanceFunction& distance,
+    const std::vector<ViolationSet>& violations, uint32_t vid_offset,
+    size_t num_threads, ThreadPool* pool) {
   obs::ObsContext& obs = obs::CurrentObs();
-
-  const size_t num_threads = ResolveNumThreads(options.num_threads);
-  obs.metrics.GetGauge("parallel.num_threads")
-      ->Set(static_cast<double>(num_threads));
-  std::unique_ptr<ThreadPool> pool;
-  if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
+  std::vector<CandidateFix> fixes;
   const size_t max_shards =
       num_threads > 1 ? num_threads * kShardsPerThread : 1;
-
-  // ---- Columnar snapshot of the row store (typed scan input). ----
-  ViolationEngineOptions engine_options = options.engine;
-  engine_options.num_threads = num_threads;
-  if (options.use_columnar_scan && engine_options.columnar == nullptr) {
-    obs::Span snapshot_span(&obs.tracer, "snapshot");
-    const auto snapshot_start = std::chrono::steady_clock::now();
-    problem.snapshot = ColumnSnapshot::Build(db, pool.get());
-    engine_options.columnar = &problem.snapshot;
-    obs.metrics.GetCounter("scan.columnar.snapshot_ns")
-        ->Add(ElapsedNs(snapshot_start));
-    obs.metrics.GetCounter("scan.columnar.snapshots")->Add(1);
-  }
-
-  // ---- Algorithm 2: the violation-set array A. ----
-  obs::Span violations_span(&obs.tracer, "violations");
-  ViolationEngine engine(db, ics, engine_options);
-  DBREPAIR_ASSIGN_OR_RETURN(problem.violations, engine.FindViolations());
-  problem.degrees = ComputeDegrees(problem.violations);
-  {
-    obs::Histogram* sizes = obs.metrics.GetHistogram("build.violation_set_size");
-    for (const ViolationSet& v : problem.violations) {
-      sizes->Record(v.tuples.size());
-    }
-  }
-  violations_span.Finish();
 
   // ---- Algorithm 3: candidate mono-local fixes. ----
   obs::Span fixes_span(&obs.tracer, "fixes");
@@ -136,15 +106,15 @@ Result<RepairProblem> BuildRepairProblem(
   // Violation shards emit their candidates in scan order into per-shard
   // buffers; the shard-order merge assigns ids in the exact serial
   // first-encounter order.
-  const auto fix_ranges = ShardRanges(problem.violations.size(), max_shards);
+  const auto fix_ranges = ShardRanges(violations.size(), max_shards);
   std::vector<std::vector<PendingFix>> shard_fixes(fix_ranges.size());
   std::vector<uint64_t> fix_shard_ns(fix_ranges.size(), 0);
-  ParallelFor(pool.get(), fix_ranges.size(), [&](size_t s) {
+  ParallelFor(pool, fix_ranges.size(), [&](size_t s) {
     const auto start = std::chrono::steady_clock::now();
     std::unordered_set<FixKey, FixKeyHash> seen;
     for (size_t vid = fix_ranges[s].first; vid < fix_ranges[s].second;
          ++vid) {
-      const ViolationSet& v = problem.violations[vid];
+      const ViolationSet& v = violations[vid];
       for (const TupleRef t : v.tuples) {
         const auto attrs_it = ic_rel_attrs.find({v.ic_index, t.relation});
         if (attrs_it == ic_rel_attrs.end()) continue;
@@ -183,25 +153,25 @@ Result<RepairProblem> BuildRepairProblem(
   for (std::vector<PendingFix>& shard : shard_fixes) {
     for (PendingFix& pending : shard) {
       if (fix_ids.count(pending.key) > 0) continue;
-      const uint32_t id = static_cast<uint32_t>(problem.fixes.size());
+      const uint32_t id = static_cast<uint32_t>(fixes.size());
       fix_ids.emplace(pending.key, id);
       tuple_fixes[pending.fix.tuple].push_back(id);
-      problem.fixes.push_back(std::move(pending.fix));
+      fixes.push_back(std::move(pending.fix));
     }
   }
   if (num_threads > 1) {
     RecordShardMetrics(&obs.metrics, "fixes", fix_shard_ns,
                        ElapsedNs(fix_merge_start));
   }
-  obs.metrics.GetCounter("build.candidate_fixes")->Add(problem.fixes.size());
+  obs.metrics.GetCounter("build.candidate_fixes")->Add(fixes.size());
   fixes_span.Finish();
 
   // ---- Algorithm 4: link candidates to the violation sets they solve. ----
   obs::Span setcover_span(&obs.tracer, "setcover");
   // Materialise each fixed tuple once.
   std::vector<Tuple> fixed_tuples;
-  fixed_tuples.reserve(problem.fixes.size());
-  for (const CandidateFix& fix : problem.fixes) {
+  fixed_tuples.reserve(fixes.size());
+  for (const CandidateFix& fix : fixes) {
     Tuple fixed = db.tuple(fix.tuple);
     fixed.set_value(fix.attribute, Value::Int(fix.new_value));
     fixed_tuples.push_back(std::move(fixed));
@@ -209,17 +179,17 @@ Result<RepairProblem> BuildRepairProblem(
 
   // Each shard records its (fix, violation) links in scan order; appending
   // shard by shard reproduces the serial ascending-vid `solved` lists.
-  const auto link_ranges = ShardRanges(problem.violations.size(), max_shards);
+  const auto link_ranges = ShardRanges(violations.size(), max_shards);
   std::vector<std::vector<std::pair<uint32_t, uint32_t>>> shard_links(
       link_ranges.size());
   std::vector<uint64_t> shard_checks(link_ranges.size(), 0);
   std::vector<uint64_t> link_shard_ns(link_ranges.size(), 0);
-  ParallelFor(pool.get(), link_ranges.size(), [&](size_t s) {
+  ParallelFor(pool, link_ranges.size(), [&](size_t s) {
     const auto start = std::chrono::steady_clock::now();
     std::vector<std::pair<uint32_t, const Tuple*>> members;
     for (size_t vid = link_ranges[s].first; vid < link_ranges[s].second;
          ++vid) {
-      const ViolationSet& v = problem.violations[vid];
+      const ViolationSet& v = violations[vid];
       const BoundConstraint& ic = ics[v.ic_index];
       members.clear();
       for (const TupleRef t : v.tuples) {
@@ -247,25 +217,72 @@ Result<RepairProblem> BuildRepairProblem(
   for (size_t s = 0; s < link_ranges.size(); ++s) {
     satisfies_checks += shard_checks[s];
     for (const auto& [f, vid] : shard_links[s]) {
-      problem.fixes[f].solved.push_back(vid);
+      fixes[f].solved.push_back(vid_offset + vid);
     }
   }
   if (num_threads > 1) {
     RecordShardMetrics(&obs.metrics, "links", link_shard_ns,
                        ElapsedNs(link_merge_start));
   }
+  obs.metrics.GetCounter("build.satisfies_checks")->Add(satisfies_checks);
 
-  // ---- Definition 3.1: the pure MWSCP view. ----
   // Drop candidates with empty S(t, t') (Definition 2.6(b)), remapping ids.
   std::vector<CandidateFix> kept;
-  kept.reserve(problem.fixes.size());
-  for (CandidateFix& fix : problem.fixes) {
+  kept.reserve(fixes.size());
+  for (CandidateFix& fix : fixes) {
     if (!fix.solved.empty()) kept.push_back(std::move(fix));
   }
   obs.metrics.GetCounter("build.fixes_dropped_unsolving")
-      ->Add(problem.fixes.size() - kept.size());
-  problem.fixes = std::move(kept);
+      ->Add(fixes.size() - kept.size());
+  setcover_span.Finish();
+  return kept;
+}
 
+Result<RepairProblem> BuildRepairProblem(
+    const Database& db, const std::vector<BoundConstraint>& ics,
+    const DistanceFunction& distance, const BuildOptions& options) {
+  RepairProblem problem;
+  obs::ObsContext& obs = obs::CurrentObs();
+
+  const size_t num_threads = ResolveNumThreads(options.num_threads);
+  obs.metrics.GetGauge("parallel.num_threads")
+      ->Set(static_cast<double>(num_threads));
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
+
+  // ---- Columnar snapshot of the row store (typed scan input). ----
+  ViolationEngineOptions engine_options = options.engine;
+  engine_options.num_threads = num_threads;
+  if (options.use_columnar_scan && engine_options.columnar == nullptr) {
+    obs::Span snapshot_span(&obs.tracer, "snapshot");
+    const auto snapshot_start = std::chrono::steady_clock::now();
+    problem.snapshot = ColumnSnapshot::Build(db, pool.get());
+    engine_options.columnar = &problem.snapshot;
+    obs.metrics.GetCounter("scan.columnar.snapshot_ns")
+        ->Add(ElapsedNs(snapshot_start));
+    obs.metrics.GetCounter("scan.columnar.snapshots")->Add(1);
+  }
+
+  // ---- Algorithm 2: the violation-set array A. ----
+  obs::Span violations_span(&obs.tracer, "violations");
+  ViolationEngine engine(db, ics, engine_options);
+  DBREPAIR_ASSIGN_OR_RETURN(problem.violations, engine.FindViolations());
+  problem.degrees = ComputeDegrees(problem.violations);
+  {
+    obs::Histogram* sizes = obs.metrics.GetHistogram("build.violation_set_size");
+    for (const ViolationSet& v : problem.violations) {
+      sizes->Record(v.tuples.size());
+    }
+  }
+  violations_span.Finish();
+
+  // ---- Algorithms 3+4 over the full violation list (global ids = local). --
+  DBREPAIR_ASSIGN_OR_RETURN(
+      problem.fixes,
+      GenerateCandidateFixes(db, ics, distance, problem.violations,
+                             /*vid_offset=*/0, num_threads, pool.get()));
+
+  // ---- Definition 3.1: the pure MWSCP view. ----
   problem.instance.num_elements = problem.violations.size();
   problem.instance.weights.reserve(problem.fixes.size());
   problem.instance.sets.reserve(problem.fixes.size());
@@ -276,8 +293,6 @@ Result<RepairProblem> BuildRepairProblem(
     set_sizes->Record(fix.solved.size());
   }
   problem.instance.BuildLinks();
-  obs.metrics.GetCounter("build.satisfies_checks")->Add(satisfies_checks);
-  setcover_span.Finish();
 
   for (uint32_t e = 0; e < problem.instance.num_elements; ++e) {
     if (problem.instance.element_sets[e].empty()) {

@@ -50,6 +50,22 @@ struct BuildOptions {
   size_t num_threads = 1;
 };
 
+/// Algorithms 3+4 over an arbitrary violation subset: computes the
+/// deduplicated candidate mono-local fixes of `violations` and links each
+/// against the violation sets it solves. `solved` holds *global* violation
+/// ids — the position within `violations` plus `vid_offset` — so a repair
+/// session generating fixes for one batch's new violations can splice them
+/// straight into its cached SetCoverInstance (the full build passes 0).
+/// Candidates whose solved list is empty are dropped (Definition 2.6(b)).
+/// Weights are computed against the tuples' *current* cell values.
+/// Deterministic for any `num_threads` (shard-order merge); `pool` may be
+/// nullptr when `num_threads` <= 1.
+Result<std::vector<CandidateFix>> GenerateCandidateFixes(
+    const Database& db, const std::vector<BoundConstraint>& ics,
+    const DistanceFunction& distance,
+    const std::vector<ViolationSet>& violations, uint32_t vid_offset,
+    size_t num_threads, ThreadPool* pool);
+
 /// Builds the MWSCP instance (U, S, w)^(D, IC) of Definition 3.1:
 ///  1. enumerate violation sets (Algorithm 2);
 ///  2. for every ic, relation R in ic, flexible attribute A of R in ic's

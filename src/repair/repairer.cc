@@ -119,9 +119,26 @@ Result<RepairOutcome> RepairBoundImpl(const Database& db,
 
 }  // namespace
 
-Result<RepairOutcome> RepairDatabaseBound(
-    const Database& db, const std::vector<BoundConstraint>& ics,
-    const RepairOptions& options) {
+Status RepairOptions::Validate() const {
+  if (build.num_threads != 1 && build.num_threads != num_threads) {
+    return Status::InvalidArgument(
+        "RepairOptions::build.num_threads conflicts with "
+        "RepairOptions::num_threads; set num_threads only (it governs every "
+        "phase and overrides the build value)");
+  }
+  if (prune_cover && !verify) {
+    return Status::InvalidArgument(
+        "RepairOptions::prune_cover requires verify: pruning re-derives "
+        "coverage, so an unverified pruned repair could silently stay "
+        "inconsistent");
+  }
+  return Status::OK();
+}
+
+Result<RepairOutcome> RepairDatabase(const Database& db,
+                                     const std::vector<BoundConstraint>& ics,
+                                     const RepairOptions& options) {
+  DBREPAIR_RETURN_IF_ERROR(options.Validate());
   obs::ObsContext& obs = obs::CurrentObs();
   obs::Span repair_span(&obs.tracer, "repair");
   Result<RepairOutcome> outcome = RepairBoundImpl(db, ics, options, obs);
@@ -132,6 +149,7 @@ Result<RepairOutcome> RepairDatabaseBound(
 Result<RepairOutcome> RepairDatabase(const Database& db,
                                      const std::vector<DenialConstraint>& ics,
                                      const RepairOptions& options) {
+  DBREPAIR_RETURN_IF_ERROR(options.Validate());
   obs::ObsContext& obs = obs::CurrentObs();
   obs::Span repair_span(&obs.tracer, "repair");
   std::vector<BoundConstraint> bound;

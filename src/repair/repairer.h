@@ -43,6 +43,18 @@ struct RepairOptions {
   /// ever depends on thread scheduling. Overrides `build.num_threads`.
   size_t num_threads = 0;
   BuildOptions build;
+
+  /// Rejects option combinations that silently do something other than what
+  /// the caller wrote:
+  ///  * `build.num_threads` set to anything the pipeline would override —
+  ///    `num_threads` governs every phase, and a conflicting build value
+  ///    would be discarded without notice;
+  ///  * `prune_cover` with `verify` off — pruning re-derives coverage from
+  ///    the instance, so running it unverified hides an infeasible cover.
+  /// Called by every entry point (RepairDatabase, RepairSession::Open, the
+  /// CLI); library callers constructing options by hand can call it early
+  /// for a better error location.
+  Status Validate() const;
 };
 
 /// Statistics the pipeline gathers along the way.
@@ -85,10 +97,21 @@ Result<RepairOutcome> RepairDatabase(const Database& db,
                                      const std::vector<DenialConstraint>& ics,
                                      const RepairOptions& options = {});
 
-/// Variant taking pre-bound constraints (skips parsing/binding).
-Result<RepairOutcome> RepairDatabaseBound(
-    const Database& db, const std::vector<BoundConstraint>& ics,
-    const RepairOptions& options = {});
+/// Overload taking pre-bound constraints (skips parsing/binding). Both
+/// overloads run the same pipeline; this one is what RepairSession and the
+/// reduction tests use after binding once up front.
+Result<RepairOutcome> RepairDatabase(const Database& db,
+                                     const std::vector<BoundConstraint>& ics,
+                                     const RepairOptions& options = {});
+
+/// Old spelling of the pre-bound overload, kept so downstream code keeps
+/// compiling; forwards verbatim.
+[[deprecated("use RepairDatabase(db, bound_ics, options)")]] inline Result<
+    RepairOutcome>
+RepairDatabaseBound(const Database& db, const std::vector<BoundConstraint>& ics,
+                    const RepairOptions& options = {}) {
+  return RepairDatabase(db, ics, options);
+}
 
 }  // namespace dbrepair
 

@@ -1,0 +1,485 @@
+#include "repair/session.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "constraints/locality.h"
+#include "obs/context.h"
+#include "obs/trace.h"
+#include "repair/instance_builder.h"
+
+namespace dbrepair {
+
+namespace {
+
+// Releases the session's busy flag on every exit path of ApplyBatch. The
+// flag must already have been acquired by the caller.
+class BusyGuard {
+ public:
+  explicit BusyGuard(std::atomic<bool>* busy) : busy_(busy) {}
+  ~BusyGuard() { busy_->store(false, std::memory_order_release); }
+  BusyGuard(const BusyGuard&) = delete;
+  BusyGuard& operator=(const BusyGuard&) = delete;
+
+ private:
+  std::atomic<bool>* busy_;
+};
+
+Status ValidateSessionOptions(const RepairOptions& options) {
+  DBREPAIR_RETURN_IF_ERROR(options.Validate());
+  switch (options.solver) {
+    case SolverKind::kGreedy:
+    case SolverKind::kModifiedGreedy:
+    case SolverKind::kLazyGreedy:
+      break;  // all three compute the greedy cover the session maintains.
+    default:
+      return Status::InvalidArgument(
+          std::string("repair sessions maintain the cover with incremental "
+                      "modified greedy (the greedy-family cover); solver '") +
+          SolverKindName(options.solver) +
+          "' cannot be maintained incrementally");
+  }
+  if (options.prune_cover) {
+    return Status::InvalidArgument(
+        "repair sessions do not support prune_cover: pruned sets would "
+        "desync the cached incremental solver state");
+  }
+  if (!options.require_local) {
+    return Status::InvalidArgument(
+        "repair sessions require require_local: delta maintenance is only "
+        "sound when repairs move cells monotonically (local IC sets)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<RepairSession>> RepairSession::Open(
+    const Database& db, const std::vector<DenialConstraint>& ics,
+    const RepairOptions& options) {
+  DBREPAIR_ASSIGN_OR_RETURN(std::vector<BoundConstraint> bound,
+                            BindAll(db.schema(), ics));
+  return Open(db, std::move(bound), options);
+}
+
+Result<std::unique_ptr<RepairSession>> RepairSession::Open(
+    const Database& db, std::vector<BoundConstraint> ics,
+    const RepairOptions& options) {
+  DBREPAIR_RETURN_IF_ERROR(ValidateSessionOptions(options));
+  std::unique_ptr<RepairSession> session(
+      new RepairSession(db, std::move(ics), options));
+  DBREPAIR_RETURN_IF_ERROR(session->Init());
+  return session;
+}
+
+RepairSession::RepairSession(const Database& db,
+                             std::vector<BoundConstraint> ics,
+                             const RepairOptions& options)
+    : options_(options),
+      distance_(options.distance),
+      num_threads_(ResolveNumThreads(options.num_threads)),
+      db_(db.Clone()),
+      bound_(std::move(ics)) {}
+
+RepairSession::~RepairSession() = default;
+
+Status RepairSession::Init() {
+  obs::ObsContext& obs = obs::CurrentObs();
+  obs::Span open_span(&obs.tracer, "session.open");
+  {
+    obs::Span locality_span(&obs.tracer, "locality");
+    DBREPAIR_RETURN_IF_ERROR(EnsureLocal(db_.schema(), bound_));
+  }
+  if (num_threads_ > 1) pool_ = std::make_unique<ThreadPool>(num_threads_);
+
+  // Full build of the initial problem; the session adopts every structure
+  // the one-shot pipeline would discard.
+  BuildOptions build = options_.build;
+  build.num_threads = options_.num_threads;
+  build.use_columnar_scan = options_.use_columnar_scan;
+  DBREPAIR_ASSIGN_OR_RETURN(RepairProblem problem,
+                            BuildRepairProblem(db_, bound_, distance_, build));
+  violations_ = std::move(problem.violations);
+  fixes_ = std::move(problem.fixes);
+  instance_ = std::move(problem.instance);
+  snapshot_ = std::move(problem.snapshot);
+
+  fix_ids_.reserve(fixes_.size());
+  for (uint32_t f = 0; f < fixes_.size(); ++f) {
+    fix_ids_.emplace(FixKey{fixes_[f].tuple.Packed(), fixes_[f].attribute,
+                            fixes_[f].new_value},
+                     f);
+  }
+
+  ViolationEngineOptions engine_options = options_.build.engine;
+  engine_options.num_threads = num_threads_;
+  engine_options.columnar =
+      options_.use_columnar_scan && snapshot_.valid() ? &snapshot_ : nullptr;
+  engine_ = std::make_unique<ViolationEngine>(db_, bound_, engine_options);
+
+  solver_ = std::make_unique<IncrementalGreedySolver>(&instance_);
+
+  obs::Span solve_span(&obs.tracer, "solve");
+  DBREPAIR_ASSIGN_OR_RETURN(const SetCoverSolution solution,
+                            solver_->SolveDelta());
+  solve_span.Finish();
+
+  obs::Span apply_span(&obs.tracer, "apply");
+  std::vector<std::vector<uint32_t>> updated_rows;
+  DBREPAIR_RETURN_IF_ERROR(ApplyChosen(solution, &updated_rows, &open_updates_));
+  const size_t num_updates = open_updates_.size();
+  std::vector<uint32_t> updated_relations;
+  for (uint32_t r = 0; r < updated_rows.size(); ++r) {
+    if (!updated_rows[r].empty()) updated_relations.push_back(r);
+  }
+  RefreshAfterUpdates(updated_relations);
+  apply_span.Finish();
+
+  if (options_.verify && !updated_relations.empty()) {
+    obs::Span verify_span(&obs.tracer, "verify");
+    // Every residual violation set would have to touch an updated row: an
+    // untouched one existed pre-apply, was enumerated, and was covered by a
+    // chosen fix — which updates one of its tuples.
+    std::vector<std::vector<uint8_t>> dirty(db_.relation_count());
+    for (uint32_t r = 0; r < db_.relation_count(); ++r) {
+      dirty[r].assign(db_.table(r).size(), 0);
+      for (const uint32_t row : updated_rows[r]) dirty[r][row] = 1;
+    }
+    DBREPAIR_ASSIGN_OR_RETURN(const std::vector<ViolationSet> leftover,
+                              engine_->FindViolationsTouching(dirty));
+    if (!leftover.empty()) {
+      return Status::Internal(
+          "initial session repair left " + std::to_string(leftover.size()) +
+          " violation sets unresolved; the IC set is not local");
+    }
+  }
+
+  stats_.total_rows_inserted = 0;
+  stats_.total_violations = violations_.size();
+  stats_.total_fixes = fixes_.size();
+  stats_.total_updates = num_updates;
+  stats_.cover_weight = solution.weight;
+
+  obs.metrics.GetCounter("session.open.count")->Add(1);
+  obs.metrics.GetCounter("session.open.violations")->Add(violations_.size());
+  obs.metrics.GetCounter("session.open.updates")->Add(num_updates);
+  obs.metrics.GetGauge("session.cover_weight")->Set(stats_.cover_weight);
+  obs.metrics.GetGauge("session.distance")->Set(cumulative_distance_);
+  return Status::OK();
+}
+
+Status RepairSession::ValidateBatch(const std::vector<BatchRow>& rows,
+                                    std::vector<uint32_t>* relations) const {
+  relations->clear();
+  relations->reserve(rows.size());
+  // Keys this batch introduces, for intra-batch duplicate detection.
+  std::set<std::pair<uint32_t, std::vector<Value>>> batch_keys;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const BatchRow& row = rows[i];
+    DBREPAIR_ASSIGN_OR_RETURN(const uint32_t rel,
+                              db_.RelationIndex(row.relation));
+    const RelationSchema& schema = db_.schema().relations()[rel];
+    if (row.values.size() != schema.arity()) {
+      return Status::InvalidArgument(
+          "batch row " + std::to_string(i) + ": arity mismatch for '" +
+          schema.name() + "': expected " + std::to_string(schema.arity()) +
+          " values, got " + std::to_string(row.values.size()));
+    }
+    for (size_t a = 0; a < row.values.size(); ++a) {
+      const Value& v = row.values[a];
+      if (v.is_null()) continue;  // NULL is allowed in any column.
+      const Type want = schema.attribute(a).type;
+      const bool ok =
+          (want == Type::kInt64 && v.is_int()) ||
+          (want == Type::kDouble && (v.is_double() || v.is_int())) ||
+          (want == Type::kString && v.is_string());
+      if (!ok) {
+        return Status::InvalidArgument(
+            "batch row " + std::to_string(i) + ": type mismatch in '" +
+            schema.name() + "." + schema.attribute(a).name + "': expected " +
+            TypeName(want) + ", got " + v.ToString());
+      }
+    }
+    std::vector<Value> key;
+    key.reserve(schema.key_positions().size());
+    for (const size_t pos : schema.key_positions()) {
+      key.push_back(row.values[pos]);
+    }
+    if (db_.table(rel).LookupByKey(key).ok()) {
+      return Status::KeyViolation("batch row " + std::to_string(i) +
+                                  ": duplicate primary key in '" +
+                                  schema.name() + "'");
+    }
+    if (!batch_keys.emplace(rel, std::move(key)).second) {
+      return Status::KeyViolation("batch row " + std::to_string(i) +
+                                  ": primary key repeated within the batch "
+                                  "in '" +
+                                  schema.name() + "'");
+    }
+    relations->push_back(rel);
+  }
+  return Status::OK();
+}
+
+Result<BatchStats> RepairSession::ApplyBatch(const std::vector<BatchRow>& rows) {
+  if (busy_.exchange(true, std::memory_order_acq_rel)) {
+    return Status::InvalidArgument(
+        "RepairSession::ApplyBatch is not reentrant: another batch is still "
+        "being applied");
+  }
+  BusyGuard guard(&busy_);
+  if (poisoned_) {
+    return Status::Internal(
+        "repair session poisoned by an earlier failed batch; reopen it");
+  }
+
+  obs::ObsContext& obs = obs::CurrentObs();
+  obs::Span batch_span(&obs.tracer, "session.batch");
+  BatchStats batch;
+  batch.num_rows = rows.size();
+
+  // ---- 1. Validate, then insert. Nothing mutates until the whole batch
+  // has passed, so a bad batch leaves the session untouched. ----
+  std::vector<uint32_t> row_relations;
+  DBREPAIR_RETURN_IF_ERROR(ValidateBatch(rows, &row_relations));
+
+  std::vector<uint32_t> first_new_row(db_.relation_count());
+  for (uint32_t r = 0; r < db_.relation_count(); ++r) {
+    first_new_row[r] = static_cast<uint32_t>(db_.table(r).size());
+  }
+  for (const BatchRow& row : rows) {
+    const Result<TupleRef> inserted = db_.Insert(row.relation, row.values);
+    if (!inserted.ok()) {  // pre-validated; a failure here is a logic error
+      poisoned_ = true;
+      return inserted.status();
+    }
+  }
+  std::vector<uint32_t> appended_relations = row_relations;
+  std::sort(appended_relations.begin(), appended_relations.end());
+  appended_relations.erase(
+      std::unique(appended_relations.begin(), appended_relations.end()),
+      appended_relations.end());
+
+  // From here on every failure leaves cached state out of sync with the
+  // inserted rows, so it poisons the session.
+  const auto poison = [this](Status status) {
+    poisoned_ = true;
+    return status;
+  };
+
+  // ---- 2. Grow the cached snapshot by exactly the appended suffix. ----
+  if (snapshot_.valid()) {
+    snapshot_.ExtendAppended(db_, appended_relations);
+    obs.metrics.GetCounter("session.batch.snapshot_extends")->Add(1);
+  }
+  engine_->InvalidateRelations(appended_relations);
+
+  // ---- 3. Delta-join: violation sets involving at least one new row. ----
+  obs::Span detect_span(&obs.tracer, "detect");
+  Result<std::vector<ViolationSet>> new_violations =
+      engine_->FindViolationsSince(first_new_row);
+  if (!new_violations.ok()) return poison(new_violations.status());
+  batch.num_new_violations = new_violations->size();
+  batch.detect_seconds = detect_span.Finish();
+
+  // ---- 4. Fixes for the new violation sets only; patch them in. ----
+  const uint32_t vid_offset = static_cast<uint32_t>(violations_.size());
+  Result<std::vector<CandidateFix>> new_fixes =
+      GenerateCandidateFixes(db_, bound_, distance_, *new_violations,
+                             vid_offset, num_threads_, pool_.get());
+  if (!new_fixes.ok()) return poison(new_fixes.status());
+
+  obs::Span patch_span(&obs.tracer, "patch");
+  Status patched = PatchInstance(std::move(*new_violations),
+                                 std::move(*new_fixes), &batch);
+  if (!patched.ok()) return poison(std::move(patched));
+  batch.patch_seconds = patch_span.Finish();
+
+  // ---- 5. Continue the greedy loop; apply what it picks. ----
+  obs::Span solve_span(&obs.tracer, "solve");
+  Result<SetCoverSolution> solution = solver_->SolveDelta();
+  if (!solution.ok()) return poison(solution.status());
+  batch.num_chosen_fixes = solution->chosen.size();
+  batch.cover_weight = solution->weight;
+  batch.solve_seconds = solve_span.Finish();
+
+  obs::Span apply_span(&obs.tracer, "apply");
+  std::vector<std::vector<uint32_t>> updated_rows;
+  Status applied = ApplyChosen(*solution, &updated_rows, &batch.updates);
+  if (!applied.ok()) return poison(std::move(applied));
+  const size_t num_updates = batch.updates.size();
+  batch.num_updates = num_updates;
+  std::vector<uint32_t> updated_relations;
+  for (uint32_t r = 0; r < updated_rows.size(); ++r) {
+    if (!updated_rows[r].empty()) updated_relations.push_back(r);
+  }
+  RefreshAfterUpdates(updated_relations);
+  batch.apply_seconds = apply_span.Finish();
+
+  // ---- 6. Incremental verify over this batch's dirty rows. ----
+  if (options_.verify) {
+    obs::Span verify_span(&obs.tracer, "verify");
+    std::vector<std::vector<uint8_t>> dirty(db_.relation_count());
+    for (uint32_t r = 0; r < db_.relation_count(); ++r) {
+      dirty[r].assign(db_.table(r).size(), 0);
+      for (uint32_t row = first_new_row[r]; row < dirty[r].size(); ++row) {
+        dirty[r][row] = 1;
+      }
+      for (const uint32_t row : updated_rows[r]) dirty[r][row] = 1;
+    }
+    Result<std::vector<ViolationSet>> leftover =
+        engine_->FindViolationsTouching(dirty);
+    if (!leftover.ok()) return poison(leftover.status());
+    batch.verify_seconds = verify_span.Finish();
+    if (!leftover->empty()) {
+      return poison(Status::Internal(
+          "batch left " + std::to_string(leftover->size()) +
+          " violation sets unresolved (first: " +
+          (*leftover)[0].ToString() + ")"));
+    }
+  }
+
+  stats_.num_batches += 1;
+  stats_.total_rows_inserted += rows.size();
+  stats_.total_violations = violations_.size();
+  stats_.total_fixes = fixes_.size();
+  stats_.total_updates += num_updates;
+  stats_.cover_weight += solution->weight;
+
+  obs.metrics.GetCounter("session.batch.count")->Add(1);
+  obs.metrics.GetCounter("session.batch.rows")->Add(rows.size());
+  obs.metrics.GetCounter("session.batch.new_violations")
+      ->Add(batch.num_new_violations);
+  obs.metrics.GetCounter("session.batch.new_sets")->Add(batch.num_new_fixes);
+  obs.metrics.GetCounter("session.batch.extended_sets")
+      ->Add(batch.num_extended_fixes);
+  obs.metrics.GetCounter("session.batch.chosen_sets")
+      ->Add(batch.num_chosen_fixes);
+  obs.metrics.GetCounter("session.batch.updates")->Add(num_updates);
+  obs.metrics.GetGauge("session.cover_weight")->Set(stats_.cover_weight);
+  obs.metrics.GetGauge("session.distance")->Set(cumulative_distance_);
+
+  batch.total_seconds = batch_span.Finish();
+  return batch;
+}
+
+Status RepairSession::PatchInstance(std::vector<ViolationSet> new_violations,
+                                    std::vector<CandidateFix> new_fixes,
+                                    BatchStats* stats) {
+  const size_t vid_offset = violations_.size();
+  instance_.AddElements(new_violations.size());
+  solver_->OnElementsAdded(new_violations.size());
+
+  for (CandidateFix& fix : new_fixes) {
+    const FixKey key{fix.tuple.Packed(), fix.attribute, fix.new_value};
+    const auto it = fix_ids_.find(key);
+    if (it != fix_ids_.end()) {
+      // Same (tuple, attribute, value) as an earlier, still-unchosen fix:
+      // extend its set with the new violation ids and refresh its weight
+      // against the cell's current value (an applied fix on the same cell
+      // may have moved it since the set was created).
+      const uint32_t set_id = it->second;
+      const size_t old_size = instance_.sets[set_id].size();
+      if (instance_.weights[set_id] != fix.weight) {
+        instance_.SetWeight(set_id, fix.weight);
+        DBREPAIR_RETURN_IF_ERROR(solver_->OnWeightChanged(set_id));
+        fixes_[set_id].weight = fix.weight;
+        fixes_[set_id].old_value = fix.old_value;
+      }
+      DBREPAIR_RETURN_IF_ERROR(instance_.ExtendSet(set_id, fix.solved));
+      DBREPAIR_RETURN_IF_ERROR(solver_->OnSetExtended(set_id, old_size));
+      fixes_[set_id].solved.insert(fixes_[set_id].solved.end(),
+                                   fix.solved.begin(), fix.solved.end());
+      stats->num_extended_fixes += 1;
+    } else {
+      const uint32_t set_id = instance_.AddSet(fix.weight, fix.solved);
+      DBREPAIR_RETURN_IF_ERROR(solver_->OnSetAdded(set_id));
+      fix_ids_.emplace(key, set_id);
+      fixes_.push_back(std::move(fix));
+      stats->num_new_fixes += 1;
+    }
+  }
+
+  violations_.insert(violations_.end(),
+                     std::make_move_iterator(new_violations.begin()),
+                     std::make_move_iterator(new_violations.end()));
+  for (size_t e = vid_offset; e < violations_.size(); ++e) {
+    if (instance_.element_sets[e].empty()) {
+      return Status::Internal(
+          "violation set " + violations_[e].ToString() +
+          " is solvable by no mono-local fix; the IC set is not local");
+    }
+  }
+  return Status::OK();
+}
+
+Status RepairSession::ApplyChosen(
+    const SetCoverSolution& solution,
+    std::vector<std::vector<uint32_t>>* updated_rows,
+    std::vector<AppliedUpdate>* applied) {
+  updated_rows->assign(db_.relation_count(), {});
+
+  // Same subsumption rule as ApplyCover: of several picks on one
+  // (tuple, attribute), the higher-weight fix wins. std::map gives a
+  // deterministic (tuple, attribute) application order.
+  std::map<std::pair<uint64_t, uint32_t>, uint32_t> picks;
+  for (const uint32_t set_id : solution.chosen) {
+    const CandidateFix& fix = fixes_[set_id];
+    const auto key = std::make_pair(fix.tuple.Packed(), fix.attribute);
+    const auto [it, inserted] = picks.emplace(key, set_id);
+    if (!inserted && fixes_[it->second].weight < fix.weight) {
+      it->second = set_id;
+    }
+  }
+
+  for (const auto& [cell, set_id] : picks) {
+    const CandidateFix& fix = fixes_[set_id];
+    const Value& current = db_.tuple(fix.tuple).value(fix.attribute);
+    const int64_t current_int = current.is_int() ? current.AsInt() : 0;
+    if (current.is_int() && current_int == fix.new_value) continue;
+
+    const double alpha = db_.schema()
+                             .relations()[fix.tuple.relation]
+                             .attribute(fix.attribute)
+                             .alpha;
+    const auto [orig_it, first_touch] =
+        original_values_.try_emplace(cell, current_int);
+    const double original = static_cast<double>(orig_it->second);
+    if (!first_touch) {
+      cumulative_distance_ -= alpha * distance_.ScalarDistance(
+                                          original,
+                                          static_cast<double>(current_int));
+    }
+    cumulative_distance_ +=
+        alpha * distance_.ScalarDistance(
+                    original, static_cast<double>(fix.new_value));
+
+    DBREPAIR_RETURN_IF_ERROR(
+        db_.mutable_table(fix.tuple.relation)
+            .UpdateValue(fix.tuple.row, fix.attribute,
+                         Value::Int(fix.new_value)));
+    applied->push_back(AppliedUpdate{fix.tuple, fix.attribute, current_int,
+                                     fix.new_value});
+    std::vector<uint32_t>& rows = (*updated_rows)[fix.tuple.relation];
+    if (rows.empty() || rows.back() != fix.tuple.row) {
+      rows.push_back(fix.tuple.row);
+    }
+  }
+  return Status::OK();
+}
+
+void RepairSession::RefreshAfterUpdates(
+    const std::vector<uint32_t>& updated_relations) {
+  if (updated_relations.empty()) return;
+  if (snapshot_.valid()) {
+    snapshot_ = snapshot_.Rebase(db_, updated_relations);
+    obs::ObsContext& obs = obs::CurrentObs();
+    obs.metrics.GetCounter("scan.columnar.resnapshots")->Add(1);
+    obs.metrics.GetCounter("scan.columnar.resnapshot_relations")
+        ->Add(updated_relations.size());
+  }
+  engine_->InvalidateRelations(updated_relations);
+}
+
+}  // namespace dbrepair

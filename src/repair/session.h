@@ -1,0 +1,226 @@
+#ifndef DBREPAIR_REPAIR_SESSION_H_
+#define DBREPAIR_REPAIR_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "constraints/ast.h"
+#include "constraints/violation.h"
+#include "constraints/violation_engine.h"
+#include "repair/distance.h"
+#include "repair/repair_builder.h"
+#include "repair/repairer.h"
+#include "repair/setcover/incremental.h"
+#include "repair/setcover/instance.h"
+#include "storage/column_view.h"
+#include "storage/database.h"
+
+namespace dbrepair {
+
+/// One row to insert in a batch: target relation by name plus one value per
+/// attribute.
+struct BatchRow {
+  std::string relation;
+  std::vector<Value> values;
+};
+
+/// Per-ApplyBatch diagnostics (the incremental analogue of RepairStats).
+struct BatchStats {
+  size_t num_rows = 0;            ///< rows inserted by this batch
+  size_t num_new_violations = 0;  ///< violation sets the batch introduced
+  size_t num_new_fixes = 0;       ///< fresh set-cover columns added
+  size_t num_extended_fixes = 0;  ///< existing columns that gained elements
+  size_t num_chosen_fixes = 0;    ///< sets this batch's delta solve picked
+  size_t num_updates = 0;         ///< cell updates applied to the instance
+  /// The cell updates themselves, in deterministic (tuple, attribute)
+  /// order — the incremental analogue of RepairOutcome::updates.
+  std::vector<AppliedUpdate> updates;
+  double cover_weight = 0.0;      ///< weight of this batch's picks
+  double detect_seconds = 0.0;
+  double patch_seconds = 0.0;
+  double solve_seconds = 0.0;
+  double apply_seconds = 0.0;
+  double verify_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+/// Cumulative totals since Open (the initial full repair counts as batch 0).
+struct SessionStats {
+  size_t num_batches = 0;  ///< ApplyBatch calls completed (Open excluded)
+  size_t total_rows_inserted = 0;
+  size_t total_violations = 0;  ///< all violation-set ids ever allocated
+  size_t total_fixes = 0;       ///< all set-cover columns ever allocated
+  size_t total_updates = 0;
+  double cover_weight = 0.0;  ///< summed weight of every chosen set
+};
+
+/// A long-lived incremental repair pipeline: open once over a database and
+/// its constraints, then feed arriving row batches and keep the instance
+/// consistent after each one — without ever rebuilding the set-cover
+/// instance or re-joining the old data against itself.
+///
+/// Open() clones the database, binds and locality-checks the constraints,
+/// runs one full repair (build + modified-greedy solve + apply), and caches
+/// everything the full pipeline would throw away: the columnar snapshot,
+/// the violation engine with its join indexes, the candidate fixes with
+/// their (tuple, attribute, value) keys, the MWSCP instance, and the greedy
+/// solver's covered/heap state. Each ApplyBatch then:
+///
+///  1. validates and inserts the rows (the whole batch is checked before
+///     any row lands, so a bad batch leaves the session untouched);
+///  2. extends the columnar snapshot by exactly the appended suffix;
+///  3. delta-joins only the new rows against the instance
+///     (ViolationEngine::FindViolationsSince) — when the pre-batch instance
+///     was consistent these are ALL violation sets of the grown instance;
+///  4. generates mono-local fixes for the new violation sets only and
+///     patches them into the cached instance in place (new sets, extended
+///     sets, refreshed weights);
+///  5. continues the modified-greedy loop over whatever became uncovered
+///     and applies the picked fixes;
+///  6. re-verifies incrementally: only violation sets touching this batch's
+///     dirty rows (inserted or updated) are re-enumerated.
+///
+/// Correctness rests on locality (Definition 2.9): repairs move every cell
+/// monotonically in one direction, so a covered violation set can never
+/// re-violate and a chosen fix's key can never be generated again. The
+/// incremental verify in step 6 backstops the argument at runtime.
+///
+/// After K batches the session database is consistent and the cumulative
+/// cover weight is within the solver's approximation factor of the
+/// from-scratch optimum on the final data. The whole pipeline is
+/// deterministic: any `num_threads` produces a byte-identical database.
+///
+/// Not thread-safe: ApplyBatch calls must not overlap (a second concurrent
+/// call fails with InvalidArgument rather than corrupting state). A batch
+/// that fails after it started mutating poisons the session — the caches
+/// may no longer match the rows — and every later call fails fast.
+class RepairSession {
+ public:
+  /// Binds `ics` against the schema, validates `options`, and runs the
+  /// initial full repair. On return db() is a consistent clone of `db`.
+  ///
+  /// Beyond RepairOptions::Validate, sessions reject options the
+  /// incremental pipeline cannot honour: a solver other than the greedy
+  /// family (the cover is maintained by incremental modified greedy, which
+  /// computes exactly the greedy cover), `prune_cover` (pruned sets would
+  /// desync the cached solver state), and `require_local == false` (the
+  /// delta maintenance is only sound for local IC sets).
+  static Result<std::unique_ptr<RepairSession>> Open(
+      const Database& db, const std::vector<DenialConstraint>& ics,
+      const RepairOptions& options = {});
+
+  /// Overload taking pre-bound constraints. The bindings must refer to
+  /// `db`'s schema.
+  static Result<std::unique_ptr<RepairSession>> Open(
+      const Database& db, std::vector<BoundConstraint> ics,
+      const RepairOptions& options = {});
+
+  RepairSession(const RepairSession&) = delete;
+  RepairSession& operator=(const RepairSession&) = delete;
+
+  ~RepairSession();
+
+  /// Inserts `rows` and restores consistency (steps 1-6 above). The batch
+  /// is atomic with respect to validation: relation names, arity, types,
+  /// and primary-key uniqueness (against the instance and within the
+  /// batch) are checked before the first row is inserted.
+  Result<BatchStats> ApplyBatch(const std::vector<BatchRow>& rows);
+
+  /// The session's (consistent, repaired) database instance.
+  const Database& db() const { return db_; }
+
+  /// The cell updates the initial full repair applied during Open().
+  const std::vector<AppliedUpdate>& open_updates() const {
+    return open_updates_;
+  }
+
+  const SessionStats& stats() const { return stats_; }
+
+  /// Sum over all cells of the weighted distance the session's repairs have
+  /// introduced so far, i.e. Delta(inserted data, current data).
+  double cumulative_distance() const { return cumulative_distance_; }
+
+ private:
+  struct FixKey {
+    uint64_t tuple_packed = 0;
+    uint32_t attribute = 0;
+    int64_t value = 0;
+
+    bool operator==(const FixKey& o) const {
+      return tuple_packed == o.tuple_packed && attribute == o.attribute &&
+             value == o.value;
+    }
+  };
+  struct FixKeyHash {
+    size_t operator()(const FixKey& k) const {
+      size_t h = k.tuple_packed * 0x9e3779b97f4a7c15ULL;
+      h ^= (k.attribute + 0x9e3779b9U) + (h << 6) + (h >> 2);
+      h ^= std::hash<int64_t>{}(k.value) + (h << 6) + (h >> 2);
+      return h;
+    }
+  };
+
+  RepairSession(const Database& db, std::vector<BoundConstraint> ics,
+                const RepairOptions& options);
+
+  // The Open() body: full build, cache adoption, initial solve + apply.
+  Status Init();
+
+  // Batch steps, factored for the span structure. All run under busy_.
+  Status ValidateBatch(const std::vector<BatchRow>& rows,
+                       std::vector<uint32_t>* relations) const;
+  Status PatchInstance(std::vector<ViolationSet> new_violations,
+                       std::vector<CandidateFix> new_fixes, BatchStats* stats);
+
+  // Applies the chosen sets of `solution` to db_ (same subsumption rule as
+  // ApplyCover: of two picks on one (tuple, attribute), the higher-weight
+  // fix wins), recording which rows of which relations changed and the
+  // update list itself.
+  Status ApplyChosen(const SetCoverSolution& solution,
+                     std::vector<std::vector<uint32_t>>* updated_rows,
+                     std::vector<AppliedUpdate>* applied);
+
+  // Rebases the columnar snapshot over the updated relations and drops the
+  // engine's cached indexes for them. No-op when columnar is off.
+  void RefreshAfterUpdates(const std::vector<uint32_t>& updated_relations);
+
+  const RepairOptions options_;
+  const DistanceFunction distance_;
+  const size_t num_threads_;
+
+  Database db_;  // the session's consistent clone; rows append, cells move
+  const std::vector<BoundConstraint> bound_;
+
+  std::unique_ptr<ThreadPool> pool_;     // nullptr when num_threads_ <= 1
+  ColumnSnapshot snapshot_;              // invalid when columnar is off
+  std::unique_ptr<ViolationEngine> engine_;  // holds &db_, &bound_, &snapshot_
+
+  std::vector<ViolationSet> violations_;  // element ids are indices here
+  std::vector<CandidateFix> fixes_;       // set ids are indices here
+  std::unordered_map<FixKey, uint32_t, FixKeyHash> fix_ids_;
+  SetCoverInstance instance_;
+  std::unique_ptr<IncrementalGreedySolver> solver_;
+
+  SessionStats stats_;
+  std::vector<AppliedUpdate> open_updates_;
+  // First-touch original value of every cell a repair has updated, keyed on
+  // (tuple.Packed(), attribute): lets cumulative_distance_ stay exact when a
+  // later batch moves an already-repaired cell further.
+  std::map<std::pair<uint64_t, uint32_t>, int64_t> original_values_;
+  double cumulative_distance_ = 0.0;
+
+  std::atomic<bool> busy_{false};
+  bool poisoned_ = false;
+};
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_REPAIR_SESSION_H_

@@ -1,0 +1,149 @@
+#include "repair/setcover/incremental.h"
+
+#include "obs/context.h"
+
+namespace dbrepair {
+
+IncrementalGreedySolver::IncrementalGreedySolver(
+    const SetCoverInstance* instance)
+    : instance_(instance),
+      covered_(instance->num_elements, 0),
+      chosen_(instance->num_sets(), 0),
+      uncovered_count_(instance->num_sets(), 0),
+      heap_(instance->num_sets()),
+      remaining_(instance->num_elements) {
+  // Identical to ModifiedGreedySetCover's initialisation: every set with at
+  // least one (necessarily uncovered) element enters the queue under its
+  // initial effective weight.
+  for (uint32_t s = 0; s < instance_->num_sets(); ++s) {
+    uncovered_count_[s] = static_cast<uint32_t>(instance_->sets[s].size());
+    if (uncovered_count_[s] > 0) {
+      heap_.Push(s, instance_->weights[s] / uncovered_count_[s]);
+    }
+  }
+}
+
+void IncrementalGreedySolver::OnElementsAdded(size_t count) {
+  covered_.resize(covered_.size() + count, 0);
+  remaining_ += count;
+}
+
+Status IncrementalGreedySolver::OnSetAdded(uint32_t set_id) {
+  if (set_id != chosen_.size()) {
+    return Status::Internal(
+        "incremental solver: sets must be announced in append order");
+  }
+  chosen_.push_back(0);
+  uint32_t uncovered = 0;
+  for (const uint32_t e : instance_->sets[set_id]) {
+    if (e >= covered_.size()) {
+      return Status::Internal(
+          "incremental solver: set element beyond announced universe");
+    }
+    if (covered_[e] == 0) ++uncovered;
+  }
+  uncovered_count_.push_back(uncovered);
+  heap_.Reserve(chosen_.size());
+  if (uncovered > 0) {
+    heap_.Push(set_id, instance_->weights[set_id] / uncovered);
+  }
+  return Status::OK();
+}
+
+Status IncrementalGreedySolver::OnSetExtended(uint32_t set_id,
+                                              size_t first_new_index) {
+  if (set_id >= chosen_.size()) {
+    return Status::Internal("incremental solver: unknown set extended");
+  }
+  if (chosen_[set_id] != 0) {
+    // A chosen fix was applied; fix generation can never emit its key
+    // again, so an extension means the session's invariants broke.
+    return Status::Internal(
+        "incremental solver: a chosen set was extended (stale fix key)");
+  }
+  const std::vector<uint32_t>& set = instance_->sets[set_id];
+  uint32_t added = 0;
+  for (size_t i = first_new_index; i < set.size(); ++i) {
+    if (set[i] >= covered_.size()) {
+      return Status::Internal(
+          "incremental solver: set element beyond announced universe");
+    }
+    if (covered_[set[i]] == 0) ++added;
+  }
+  if (added > 0) {
+    uncovered_count_[set_id] += added;
+    Reprice(set_id);
+  }
+  return Status::OK();
+}
+
+Status IncrementalGreedySolver::OnWeightChanged(uint32_t set_id) {
+  if (set_id >= chosen_.size()) {
+    return Status::Internal("incremental solver: unknown set repriced");
+  }
+  if (uncovered_count_[set_id] > 0 && chosen_[set_id] == 0) {
+    Reprice(set_id);
+  }
+  return Status::OK();
+}
+
+void IncrementalGreedySolver::Reprice(uint32_t set_id) {
+  const double key =
+      instance_->weights[set_id] / uncovered_count_[set_id];
+  if (heap_.Contains(set_id)) {
+    heap_.Update(set_id, key);
+  } else {
+    heap_.Push(set_id, key);
+  }
+}
+
+Result<SetCoverSolution> IncrementalGreedySolver::SolveDelta() {
+  SetCoverSolution solution;
+  uint64_t heap_pops = 0;
+  uint64_t cross_link_updates = 0;
+
+  // The ModifiedGreedySetCover main loop, verbatim, over the preserved
+  // state — same effective weights, same smaller-id tie-break, so a fresh
+  // instance yields exactly the non-incremental cover.
+  while (remaining_ > 0) {
+    ++solution.iterations;
+    if (heap_.empty()) {
+      return Status::Internal(
+          "incremental greedy: uncovered elements remain but the queue is "
+          "empty (infeasible instance patch)");
+    }
+    const auto [picked, eff] = heap_.Top();
+    (void)eff;
+    heap_.Pop();
+    ++heap_pops;
+    chosen_[picked] = 1;
+    solution.chosen.push_back(picked);
+    solution.weight += instance_->weights[picked];
+
+    for (const uint32_t e : instance_->sets[picked]) {
+      if (covered_[e] != 0) continue;
+      covered_[e] = 1;
+      --remaining_;
+      for (const uint32_t other : instance_->element_sets[e]) {
+        if (other == picked || !heap_.Contains(other)) continue;
+        ++cross_link_updates;
+        if (--uncovered_count_[other] == 0) {
+          heap_.Remove(other);
+        } else {
+          heap_.Update(other,
+                       instance_->weights[other] / uncovered_count_[other]);
+        }
+      }
+    }
+  }
+  obs::MetricsRegistry& metrics = obs::CurrentObs().metrics;
+  metrics.GetCounter("solver.incremental-greedy.solves")->Add(1);
+  metrics.GetCounter("solver.incremental-greedy.iterations")
+      ->Add(solution.iterations);
+  metrics.GetCounter("solver.incremental-greedy.heap_pops")->Add(heap_pops);
+  metrics.GetCounter("solver.incremental-greedy.cross_link_updates")
+      ->Add(cross_link_updates);
+  return solution;
+}
+
+}  // namespace dbrepair

@@ -1,0 +1,81 @@
+#ifndef DBREPAIR_REPAIR_SETCOVER_INCREMENTAL_H_
+#define DBREPAIR_REPAIR_SETCOVER_INCREMENTAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "repair/setcover/indexed_heap.h"
+#include "repair/setcover/instance.h"
+
+namespace dbrepair {
+
+/// Modified greedy (Algorithm 5) with persistent solver state, for repair
+/// sessions that patch one SetCoverInstance across many batches instead of
+/// rebuilding it. The covered set, the per-set uncovered counts, and the
+/// effective-weight priority queue survive between solves; a batch grows the
+/// instance through the SetCoverInstance mutation API and mirrors each
+/// mutation here, then SolveDelta() runs the exact modified-greedy loop over
+/// whatever is currently uncovered.
+///
+/// Equivalence anchor: on a freshly built instance, one SolveDelta() call
+/// picks exactly the sets ModifiedGreedySetCover picks, in the same order
+/// (same effective weights, same smaller-id tie-break). Incremental solves
+/// continue that loop from the preserved state rather than restarting it.
+///
+/// The caller must uphold two session invariants the solver checks where it
+/// cheaply can:
+///  * already-chosen sets are never extended — a chosen fix was applied, so
+///    its (tuple, attribute) cell already holds the target value and fix
+///    generation cannot produce its key again;
+///  * covered elements never become uncovered — repairs move cells
+///    monotonically (locality), so a solved violation set stays solved.
+class IncrementalGreedySolver {
+ public:
+  /// Snapshots solver state off `instance` with nothing covered yet.
+  /// `instance` must outlive the solver, have element links built, and only
+  /// ever change through the mutation API with the matching On* call.
+  explicit IncrementalGreedySolver(const SetCoverInstance* instance);
+
+  /// Mirror of SetCoverInstance::AddElements: `count` fresh, uncovered
+  /// elements joined the universe.
+  void OnElementsAdded(size_t count);
+
+  /// Mirror of SetCoverInstance::AddSet. The new set's elements must all be
+  /// uncovered (they are this batch's fresh violation ids).
+  Status OnSetAdded(uint32_t set_id);
+
+  /// Mirror of SetCoverInstance::ExtendSet: elements from
+  /// `first_new_index` onwards in the set's element list were appended.
+  /// Rejects extension of a chosen set (see class invariants).
+  Status OnSetExtended(uint32_t set_id, size_t first_new_index);
+
+  /// Mirror of SetCoverInstance::SetWeight: reprices the heap entry.
+  Status OnWeightChanged(uint32_t set_id);
+
+  /// Runs the modified-greedy loop until every element is covered, starting
+  /// from the preserved state. Returns only this call's picks (in pick
+  /// order) and their weight; Internal when uncovered elements remain but
+  /// no set can cover them (infeasible patch).
+  Result<SetCoverSolution> SolveDelta();
+
+  bool IsChosen(uint32_t set_id) const { return chosen_[set_id] != 0; }
+  bool IsCovered(uint32_t element) const { return covered_[element] != 0; }
+  size_t num_uncovered() const { return remaining_; }
+
+ private:
+  // (Re)inserts or reprices `set_id` from its current weight and uncovered
+  // count; removes it when no uncovered element is left.
+  void Reprice(uint32_t set_id);
+
+  const SetCoverInstance* instance_;
+  std::vector<uint8_t> covered_;          // per element
+  std::vector<uint8_t> chosen_;           // per set
+  std::vector<uint32_t> uncovered_count_; // per set
+  IndexedHeap heap_;
+  size_t remaining_ = 0;
+};
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_REPAIR_SETCOVER_INCREMENTAL_H_

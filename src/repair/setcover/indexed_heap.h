@@ -26,6 +26,12 @@ class IndexedHeap {
   /// `capacity` is the exclusive upper bound on ids.
   explicit IndexedHeap(size_t capacity) : pos_(capacity, -1) {}
 
+  /// Raises the id capacity (never shrinks); present entries are untouched.
+  /// Lets a long-lived heap admit the sets a repair batch appended.
+  void Reserve(size_t capacity) {
+    if (capacity > pos_.size()) pos_.resize(capacity, -1);
+  }
+
   bool empty() const { return heap_.empty(); }
   size_t size() const { return heap_.size(); }
   bool Contains(uint32_t id) const { return pos_[id] >= 0; }

@@ -11,6 +11,41 @@ void SetCoverInstance::BuildLinks() {
   }
 }
 
+void SetCoverInstance::AddElements(size_t count) {
+  num_elements += count;
+  element_sets.resize(num_elements);
+}
+
+uint32_t SetCoverInstance::AddSet(double weight,
+                                  std::vector<uint32_t> elements) {
+  const auto id = static_cast<uint32_t>(sets.size());
+  for (const uint32_t e : elements) element_sets[e].push_back(id);
+  weights.push_back(weight);
+  sets.push_back(std::move(elements));
+  return id;
+}
+
+Status SetCoverInstance::ExtendSet(uint32_t set_id,
+                                   const std::vector<uint32_t>& new_elements) {
+  if (set_id >= sets.size()) {
+    return Status::Internal("ExtendSet: set id out of range");
+  }
+  std::vector<uint32_t>& set = sets[set_id];
+  for (const uint32_t e : new_elements) {
+    if (!set.empty() && e <= set.back()) {
+      return Status::Internal(
+          "ExtendSet: element ids must be appended in ascending order");
+    }
+    set.push_back(e);
+    element_sets[e].push_back(set_id);
+  }
+  return Status::OK();
+}
+
+void SetCoverInstance::SetWeight(uint32_t set_id, double weight) {
+  weights[set_id] = weight;
+}
+
 Status SetCoverInstance::Validate() const {
   if (weights.size() != sets.size()) {
     return Status::Internal("set cover instance: |weights| != |sets|");

@@ -26,6 +26,28 @@ struct SetCoverInstance {
   /// Populates element_sets from sets.
   void BuildLinks();
 
+  // ---- In-place mutation (repair sessions). ----
+  // The mutators keep element_sets consistent incrementally, so a patched
+  // instance never needs a full BuildLinks pass. They require BuildLinks to
+  // have run once (element_sets sized to num_elements).
+
+  /// Grows the element universe by `count` fresh ids (initially uncovered
+  /// by every set).
+  void AddElements(size_t count);
+
+  /// Appends a new set with the given weight and sorted, deduplicated
+  /// element ids; returns its id.
+  uint32_t AddSet(double weight, std::vector<uint32_t> elements);
+
+  /// Appends `new_elements` to an existing set. Every new id must be
+  /// strictly greater than the set's current maximum (element ids are
+  /// allocated globally ascending, so later batches only ever append) and
+  /// sorted ascending — which keeps the set sorted without a merge.
+  Status ExtendSet(uint32_t set_id, const std::vector<uint32_t>& new_elements);
+
+  /// Replaces the weight of an existing set.
+  void SetWeight(uint32_t set_id, double weight);
+
   /// Structural checks: ids in range, links consistent, weights
   /// non-negative, every element covered by at least one set (feasibility).
   Status Validate() const;

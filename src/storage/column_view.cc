@@ -197,4 +197,55 @@ ColumnSnapshot ColumnSnapshot::Rebase(
   return snapshot;
 }
 
+void ColumnSnapshot::ExtendAppended(
+    const Database& new_db, const std::vector<uint32_t>& appended_relations) {
+  if (!valid() || new_db.relation_count() != relations_.size()) {
+    *this = Build(new_db);
+    return;
+  }
+  for (const uint32_t r : appended_relations) {
+    const Table& table = new_db.table(r);
+    const std::shared_ptr<const RelationColumns>& old_rel = relations_[r];
+    if (table.size() < old_rel->row_count ||
+        old_rel->columns.size() != table.schema().arity()) {
+      // Not an append-only delta; rebuild the relation outright.
+      InternRelationStrings(table, interner_.get());
+      relations_[r] = BuildRelation(table, *interner_, nullptr);
+      continue;
+    }
+    const auto old_count = static_cast<uint32_t>(old_rel->row_count);
+    const auto new_count = static_cast<uint32_t>(table.size());
+    if (new_count == old_count) continue;
+    // Serial, deterministic interning of the suffix's strings, in the same
+    // (column, row) order a full InternRelationStrings pass would visit
+    // them — codes of already-known strings are unchanged either way.
+    const RelationSchema& schema = table.schema();
+    for (size_t c = 0; c < schema.arity(); ++c) {
+      if (schema.attribute(c).type != Type::kString) continue;
+      for (uint32_t row = old_count; row < new_count; ++row) {
+        const Value& v = table.row(row).value(c);
+        if (v.is_string()) interner_->Intern(v.AsString());
+      }
+    }
+    // Uniquely-owned columns are grown in place (the object was created
+    // mutable and only typed const by the shared_ptr, so the cast is
+    // well-defined); shared ones are copied once, then extended.
+    std::shared_ptr<RelationColumns> rel;
+    if (relations_[r].use_count() == 1) {
+      rel = std::const_pointer_cast<RelationColumns>(relations_[r]);
+    } else {
+      rel = std::make_shared<RelationColumns>(*old_rel);
+    }
+    for (ColumnData& col : rel->columns) SizeColumn(new_count, &col);
+    for (uint32_t row = old_count; row < new_count; ++row) {
+      const Tuple& tuple = table.row(row);
+      for (size_t c = 0; c < rel->columns.size(); ++c) {
+        FillCell(tuple.value(c), row, *interner_, &rel->columns[c]);
+      }
+    }
+    rel->row_count = new_count;
+    relations_[r] = std::move(rel);
+  }
+}
+
 }  // namespace dbrepair

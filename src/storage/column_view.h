@@ -134,6 +134,18 @@ class ColumnSnapshot {
   ColumnSnapshot Rebase(const Database& new_db,
                         const std::vector<uint32_t>& dirty_relations) const;
 
+  /// Incremental rebase for append-only growth: every relation listed in
+  /// `appended_relations` must have only *gained* rows since this snapshot
+  /// was built (existing rows byte-identical; tables are append-only, so a
+  /// batch insert is exactly a row-id suffix). Only the new suffix is
+  /// encoded: when this snapshot holds the sole reference to a relation's
+  /// columns they are grown in place, otherwise the old vectors are copied
+  /// once and extended. Falls back to a full per-relation rebuild when a
+  /// listed relation shrank or changed arity. New strings are interned into
+  /// the shared dictionary (append-only, so aliased codes stay valid).
+  void ExtendAppended(const Database& new_db,
+                      const std::vector<uint32_t>& appended_relations);
+
   /// True once Build/Rebase has populated the snapshot.
   bool valid() const { return !relations_.empty(); }
 

@@ -179,9 +179,65 @@ TEST_F(CliTest, NoArgumentsPrintsUsage) {
 }
 
 TEST_F(CliTest, BadFlagFails) {
+  // Unknown flags and flags missing their value are usage errors (exit 2,
+  // FlagSet names the offender); a value the domain parser rejects is a
+  // runtime error (exit 1).
   EXPECT_EQ(RunCli(dir_ + "/repair.conf --bogus").exit_code, 2);
-  EXPECT_EQ(RunCli(dir_ + "/repair.conf --solver").exit_code, 1);
+  EXPECT_EQ(RunCli(dir_ + "/repair.conf --solver").exit_code, 2);
   EXPECT_EQ(RunCli(dir_ + "/repair.conf --solver quantum").exit_code, 1);
+}
+
+TEST_F(CliTest, BatchFileReplaysSessionAndExportsFinalInstance) {
+  // Two batches of one row each: Z8 is consistent, Z9 violates ic1 + ic2
+  // and must arrive repaired (EF flipped to 0) alongside the base repair.
+  WriteFile(dir_ + "/batch.csv",
+            "# relation,values...\n"
+            "Paper,Z8,0,10,0\n"
+            "\n"
+            "Paper,Z9,1,30,0\n");
+  const RunResult result =
+      RunCli(dir_ + "/repair.conf --batch-file " + dir_ +
+             "/batch.csv --batch-size 1 --quiet");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.stdout_text.find("Paper('B1', 0, 40, 0)"),
+            std::string::npos)
+      << result.stdout_text;
+  EXPECT_NE(result.stdout_text.find("Paper('Z8', 0, 10, 0)"),
+            std::string::npos);
+  EXPECT_NE(result.stdout_text.find("Paper('Z9', 0, 30, 0)"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, BatchFileUpdateModeCoversSessionUpdates) {
+  WriteFile(dir_ + "/batch.csv", "Paper,Z9,1,30,0\n");
+  const std::string out_path = dir_ + "/patch.sql";
+  const RunResult result =
+      RunCli(dir_ + "/repair.conf --batch-file " + dir_ +
+             "/batch.csv --mode update --output " + out_path + " --quiet");
+  EXPECT_EQ(result.exit_code, 0);
+  const std::string sql = ReadFile(out_path);
+  // Initial repair plus the batch repair, one UPDATE each.
+  EXPECT_NE(sql.find("WHERE ID = 'B1'"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("UPDATE Paper SET EF = 0 WHERE ID = 'Z9';"),
+            std::string::npos)
+      << sql;
+}
+
+TEST_F(CliTest, BadBatchFileFails) {
+  WriteFile(dir_ + "/unknown.csv", "Nope,1,2,3\n");
+  EXPECT_EQ(RunCli(dir_ + "/repair.conf --batch-file " + dir_ +
+                   "/unknown.csv --quiet")
+                .exit_code,
+            1);
+  WriteFile(dir_ + "/arity.csv", "Paper,Z9,1\n");
+  EXPECT_EQ(RunCli(dir_ + "/repair.conf --batch-file " + dir_ +
+                   "/arity.csv --quiet")
+                .exit_code,
+            1);
+  EXPECT_EQ(RunCli(dir_ + "/repair.conf --batch-file " + dir_ +
+                   "/missing.csv --quiet")
+                .exit_code,
+            1);
 }
 
 TEST_F(CliTest, NonLocalConstraintsFailCleanly) {

@@ -7,6 +7,7 @@
 #include "constraints/parser.h"
 #include "constraints/violation_engine.h"
 #include "gen/client_buy.h"
+#include "storage/column_view.h"
 
 namespace dbrepair {
 namespace {
@@ -148,6 +149,95 @@ TEST(IncrementalTest, MatchesFilteredFullEnumeration) {
       if (touches_new) expected.push_back(v);
     }
     EXPECT_EQ(*incremental, expected) << "seed " << seed;
+  }
+}
+
+TEST(IncrementalTest, DuplicateContentRowsInOneBatch) {
+  // Two appended clients that are identical except for the key, plus
+  // matching purchases: the delta must report each client's sets separately
+  // (dedup collapses identical *tuple sets*, not identical cell contents).
+  ClientBuyOptions clean;
+  clean.num_clients = 40;
+  clean.inconsistency_ratio = 0.0;
+  clean.seed = 61;
+  auto base = GenerateClientBuy(clean);
+  ASSERT_TRUE(base.ok());
+  const std::vector<uint32_t> mark = MarkNow(base->db);
+  for (const int64_t id : {7001, 7002}) {
+    ASSERT_TRUE(base->db
+                    .Insert("Client", {Value::Int(id), Value::Int(15),
+                                       Value::Int(90)})
+                    .ok());
+    ASSERT_TRUE(base->db
+                    .Insert("Buy", {Value::Int(id), Value::Int(1),
+                                    Value::Int(60)})
+                    .ok());
+  }
+
+  auto bound = BindAll(base->db.schema(), base->ics);
+  ASSERT_TRUE(bound.ok());
+  ViolationEngine engine(base->db, *bound);
+  auto incremental = engine.FindViolationsSince(mark);
+  ASSERT_TRUE(incremental.ok());
+  // Per duplicated client: one ic1 set {Buy, Client} and one ic2 set
+  // {Client}.
+  EXPECT_EQ(incremental->size(), 4u);
+
+  ViolationEngine full_engine(base->db, *bound);
+  auto full = full_engine.FindViolations();
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(*incremental, *full);
+}
+
+TEST(IncrementalTest, MatchesFilteredFullEnumerationColumnarAndThreaded) {
+  // The randomized delta-vs-full property again, but with the columnar scan
+  // and sharded (4-thread) enumeration — the delta path must stay
+  // byte-identical to the serial row path under both.
+  for (const uint64_t seed : {71ull, 72ull, 73ull, 74ull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ClientBuyOptions options;
+    options.num_clients = 60;
+    options.inconsistency_ratio = 0.3;
+    options.seed = seed;
+    auto base = GenerateClientBuy(options);
+    ASSERT_TRUE(base.ok());
+    const std::vector<uint32_t> mark = MarkNow(base->db);
+
+    Rng rng(seed);
+    for (int i = 0; i < 15; ++i) {
+      ASSERT_TRUE(base->db
+                      .Insert("Client",
+                              {Value::Int(3000 + i),
+                               Value::Int(rng.UniformInRange(10, 40)),
+                               Value::Int(rng.UniformInRange(0, 100))})
+                      .ok());
+      ASSERT_TRUE(base->db
+                      .Insert("Buy", {Value::Int(3000 + i), Value::Int(1),
+                                      Value::Int(rng.UniformInRange(1, 100))})
+                      .ok());
+    }
+    auto bound = BindAll(base->db.schema(), base->ics);
+    ASSERT_TRUE(bound.ok());
+
+    ViolationEngine serial_engine(base->db, *bound);
+    auto serial = serial_engine.FindViolationsSince(mark);
+    ASSERT_TRUE(serial.ok());
+
+    const ColumnSnapshot snapshot = ColumnSnapshot::Build(base->db);
+    ViolationEngineOptions columnar_options;
+    columnar_options.columnar = &snapshot;
+    ViolationEngine columnar_engine(base->db, *bound, columnar_options);
+    auto columnar = columnar_engine.FindViolationsSince(mark);
+    ASSERT_TRUE(columnar.ok()) << columnar.status().ToString();
+    EXPECT_EQ(*columnar, *serial);
+
+    ViolationEngineOptions threaded_options;
+    threaded_options.num_threads = 4;
+    threaded_options.columnar = &snapshot;
+    ViolationEngine threaded_engine(base->db, *bound, threaded_options);
+    auto threaded = threaded_engine.FindViolationsSince(mark);
+    ASSERT_TRUE(threaded.ok()) << threaded.status().ToString();
+    EXPECT_EQ(*threaded, *serial);
   }
 }
 

@@ -150,8 +150,7 @@ TEST(SolverDistanceGridTest, AllCombinationsProduceConsistentRepairs) {
         options.solver = solver;
         options.distance = distance;
         options.prune_cover = prune;
-        auto outcome =
-            RepairDatabaseBound(workload->db, *bound, options);
+        auto outcome = RepairDatabase(workload->db, *bound, options);
         ASSERT_TRUE(outcome.ok())
             << SolverKindName(solver) << " prune=" << prune;
         auto consistent =

@@ -1,0 +1,448 @@
+// Tests for RepairSession: the incremental batched repair pipeline.
+//
+// The differential core streams a generated workload into an (initially
+// empty) session in K batches for K in {1, 4, 16} and requires:
+//  * the end state satisfies every constraint (checked with the full
+//    engine, not the session's own incremental verify);
+//  * the serial session and a 4-thread session produce byte-identical
+//    databases and bit-equal cumulative distances;
+//  * for K = 1 the session database is byte-identical to the one-shot
+//    RepairDatabase on the full data — a single batch over an empty base
+//    IS the full pipeline, set id for set id;
+//  * the cumulative distance stays within a small factor of the one-shot
+//    repair's distance (streaming can commit early, but per-client fixes
+//    in these workloads are near-independent).
+//
+// The rest covers the API contract: batch atomicity on validation errors,
+// rejection of options the incremental pipeline cannot honour, concurrent
+// ApplyBatch misuse (run under TSan via the `session` ctest label), clean
+// (net-negative) and empty batches, and stats accumulation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "constraints/parser.h"
+#include "constraints/violation_engine.h"
+#include "gen/census.h"
+#include "gen/client_buy.h"
+#include "repair/api.h"
+
+namespace dbrepair {
+namespace {
+
+// All rows of `db` as batch rows, interleaved across relations (row 0 of
+// every relation, then row 1, ...) so that chunked replays split joined
+// pairs — e.g. a Buy can arrive batches after its Client — and optionally
+// shuffled for the randomized sweeps.
+std::vector<BatchRow> ExtractRows(const Database& db, uint64_t shuffle_seed) {
+  std::vector<BatchRow> rows;
+  size_t max_rows = 0;
+  for (size_t r = 0; r < db.relation_count(); ++r) {
+    max_rows = std::max(max_rows, db.table(r).size());
+  }
+  for (size_t i = 0; i < max_rows; ++i) {
+    for (size_t r = 0; r < db.relation_count(); ++r) {
+      if (i >= db.table(r).size()) continue;
+      rows.push_back(BatchRow{db.schema().relations()[r].name(),
+                              db.table(r).row(i).values()});
+    }
+  }
+  if (shuffle_seed != 0) {
+    Rng rng(shuffle_seed);
+    for (size_t i = rows.size(); i > 1; --i) {
+      std::swap(rows[i - 1], rows[rng.Uniform(i)]);
+    }
+  }
+  return rows;
+}
+
+void ExpectConsistent(const Database& db,
+                      const std::vector<DenialConstraint>& ics) {
+  auto bound = BindAll(db.schema(), ics);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  auto satisfied = ViolationEngine::Satisfies(db, *bound);
+  ASSERT_TRUE(satisfied.ok()) << satisfied.status().ToString();
+  EXPECT_TRUE(*satisfied) << "session left the instance inconsistent";
+}
+
+void ExpectSameDatabase(const Database& a, const Database& b,
+                        const std::string& label) {
+  ASSERT_EQ(a.relation_count(), b.relation_count()) << label;
+  for (size_t r = 0; r < a.relation_count(); ++r) {
+    ASSERT_EQ(a.table(r).size(), b.table(r).size())
+        << label << " relation " << r;
+    for (size_t row = 0; row < a.table(r).size(); ++row) {
+      ASSERT_TRUE(a.table(r).row(row) == b.table(r).row(row))
+          << label << " relation " << r << " row " << row;
+    }
+  }
+}
+
+// Streams `rows` into a session opened over `base` in `num_batches` chunks
+// and returns the session. Every batch must succeed.
+Result<std::unique_ptr<RepairSession>> Replay(
+    const Database& base, const std::vector<DenialConstraint>& ics,
+    const std::vector<BatchRow>& rows, size_t num_batches,
+    const RepairOptions& options) {
+  DBREPAIR_ASSIGN_OR_RETURN(auto session,
+                            RepairSession::Open(base, ics, options));
+  const size_t chunk = (rows.size() + num_batches - 1) / num_batches;
+  for (size_t start = 0; start < rows.size(); start += chunk) {
+    const size_t end = std::min(rows.size(), start + chunk);
+    std::vector<BatchRow> batch(rows.begin() + start, rows.begin() + end);
+    DBREPAIR_RETURN_IF_ERROR(session->ApplyBatch(batch).status());
+  }
+  return session;
+}
+
+class SessionDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SessionDifferentialTest, StreamedRepairIsConsistentAndDeterministic) {
+  ClientBuyOptions gen;
+  gen.num_clients = 120;
+  gen.inconsistency_ratio = 0.3;
+  gen.seed = GetParam();
+  auto workload = GenerateClientBuy(gen);
+  ASSERT_TRUE(workload.ok());
+  const Database empty(workload->db.schema_ptr());
+  const std::vector<BatchRow> rows = ExtractRows(workload->db, /*shuffle=*/0);
+
+  auto one_shot = RepairDatabase(workload->db, workload->ics);
+  ASSERT_TRUE(one_shot.ok()) << one_shot.status().ToString();
+
+  for (const size_t k : {size_t{1}, size_t{4}, size_t{16}}) {
+    SCOPED_TRACE("K=" + std::to_string(k));
+    RepairOptions serial;
+    serial.num_threads = 1;
+    auto session = Replay(empty, workload->ics, rows, k, serial);
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    EXPECT_EQ((*session)->db().TotalTuples(), workload->db.TotalTuples());
+    ExpectConsistent((*session)->db(), workload->ics);
+
+    RepairOptions threaded;
+    threaded.num_threads = 4;
+    auto parallel = Replay(empty, workload->ics, rows, k, threaded);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ExpectSameDatabase((*session)->db(), (*parallel)->db(), "4 threads");
+    EXPECT_EQ((*session)->cumulative_distance(),
+              (*parallel)->cumulative_distance());  // bit-equal
+
+    if (k == 1) {
+      // One batch over an empty base is the full pipeline: same violation
+      // order, same fix ids, same greedy cover, same repaired bytes.
+      ExpectSameDatabase((*session)->db(), one_shot->repaired, "one-shot");
+      EXPECT_EQ((*session)->cumulative_distance(), one_shot->stats.distance);
+    } else if (one_shot->stats.distance > 0) {
+      // Streaming may commit to a fix a later batch makes redundant, but on
+      // these near-independent workloads it stays close to one-shot greedy.
+      EXPECT_LE((*session)->cumulative_distance(),
+                3.0 * one_shot->stats.distance + 1e-9);
+      EXPECT_GT((*session)->cumulative_distance(), 0.0);
+    }
+  }
+}
+
+TEST_P(SessionDifferentialTest, DirtyBaseThenShuffledBatches) {
+  // Open() must repair an inconsistent base, and later batches join new
+  // rows against the *repaired* old rows. Shuffled row order varies batch
+  // composition per seed.
+  ClientBuyOptions gen;
+  gen.num_clients = 60;
+  gen.inconsistency_ratio = 0.4;
+  gen.seed = GetParam();
+  auto base = GenerateClientBuy(gen);
+  ASSERT_TRUE(base.ok());
+
+  ClientBuyOptions stream_gen = gen;
+  stream_gen.num_clients = 40;
+  stream_gen.seed = GetParam() + 1000;
+  auto stream = GenerateClientBuy(stream_gen);
+  ASSERT_TRUE(stream.ok());
+  // Re-key the streamed rows so they cannot collide with the base.
+  std::vector<BatchRow> rows = ExtractRows(stream->db, GetParam());
+  for (BatchRow& row : rows) {
+    row.values[0] = Value::Int(row.values[0].AsInt() + 1'000'000);
+  }
+
+  RepairOptions serial;
+  serial.num_threads = 1;
+  auto session = Replay(base->db, base->ics, rows, 4, serial);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  EXPECT_FALSE((*session)->open_updates().empty());
+  ExpectConsistent((*session)->db(), base->ics);
+
+  RepairOptions threaded;
+  threaded.num_threads = 4;
+  auto parallel = Replay(base->db, base->ics, rows, 4, threaded);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  ExpectSameDatabase((*session)->db(), (*parallel)->db(), "4 threads");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SessionDifferentialTest,
+                         ::testing::Range<uint64_t>(1, 7));
+
+TEST(SessionTest, CensusStreamedRepairIsConsistent) {
+  CensusOptions gen;
+  gen.num_households = 40;
+  gen.inconsistency_ratio = 0.3;
+  gen.seed = 7;
+  auto workload = GenerateCensus(gen);
+  ASSERT_TRUE(workload.ok());
+  const Database empty(workload->db.schema_ptr());
+  const std::vector<BatchRow> rows = ExtractRows(workload->db, 0);
+  RepairOptions options;
+  options.num_threads = 1;
+  auto session = Replay(empty, workload->ics, rows, 8, options);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  ExpectConsistent((*session)->db(), workload->ics);
+}
+
+TEST(SessionTest, CrossBatchJoinViolationIsRepaired) {
+  // Batch 1 inserts a consistent minor client; batch 2 inserts a Buy that
+  // joins it into an ic1 violation mixing old and new tuples.
+  const Database empty(MakeClientBuySchema());
+  const auto ics = MakeClientBuyConstraints();
+  auto session = RepairSession::Open(empty, ics);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  auto first = (*session)->ApplyBatch(
+      {{"Client", {Value::Int(1), Value::Int(15), Value::Int(10)}}});
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->num_new_violations, 0u);
+  EXPECT_EQ(first->num_updates, 0u);
+
+  auto second = (*session)->ApplyBatch(
+      {{"Buy", {Value::Int(1), Value::Int(1), Value::Int(80)}}});
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->num_new_violations, 1u);
+  EXPECT_GE(second->num_updates, 1u);
+  EXPECT_EQ(second->updates.size(), second->num_updates);
+  ExpectConsistent((*session)->db(), ics);
+
+  const SessionStats& stats = (*session)->stats();
+  EXPECT_EQ(stats.num_batches, 2u);
+  EXPECT_EQ(stats.total_rows_inserted, 2u);
+  EXPECT_EQ(stats.total_violations, 1u);
+  EXPECT_EQ(stats.total_updates, second->num_updates);
+  EXPECT_GT((*session)->cumulative_distance(), 0.0);
+}
+
+TEST(SessionTest, EmptyAndNetNegativeBatches) {
+  ClientBuyOptions gen;
+  gen.num_clients = 30;
+  gen.inconsistency_ratio = 0.3;
+  gen.seed = 3;
+  auto workload = GenerateClientBuy(gen);
+  ASSERT_TRUE(workload.ok());
+  auto session = RepairSession::Open(workload->db, workload->ics);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  const double distance_after_open = (*session)->cumulative_distance();
+
+  auto empty_batch = (*session)->ApplyBatch({});
+  ASSERT_TRUE(empty_batch.ok()) << empty_batch.status().ToString();
+  EXPECT_EQ(empty_batch->num_rows, 0u);
+  EXPECT_EQ(empty_batch->num_new_violations, 0u);
+  EXPECT_EQ(empty_batch->num_updates, 0u);
+
+  // A clean (net-negative) batch: consistent adults, no new violations, no
+  // repairs, distance unchanged.
+  auto clean = (*session)->ApplyBatch(
+      {{"Client", {Value::Int(900001), Value::Int(44), Value::Int(10)}},
+       {"Buy", {Value::Int(900001), Value::Int(1), Value::Int(90)}}});
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_EQ(clean->num_rows, 2u);
+  EXPECT_EQ(clean->num_new_violations, 0u);
+  EXPECT_EQ(clean->num_new_fixes, 0u);
+  EXPECT_EQ(clean->num_updates, 0u);
+  EXPECT_EQ((*session)->cumulative_distance(), distance_after_open);
+  ExpectConsistent((*session)->db(), workload->ics);
+}
+
+TEST(SessionTest, BatchValidationIsAtomic) {
+  const Database empty(MakeClientBuySchema());
+  const auto ics = MakeClientBuyConstraints();
+  auto session = RepairSession::Open(empty, ics);
+  ASSERT_TRUE(session.ok());
+
+  const std::vector<Value> ok_client = {Value::Int(1), Value::Int(30),
+                                        Value::Int(10)};
+  // Unknown relation: nothing lands, not even the valid leading row.
+  auto unknown = (*session)->ApplyBatch(
+      {{"Client", ok_client}, {"Nope", {Value::Int(1)}}});
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ((*session)->db().TotalTuples(), 0u);
+
+  // Wrong arity and wrong type.
+  auto arity =
+      (*session)->ApplyBatch({{"Client", {Value::Int(1), Value::Int(30)}}});
+  EXPECT_EQ(arity.status().code(), StatusCode::kInvalidArgument);
+  auto type = (*session)->ApplyBatch(
+      {{"Client", {Value::String("x"), Value::Int(30), Value::Int(10)}}});
+  EXPECT_EQ(type.status().code(), StatusCode::kInvalidArgument);
+
+  // Primary key repeated within one batch.
+  auto intra_dup = (*session)->ApplyBatch(
+      {{"Client", ok_client},
+       {"Client", {Value::Int(1), Value::Int(40), Value::Int(20)}}});
+  EXPECT_EQ(intra_dup.status().code(), StatusCode::kKeyViolation);
+  EXPECT_EQ((*session)->db().TotalTuples(), 0u);
+
+  // A failed validation must not poison the session...
+  auto good = (*session)->ApplyBatch({{"Client", ok_client}});
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_EQ((*session)->db().TotalTuples(), 1u);
+
+  // ...and a duplicate against rows already in the instance is caught too.
+  auto stored_dup = (*session)->ApplyBatch({{"Client", ok_client}});
+  EXPECT_EQ(stored_dup.status().code(), StatusCode::kKeyViolation);
+  EXPECT_EQ((*session)->db().TotalTuples(), 1u);
+}
+
+TEST(SessionTest, OpenRejectsOptionsTheIncrementalPipelineCannotHonour) {
+  const Database empty(MakeClientBuySchema());
+  const auto ics = MakeClientBuyConstraints();
+
+  RepairOptions layer;
+  layer.solver = SolverKind::kLayer;
+  EXPECT_EQ(RepairSession::Open(empty, ics, layer).status().code(),
+            StatusCode::kInvalidArgument);
+
+  RepairOptions exact;
+  exact.solver = SolverKind::kExact;
+  EXPECT_EQ(RepairSession::Open(empty, ics, exact).status().code(),
+            StatusCode::kInvalidArgument);
+
+  RepairOptions pruned;
+  pruned.prune_cover = true;
+  EXPECT_EQ(RepairSession::Open(empty, ics, pruned).status().code(),
+            StatusCode::kInvalidArgument);
+
+  RepairOptions non_local;
+  non_local.require_local = false;
+  EXPECT_EQ(RepairSession::Open(empty, ics, non_local).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // RepairOptions::Validate runs too: conflicting build.num_threads.
+  RepairOptions conflicting;
+  conflicting.num_threads = 2;
+  conflicting.build.num_threads = 4;
+  EXPECT_EQ(RepairSession::Open(empty, ics, conflicting).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // The whole greedy family is accepted (it is what the incremental solver
+  // computes).
+  for (const SolverKind kind : {SolverKind::kGreedy, SolverKind::kLazyGreedy,
+                                SolverKind::kModifiedGreedy}) {
+    RepairOptions ok;
+    ok.solver = kind;
+    EXPECT_TRUE(RepairSession::Open(empty, ics, ok).ok());
+  }
+}
+
+TEST(SessionTest, ConcurrentApplyBatchFailsCleanlyNotCorruptly) {
+  // Two threads hammer ApplyBatch with disjoint valid batches. Overlapping
+  // calls must fail with InvalidArgument (never corrupt state); serialized
+  // calls succeed. Runs under TSan via the `session` ctest label.
+  const Database empty(MakeClientBuySchema());
+  const auto ics = MakeClientBuyConstraints();
+  RepairOptions options;
+  options.num_threads = 1;
+  auto session = RepairSession::Open(empty, ics, options);
+  ASSERT_TRUE(session.ok());
+
+  constexpr int kIterations = 50;
+  std::atomic<int> successes{0};
+  std::atomic<int> rejected{0};
+  std::atomic<int> start_gate{0};
+  auto hammer = [&](int thread_id) {
+    start_gate.fetch_add(1);
+    while (start_gate.load() < 2) {
+    }
+    for (int i = 0; i < kIterations; ++i) {
+      const int64_t key = thread_id * 1'000'000 + i;
+      auto result = (*session)->ApplyBatch(
+          {{"Client", {Value::Int(key), Value::Int(15), Value::Int(90)}}});
+      if (result.ok()) {
+        successes.fetch_add(1);
+      } else {
+        ASSERT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+            << result.status().ToString();
+        rejected.fetch_add(1);
+      }
+    }
+  };
+  std::thread a(hammer, 1);
+  std::thread b(hammer, 2);
+  a.join();
+  b.join();
+
+  EXPECT_EQ(successes.load() + rejected.load(), 2 * kIterations);
+  EXPECT_GT(successes.load(), 0);
+  // Every accepted batch inserted exactly one row and was repaired.
+  EXPECT_EQ((*session)->db().TotalTuples(),
+            static_cast<size_t>(successes.load()));
+  ExpectConsistent((*session)->db(), ics);
+}
+
+TEST(SessionTest, RandomWorkloadStreamsMatchOneShot) {
+  // The differential_test random shape (two relations, join on G, lower-
+  // bounded A / upper-bounded C — local by construction), streamed in one
+  // batch: must equal the one-shot repair byte for byte.
+  auto schema = std::make_shared<Schema>();
+  ASSERT_TRUE(schema
+                  ->AddRelation(RelationSchema(
+                      "R",
+                      {AttributeDef{"K", Type::kInt64, false, 1.0},
+                       AttributeDef{"G", Type::kInt64, false, 1.0},
+                       AttributeDef{"A", Type::kInt64, true, 1.0}},
+                      {"K"}))
+                  .ok());
+  ASSERT_TRUE(schema
+                  ->AddRelation(RelationSchema(
+                      "S",
+                      {AttributeDef{"K2", Type::kInt64, false, 1.0},
+                       AttributeDef{"G2", Type::kInt64, false, 1.0},
+                       AttributeDef{"C", Type::kInt64, true, 1.0}},
+                      {"K2"}))
+                  .ok());
+  auto ics = ParseConstraintSet(":- R(k, g, a), S(k2, g, c), a < 30, c > 60\n");
+  ASSERT_TRUE(ics.ok()) << ics.status().ToString();
+
+  for (const uint64_t seed : {11ull, 12ull, 13ull, 14ull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed);
+    Database db(schema);
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(db.Insert("R", {Value::Int(i),
+                                  Value::Int(rng.UniformInRange(0, 5)),
+                                  Value::Int(rng.UniformInRange(0, 100))})
+                      .ok());
+      ASSERT_TRUE(db.Insert("S", {Value::Int(i),
+                                  Value::Int(rng.UniformInRange(0, 5)),
+                                  Value::Int(rng.UniformInRange(0, 100))})
+                      .ok());
+    }
+    auto one_shot = RepairDatabase(db, *ics);
+    ASSERT_TRUE(one_shot.ok()) << one_shot.status().ToString();
+
+    const Database empty(db.schema_ptr());
+    auto session =
+        Replay(empty, *ics, ExtractRows(db, 0), 1, RepairOptions{});
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    ExpectSameDatabase((*session)->db(), one_shot->repaired, "one-shot");
+    EXPECT_EQ((*session)->cumulative_distance(), one_shot->stats.distance);
+
+    auto streamed = Replay(empty, *ics, ExtractRows(db, seed), 8,
+                           RepairOptions{});
+    ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+    ExpectConsistent((*streamed)->db(), *ics);
+  }
+}
+
+}  // namespace
+}  // namespace dbrepair

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Builds the tree under ThreadSanitizer and runs the concurrency-labelled
-# tests: the thread-pool unit tests and the serial-vs-parallel differential
-# harness. Any data race in the parallel pipeline fails this job.
+# tests: the thread-pool unit tests, the serial-vs-parallel differential
+# harness, and the RepairSession suite (whose concurrent-ApplyBatch misuse
+# case must fail cleanly, not racily). Any data race in the parallel
+# pipeline fails this job.
 #
 # Usage: tools/check_concurrency.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -13,5 +15,5 @@ cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDBREPAIR_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target thread_pool_test differential_test obs_test
-ctest --test-dir "$BUILD_DIR" -L 'concurrency|obs' --output-on-failure
+  --target thread_pool_test differential_test obs_test session_test
+ctest --test-dir "$BUILD_DIR" -L 'concurrency|obs|session' --output-on-failure
