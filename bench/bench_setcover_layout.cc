@@ -1,0 +1,195 @@
+// Layout — the flat CSR arena against the nested-vector instance, per
+// solver kind, on identical synthetic MWSCP instances. Both sides run the
+// same templated hot loop and compute byte-identical covers; the pair
+// isolates pure memory-layout effects (contiguous span streaming vs
+// pointer-chasing one heap allocation per set / per link list). Also times
+// Freeze() itself, the one-off cost the solve phase pays for the view.
+//
+// The BM_ModifiedGreedy{Legacy,Csr}/100000 pair is the acceptance headline
+// merged into BENCH_summary.json by tools/run_benchmarks.sh.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "repair/setcover/csr_instance.h"
+#include "repair/setcover/solvers.h"
+
+using namespace dbrepair;  // NOLINT(build/namespaces)
+
+namespace {
+
+// Random feasible instance in the bounded-degree repair shape (sets of
+// size <= 6, each element in ~2-4 sets), grown the way a repair session
+// grows its instance: in small AddElements/AddSet/ExtendSet epochs rather
+// than one tight build loop. The incremental mutators realloc the per-set
+// element vectors and per-element link vectors as they grow, so the final
+// nested instance has its small buffers scattered across the heap in
+// mutation order — the memory state the solve phase actually sees after a
+// streamed workload, and the state Freeze() flattens. (A batch-built
+// instance would hand the legacy layout nearly contiguous buffers and
+// understate the layout gap.)
+SetCoverInstance SessionGrownInstance(size_t elements, uint64_t seed) {
+  Rng rng(seed);
+  SetCoverInstance instance;
+  instance.BuildLinks();  // sizes the (empty) link table for the mutators
+  constexpr size_t kEpoch = 32;
+  while (instance.num_elements < elements) {
+    const size_t batch = std::min(kEpoch, elements - instance.num_elements);
+    const auto first = static_cast<uint32_t>(instance.num_elements);
+    const auto sets_before = static_cast<uint32_t>(instance.num_sets());
+    instance.AddElements(batch);
+    std::vector<bool> covered(batch, false);
+    // Fresh sets over this epoch's elements. Element ids inside a set stay
+    // local — the shape the arena streams — while the incremental mutators
+    // scatter the per-set and per-link buffers across the heap.
+    for (size_t s = 0; s < batch; ++s) {
+      std::vector<uint32_t> elems;
+      const size_t size = 1 + rng.Uniform(6);
+      for (size_t i = 0; i < size; ++i) {
+        elems.push_back(first + static_cast<uint32_t>(rng.Uniform(batch)));
+      }
+      std::sort(elems.begin(), elems.end());
+      elems.erase(std::unique(elems.begin(), elems.end()), elems.end());
+      for (const uint32_t e : elems) {
+        if (e >= first) covered[e - first] = true;
+      }
+      instance.AddSet(1.0 + static_cast<double>(rng.Uniform(100)),
+                      std::move(elems));
+    }
+    // Extend pre-epoch sets with fresh elements (the session's
+    // shared-fix-key path).
+    for (size_t x = 0; sets_before > 0 && x < batch / 2; ++x) {
+      const auto set_id = static_cast<uint32_t>(rng.Uniform(sets_before));
+      const auto e = first + static_cast<uint32_t>(rng.Uniform(batch));
+      if (!instance.sets[set_id].empty() &&
+          instance.sets[set_id].back() >= e) {
+        continue;  // ExtendSet appends ascending ids only
+      }
+      if (instance.ExtendSet(set_id, {e}).ok()) covered[e - first] = true;
+    }
+    // Singleton backstop keeps every epoch's elements coverable.
+    for (uint32_t e = 0; e < batch; ++e) {
+      if (!covered[e]) instance.AddSet(50.0, {first + e});
+    }
+  }
+  return instance;
+}
+
+const SetCoverInstance& CachedInstance(size_t elements) {
+  static auto* cache = new std::map<size_t, SetCoverInstance>();
+  const auto it = cache->find(elements);
+  if (it != cache->end()) return it->second;
+  return cache->emplace(elements, SessionGrownInstance(elements, 11))
+      .first->second;
+}
+
+const CsrSetCoverInstance& CachedCsr(size_t elements) {
+  static auto* cache = new std::map<size_t, CsrSetCoverInstance>();
+  const auto it = cache->find(elements);
+  if (it != cache->end()) return it->second;
+  return cache
+      ->emplace(elements, CsrSetCoverInstance::Freeze(CachedInstance(elements)))
+      .first->second;
+}
+
+void RunLegacy(benchmark::State& state, SolverKind kind) {
+  const SetCoverInstance& instance =
+      CachedInstance(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto solution = SolveSetCover(kind, instance);
+    if (!solution.ok()) {
+      state.SkipWithError(solution.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(solution->weight);
+  }
+  state.counters["sets"] = static_cast<double>(instance.num_sets());
+}
+
+void RunCsr(benchmark::State& state, SolverKind kind) {
+  const CsrSetCoverInstance& csr =
+      CachedCsr(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto solution = SolveSetCover(kind, csr);
+    if (!solution.ok()) {
+      state.SkipWithError(solution.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(solution->weight);
+  }
+  state.counters["sets"] = static_cast<double>(csr.num_sets());
+  state.counters["arena_mb"] =
+      static_cast<double>(csr.arena_bytes()) / (1024.0 * 1024.0);
+}
+
+void BM_GreedyLegacy(benchmark::State& state) {
+  RunLegacy(state, SolverKind::kGreedy);
+}
+void BM_GreedyCsr(benchmark::State& state) {
+  RunCsr(state, SolverKind::kGreedy);
+}
+void BM_ModifiedGreedyLegacy(benchmark::State& state) {
+  RunLegacy(state, SolverKind::kModifiedGreedy);
+}
+void BM_ModifiedGreedyCsr(benchmark::State& state) {
+  RunCsr(state, SolverKind::kModifiedGreedy);
+}
+void BM_LazyGreedyLegacy(benchmark::State& state) {
+  RunLegacy(state, SolverKind::kLazyGreedy);
+}
+void BM_LazyGreedyCsr(benchmark::State& state) {
+  RunCsr(state, SolverKind::kLazyGreedy);
+}
+void BM_LayerLegacy(benchmark::State& state) {
+  RunLegacy(state, SolverKind::kLayer);
+}
+void BM_LayerCsr(benchmark::State& state) {
+  RunCsr(state, SolverKind::kLayer);
+}
+void BM_ModifiedLayerLegacy(benchmark::State& state) {
+  RunLegacy(state, SolverKind::kModifiedLayer);
+}
+void BM_ModifiedLayerCsr(benchmark::State& state) {
+  RunCsr(state, SolverKind::kModifiedLayer);
+}
+
+// The one-off freeze (two-pass counting fill) the solve phase pays before
+// streaming the arenas. Amortised over a single solve it must stay small
+// relative to the solve itself.
+void BM_Freeze(benchmark::State& state) {
+  const SetCoverInstance& instance =
+      CachedInstance(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    CsrSetCoverInstance csr = CsrSetCoverInstance::Freeze(instance);
+    benchmark::DoNotOptimize(csr.arena_bytes());
+  }
+  state.counters["max_freq"] =
+      static_cast<double>(CachedCsr(state.range(0)).max_frequency());
+}
+
+}  // namespace
+
+// The O(n^2)-rescan pair only at the small size; the heap-based solvers
+// sweep up to 1M elements (the Figure-3 regime and beyond).
+BENCHMARK(BM_GreedyLegacy)->Unit(benchmark::kMillisecond)->Arg(10000);
+BENCHMARK(BM_GreedyCsr)->Unit(benchmark::kMillisecond)->Arg(10000);
+BENCHMARK(BM_ModifiedGreedyLegacy)->Unit(benchmark::kMillisecond)
+    ->Arg(10000)->Arg(100000)->Arg(1000000);
+BENCHMARK(BM_ModifiedGreedyCsr)->Unit(benchmark::kMillisecond)
+    ->Arg(10000)->Arg(100000)->Arg(1000000);
+BENCHMARK(BM_LazyGreedyLegacy)->Unit(benchmark::kMillisecond)
+    ->Arg(10000)->Arg(100000)->Arg(1000000);
+BENCHMARK(BM_LazyGreedyCsr)->Unit(benchmark::kMillisecond)
+    ->Arg(10000)->Arg(100000)->Arg(1000000);
+BENCHMARK(BM_LayerLegacy)->Unit(benchmark::kMillisecond)->Arg(10000);
+BENCHMARK(BM_LayerCsr)->Unit(benchmark::kMillisecond)->Arg(10000);
+BENCHMARK(BM_ModifiedLayerLegacy)->Unit(benchmark::kMillisecond)
+    ->Arg(10000)->Arg(100000)->Arg(1000000);
+BENCHMARK(BM_ModifiedLayerCsr)->Unit(benchmark::kMillisecond)
+    ->Arg(10000)->Arg(100000)->Arg(1000000);
+BENCHMARK(BM_Freeze)->Unit(benchmark::kMillisecond)
+    ->Arg(10000)->Arg(100000)->Arg(1000000);
+
+BENCHMARK_MAIN();

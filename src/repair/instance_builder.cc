@@ -112,6 +112,10 @@ Result<std::vector<CandidateFix>> GenerateCandidateFixes(
   ParallelFor(pool, fix_ranges.size(), [&](size_t s) {
     const auto start = std::chrono::steady_clock::now();
     std::unordered_set<FixKey, FixKeyHash> seen;
+    // Each violation set emits at most ~2 fixes per (tuple, attribute)
+    // pair it touches; reserving for twice the shard's violation count
+    // keeps the dedup set from rehashing on realistic densities.
+    seen.reserve(2 * (fix_ranges[s].second - fix_ranges[s].first));
     for (size_t vid = fix_ranges[s].first; vid < fix_ranges[s].second;
          ++vid) {
       const ViolationSet& v = violations[vid];

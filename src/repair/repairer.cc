@@ -6,6 +6,7 @@
 #include "constraints/violation_engine.h"
 #include "obs/context.h"
 #include "obs/trace.h"
+#include "repair/setcover/csr_instance.h"
 #include "repair/setcover/prune.h"
 
 namespace dbrepair {
@@ -35,10 +36,14 @@ Result<RepairOutcome> RepairBoundImpl(const Database& db,
   const double build_seconds = build_span.Finish();
 
   obs::Span solve_span(&obs.tracer, "solve");
+  // Freeze the built instance into the flat CSR view once; every solver hot
+  // loop then streams contiguous arenas. The cover is byte-identical to the
+  // nested representation's.
+  const CsrSetCoverInstance csr = CsrSetCoverInstance::Freeze(problem.instance);
   DBREPAIR_ASSIGN_OR_RETURN(SetCoverSolution cover,
-                            SolveSetCover(options.solver, problem.instance));
+                            SolveSetCover(options.solver, csr));
   if (options.prune_cover) {
-    cover = PruneRedundantSets(problem.instance, cover);
+    cover = PruneRedundantSets(csr, cover);
   }
   const double solve_seconds = solve_span.Finish();
 

@@ -118,7 +118,10 @@ Status RepairSession::Init() {
       options_.use_columnar_scan && snapshot_.valid() ? &snapshot_ : nullptr;
   engine_ = std::make_unique<ViolationEngine>(db_, bound_, engine_options);
 
-  solver_ = std::make_unique<IncrementalGreedySolver>(&instance_);
+  // Freeze the built instance once; the incremental solver reads only the
+  // flat view and every batch re-freezes by appending its epoch.
+  csr_ = CsrSetCoverInstance::Freeze(instance_);
+  solver_ = std::make_unique<IncrementalGreedySolver>(&csr_);
 
   obs::Span solve_span(&obs.tracer, "solve");
   DBREPAIR_ASSIGN_OR_RETURN(const SetCoverSolution solution,
@@ -368,9 +371,14 @@ Status RepairSession::PatchInstance(std::vector<ViolationSet> new_violations,
                                     std::vector<CandidateFix> new_fixes,
                                     BatchStats* stats) {
   const size_t vid_offset = violations_.size();
+  CsrEpochDelta delta;
+  delta.new_elements = new_violations.size();
+  delta.first_new_set = static_cast<uint32_t>(instance_.num_sets());
   instance_.AddElements(new_violations.size());
-  solver_->OnElementsAdded(new_violations.size());
 
+  // Phase 1: patch the mutable instance (the patch log), recording what
+  // changed. Solver callbacks wait until phase 3, after the frozen view
+  // has caught up — the solver only ever reads the CSR arenas.
   for (CandidateFix& fix : new_fixes) {
     const FixKey key{fix.tuple.Packed(), fix.attribute, fix.new_value};
     const auto it = fix_ids_.find(key);
@@ -381,31 +389,51 @@ Status RepairSession::PatchInstance(std::vector<ViolationSet> new_violations,
       // may have moved it since the set was created).
       const uint32_t set_id = it->second;
       const size_t old_size = instance_.sets[set_id].size();
+      bool reweighted = false;
       if (instance_.weights[set_id] != fix.weight) {
         instance_.SetWeight(set_id, fix.weight);
-        DBREPAIR_RETURN_IF_ERROR(solver_->OnWeightChanged(set_id));
         fixes_[set_id].weight = fix.weight;
         fixes_[set_id].old_value = fix.old_value;
+        reweighted = true;
       }
       DBREPAIR_RETURN_IF_ERROR(instance_.ExtendSet(set_id, fix.solved));
-      DBREPAIR_RETURN_IF_ERROR(solver_->OnSetExtended(set_id, old_size));
+      delta.extended.push_back({set_id, old_size, reweighted});
       fixes_[set_id].solved.insert(fixes_[set_id].solved.end(),
                                    fix.solved.begin(), fix.solved.end());
       stats->num_extended_fixes += 1;
     } else {
       const uint32_t set_id = instance_.AddSet(fix.weight, fix.solved);
-      DBREPAIR_RETURN_IF_ERROR(solver_->OnSetAdded(set_id));
       fix_ids_.emplace(key, set_id);
       fixes_.push_back(std::move(fix));
       stats->num_new_fixes += 1;
     }
   }
 
+  // Phase 2: re-freeze — append this batch's epoch to the flat view.
+  DBREPAIR_RETURN_IF_ERROR(csr_.AppendEpoch(instance_, delta));
+
+  // Phase 3: replay the delta into the solver. Batching the callbacks
+  // after the mutations is order-safe: the heap's pop order depends only
+  // on its (key, id) content, each set is touched at most once per batch
+  // (fix keys are deduplicated), and none of the callbacks reads covered
+  // state another callback writes.
+  solver_->OnElementsAdded(delta.new_elements);
+  for (const CsrEpochDelta::Extension& ext : delta.extended) {
+    if (ext.reweighted) {
+      DBREPAIR_RETURN_IF_ERROR(solver_->OnWeightChanged(ext.set_id));
+    }
+    DBREPAIR_RETURN_IF_ERROR(
+        solver_->OnSetExtended(ext.set_id, ext.first_new_index));
+  }
+  for (uint32_t s = delta.first_new_set; s < instance_.num_sets(); ++s) {
+    DBREPAIR_RETURN_IF_ERROR(solver_->OnSetAdded(s));
+  }
+
   violations_.insert(violations_.end(),
                      std::make_move_iterator(new_violations.begin()),
                      std::make_move_iterator(new_violations.end()));
   for (size_t e = vid_offset; e < violations_.size(); ++e) {
-    if (instance_.element_sets[e].empty()) {
+    if (csr_.sets_of(static_cast<uint32_t>(e)).empty()) {
       return Status::Internal(
           "violation set " + violations_[e].ToString() +
           " is solvable by no mono-local fix; the IC set is not local");

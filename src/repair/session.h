@@ -18,6 +18,7 @@
 #include "repair/distance.h"
 #include "repair/repair_builder.h"
 #include "repair/repairer.h"
+#include "repair/setcover/csr_instance.h"
 #include "repair/setcover/incremental.h"
 #include "repair/setcover/instance.h"
 #include "storage/column_view.h"
@@ -148,6 +149,15 @@ class RepairSession {
   /// introduced so far, i.e. Delta(inserted data, current data).
   double cumulative_distance() const { return cumulative_distance_; }
 
+  /// The mutable MWSCP instance (the session's patch log). Exposed for
+  /// tests and diagnostics.
+  const SetCoverInstance& instance() const { return instance_; }
+
+  /// The frozen CSR view the incremental solver actually reads; kept in
+  /// sync with instance() by one AppendEpoch per batch. Exposed for tests
+  /// and diagnostics.
+  const CsrSetCoverInstance& frozen_instance() const { return csr_; }
+
  private:
   struct FixKey {
     uint64_t tuple_packed = 0;
@@ -206,8 +216,9 @@ class RepairSession {
   std::vector<ViolationSet> violations_;  // element ids are indices here
   std::vector<CandidateFix> fixes_;       // set ids are indices here
   std::unordered_map<FixKey, uint32_t, FixKeyHash> fix_ids_;
-  SetCoverInstance instance_;
-  std::unique_ptr<IncrementalGreedySolver> solver_;
+  SetCoverInstance instance_;       // the mutable patch log
+  CsrSetCoverInstance csr_;         // frozen view; one AppendEpoch per batch
+  std::unique_ptr<IncrementalGreedySolver> solver_;  // reads csr_
 
   SessionStats stats_;
   std::vector<AppliedUpdate> open_updates_;

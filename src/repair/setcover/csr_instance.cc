@@ -1,0 +1,308 @@
+#include "repair/setcover/csr_instance.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+#include "obs/context.h"
+
+namespace dbrepair {
+
+namespace {
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+CsrSetCoverInstance CsrSetCoverInstance::Freeze(
+    const SetCoverInstance& source) {
+  const auto start = std::chrono::steady_clock::now();
+  CsrSetCoverInstance csr;
+  csr.num_elements_ = source.num_elements;
+  csr.weights_ = source.weights;
+
+  const size_t num_sets = source.sets.size();
+  size_t nnz = 0;
+  for (const std::vector<uint32_t>& set : source.sets) nnz += set.size();
+
+  // ---- Set -> element spans: one contiguous fill in set-id order. ----
+  csr.set_begin_.resize(num_sets);
+  csr.set_size_.resize(num_sets);
+  csr.set_arena_.reserve(nnz);
+  for (uint32_t s = 0; s < num_sets; ++s) {
+    csr.set_begin_[s] = static_cast<uint32_t>(csr.set_arena_.size());
+    csr.set_size_[s] = static_cast<uint32_t>(source.sets[s].size());
+    csr.set_arena_.insert(csr.set_arena_.end(), source.sets[s].begin(),
+                          source.sets[s].end());
+  }
+
+  // ---- Element -> set cross links: two-pass counting fill. ----
+  // Pass 1 counts each element's frequency; the prefix sum becomes the
+  // offsets array. Pass 2 scatters set ids through a cursor copy, which —
+  // iterating sets in ascending id order — reproduces BuildLinks()'s
+  // ascending link lists exactly.
+  std::vector<uint32_t> counts(source.num_elements, 0);
+  for (const std::vector<uint32_t>& set : source.sets) {
+    for (const uint32_t e : set) ++counts[e];
+  }
+  csr.elem_offsets_.assign(source.num_elements + 1, 0);
+  size_t max_frequency = 0;
+  for (size_t e = 0; e < source.num_elements; ++e) {
+    csr.elem_offsets_[e + 1] = csr.elem_offsets_[e] + counts[e];
+    max_frequency = std::max<size_t>(max_frequency, counts[e]);
+  }
+  csr.max_frequency_ = max_frequency;
+  csr.elem_arena_.resize(nnz);
+  std::vector<uint32_t> cursor(csr.elem_offsets_.begin(),
+                               csr.elem_offsets_.end() - 1);
+  for (uint32_t s = 0; s < num_sets; ++s) {
+    for (const uint32_t e : source.sets[s]) {
+      csr.elem_arena_[cursor[e]++] = s;
+    }
+  }
+
+  obs::MetricsRegistry& metrics = obs::CurrentObs().metrics;
+  metrics.GetCounter("solve.csr.freezes")->Add(1);
+  metrics.GetCounter("solve.csr.freeze_ns")->Add(ElapsedNs(start));
+  metrics.GetGauge("solve.csr.arena_bytes")
+      ->Set(static_cast<double>(csr.arena_bytes()));
+  metrics.GetGauge("solve.csr.max_frequency")
+      ->Set(static_cast<double>(max_frequency));
+  const double cells =
+      static_cast<double>(source.num_elements) * static_cast<double>(num_sets);
+  metrics.GetGauge("solve.csr.density")
+      ->Set(cells > 0.0 ? static_cast<double>(nnz) / cells : 0.0);
+  return csr;
+}
+
+size_t CsrSetCoverInstance::arena_bytes() const {
+  return (set_arena_.size() + elem_arena_.size() + set_begin_.size() +
+          set_size_.size() + elem_offsets_.size()) *
+             sizeof(uint32_t) +
+         weights_.size() * sizeof(double);
+}
+
+Status CsrSetCoverInstance::AppendEpoch(const SetCoverInstance& patched,
+                                        const CsrEpochDelta& delta) {
+  const auto start = std::chrono::steady_clock::now();
+  const size_t old_elements = num_elements_;
+  const auto old_sets = static_cast<uint32_t>(weights_.size());
+  if (patched.num_elements != old_elements + delta.new_elements) {
+    return Status::Internal(
+        "csr epoch append: element universe does not match the delta");
+  }
+  if (delta.first_new_set != old_sets || patched.sets.size() < old_sets) {
+    return Status::Internal(
+        "csr epoch append: set range does not continue the frozen view");
+  }
+  if (patched.element_sets.size() != patched.num_elements) {
+    return Status::Internal(
+        "csr epoch append requires element links (call BuildLinks)");
+  }
+
+  // ---- Element -> set arena: pure append. A batch's fixes only ever
+  // reference that batch's fresh violation ids, so no pre-epoch element's
+  // link list can have grown; the new elements' lists extend the arena and
+  // the offsets in place. ----
+  size_t new_links = 0;
+  for (size_t e = old_elements; e < patched.num_elements; ++e) {
+    new_links += patched.element_sets[e].size();
+  }
+  elem_arena_.reserve(elem_arena_.size() + new_links);
+  elem_offsets_.reserve(patched.num_elements + 1);
+  for (size_t e = old_elements; e < patched.num_elements; ++e) {
+    const std::vector<uint32_t>& links = patched.element_sets[e];
+    elem_arena_.insert(elem_arena_.end(), links.begin(), links.end());
+    elem_offsets_.push_back(static_cast<uint32_t>(elem_arena_.size()));
+    max_frequency_ = std::max(max_frequency_, links.size());
+  }
+  num_elements_ = patched.num_elements;
+
+  // ---- Extended pre-epoch sets: relocate the grown span to the tail. The
+  // old span becomes dead slack; the set id (and thus every cross link)
+  // is untouched. ----
+  for (const CsrEpochDelta::Extension& ext : delta.extended) {
+    if (ext.set_id >= old_sets) {
+      return Status::Internal("csr epoch append: extension of a set the "
+                              "frozen view has never seen");
+    }
+    const std::vector<uint32_t>& elems = patched.sets[ext.set_id];
+    if (ext.first_new_index != set_size_[ext.set_id] ||
+        elems.size() <= ext.first_new_index) {
+      return Status::Internal(
+          "csr epoch append: extension suffix does not continue the frozen "
+          "span of set " + std::to_string(ext.set_id));
+    }
+    for (size_t i = ext.first_new_index; i < elems.size(); ++i) {
+      if (elems[i] < old_elements) {
+        return Status::Internal(
+            "csr epoch append: extension links a pre-epoch element (the "
+            "cross-link arena would go stale)");
+      }
+    }
+    dead_slots_ += set_size_[ext.set_id];
+    set_begin_[ext.set_id] = static_cast<uint32_t>(set_arena_.size());
+    set_size_[ext.set_id] = static_cast<uint32_t>(elems.size());
+    set_arena_.insert(set_arena_.end(), elems.begin(), elems.end());
+    weights_[ext.set_id] = patched.weights[ext.set_id];
+  }
+
+  // ---- Appended sets extend the tail of the span arena. ----
+  const auto new_sets = static_cast<uint32_t>(patched.sets.size());
+  for (uint32_t s = old_sets; s < new_sets; ++s) {
+    const std::vector<uint32_t>& elems = patched.sets[s];
+    for (const uint32_t e : elems) {
+      if (e < old_elements) {
+        return Status::Internal(
+            "csr epoch append: appended set covers a pre-epoch element (the "
+            "cross-link arena would go stale)");
+      }
+    }
+    set_begin_.push_back(static_cast<uint32_t>(set_arena_.size()));
+    set_size_.push_back(static_cast<uint32_t>(elems.size()));
+    set_arena_.insert(set_arena_.end(), elems.begin(), elems.end());
+    weights_.push_back(patched.weights[s]);
+  }
+
+  // Long sessions with many relocations accumulate dead slack; compact
+  // once it dominates so the arena stays within 2x of its live size.
+  if (dead_slots_ > set_arena_.size() / 2) CompactSetArena();
+
+  obs::MetricsRegistry& metrics = obs::CurrentObs().metrics;
+  metrics.GetCounter("solve.csr.epoch_appends")->Add(1);
+  metrics.GetCounter("solve.csr.epoch_append_ns")->Add(ElapsedNs(start));
+  metrics.GetCounter("solve.csr.relocated_sets")->Add(delta.extended.size());
+  metrics.GetGauge("solve.csr.arena_bytes")
+      ->Set(static_cast<double>(arena_bytes()));
+  metrics.GetGauge("solve.csr.max_frequency")
+      ->Set(static_cast<double>(max_frequency_));
+  metrics.GetGauge("solve.csr.dead_slots")
+      ->Set(static_cast<double>(dead_slots_));
+  return Status::OK();
+}
+
+void CsrSetCoverInstance::CompactSetArena() {
+  std::vector<uint32_t> compact;
+  compact.reserve(set_arena_.size() - dead_slots_);
+  for (uint32_t s = 0; s < set_begin_.size(); ++s) {
+    const auto begin = static_cast<uint32_t>(compact.size());
+    compact.insert(compact.end(), set_arena_.begin() + set_begin_[s],
+                   set_arena_.begin() + set_begin_[s] + set_size_[s]);
+    set_begin_[s] = begin;
+  }
+  set_arena_ = std::move(compact);
+  dead_slots_ = 0;
+  obs::CurrentObs().metrics.GetCounter("solve.csr.compactions")->Add(1);
+}
+
+Status CsrSetCoverInstance::Validate() const {
+  if (set_begin_.size() != weights_.size() ||
+      set_size_.size() != weights_.size()) {
+    return Status::Internal("csr instance: set arrays disagree on |S|");
+  }
+  if (elem_offsets_.size() != num_elements_ + 1 || elem_offsets_[0] != 0 ||
+      elem_offsets_.back() != elem_arena_.size()) {
+    return Status::Internal("csr instance: element offsets malformed");
+  }
+  size_t live = 0;
+  for (uint32_t s = 0; s < weights_.size(); ++s) {
+    if (weights_[s] < 0.0) {
+      return Status::Internal("csr instance: negative weight at set " +
+                              std::to_string(s));
+    }
+    if (static_cast<size_t>(set_begin_[s]) + set_size_[s] >
+        set_arena_.size()) {
+      return Status::Internal("csr instance: span of set " +
+                              std::to_string(s) + " overruns the arena");
+    }
+    live += set_size_[s];
+    const std::span<const uint32_t> elems = elements_of(s);
+    for (size_t i = 0; i < elems.size(); ++i) {
+      if (elems[i] >= num_elements_) {
+        return Status::Internal(
+            "csr instance: element id out of range in set " +
+            std::to_string(s));
+      }
+      if (i > 0 && elems[i] <= elems[i - 1]) {
+        return Status::Internal("csr instance: span of set " +
+                                std::to_string(s) +
+                                " is not strictly ascending");
+      }
+      // Cross-link check: e's ascending link list must contain s.
+      const std::span<const uint32_t> links = sets_of(elems[i]);
+      if (!std::binary_search(links.begin(), links.end(), s)) {
+        return Status::Internal("csr instance: missing cross link from "
+                                "element " + std::to_string(elems[i]) +
+                                " to set " + std::to_string(s));
+      }
+    }
+  }
+  if (live + dead_slots_ != set_arena_.size()) {
+    return Status::Internal("csr instance: dead-slot accounting is off");
+  }
+  if (live != elem_arena_.size()) {
+    return Status::Internal(
+        "csr instance: link arena size does not match the live span total");
+  }
+  for (uint32_t e = 0; e < num_elements_; ++e) {
+    const std::span<const uint32_t> links = sets_of(e);
+    if (links.empty()) {
+      return Status::Internal("csr instance: element " + std::to_string(e) +
+                              " is covered by no set (infeasible)");
+    }
+    for (size_t i = 0; i < links.size(); ++i) {
+      if (links[i] >= weights_.size()) {
+        return Status::Internal(
+            "csr instance: set id out of range in links of element " +
+            std::to_string(e));
+      }
+      if (i > 0 && links[i] <= links[i - 1]) {
+        return Status::Internal("csr instance: links of element " +
+                                std::to_string(e) +
+                                " are not strictly ascending");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CsrSetCoverInstance::Mirrors(const SetCoverInstance& source) const {
+  if (num_elements_ != source.num_elements ||
+      weights_.size() != source.sets.size()) {
+    return Status::Internal("csr mirror: universe size mismatch");
+  }
+  if (source.element_sets.size() != source.num_elements) {
+    return Status::Internal(
+        "csr mirror check requires element links (call BuildLinks)");
+  }
+  for (uint32_t s = 0; s < weights_.size(); ++s) {
+    if (weights_[s] != source.weights[s]) {
+      return Status::Internal("csr mirror: weight drift at set " +
+                              std::to_string(s));
+    }
+    const std::span<const uint32_t> span = elements_of(s);
+    if (!std::equal(span.begin(), span.end(), source.sets[s].begin(),
+                    source.sets[s].end())) {
+      return Status::Internal("csr mirror: span of set " + std::to_string(s) +
+                              " diverges from the nested instance");
+    }
+  }
+  for (uint32_t e = 0; e < num_elements_; ++e) {
+    const std::span<const uint32_t> links = sets_of(e);
+    if (!std::equal(links.begin(), links.end(),
+                    source.element_sets[e].begin(),
+                    source.element_sets[e].end())) {
+      return Status::Internal("csr mirror: links of element " +
+                              std::to_string(e) +
+                              " diverge from the nested instance");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dbrepair

@@ -1,0 +1,155 @@
+#ifndef DBREPAIR_REPAIR_SETCOVER_CSR_INSTANCE_H_
+#define DBREPAIR_REPAIR_SETCOVER_CSR_INSTANCE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "repair/setcover/instance.h"
+
+namespace dbrepair {
+
+/// One repair batch's delta against a frozen CSR instance, recorded while
+/// the mutable SetCoverInstance (the patch log) is being patched and then
+/// replayed into the arenas by CsrSetCoverInstance::AppendEpoch.
+struct CsrEpochDelta {
+  /// Elements AddElements() appended this batch.
+  size_t new_elements = 0;
+  /// Sets [first_new_set, patched.num_sets()) were AddSet()-appended.
+  uint32_t first_new_set = 0;
+
+  struct Extension {
+    uint32_t set_id = 0;         ///< pre-epoch set that ExtendSet() grew
+    size_t first_new_index = 0;  ///< index of its first appended element
+    bool reweighted = false;     ///< SetWeight() also refreshed its weight
+  };
+  /// Pre-epoch sets that gained elements (each at most once per batch —
+  /// candidate fixes are deduplicated on their key before patching).
+  std::vector<Extension> extended;
+};
+
+/// The frozen, cache-friendly view of a MWSCP instance: both incidence
+/// directions live in flat uint32 arenas instead of nested vectors, so the
+/// solver hot loops stream contiguous spans instead of pointer-chasing one
+/// heap allocation per set and per element-link list.
+///
+/// Layout (all indices 0-based):
+///
+///   set_arena_   [ S0 elements | S1 elements | ... ]   set -> element ids
+///   set_begin_   per set: offset of its span into set_arena_
+///   set_size_    per set: span length (|S_i|)
+///   weights_     per set: w(S_i), bit-identical to the source
+///   elem_arena_  [ e0 links | e1 links | ... ]         element -> set ids
+///   elem_offsets_ num_elements+1 offsets into elem_arena_ (classic CSR)
+///
+/// Freeze() builds both arenas in one pass over the nested sets plus a
+/// two-pass counting fill for the cross links; element link lists come out
+/// in ascending set-id order, exactly as SetCoverInstance::BuildLinks()
+/// produces them, so every solver sees the same iteration order and
+/// computes a byte-identical cover on either representation.
+///
+/// Repair sessions keep the mutable SetCoverInstance as their patch log and
+/// re-freeze per batch with AppendEpoch(): element ids are allocated
+/// globally ascending and a batch's fixes only ever reference that batch's
+/// fresh violation ids, so the element->set arena extends purely by
+/// appending the new elements' lists. In the set->element arena, appended
+/// sets extend the tail and a grown pre-epoch set relocates its whole span
+/// to the tail (the old span becomes dead slack, compacted once it exceeds
+/// half the arena). Set ids never move, so relocation is invisible to the
+/// solvers.
+class CsrSetCoverInstance {
+ public:
+  CsrSetCoverInstance() = default;
+
+  /// Freezes `source` into flat arenas. Does not require element links;
+  /// the cross-link arena is rebuilt with a counting fill. Records the
+  /// solve.csr.* metrics (arena bytes, max frequency, density, freeze
+  /// time) on the current ObsContext.
+  static CsrSetCoverInstance Freeze(const SetCoverInstance& source);
+
+  size_t num_elements() const { return num_elements_; }
+  size_t num_sets() const { return weights_.size(); }
+  double weight(uint32_t s) const { return weights_[s]; }
+  uint32_t set_size(uint32_t s) const { return set_size_[s]; }
+
+  /// The sorted element ids of set `s` (contiguous arena span).
+  std::span<const uint32_t> elements_of(uint32_t s) const {
+    return {set_arena_.data() + set_begin_[s], set_size_[s]};
+  }
+
+  /// The ascending set ids covering element `e` (contiguous arena span).
+  std::span<const uint32_t> sets_of(uint32_t e) const {
+    return {elem_arena_.data() + elem_offsets_[e],
+            elem_offsets_[e + 1] - elem_offsets_[e]};
+  }
+
+  /// Largest number of sets any element occurs in (the layer algorithm's
+  /// approximation factor f); maintained by Freeze() and AppendEpoch().
+  size_t max_frequency() const { return max_frequency_; }
+
+  /// Total bytes held by the two id arenas plus offsets and weights.
+  size_t arena_bytes() const;
+
+  /// Arena slots orphaned by relocated (extended) set spans.
+  size_t dead_slots() const { return dead_slots_; }
+
+  /// Appends one batch's delta. `patched` is the session's mutable
+  /// instance *after* this batch's AddElements/AddSet/ExtendSet/SetWeight
+  /// calls; `delta` names what changed. Requires `patched` to have live
+  /// element links and the delta to only link fresh elements (the session
+  /// invariant); anything else is an Internal error and the CSR must be
+  /// considered out of sync.
+  Status AppendEpoch(const SetCoverInstance& patched,
+                     const CsrEpochDelta& delta);
+
+  /// Structural self-checks: offsets monotone and in range, spans sorted
+  /// and duplicate-free, cross links consistent in both directions,
+  /// weights non-negative, every element covered (feasibility).
+  Status Validate() const;
+
+  /// Checks this view is the exact logical image of `source`: same
+  /// universe, bit-equal weights, identical per-set spans and per-element
+  /// link lists. `source` must have element links built.
+  Status Mirrors(const SetCoverInstance& source) const;
+
+ private:
+  // Rebuilds set_arena_ in set-id order, dropping dead slack.
+  void CompactSetArena();
+
+  size_t num_elements_ = 0;
+  std::vector<double> weights_;
+  std::vector<uint32_t> set_begin_;
+  std::vector<uint32_t> set_size_;
+  std::vector<uint32_t> set_arena_;
+  std::vector<uint32_t> elem_offsets_{0};
+  std::vector<uint32_t> elem_arena_;
+  size_t max_frequency_ = 0;
+  size_t dead_slots_ = 0;
+};
+
+/// Adapter giving the nested-vector SetCoverInstance the same read surface
+/// as CsrSetCoverInstance, so each solver's hot loop is written once and
+/// instantiated for both layouts. A pure borrow; sets_of() requires the
+/// instance's element links to be built.
+class NestedSetCoverView {
+ public:
+  explicit NestedSetCoverView(const SetCoverInstance* in) : in_(in) {}
+
+  size_t num_elements() const { return in_->num_elements; }
+  size_t num_sets() const { return in_->sets.size(); }
+  double weight(uint32_t s) const { return in_->weights[s]; }
+  std::span<const uint32_t> elements_of(uint32_t s) const {
+    return in_->sets[s];
+  }
+  std::span<const uint32_t> sets_of(uint32_t e) const {
+    return in_->element_sets[e];
+  }
+
+ private:
+  const SetCoverInstance* in_;
+};
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_REPAIR_SETCOVER_CSR_INSTANCE_H_

@@ -1,14 +1,18 @@
 #include <algorithm>
+#include <string>
+#include <vector>
 
 #include "obs/context.h"
+#include "repair/setcover/csr_instance.h"
 #include "repair/setcover/solvers.h"
 
 namespace dbrepair {
 
 namespace {
 
+template <class View>
 struct SearchState {
-  const SetCoverInstance* instance = nullptr;
+  const View* view = nullptr;
   uint64_t max_nodes = 0;
   uint64_t nodes = 0;
   bool exhausted = false;
@@ -28,9 +32,9 @@ struct SearchState {
   std::vector<uint32_t> best_chosen;
 
   void Cover(uint32_t s) {
-    acc_weight += instance->weights[s];
+    acc_weight += view->weight(s);
     stack.push_back(s);
-    for (const uint32_t e : instance->sets[s]) {
+    for (const uint32_t e : view->elements_of(s)) {
       if (cover_count[e]++ == 0) {
         --remaining;
         lb_sum -= min_ratio[e];
@@ -39,9 +43,9 @@ struct SearchState {
   }
 
   void Uncover(uint32_t s) {
-    acc_weight -= instance->weights[s];
+    acc_weight -= view->weight(s);
     stack.pop_back();
-    for (const uint32_t e : instance->sets[s]) {
+    for (const uint32_t e : view->elements_of(s)) {
       if (--cover_count[e] == 0) {
         ++remaining;
         lb_sum += min_ratio[e];
@@ -67,9 +71,9 @@ struct SearchState {
     // Branch on the most constrained uncovered element.
     uint32_t branch_e = 0;
     size_t branch_degree = SIZE_MAX;
-    for (uint32_t e = 0; e < instance->num_elements; ++e) {
+    for (uint32_t e = 0; e < view->num_elements(); ++e) {
       if (cover_count[e] > 0) continue;
-      const size_t degree = instance->element_sets[e].size();
+      const size_t degree = view->sets_of(e).size();
       if (degree < branch_degree) {
         branch_degree = degree;
         branch_e = e;
@@ -77,10 +81,11 @@ struct SearchState {
       }
     }
     // Try the covering sets cheapest-first for early tight bounds.
-    std::vector<uint32_t> candidates = instance->element_sets[branch_e];
+    const auto linked = view->sets_of(branch_e);
+    std::vector<uint32_t> candidates(linked.begin(), linked.end());
     std::sort(candidates.begin(), candidates.end(),
               [&](uint32_t a, uint32_t b) {
-                return instance->weights[a] < instance->weights[b];
+                return view->weight(a) < view->weight(b);
               });
     for (const uint32_t s : candidates) {
       Cover(s);
@@ -91,33 +96,25 @@ struct SearchState {
   }
 };
 
-}  // namespace
-
-Result<SetCoverSolution> ExactSetCover(const SetCoverInstance& instance,
-                                       ExactSetCoverOptions options) {
-  if (instance.element_sets.size() != instance.num_elements) {
-    return Status::Internal(
-        "exact set cover requires element links (call BuildLinks)");
-  }
-  // Seed the incumbent with the greedy solution so pruning bites early.
-  DBREPAIR_ASSIGN_OR_RETURN(const SetCoverSolution greedy,
-                            ModifiedGreedySetCover(instance));
-
-  SearchState state;
-  state.instance = &instance;
+template <class View>
+Result<SetCoverSolution> ExactImpl(const View& view,
+                                   const SetCoverSolution& greedy,
+                                   const ExactSetCoverOptions& options) {
+  SearchState<View> state;
+  state.view = &view;
   state.max_nodes = options.max_nodes;
-  state.cover_count.assign(instance.num_elements, 0);
-  state.remaining = instance.num_elements;
+  state.cover_count.assign(view.num_elements(), 0);
+  state.remaining = view.num_elements();
   state.best_weight = greedy.weight + 1e-9;
   state.best_chosen = greedy.chosen;
 
-  state.min_ratio.assign(instance.num_elements, 0.0);
-  for (uint32_t e = 0; e < instance.num_elements; ++e) {
+  state.min_ratio.assign(view.num_elements(), 0.0);
+  for (uint32_t e = 0; e < view.num_elements(); ++e) {
     double best = 0.0;
     bool first = true;
-    for (const uint32_t s : instance.element_sets[e]) {
-      const double ratio = instance.weights[s] /
-                           static_cast<double>(instance.sets[s].size());
+    for (const uint32_t s : view.sets_of(e)) {
+      const double ratio =
+          view.weight(s) / static_cast<double>(view.elements_of(s).size());
       if (first || ratio < best) {
         best = ratio;
         first = false;
@@ -132,20 +129,59 @@ Result<SetCoverSolution> ExactSetCover(const SetCoverInstance& instance,
   metrics.GetCounter("solver.exact.runs")->Add(1);
   metrics.GetCounter("solver.exact.search_nodes")->Add(state.nodes);
   if (state.exhausted) {
-    return Status::ResourceExhausted(
-        "exact set cover exceeded max_nodes = " +
-        std::to_string(options.max_nodes));
+    return Status::ResourceExhausted("exact set cover exceeded max_nodes = " +
+                                     std::to_string(options.max_nodes));
   }
 
   SetCoverSolution solution;
   solution.chosen = state.best_chosen;
-  solution.weight = instance.SelectionWeight(solution.chosen);
+  for (const uint32_t s : solution.chosen) solution.weight += view.weight(s);
   solution.iterations = state.nodes;
   return solution;
 }
 
+}  // namespace
+
+Result<SetCoverSolution> ExactSetCover(const SetCoverInstance& instance,
+                                       ExactSetCoverOptions options) {
+  if (instance.element_sets.size() != instance.num_elements) {
+    return Status::Internal(
+        "exact set cover requires element links (call BuildLinks)");
+  }
+  // Seed the incumbent with the greedy solution so pruning bites early.
+  DBREPAIR_ASSIGN_OR_RETURN(const SetCoverSolution greedy,
+                            ModifiedGreedySetCover(instance));
+  return ExactImpl(NestedSetCoverView(&instance), greedy, options);
+}
+
+Result<SetCoverSolution> ExactSetCover(const CsrSetCoverInstance& instance,
+                                       ExactSetCoverOptions options) {
+  DBREPAIR_ASSIGN_OR_RETURN(const SetCoverSolution greedy,
+                            ModifiedGreedySetCover(instance));
+  return ExactImpl(instance, greedy, options);
+}
+
 Result<SetCoverSolution> SolveSetCover(SolverKind kind,
                                        const SetCoverInstance& instance) {
+  switch (kind) {
+    case SolverKind::kGreedy:
+      return GreedySetCover(instance);
+    case SolverKind::kModifiedGreedy:
+      return ModifiedGreedySetCover(instance);
+    case SolverKind::kLazyGreedy:
+      return LazyGreedySetCover(instance);
+    case SolverKind::kLayer:
+      return LayerSetCover(instance);
+    case SolverKind::kModifiedLayer:
+      return ModifiedLayerSetCover(instance);
+    case SolverKind::kExact:
+      return ExactSetCover(instance);
+  }
+  return Status::InvalidArgument("unknown solver kind");
+}
+
+Result<SetCoverSolution> SolveSetCover(SolverKind kind,
+                                       const CsrSetCoverInstance& instance) {
   switch (kind) {
     case SolverKind::kGreedy:
       return GreedySetCover(instance);

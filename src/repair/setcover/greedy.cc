@@ -1,21 +1,41 @@
-#include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "obs/context.h"
+#include "repair/setcover/csr_instance.h"
 #include "repair/setcover/solvers.h"
 
 namespace dbrepair {
 
-Result<SetCoverSolution> GreedySetCover(const SetCoverInstance& instance) {
+namespace {
+
+// The residual sets ("S <- S \ M" materialised) as one flat arena: every
+// set's remaining elements occupy a contiguous span that is compacted in
+// place as elements get covered. Span sizes evolve exactly like the nested
+// per-set vectors did, so effective weights — and therefore the cover —
+// are unchanged.
+template <class View>
+Result<SetCoverSolution> GreedyImpl(const View& view) {
   SetCoverSolution solution;
-  const size_t num_sets = instance.num_sets();
+  const size_t num_sets = view.num_sets();
   uint64_t sets_scanned = 0;
 
-  // Residual sets: elements not yet covered, per set (the paper's
-  // "S <- S \ M" step materialised).
-  std::vector<std::vector<uint32_t>> residual = instance.sets;
+  std::vector<uint32_t> res_begin(num_sets);
+  std::vector<uint32_t> res_size(num_sets);
+  size_t total = 0;
+  for (uint32_t s = 0; s < num_sets; ++s) total += view.elements_of(s).size();
+  std::vector<uint32_t> residual;
+  residual.reserve(total);
+  for (uint32_t s = 0; s < num_sets; ++s) {
+    const auto span = view.elements_of(s);
+    res_begin[s] = static_cast<uint32_t>(residual.size());
+    res_size[s] = static_cast<uint32_t>(span.size());
+    residual.insert(residual.end(), span.begin(), span.end());
+  }
+
   std::vector<bool> alive(num_sets, true);
-  std::vector<bool> covered(instance.num_elements, false);
-  size_t remaining = instance.num_elements;
+  std::vector<bool> covered(view.num_elements(), false);
+  size_t remaining = view.num_elements();
 
   while (remaining > 0) {
     ++solution.iterations;
@@ -23,10 +43,9 @@ Result<SetCoverSolution> GreedySetCover(const SetCoverInstance& instance) {
     int best = -1;
     double best_eff = 0.0;
     for (uint32_t s = 0; s < num_sets; ++s) {
-      if (!alive[s] || residual[s].empty()) continue;
+      if (!alive[s] || res_size[s] == 0) continue;
       ++sets_scanned;
-      const double eff =
-          instance.weights[s] / static_cast<double>(residual[s].size());
+      const double eff = view.weight(s) / static_cast<double>(res_size[s]);
       if (best < 0 || eff < best_eff ||
           (eff == best_eff && s < static_cast<uint32_t>(best))) {
         best = static_cast<int>(s);
@@ -40,21 +59,26 @@ Result<SetCoverSolution> GreedySetCover(const SetCoverInstance& instance) {
     }
     const auto chosen = static_cast<uint32_t>(best);
     solution.chosen.push_back(chosen);
-    solution.weight += instance.weights[chosen];
+    solution.weight += view.weight(chosen);
     alive[chosen] = false;
-    for (const uint32_t e : residual[chosen]) {
+    for (uint32_t i = res_begin[chosen]; i < res_begin[chosen] + res_size[chosen];
+         ++i) {
+      const uint32_t e = residual[i];
       if (!covered[e]) {
         covered[e] = true;
         --remaining;
       }
     }
-    // Remove the newly covered elements from every other residual set.
+    // Compact the newly covered elements out of every other residual span.
     for (uint32_t s = 0; s < num_sets; ++s) {
-      if (!alive[s] || residual[s].empty()) continue;
-      auto& elems = residual[s];
-      elems.erase(std::remove_if(elems.begin(), elems.end(),
-                                 [&](uint32_t e) { return covered[e]; }),
-                  elems.end());
+      if (!alive[s] || res_size[s] == 0) continue;
+      const uint32_t begin = res_begin[s];
+      uint32_t out = begin;
+      for (uint32_t i = begin; i < begin + res_size[s]; ++i) {
+        const uint32_t e = residual[i];
+        if (!covered[e]) residual[out++] = e;
+      }
+      res_size[s] = out - begin;
     }
   }
   obs::MetricsRegistry& metrics = obs::CurrentObs().metrics;
@@ -62,6 +86,16 @@ Result<SetCoverSolution> GreedySetCover(const SetCoverInstance& instance) {
   metrics.GetCounter("solver.greedy.iterations")->Add(solution.iterations);
   metrics.GetCounter("solver.greedy.sets_scanned")->Add(sets_scanned);
   return solution;
+}
+
+}  // namespace
+
+Result<SetCoverSolution> GreedySetCover(const SetCoverInstance& instance) {
+  return GreedyImpl(NestedSetCoverView(&instance));
+}
+
+Result<SetCoverSolution> GreedySetCover(const CsrSetCoverInstance& instance) {
+  return GreedyImpl(instance);
 }
 
 }  // namespace dbrepair

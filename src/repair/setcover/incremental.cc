@@ -5,20 +5,20 @@
 namespace dbrepair {
 
 IncrementalGreedySolver::IncrementalGreedySolver(
-    const SetCoverInstance* instance)
+    const CsrSetCoverInstance* instance)
     : instance_(instance),
-      covered_(instance->num_elements, 0),
+      covered_(instance->num_elements(), 0),
       chosen_(instance->num_sets(), 0),
       uncovered_count_(instance->num_sets(), 0),
       heap_(instance->num_sets()),
-      remaining_(instance->num_elements) {
+      remaining_(instance->num_elements()) {
   // Identical to ModifiedGreedySetCover's initialisation: every set with at
   // least one (necessarily uncovered) element enters the queue under its
   // initial effective weight.
   for (uint32_t s = 0; s < instance_->num_sets(); ++s) {
-    uncovered_count_[s] = static_cast<uint32_t>(instance_->sets[s].size());
+    uncovered_count_[s] = instance_->set_size(s);
     if (uncovered_count_[s] > 0) {
-      heap_.Push(s, instance_->weights[s] / uncovered_count_[s]);
+      heap_.Push(s, instance_->weight(s) / uncovered_count_[s]);
     }
   }
 }
@@ -33,9 +33,13 @@ Status IncrementalGreedySolver::OnSetAdded(uint32_t set_id) {
     return Status::Internal(
         "incremental solver: sets must be announced in append order");
   }
+  if (set_id >= instance_->num_sets()) {
+    return Status::Internal(
+        "incremental solver: set announced before its epoch was appended");
+  }
   chosen_.push_back(0);
   uint32_t uncovered = 0;
-  for (const uint32_t e : instance_->sets[set_id]) {
+  for (const uint32_t e : instance_->elements_of(set_id)) {
     if (e >= covered_.size()) {
       return Status::Internal(
           "incremental solver: set element beyond announced universe");
@@ -45,7 +49,7 @@ Status IncrementalGreedySolver::OnSetAdded(uint32_t set_id) {
   uncovered_count_.push_back(uncovered);
   heap_.Reserve(chosen_.size());
   if (uncovered > 0) {
-    heap_.Push(set_id, instance_->weights[set_id] / uncovered);
+    heap_.Push(set_id, instance_->weight(set_id) / uncovered);
   }
   return Status::OK();
 }
@@ -61,7 +65,7 @@ Status IncrementalGreedySolver::OnSetExtended(uint32_t set_id,
     return Status::Internal(
         "incremental solver: a chosen set was extended (stale fix key)");
   }
-  const std::vector<uint32_t>& set = instance_->sets[set_id];
+  const auto set = instance_->elements_of(set_id);
   uint32_t added = 0;
   for (size_t i = first_new_index; i < set.size(); ++i) {
     if (set[i] >= covered_.size()) {
@@ -88,8 +92,7 @@ Status IncrementalGreedySolver::OnWeightChanged(uint32_t set_id) {
 }
 
 void IncrementalGreedySolver::Reprice(uint32_t set_id) {
-  const double key =
-      instance_->weights[set_id] / uncovered_count_[set_id];
+  const double key = instance_->weight(set_id) / uncovered_count_[set_id];
   if (heap_.Contains(set_id)) {
     heap_.Update(set_id, key);
   } else {
@@ -118,20 +121,20 @@ Result<SetCoverSolution> IncrementalGreedySolver::SolveDelta() {
     ++heap_pops;
     chosen_[picked] = 1;
     solution.chosen.push_back(picked);
-    solution.weight += instance_->weights[picked];
+    solution.weight += instance_->weight(picked);
 
-    for (const uint32_t e : instance_->sets[picked]) {
+    for (const uint32_t e : instance_->elements_of(picked)) {
       if (covered_[e] != 0) continue;
       covered_[e] = 1;
       --remaining_;
-      for (const uint32_t other : instance_->element_sets[e]) {
+      for (const uint32_t other : instance_->sets_of(e)) {
         if (other == picked || !heap_.Contains(other)) continue;
         ++cross_link_updates;
         if (--uncovered_count_[other] == 0) {
           heap_.Remove(other);
         } else {
           heap_.Update(other,
-                       instance_->weights[other] / uncovered_count_[other]);
+                       instance_->weight(other) / uncovered_count_[other]);
         }
       }
     }

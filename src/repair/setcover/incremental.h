@@ -5,20 +5,26 @@
 #include <vector>
 
 #include "common/status.h"
+#include "repair/setcover/csr_instance.h"
 #include "repair/setcover/indexed_heap.h"
-#include "repair/setcover/instance.h"
 
 namespace dbrepair {
 
 /// Modified greedy (Algorithm 5) with persistent solver state, for repair
-/// sessions that patch one SetCoverInstance across many batches instead of
+/// sessions that patch one instance across many batches instead of
 /// rebuilding it. The covered set, the per-set uncovered counts, and the
 /// effective-weight priority queue survive between solves; a batch grows the
-/// instance through the SetCoverInstance mutation API and mirrors each
-/// mutation here, then SolveDelta() runs the exact modified-greedy loop over
-/// whatever is currently uncovered.
+/// mutable SetCoverInstance (the patch log), replays the delta into the
+/// frozen CSR view with AppendEpoch, and mirrors each mutation here, then
+/// SolveDelta() runs the exact modified-greedy loop over whatever is
+/// currently uncovered.
 ///
-/// Equivalence anchor: on a freshly built instance, one SolveDelta() call
+/// The solver reads only the frozen CsrSetCoverInstance — its hot loop is
+/// the same span walk as ModifiedGreedySetCover's CSR overload. Every On*
+/// call therefore requires the matching AppendEpoch to have already run
+/// (the session patches instance -> appends the epoch -> replays callbacks).
+///
+/// Equivalence anchor: on a freshly frozen instance, one SolveDelta() call
 /// picks exactly the sets ModifiedGreedySetCover picks, in the same order
 /// (same effective weights, same smaller-id tie-break). Incremental solves
 /// continue that loop from the preserved state rather than restarting it.
@@ -32,10 +38,10 @@ namespace dbrepair {
 ///    monotonically (locality), so a solved violation set stays solved.
 class IncrementalGreedySolver {
  public:
-  /// Snapshots solver state off `instance` with nothing covered yet.
-  /// `instance` must outlive the solver, have element links built, and only
-  /// ever change through the mutation API with the matching On* call.
-  explicit IncrementalGreedySolver(const SetCoverInstance* instance);
+  /// Snapshots solver state off the frozen `instance` with nothing covered
+  /// yet. `instance` must outlive the solver and only ever change through
+  /// AppendEpoch with the matching On* calls replayed afterwards.
+  explicit IncrementalGreedySolver(const CsrSetCoverInstance* instance);
 
   /// Mirror of SetCoverInstance::AddElements: `count` fresh, uncovered
   /// elements joined the universe.
@@ -68,7 +74,7 @@ class IncrementalGreedySolver {
   // count; removes it when no uncovered element is left.
   void Reprice(uint32_t set_id);
 
-  const SetCoverInstance* instance_;
+  const CsrSetCoverInstance* instance_;
   std::vector<uint8_t> covered_;          // per element
   std::vector<uint8_t> chosen_;           // per set
   std::vector<uint32_t> uncovered_count_; // per set

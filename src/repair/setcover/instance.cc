@@ -1,11 +1,24 @@
 #include "repair/setcover/instance.h"
 
 #include <algorithm>
+#include <string>
+
+#include "repair/setcover/csr_instance.h"
 
 namespace dbrepair {
 
 void SetCoverInstance::BuildLinks() {
+  // Counting pre-pass: size every link list exactly once instead of growing
+  // it by push_back — the lists are written once and never shrink, so the
+  // reserve eliminates all mid-fill reallocation.
+  std::vector<uint32_t> counts(num_elements, 0);
+  for (const std::vector<uint32_t>& set : sets) {
+    for (const uint32_t e : set) ++counts[e];
+  }
   element_sets.assign(num_elements, {});
+  for (uint32_t e = 0; e < num_elements; ++e) {
+    element_sets[e].reserve(counts[e]);
+  }
   for (uint32_t s = 0; s < sets.size(); ++s) {
     for (const uint32_t e : sets[s]) element_sets[e].push_back(s);
   }
@@ -50,34 +63,40 @@ Status SetCoverInstance::Validate() const {
   if (weights.size() != sets.size()) {
     return Status::Internal("set cover instance: |weights| != |sets|");
   }
+  if (element_sets.size() != num_elements) {
+    return Status::Internal(
+        "set cover instance: element links not built (call BuildLinks)");
+  }
+  // One pass over every set checks the weight sign, range, ordering, and
+  // duplicates while accumulating the per-element coverage counts the link
+  // check needs — the former separate `counted` pass folded in.
+  std::vector<uint32_t> counted(num_elements, 0);
   for (uint32_t s = 0; s < sets.size(); ++s) {
     if (weights[s] < 0.0) {
       return Status::Internal("set cover instance: negative weight at set " +
                               std::to_string(s));
     }
-    if (!std::is_sorted(sets[s].begin(), sets[s].end())) {
-      return Status::Internal("set cover instance: set " + std::to_string(s) +
-                              " is not sorted");
-    }
-    if (std::adjacent_find(sets[s].begin(), sets[s].end()) != sets[s].end()) {
-      return Status::Internal("set cover instance: set " + std::to_string(s) +
-                              " has duplicate elements");
-    }
+    uint32_t prev = 0;
+    bool first = true;
     for (const uint32_t e : sets[s]) {
       if (e >= num_elements) {
         return Status::Internal(
             "set cover instance: element id out of range in set " +
             std::to_string(s));
       }
+      if (!first && e < prev) {
+        return Status::Internal("set cover instance: set " +
+                                std::to_string(s) + " is not sorted");
+      }
+      if (!first && e == prev) {
+        return Status::Internal("set cover instance: set " +
+                                std::to_string(s) +
+                                " has duplicate elements");
+      }
+      prev = e;
+      first = false;
+      ++counted[e];
     }
-  }
-  if (element_sets.size() != num_elements) {
-    return Status::Internal(
-        "set cover instance: element links not built (call BuildLinks)");
-  }
-  std::vector<uint32_t> counted(num_elements, 0);
-  for (uint32_t s = 0; s < sets.size(); ++s) {
-    for (const uint32_t e : sets[s]) ++counted[e];
   }
   for (uint32_t e = 0; e < num_elements; ++e) {
     if (counted[e] == 0) {
@@ -90,6 +109,11 @@ Status SetCoverInstance::Validate() const {
                               std::to_string(e));
     }
   }
+  // The frozen view must round-trip: freezing a valid instance yields a
+  // CSR that passes its own structural checks and mirrors this one.
+  const CsrSetCoverInstance csr = CsrSetCoverInstance::Freeze(*this);
+  DBREPAIR_RETURN_IF_ERROR(csr.Validate());
+  DBREPAIR_RETURN_IF_ERROR(csr.Mirrors(*this));
   return Status::OK();
 }
 

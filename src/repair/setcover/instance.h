@@ -50,6 +50,8 @@ struct SetCoverInstance {
 
   /// Structural checks: ids in range, links consistent, weights
   /// non-negative, every element covered by at least one set (feasibility).
+  /// Also round-trips the frozen view: Freeze() of a valid instance must
+  /// pass CsrSetCoverInstance::Validate() and mirror this one exactly.
   Status Validate() const;
 
   /// Maximum frequency f: the largest number of sets any element occurs in.

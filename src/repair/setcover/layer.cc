@@ -1,29 +1,64 @@
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "obs/context.h"
+#include "repair/setcover/csr_instance.h"
 #include "repair/setcover/indexed_heap.h"
 #include "repair/setcover/solvers.h"
 
 namespace dbrepair {
 
-Result<SetCoverSolution> LayerSetCover(const SetCoverInstance& instance,
-                                       const LayerOptions& options) {
+namespace {
+
+// Residual sets as one flat arena (same structure as greedy's): contiguous
+// per-set spans compacted in place, so the round scans stream the arena
+// instead of hopping between per-set heap allocations. Span sizes match the
+// nested version's vector sizes at every round, keeping c and the tight-set
+// batches identical.
+template <class View>
+Result<SetCoverSolution> LayerImpl(const View& view,
+                                   const LayerOptions& options) {
   SetCoverSolution solution;
-  const size_t num_sets = instance.num_sets();
+  const size_t num_sets = view.num_sets();
   uint64_t sets_scanned = 0;
   uint64_t reweight_events = 0;
 
-  std::vector<std::vector<uint32_t>> residual = instance.sets;
-  std::vector<double> w_res = instance.weights;
+  std::vector<uint32_t> res_begin(num_sets);
+  std::vector<uint32_t> res_size(num_sets);
+  size_t total = 0;
+  for (uint32_t s = 0; s < num_sets; ++s) total += view.elements_of(s).size();
+  std::vector<uint32_t> residual;
+  residual.reserve(total);
+  for (uint32_t s = 0; s < num_sets; ++s) {
+    const auto span = view.elements_of(s);
+    res_begin[s] = static_cast<uint32_t>(residual.size());
+    res_size[s] = static_cast<uint32_t>(span.size());
+    residual.insert(residual.end(), span.begin(), span.end());
+  }
+
+  std::vector<double> w_res(num_sets);
   std::vector<bool> alive(num_sets, true);
-  std::vector<bool> covered(instance.num_elements, false);
-  size_t remaining = instance.num_elements;
+  std::vector<bool> covered(view.num_elements(), false);
+  size_t remaining = view.num_elements();
 
   // Per-set absolute tolerance for "the residual weight reached zero".
   std::vector<double> tol(num_sets);
   for (uint32_t s = 0; s < num_sets; ++s) {
-    tol[s] = 1e-9 * (instance.weights[s] + 1.0);
+    w_res[s] = view.weight(s);
+    tol[s] = 1e-9 * (view.weight(s) + 1.0);
   }
+
+  // In-place compaction of covered elements out of one residual span.
+  auto compact = [&](uint32_t s) {
+    const uint32_t begin = res_begin[s];
+    uint32_t out = begin;
+    for (uint32_t i = begin; i < begin + res_size[s]; ++i) {
+      const uint32_t e = residual[i];
+      if (!covered[e]) residual[out++] = e;
+    }
+    res_size[s] = out - begin;
+  };
 
   while (remaining > 0) {
     ++solution.iterations;
@@ -31,9 +66,9 @@ Result<SetCoverSolution> LayerSetCover(const SetCoverInstance& instance,
     int best = -1;
     double c = 0.0;
     for (uint32_t s = 0; s < num_sets; ++s) {
-      if (!alive[s] || residual[s].empty()) continue;
+      if (!alive[s] || res_size[s] == 0) continue;
       ++sets_scanned;
-      const double eff = w_res[s] / static_cast<double>(residual[s].size());
+      const double eff = w_res[s] / static_cast<double>(res_size[s]);
       if (best < 0 || eff < c) {
         best = static_cast<int>(s);
         c = eff;
@@ -46,26 +81,24 @@ Result<SetCoverSolution> LayerSetCover(const SetCoverInstance& instance,
     }
     // Subtract c * |s| from every alive set's residual weight.
     for (uint32_t s = 0; s < num_sets; ++s) {
-      if (!alive[s] || residual[s].empty()) continue;
-      w_res[s] -= c * static_cast<double>(residual[s].size());
+      if (!alive[s] || res_size[s] == 0) continue;
+      w_res[s] -= c * static_cast<double>(res_size[s]);
       ++reweight_events;
     }
     // Add the tight sets. The paper's literal rule adds *all* of them; the
     // refined variant re-checks that a set still has uncovered elements
     // after the earlier tight sets of this same batch claimed theirs.
     for (uint32_t s = 0; s < num_sets; ++s) {
-      if (!alive[s] || residual[s].empty() || w_res[s] > tol[s]) continue;
+      if (!alive[s] || res_size[s] == 0 || w_res[s] > tol[s]) continue;
       alive[s] = false;
       if (!options.add_redundant_tight_sets) {
-        auto& elems = residual[s];
-        elems.erase(std::remove_if(elems.begin(), elems.end(),
-                                   [&](uint32_t e) { return covered[e]; }),
-                    elems.end());
-        if (elems.empty()) continue;  // refined: skip the useless set
+        compact(s);
+        if (res_size[s] == 0) continue;  // refined: skip the useless set
       }
       solution.chosen.push_back(s);
-      solution.weight += instance.weights[s];
-      for (const uint32_t e : residual[s]) {
+      solution.weight += view.weight(s);
+      for (uint32_t i = res_begin[s]; i < res_begin[s] + res_size[s]; ++i) {
+        const uint32_t e = residual[i];
         if (!covered[e]) {
           covered[e] = true;
           --remaining;
@@ -74,12 +107,9 @@ Result<SetCoverSolution> LayerSetCover(const SetCoverInstance& instance,
     }
     // Remove the newly covered elements from every remaining residual set.
     for (uint32_t s = 0; s < num_sets; ++s) {
-      if (!alive[s] || residual[s].empty()) continue;
-      auto& elems = residual[s];
-      elems.erase(std::remove_if(elems.begin(), elems.end(),
-                                 [&](uint32_t e) { return covered[e]; }),
-                  elems.end());
-      if (elems.empty()) alive[s] = false;
+      if (!alive[s] || res_size[s] == 0) continue;
+      compact(s);
+      if (res_size[s] == 0) alive[s] = false;
     }
   }
   obs::MetricsRegistry& metrics = obs::CurrentObs().metrics;
@@ -90,16 +120,13 @@ Result<SetCoverSolution> LayerSetCover(const SetCoverInstance& instance,
   return solution;
 }
 
-Result<SetCoverSolution> ModifiedLayerSetCover(
-    const SetCoverInstance& instance, const LayerOptions& options) {
+template <class View>
+Result<SetCoverSolution> ModifiedLayerImpl(const View& view,
+                                           const LayerOptions& options) {
   SetCoverSolution solution;
-  const size_t num_sets = instance.num_sets();
+  const size_t num_sets = view.num_sets();
   uint64_t heap_pops = 0;
   uint64_t cross_link_updates = 0;
-  if (instance.element_sets.size() != instance.num_elements) {
-    return Status::Internal(
-        "modified layer requires element links (call BuildLinks)");
-  }
 
   // Primal-dual (event-driven) formulation of layering: every uncovered
   // element pays at unit rate; set s becomes *tight* at the time its
@@ -110,20 +137,20 @@ Result<SetCoverSolution> ModifiedLayerSetCover(
   std::vector<double> settled_at(num_sets, 0.0);
   IndexedHeap heap(num_sets);
   for (uint32_t s = 0; s < num_sets; ++s) {
-    uncovered_count[s] = static_cast<uint32_t>(instance.sets[s].size());
-    slack[s] = instance.weights[s];
+    uncovered_count[s] = static_cast<uint32_t>(view.elements_of(s).size());
+    slack[s] = view.weight(s);
     if (uncovered_count[s] > 0) {
       heap.Push(s, slack[s] / uncovered_count[s]);
     }
   }
 
-  std::vector<bool> covered(instance.num_elements, false);
-  size_t remaining = instance.num_elements;
+  std::vector<bool> covered(view.num_elements(), false);
+  size_t remaining = view.num_elements();
   double now = 0.0;
 
   auto choose = [&](uint32_t s) {
     solution.chosen.push_back(s);
-    solution.weight += instance.weights[s];
+    solution.weight += view.weight(s);
   };
 
   while (remaining > 0) {
@@ -142,11 +169,11 @@ Result<SetCoverSolution> ModifiedLayerSetCover(
     const double batch_tol = 1e-9 * (now + 1.0);
     choose(chosen);
 
-    for (const uint32_t e : instance.sets[chosen]) {
+    for (const uint32_t e : view.elements_of(chosen)) {
       if (covered[e]) continue;
       covered[e] = true;
       --remaining;
-      for (const uint32_t other : instance.element_sets[e]) {
+      for (const uint32_t other : view.sets_of(e)) {
         if (other == chosen || !heap.Contains(other)) continue;
         ++cross_link_updates;
         // Settle the payment stream up to `now`, then slow the rate.
@@ -177,6 +204,32 @@ Result<SetCoverSolution> ModifiedLayerSetCover(
   metrics.GetCounter("solver.modified-layer.cross_link_updates")
       ->Add(cross_link_updates);
   return solution;
+}
+
+}  // namespace
+
+Result<SetCoverSolution> LayerSetCover(const SetCoverInstance& instance,
+                                       const LayerOptions& options) {
+  return LayerImpl(NestedSetCoverView(&instance), options);
+}
+
+Result<SetCoverSolution> LayerSetCover(const CsrSetCoverInstance& instance,
+                                       const LayerOptions& options) {
+  return LayerImpl(instance, options);
+}
+
+Result<SetCoverSolution> ModifiedLayerSetCover(const SetCoverInstance& instance,
+                                               const LayerOptions& options) {
+  if (instance.element_sets.size() != instance.num_elements) {
+    return Status::Internal(
+        "modified layer requires element links (call BuildLinks)");
+  }
+  return ModifiedLayerImpl(NestedSetCoverView(&instance), options);
+}
+
+Result<SetCoverSolution> ModifiedLayerSetCover(
+    const CsrSetCoverInstance& instance, const LayerOptions& options) {
+  return ModifiedLayerImpl(instance, options);
 }
 
 }  // namespace dbrepair

@@ -2,6 +2,7 @@
 #include <vector>
 
 #include "obs/context.h"
+#include "repair/setcover/csr_instance.h"
 #include "repair/setcover/solvers.h"
 
 namespace dbrepair {
@@ -20,23 +21,22 @@ struct LazyEntryGreater {
   }
 };
 
-}  // namespace
-
-Result<SetCoverSolution> LazyGreedySetCover(const SetCoverInstance& instance) {
+template <class View>
+Result<SetCoverSolution> LazyGreedyImpl(const View& view) {
   SetCoverSolution solution;
-  const size_t num_sets = instance.num_sets();
+  const size_t num_sets = view.num_sets();
   uint64_t heap_pops = 0;
   uint64_t reinserts = 0;
 
-  std::vector<bool> covered(instance.num_elements, false);
+  std::vector<bool> covered(view.num_elements(), false);
   std::vector<bool> alive(num_sets, true);
-  size_t remaining = instance.num_elements;
+  size_t remaining = view.num_elements();
 
   // Current uncovered count of a set, recomputed by scanning its elements —
   // the lazy strategy needs no element->set reverse links at all.
   auto uncovered = [&](uint32_t s) {
     size_t count = 0;
-    for (const uint32_t e : instance.sets[s]) {
+    for (const uint32_t e : view.elements_of(s)) {
       if (!covered[e]) ++count;
     }
     return count;
@@ -45,10 +45,9 @@ Result<SetCoverSolution> LazyGreedySetCover(const SetCoverInstance& instance) {
   std::priority_queue<LazyEntry, std::vector<LazyEntry>, LazyEntryGreater>
       queue;
   for (uint32_t s = 0; s < num_sets; ++s) {
-    if (!instance.sets[s].empty()) {
-      queue.push(LazyEntry{
-          instance.weights[s] / static_cast<double>(instance.sets[s].size()),
-          s});
+    const size_t size = view.elements_of(s).size();
+    if (size > 0) {
+      queue.push(LazyEntry{view.weight(s) / static_cast<double>(size), s});
     }
   }
 
@@ -67,8 +66,7 @@ Result<SetCoverSolution> LazyGreedySetCover(const SetCoverInstance& instance) {
       alive[entry.id] = false;
       continue;
     }
-    const double key =
-        instance.weights[entry.id] / static_cast<double>(count);
+    const double key = view.weight(entry.id) / static_cast<double>(count);
     if (key != entry.key) {
       // Stale: effective weights only rise, so reinsert with the fresh key.
       queue.push(LazyEntry{key, entry.id});
@@ -80,9 +78,9 @@ Result<SetCoverSolution> LazyGreedySetCover(const SetCoverInstance& instance) {
     // (ties resolve to the smaller id through the comparator).
     ++solution.iterations;
     solution.chosen.push_back(entry.id);
-    solution.weight += instance.weights[entry.id];
+    solution.weight += view.weight(entry.id);
     alive[entry.id] = false;
-    for (const uint32_t e : instance.sets[entry.id]) {
+    for (const uint32_t e : view.elements_of(entry.id)) {
       if (!covered[e]) {
         covered[e] = true;
         --remaining;
@@ -96,6 +94,17 @@ Result<SetCoverSolution> LazyGreedySetCover(const SetCoverInstance& instance) {
   metrics.GetCounter("solver.lazy-greedy.heap_pops")->Add(heap_pops);
   metrics.GetCounter("solver.lazy-greedy.reinserts")->Add(reinserts);
   return solution;
+}
+
+}  // namespace
+
+Result<SetCoverSolution> LazyGreedySetCover(const SetCoverInstance& instance) {
+  return LazyGreedyImpl(NestedSetCoverView(&instance));
+}
+
+Result<SetCoverSolution> LazyGreedySetCover(
+    const CsrSetCoverInstance& instance) {
+  return LazyGreedyImpl(instance);
 }
 
 }  // namespace dbrepair

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Builds the tree under ThreadSanitizer and runs the concurrency-labelled
 # tests: the thread-pool unit tests, the serial-vs-parallel differential
-# harness, and the RepairSession suite (whose concurrent-ApplyBatch misuse
-# case must fail cleanly, not racily). Any data race in the parallel
-# pipeline fails this job.
+# harness, the RepairSession suite (whose concurrent-ApplyBatch misuse
+# case must fail cleanly, not racily), and the flat set-cover layout suite
+# (which replays the per-batch CSR re-freeze at 1 and 4 threads). Any data
+# race in the parallel pipeline fails this job.
 #
 # Usage: tools/check_concurrency.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -15,5 +16,7 @@ cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDBREPAIR_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target thread_pool_test differential_test obs_test session_test
-ctest --test-dir "$BUILD_DIR" -L 'concurrency|obs|session' --output-on-failure
+  --target thread_pool_test differential_test obs_test session_test \
+           setcover_layout_test
+ctest --test-dir "$BUILD_DIR" -L 'concurrency|obs|session|setcover' \
+  --output-on-failure

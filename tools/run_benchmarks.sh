@@ -5,7 +5,11 @@
 # The small-size pass keeps the whole sweep to roughly a minute; the
 # headline pass additionally runs the columnar-vs-row violation-scan pair
 # at the Figure-3 100k scale with 3 repetitions (the acceptance number for
-# the columnar scan layer) and records the speedup under "headline".
+# the columnar scan layer) and records the speedup under "headline", plus
+# the session-vs-full-repair pair ("session_headline") and the
+# CSR-vs-nested modified-greedy solve pair at 100k elements
+# ("setcover_headline", the acceptance number for the flat set-cover
+# layout).
 #
 # Usage:
 #   tools/run_benchmarks.sh            # small sizes + headline pair
@@ -59,12 +63,21 @@ if [[ "$HEADLINE" == "1" ]]; then
     'BM_(SessionBatch|FullRepairPerBatch)/100000$' \
     --benchmark_repetitions=3 --benchmark_report_aggregates_only=true
   mv "$TMP/bench_session_batches.json" "$TMP/zz_headline_session.json"
+
+  # Set-cover layout acceptance metric: the modified-greedy solve over the
+  # frozen CSR arena vs the nested-vector instance, identical 100k-element
+  # session-grown workload, single thread, median of 3. CSR must win
+  # >= 1.3x.
+  run_gbench bench_setcover_layout 'BM_ModifiedGreedy(Legacy|Csr)/100000$' \
+    --benchmark_repetitions=3 --benchmark_report_aggregates_only=true
+  mv "$TMP/bench_setcover_layout.json" "$TMP/zz_headline_setcover.json"
 fi
 
 # Smallest registered size of every benchmark family in each binary.
 run_gbench bench_figure3_runtime '/1000$'
 run_gbench bench_build_pipeline '/10000$|/100$'
 run_gbench bench_setcover_micro '/1000$'
+run_gbench bench_setcover_layout '/10000$'
 run_gbench bench_cardinality '/10/20$|TransformOnly/100$'
 run_gbench bench_complexity_scaling '/2000$'
 run_gbench bench_degree_sweep 'Sweep/2$|EndToEnd/5000$'
@@ -81,7 +94,7 @@ import json, sys, os
 
 tmp, out = sys.argv[1], sys.argv[2]
 summary = {"benchmarks": [], "headline": None, "session_headline": None,
-           "figure2_table": []}
+           "setcover_headline": None, "figure2_table": []}
 
 for fname in sorted(os.listdir(tmp)):
     path = os.path.join(tmp, fname)
@@ -97,7 +110,8 @@ for fname in sorted(os.listdir(tmp)):
     binary = fname[:-len(".json")]
     for b in data.get("benchmarks", []):
         display = {"zz_headline": "headline",
-                   "zz_headline_session": "session_headline"}
+                   "zz_headline_session": "session_headline",
+                   "zz_headline_setcover": "setcover_headline"}
         entry = {
             "binary": display.get(binary, binary),
             "name": b["name"],
@@ -152,6 +166,27 @@ if len(session_medians) == 2:
         "session_speedup": full["real_time"] / sess["real_time"],
     }
 
+# Set-cover layout headline: modified greedy over the frozen CSR arena vs
+# the nested-vector instance, same session-grown 100k-element workload.
+layout_medians = {}
+for b in summary["benchmarks"]:
+    if (b["binary"] == "setcover_headline"
+            and b.get("aggregate_name") == "median"):
+        if "BM_ModifiedGreedyLegacy/100000" in b["name"]:
+            layout_medians["legacy"] = b
+        elif "BM_ModifiedGreedyCsr/100000" in b["name"]:
+            layout_medians["csr"] = b
+if len(layout_medians) == 2:
+    legacy, csr = layout_medians["legacy"], layout_medians["csr"]
+    summary["setcover_headline"] = {
+        "workload": "session-grown MWSCP instance, 100k elements, "
+                    "bounded-degree sets, single thread",
+        "metric": "modified-greedy solve latency, median of 3",
+        "legacy_ms": legacy["real_time"],
+        "csr_ms": csr["real_time"],
+        "csr_speedup": legacy["real_time"] / csr["real_time"],
+    }
+
 with open(out, "w") as f:
     json.dump(summary, f, indent=2)
     f.write("\n")
@@ -165,4 +200,8 @@ if summary["session_headline"]:
     print(f"session headline: incremental batch {s['session_speedup']:.2f}x "
           f"over full re-repair ({s['full_repair_ms']:.1f} ms -> "
           f"{s['session_batch_ms']:.1f} ms)")
+if summary["setcover_headline"]:
+    c = summary["setcover_headline"]
+    print(f"setcover headline: CSR solve {c['csr_speedup']:.2f}x over "
+          f"nested ({c['legacy_ms']:.1f} ms -> {c['csr_ms']:.1f} ms)")
 PY
