@@ -10,6 +10,7 @@
 #include "constraints/ast.h"
 #include "gen/census.h"
 #include "gen/client_buy.h"
+#include "obs/chrome_trace.h"
 #include "obs/context.h"
 #include "repair/instance_builder.h"
 
@@ -19,14 +20,32 @@ namespace dbrepair::bench {
 /// context (which the benchmarked pipeline records into) to that path at
 /// process exit, next to the benchmark's own timing output. Installed once
 /// by the problem builders below.
+///
+/// Two more environment switches drive the per-worker event buffers:
+/// DBREPAIR_TRACE_EVENTS=1 enables recording (tools/check_obs_overhead.sh
+/// uses it to measure the tracing tax), and DBREPAIR_TRACE_OUT=PATH
+/// additionally writes the Chrome trace-event JSON at exit.
 inline void InstallObsSnapshotAtExit() {
   static const bool installed = [] {
-    if (std::getenv("DBREPAIR_OBS_OUT") == nullptr) return false;
+    const char* trace_events = std::getenv("DBREPAIR_TRACE_EVENTS");
+    const bool trace_enabled =
+        (trace_events != nullptr && trace_events[0] != '\0' &&
+         trace_events[0] != '0') ||
+        std::getenv("DBREPAIR_TRACE_OUT") != nullptr;
+    if (trace_enabled) obs::DefaultObs().events.set_enabled(true);
+    if (std::getenv("DBREPAIR_OBS_OUT") == nullptr &&
+        std::getenv("DBREPAIR_TRACE_OUT") == nullptr) {
+      return trace_enabled;
+    }
     std::atexit([] {
-      const char* path = std::getenv("DBREPAIR_OBS_OUT");
-      if (path == nullptr) return;
-      std::ofstream out(path);
-      out << BuildRunSnapshot(obs::DefaultObs()).Dump(2) << "\n";
+      if (const char* path = std::getenv("DBREPAIR_OBS_OUT")) {
+        std::ofstream out(path);
+        out << BuildRunSnapshot(obs::DefaultObs()).Dump(2) << "\n";
+      }
+      if (const char* path = std::getenv("DBREPAIR_TRACE_OUT")) {
+        std::ofstream out(path);
+        out << obs::ChromeTraceJson(obs::DefaultObs()).Dump() << "\n";
+      }
     });
     return true;
   }();

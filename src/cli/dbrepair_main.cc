@@ -3,8 +3,8 @@
 //
 // Usage:
 //   dbrepair [repair] <config> [--solver S] [--distance L1|L2] [--mode M]
-//            [--output PATH] [--metrics-out PATH] [--threads N] [--trace]
-//            [--quiet] [--report]
+//            [--output PATH] [--metrics-out PATH] [--trace-out PATH]
+//            [--threads N] [--trace] [--quiet] [--report]
 //   dbrepair check <config> [--quiet]     detect violations; exit 3 if any
 //   dbrepair explain <config>             print locality analysis + SQL views
 //   dbrepair query <config> <SQL>         run a SELECT against the data
@@ -13,8 +13,10 @@
 // CSVs, the denial constraints, and defaults for solver/distance/export
 // mode; the flags override the config. Incidental output goes through the
 // obs logger (severity >= info; --quiet raises the bar to warn), --trace
-// prints the span tree to stderr, and --metrics-out writes the single-
-// document JSON run snapshot (phases, counters, gauges, histograms, trace).
+// prints the span tree to stderr, --metrics-out writes the single-document
+// JSON run snapshot (phases, counters, gauges, histograms, trace, workers,
+// session telemetry), and --trace-out enables the per-worker event buffers
+// and writes a Chrome trace-event JSON (chrome://tracing / Perfetto).
 
 #include <algorithm>
 #include <cstdarg>
@@ -34,6 +36,7 @@
 #include "io/csv.h"
 #include "io/export.h"
 #include "io/report.h"
+#include "obs/chrome_trace.h"
 #include "obs/context.h"
 #include "repair/api.h"
 #include "sql/executor.h"
@@ -51,8 +54,9 @@ void PrintUsage() {
       << "usage: dbrepair [repair] <config> [--solver greedy|modified-greedy"
          "|lazy-greedy|layer|modified-layer|exact]\n"
          "                [--distance L1|L2] [--mode update|insert|dump]\n"
-         "                [--output PATH] [--metrics-out PATH] [--threads N]\n"
-         "                [--no-columnar] [--batch-file PATH]"
+         "                [--output PATH] [--metrics-out PATH]"
+         " [--trace-out PATH]\n"
+         "                [--threads N] [--no-columnar] [--batch-file PATH]"
          " [--batch-size N]\n"
          "                [--trace] [--quiet] [--report]\n"
          "       dbrepair check <config> [--quiet]\n"
@@ -61,7 +65,11 @@ void PrintUsage() {
          "\n"
          "  --metrics-out PATH  write the JSON run snapshot (per-phase wall\n"
          "                      times, per-constraint violation counts,\n"
-         "                      solver counters, span tree) to PATH\n"
+         "                      solver counters, span tree, per-worker\n"
+         "                      lanes, session telemetry) to PATH\n"
+         "  --trace-out PATH    record per-worker trace events and write a\n"
+         "                      Chrome trace-event JSON to PATH (load it in\n"
+         "                      chrome://tracing or https://ui.perfetto.dev)\n"
          "  --threads N         worker threads for the build/verify phases\n"
          "                      (0 = one per hardware thread, 1 = serial;\n"
          "                      the repair is identical either way)\n"
@@ -223,11 +231,14 @@ Result<std::vector<BatchRow>> LoadBatchFile(const Database& db,
 }
 
 // The --batch-file path: open a RepairSession over the base data, replay
-// the file's rows through it in batches, export the final instance.
+// the file's rows through it in batches, export the final instance. On
+// success `*session_json` receives the session's per-batch telemetry for
+// the run snapshot.
 int RunSessionReplay(const RepairConfig& config, const Database& db,
                      const RepairOptions& options,
                      const std::string& batch_file, size_t batch_size,
-                     bool report, obs::ObsContext& obs) {
+                     bool report, obs::ObsContext& obs,
+                     obs::Json* session_json) {
   auto rows = LoadBatchFile(db, batch_file);
   if (!rows.ok()) return Fail(rows.status());
 
@@ -264,6 +275,7 @@ int RunSessionReplay(const RepairConfig& config, const Database& db,
       s.stats().num_batches, s.stats().total_rows_inserted,
       s.stats().total_violations, s.stats().total_updates,
       s.stats().cover_weight, s.cumulative_distance()));
+  *session_json = s.TelemetryToJson();
   if (report) {
     std::fprintf(stderr,
                  "repair session: %zu batches, %zu rows inserted, "
@@ -293,6 +305,7 @@ int RunRepair(RepairConfig config, int argc, char** argv, int arg_start) {
   size_t num_threads = 0;
   size_t batch_size = 0;
   std::string metrics_out;
+  std::string trace_out;
   std::string solver_name;
   std::string distance_name;
   std::string mode_name;
@@ -310,6 +323,8 @@ int RunRepair(RepairConfig config, int argc, char** argv, int arg_start) {
                 "worker threads (0 = auto, 1 = serial)");
   flags.AddString("--metrics-out", &metrics_out,
                   "write the JSON run snapshot to PATH");
+  flags.AddString(kFlagTraceOut, &trace_out,
+                  "record worker events; write Chrome trace JSON to PATH");
   flags.AddBool(kFlagNoColumnar, &no_columnar,
                 "force the row-store scan path");
   flags.AddString("--batch-file", &batch_file,
@@ -347,6 +362,9 @@ int RunRepair(RepairConfig config, int argc, char** argv, int arg_start) {
   obs::ObsContext obs;
   obs::ScopedObs scoped_obs(&obs);
   ConfigureLogger(&obs.logger, quiet);
+  // Event recording is off unless a trace is requested: the per-worker
+  // buffers are cheap but not free, and nothing would read them.
+  if (!trace_out.empty()) obs.events.set_enabled(true);
 
   auto db = LoadData(config);
   if (!db.ok()) return Fail(db.status());
@@ -360,9 +378,10 @@ int RunRepair(RepairConfig config, int argc, char** argv, int arg_start) {
   if (!valid.ok()) return Fail(valid);
 
   int exit_code = 0;
+  obs::Json session_json;
   if (!batch_file.empty()) {
     exit_code = RunSessionReplay(config, *db, options, batch_file, batch_size,
-                                 report, obs);
+                                 report, obs, &session_json);
   } else {
     auto outcome = RepairDatabase(*db, config.constraints, options);
     if (!outcome.ok()) return Fail(outcome.status());
@@ -393,15 +412,27 @@ int RunRepair(RepairConfig config, int argc, char** argv, int arg_start) {
   }
   if (exit_code != 0) return exit_code;
 
+  if (report) {
+    std::cerr << FormatHistogramSummaries(obs.metrics);
+  }
   if (trace) {
     std::cerr << obs::FormatSpanTrees(obs.tracer);
   }
   if (!metrics_out.empty()) {
     obs::Json snapshot = obs::BuildRunSnapshot(obs);
     snapshot.Set("solver", obs::Json(SolverKindName(config.solver)));
+    if (session_json.is_object()) {
+      snapshot.Set("session", std::move(session_json));
+    }
     const Status st = WriteTextFile(metrics_out, snapshot.Dump(2) + "\n");
     if (!st.ok()) return Fail(st);
     obs.logger.Info("wrote metrics snapshot to " + metrics_out);
+  }
+  if (!trace_out.empty()) {
+    const Status st =
+        WriteTextFile(trace_out, obs::ChromeTraceJson(obs).Dump() + "\n");
+    if (!st.ok()) return Fail(st);
+    obs.logger.Info("wrote Chrome trace to " + trace_out);
   }
   return 0;
 }

@@ -15,6 +15,7 @@ namespace dbrepair {
 inline constexpr const char kFlagThreads[] = "--threads";
 inline constexpr const char kFlagNoColumnar[] = "--no-columnar";
 inline constexpr const char kFlagSolver[] = "--solver";
+inline constexpr const char kFlagTraceOut[] = "--trace-out";
 
 /// A tiny command-line flag parser: `--name value` for string/size flags,
 /// bare `--name` for booleans. Deliberately free of any dependency on io/

@@ -10,6 +10,15 @@ namespace dbrepair {
 namespace {
 
 thread_local bool t_on_pool_worker = false;
+thread_local int t_pool_worker_index = -1;
+
+// Context-propagation hooks (see ThreadContextHooks). Stored as individual
+// atomics so Submit can read them without a lock; `capture` is published
+// last with release order and read first with acquire, making the other
+// two visible whenever it is.
+std::atomic<void* (*)()> g_hook_capture{nullptr};
+std::atomic<void* (*)(void*)> g_hook_install{nullptr};
+std::atomic<void (*)(void*)> g_hook_restore{nullptr};
 
 }  // namespace
 
@@ -19,11 +28,21 @@ size_t ResolveNumThreads(size_t requested) {
   return hw == 0 ? 1 : hw;
 }
 
+void SetThreadContextHooks(const ThreadContextHooks& hooks) {
+  if (hooks.capture == nullptr || hooks.install == nullptr ||
+      hooks.restore == nullptr) {
+    return;
+  }
+  g_hook_install.store(hooks.install, std::memory_order_relaxed);
+  g_hook_restore.store(hooks.restore, std::memory_order_relaxed);
+  g_hook_capture.store(hooks.capture, std::memory_order_release);
+}
+
 ThreadPool::ThreadPool(size_t num_threads) {
   const size_t n = ResolveNumThreads(num_threads);
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -37,6 +56,16 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  if (auto* capture = g_hook_capture.load(std::memory_order_acquire)) {
+    void* context = capture();
+    task = [context, inner = std::move(task)] {
+      auto* install = g_hook_install.load(std::memory_order_relaxed);
+      auto* restore = g_hook_restore.load(std::memory_order_relaxed);
+      void* previous = install(context);
+      inner();
+      restore(previous);
+    };
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push(std::move(task));
@@ -46,8 +75,11 @@ void ThreadPool::Submit(std::function<void()> task) {
 
 bool ThreadPool::OnWorkerThread() { return t_on_pool_worker; }
 
-void ThreadPool::WorkerLoop() {
+int ThreadPool::CurrentWorkerIndex() { return t_pool_worker_index; }
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
   t_on_pool_worker = true;
+  t_pool_worker_index = static_cast<int>(worker_index);
   for (;;) {
     std::function<void()> task;
     {

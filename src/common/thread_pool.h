@@ -16,6 +16,24 @@ namespace dbrepair {
 /// thread, at least 1); any other value is taken literally.
 size_t ResolveNumThreads(size_t requested);
 
+/// Hooks that propagate a per-thread context (the observability context)
+/// from the submitting thread onto pool workers: `capture` runs on the
+/// submitting thread inside Submit(), `install` runs on the worker before
+/// the task (returning whatever was installed before), `restore` runs on
+/// the worker after the task. Registered once at startup by the obs layer;
+/// common/ stays free of any dependency on it. All three must be set
+/// together (or the hooks are ignored).
+struct ThreadContextHooks {
+  void* (*capture)() = nullptr;
+  void* (*install)(void* context) = nullptr;
+  void (*restore)(void* previous) = nullptr;
+};
+
+/// Installs the process-wide context-propagation hooks. Call before any
+/// pool work is submitted; later calls replace the hooks for tasks
+/// submitted afterwards.
+void SetThreadContextHooks(const ThreadContextHooks& hooks);
+
 /// A fixed-size FIFO thread pool — no work stealing, one shared queue.
 /// `Submit` enqueues a task; workers drain the queue in submission order.
 /// Submitted tasks must not throw (ParallelFor is the exception-safe
@@ -32,7 +50,10 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
-  /// Enqueues `task` for execution by some worker.
+  /// Enqueues `task` for execution by some worker. When context hooks are
+  /// registered, the submitting thread's context is captured here and
+  /// installed around the task on the worker, so pool work observes the
+  /// same ObsContext as the thread that fanned it out.
   void Submit(std::function<void()> task);
 
   /// True when the calling thread is a worker of *any* ThreadPool.
@@ -40,8 +61,13 @@ class ThreadPool {
   /// instead of deadlocking waiting for its own pool.
   static bool OnWorkerThread();
 
+  /// The calling worker's index within its pool ([0, num_threads)), or -1
+  /// when the caller is not a pool worker. Stable for the thread's
+  /// lifetime; used to label per-worker trace lanes.
+  static int CurrentWorkerIndex();
+
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -1086,6 +1086,7 @@ Status ViolationEngine::ExecuteShardedInto(
   std::vector<Status> shard_status(ranges.size(), Status::OK());
   std::vector<uint64_t> shard_ns(ranges.size(), 0);
   ParallelFor(pool_.get(), ranges.size(), [&](size_t s) {
+    const obs::ScopedWorkEvent shard_event("scan.shard");
     const auto start = Clock::now();
     AtomFilters shard_filters(ic.atoms.size());
     shard_filters[driving_atom].min_row =

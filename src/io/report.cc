@@ -70,4 +70,28 @@ std::string FormatRepairReport(const Database& original,
   return out;
 }
 
+std::string FormatHistogramSummaries(const obs::MetricsRegistry& metrics) {
+  const obs::Json snapshot = metrics.Snapshot();
+  const obs::Json* histograms = snapshot.Find("histograms");
+  if (histograms == nullptr || !histograms->is_object()) return "";
+  std::string out;
+  for (const auto& [name, hist] : histograms->AsObject()) {
+    const obs::Json* count = hist.Find("count");
+    if (count == nullptr || count->AsInt() == 0) continue;
+    const obs::Json* sum = hist.Find("sum");
+    const obs::Json* p50 = hist.Find("p50");
+    const obs::Json* p95 = hist.Find("p95");
+    const obs::Json* p99 = hist.Find("p99");
+    const double n = count->AsDouble();
+    const double mean = sum == nullptr ? 0.0 : sum->AsDouble() / n;
+    if (out.empty()) out += "histograms (count / mean / p50 / p95 / p99)\n";
+    out += Printf("  %-28s %8" PRId64 "  %10.1f %10.0f %10.0f %10.0f\n",
+                  name.c_str(), count->AsInt(), mean,
+                  p50 == nullptr ? 0.0 : p50->AsDouble(),
+                  p95 == nullptr ? 0.0 : p95->AsDouble(),
+                  p99 == nullptr ? 0.0 : p99->AsDouble());
+  }
+  return out;
+}
+
 }  // namespace dbrepair

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "obs/metrics.h"
 #include "repair/repairer.h"
 #include "storage/database.h"
 
@@ -14,6 +15,11 @@ namespace dbrepair {
 /// instance (for schema/key rendering of the touched tuples).
 std::string FormatRepairReport(const Database& original,
                                const RepairOutcome& outcome);
+
+/// One line per recorded histogram — count, mean, and the p50/p95/p99
+/// estimates reconstructed from the log2 buckets — for the CLI --report
+/// output. Empty string when no histogram has samples.
+std::string FormatHistogramSummaries(const obs::MetricsRegistry& metrics);
 
 }  // namespace dbrepair
 

@@ -1,0 +1,32 @@
+#ifndef DBREPAIR_OBS_CHROME_TRACE_H_
+#define DBREPAIR_OBS_CHROME_TRACE_H_
+
+#include "obs/context.h"
+#include "obs/json.h"
+
+namespace dbrepair::obs {
+
+/// Renders one run as a Chrome trace-event document (the JSON object
+/// format: {"traceEvents": [...], "displayTimeUnit": "ms"}), loadable in
+/// Perfetto (ui.perfetto.dev) or chrome://tracing.
+///
+/// Layout:
+///  - tid 0 ("main") carries the tracer's span tree as complete ("X")
+///    events plus the pipeline thread's own lane events — phase spans and
+///    the shards the calling thread ran itself nest visually.
+///  - every other event lane gets its own tid in registration order
+///    ("worker-1", "worker-2", ... for pool workers), showing one "X" event
+///    per pool task / shard region, "i" instants (CSR freeze,
+///    epoch-append), and "C" counter samples recorded on that thread.
+///  - the metrics registry's counters and gauges are emitted as one final
+///    counter sample each at export time, so every registry metric appears
+///    as a counter track.
+///
+/// Timestamps are microseconds on the context's shared TraceClock epoch;
+/// spans still open at export report elapsed-so-far and carry
+/// {"open": true} args.
+Json ChromeTraceJson(const ObsContext& context);
+
+}  // namespace dbrepair::obs
+
+#endif  // DBREPAIR_OBS_CHROME_TRACE_H_

@@ -1,6 +1,8 @@
 #ifndef DBREPAIR_OBS_CONTEXT_H_
 #define DBREPAIR_OBS_CONTEXT_H_
 
+#include "obs/clock.h"
+#include "obs/events.h"
 #include "obs/json.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -9,12 +11,18 @@
 namespace dbrepair::obs {
 
 /// One run's observability state: the metrics registry, the span tracer,
-/// and the logger. The pipeline reads it through CurrentObs(), so library
-/// code needs no plumbed-through parameters and uninstrumented callers pay
-/// only a thread-local load.
+/// the per-thread event collector, and the logger. The pipeline reads it
+/// through CurrentObs(), so library code needs no plumbed-through
+/// parameters and uninstrumented callers pay only a thread-local load.
+/// ThreadPool workers inherit the submitting thread's context (the pool's
+/// context hooks install it around every task), so worker-side events and
+/// metrics land in the same run. Tracer and events share `clock`, making
+/// their timestamps directly comparable at merge time.
 struct ObsContext {
+  TraceClock clock;
   MetricsRegistry metrics;
-  Tracer tracer;
+  Tracer tracer{&clock};
+  EventCollector events{&clock};
   Logger logger;
 };
 
@@ -40,10 +48,19 @@ class ScopedObs {
 };
 
 /// The single-document JSON snapshot of a run:
-///   {"schema_version": 1,
+///   {"schema_version": 2,
 ///    "phases": {"repair": s, "repair/build": s, ...},   // from span paths
 ///    "metrics": {"counters": ..., "gauges": ..., "histograms": ...},
-///    "trace": [<span tree>, ...]}
+///    "trace": [<span tree>, ...],
+///    "workers": {"lanes": [...], "phases": {...}}}      // when events on
+///
+/// Spans still open at snapshot time are marked "open": true and report
+/// elapsed-so-far (both in "phases" and in "trace"), so a mid-run snapshot
+/// is distinguishable from instant spans. When the event collector has
+/// lanes, "workers" lists one entry per recording thread (label, event and
+/// span counts, busy seconds) plus per-phase worker-time attribution: each
+/// completed lane interval is charged to the deepest span whose window
+/// contains it.
 Json BuildRunSnapshot(const ObsContext& context);
 
 }  // namespace dbrepair::obs

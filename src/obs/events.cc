@@ -1,0 +1,208 @@
+#include "obs/events.h"
+
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "obs/context.h"
+
+namespace dbrepair::obs {
+
+namespace {
+
+/// Monotonic id source for collector registration serials. Serials are
+/// never reused, so a thread-local cache entry for a destroyed (or
+/// Clear()ed) collector can never match again — it just goes stale.
+std::atomic<uint64_t> g_next_collector_serial{1};
+
+struct LaneCacheEntry {
+  uint64_t serial = 0;
+  EventLane* lane = nullptr;
+};
+
+/// Per-thread cache of (collector serial -> lane). A handful of entries per
+/// thread in practice (one per live collector this thread recorded into);
+/// linear scan keeps the hot path allocation-free.
+thread_local std::vector<LaneCacheEntry> t_lane_cache;
+
+}  // namespace
+
+void EventLane::Append(EventKind kind, std::string_view name,
+                       double ts_seconds, double value) {
+  if (write_offset_ == kChunkEvents) {
+    auto fresh = std::make_unique<Chunk>();
+    Chunk* raw = fresh.get();
+    overflow_.push_back(std::move(fresh));
+    // Publish the link before the event count that will point into it, so
+    // a reader that acquires the new count always sees the chunk.
+    write_chunk_->next.store(raw, std::memory_order_release);
+    write_chunk_ = raw;
+    write_offset_ = 0;
+  }
+  TraceEvent& slot = write_chunk_->events[write_offset_++];
+  slot.ts_seconds = ts_seconds;
+  slot.value = value;
+  slot.kind = kind;
+  slot.name.assign(name.data(), name.size());
+  size_.fetch_add(1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> EventLane::Events() const {
+  const size_t n = size();
+  std::vector<TraceEvent> out;
+  out.reserve(n);
+  const Chunk* chunk = &head_;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t offset = i % kChunkEvents;
+    if (i != 0 && offset == 0) {
+      chunk = chunk->next.load(std::memory_order_acquire);
+    }
+    out.push_back(chunk->events[offset]);
+  }
+  return out;
+}
+
+EventCollector::EventCollector(TraceClock* clock)
+    : clock_(clock != nullptr ? clock : &own_clock_),
+      serial_(g_next_collector_serial.fetch_add(1, std::memory_order_relaxed)) {
+}
+
+EventLane* EventCollector::LaneForThisThread() {
+  for (const LaneCacheEntry& entry : t_lane_cache) {
+    if (entry.serial == serial_) return entry.lane;
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  const int worker_index = ThreadPool::CurrentWorkerIndex();
+  std::string label;
+  bool worker = false;
+  if (worker_index >= 0) {
+    worker = true;
+    label = "worker-" + std::to_string(++worker_lanes_);
+  } else {
+    ++main_lanes_;
+    label = main_lanes_ == 1 ? "main" : "thread-" + std::to_string(main_lanes_);
+  }
+  auto lane = std::make_unique<EventLane>(
+      static_cast<uint32_t>(lanes_.size() + retired_.size()), std::move(label),
+      worker);
+  EventLane* raw = lane.get();
+  lanes_.push_back(std::move(lane));
+  t_lane_cache.push_back({serial_, raw});
+  return raw;
+}
+
+void EventCollector::Record(EventKind kind, std::string_view name,
+                            double value) {
+  if (!enabled()) return;
+  LaneForThisThread()->Append(kind, name, clock_->SecondsSinceEpoch(), value);
+}
+
+void EventCollector::RecordBegin(std::string_view name) {
+  Record(EventKind::kBegin, name, 0.0);
+}
+
+void EventCollector::RecordEnd(std::string_view name) {
+  Record(EventKind::kEnd, name, 0.0);
+}
+
+void EventCollector::RecordInstant(std::string_view name, double value) {
+  Record(EventKind::kInstant, name, value);
+}
+
+void EventCollector::RecordCounter(std::string_view name, double value) {
+  Record(EventKind::kCounter, name, value);
+}
+
+std::vector<const EventLane*> EventCollector::lanes() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const EventLane*> out;
+  out.reserve(lanes_.size());
+  for (const auto& lane : lanes_) out.push_back(lane.get());
+  return out;
+}
+
+size_t EventCollector::num_lanes() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return lanes_.size();
+}
+
+void EventCollector::Clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  // Keep the memory alive (a stale thread-local cache entry must never
+  // dangle while this collector lives) but take a fresh serial so every
+  // thread re-registers, landing in a fresh lane on next record.
+  for (auto& lane : lanes_) retired_.push_back(std::move(lane));
+  lanes_.clear();
+  worker_lanes_ = 0;
+  main_lanes_ = 0;
+  serial_ = g_next_collector_serial.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<LaneSnapshot> SnapshotLanes(const EventCollector& events,
+                                        double now_seconds) {
+  std::vector<LaneSnapshot> out;
+  for (const EventLane* lane : events.lanes()) {
+    LaneSnapshot snap;
+    snap.id = lane->id();
+    snap.label = lane->label();
+    snap.worker = lane->worker();
+    snap.events = lane->Events();
+
+    std::vector<size_t> open;  // indices into snap.intervals, innermost last
+    for (const TraceEvent& event : snap.events) {
+      switch (event.kind) {
+        case EventKind::kBegin: {
+          LaneInterval interval;
+          interval.name = event.name;
+          interval.begin_seconds = event.ts_seconds;
+          interval.depth = open.size();
+          interval.open = true;
+          open.push_back(snap.intervals.size());
+          snap.intervals.push_back(std::move(interval));
+          break;
+        }
+        case EventKind::kEnd: {
+          // Close the innermost open region with this name (normally the
+          // top of the stack; tolerate interleaved ends from error paths).
+          for (size_t i = open.size(); i-- > 0;) {
+            LaneInterval& interval = snap.intervals[open[i]];
+            if (interval.name == event.name) {
+              interval.end_seconds = event.ts_seconds;
+              interval.open = false;
+              open.erase(open.begin() + static_cast<ptrdiff_t>(i));
+              break;
+            }
+          }
+          break;
+        }
+        case EventKind::kInstant:
+        case EventKind::kCounter:
+          break;
+      }
+    }
+    for (const size_t i : open) {
+      snap.intervals[i].end_seconds = now_seconds;
+    }
+    for (const LaneInterval& interval : snap.intervals) {
+      if (interval.depth == 0) {
+        snap.busy_seconds += interval.end_seconds - interval.begin_seconds;
+      }
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+ScopedWorkEvent::ScopedWorkEvent(std::string_view name)
+    : events_(&CurrentObs().events) {
+  if (events_->enabled()) {
+    active_ = true;
+    name_.assign(name.data(), name.size());
+    events_->RecordBegin(name_);
+  }
+}
+
+ScopedWorkEvent::~ScopedWorkEvent() {
+  if (active_) events_->RecordEnd(name_);
+}
+
+}  // namespace dbrepair::obs

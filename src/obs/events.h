@@ -1,0 +1,186 @@
+#ifndef DBREPAIR_OBS_EVENTS_H_
+#define DBREPAIR_OBS_EVENTS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/clock.h"
+
+namespace dbrepair::obs {
+
+/// What one trace event records. Begin/end pairs bracket a region of work
+/// on one thread (a shard scan, a pool task); instants mark a point in time
+/// (a CSR freeze); counters sample a time-series value (cumulative repair
+/// distance after each session batch).
+enum class EventKind : uint8_t { kBegin, kEnd, kInstant, kCounter };
+
+/// One event, stamped against the collector's shared TraceClock epoch.
+struct TraceEvent {
+  double ts_seconds = 0.0;
+  double value = 0.0;  ///< counter sample / instant payload
+  EventKind kind = EventKind::kInstant;
+  std::string name;
+};
+
+/// One thread's event buffer: a chunked arena that only the owning thread
+/// appends to, readable from any thread without locks. The writer fills the
+/// current chunk's next slot and then publishes the new event count with a
+/// release store; readers acquire the count first and only then walk the
+/// chunk chain, so every event (and the chunk link leading to it) is fully
+/// written before it becomes visible. No event is ever moved or mutated
+/// after publication, so snapshots need no synchronisation with the writer
+/// beyond that single acquire load.
+class EventLane {
+ public:
+  static constexpr size_t kChunkEvents = 128;
+
+  EventLane(uint32_t id, std::string label, bool worker)
+      : id_(id), label_(std::move(label)), worker_(worker) {}
+
+  EventLane(const EventLane&) = delete;
+  EventLane& operator=(const EventLane&) = delete;
+
+  uint32_t id() const { return id_; }
+  const std::string& label() const { return label_; }
+  /// True when the owning thread was a ThreadPool worker at registration.
+  bool worker() const { return worker_; }
+
+  /// Published event count (safe from any thread).
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  /// Appends one event. Owning thread only.
+  void Append(EventKind kind, std::string_view name, double ts_seconds,
+              double value);
+
+  /// Copies the currently published events, in record order.
+  std::vector<TraceEvent> Events() const;
+
+ private:
+  struct Chunk {
+    std::array<TraceEvent, kChunkEvents> events;
+    std::atomic<Chunk*> next{nullptr};
+  };
+
+  const uint32_t id_;
+  const std::string label_;
+  const bool worker_;
+  Chunk head_;
+  // Writer-only cursor; readers navigate via the atomic next pointers.
+  Chunk* write_chunk_ = &head_;
+  size_t write_offset_ = 0;
+  std::vector<std::unique_ptr<Chunk>> overflow_;  // writer-only until dtor
+  std::atomic<size_t> size_{0};
+};
+
+/// A begin/end pair resolved into one interval (what the exporters and the
+/// phase-attribution pass consume). `depth` is the nesting level within the
+/// lane (0 = top-level); `open` marks a begin whose end had not been
+/// recorded when the snapshot was taken — its end_seconds is "now".
+struct LaneInterval {
+  std::string name;
+  double begin_seconds = 0.0;
+  double end_seconds = 0.0;
+  size_t depth = 0;
+  bool open = false;
+};
+
+/// Read-only copy of one lane at snapshot time.
+struct LaneSnapshot {
+  uint32_t id = 0;
+  std::string label;
+  bool worker = false;
+  std::vector<TraceEvent> events;      ///< raw events in record order
+  std::vector<LaneInterval> intervals; ///< paired begin/end regions
+  double busy_seconds = 0.0;           ///< sum of depth-0 interval durations
+};
+
+/// Owner of all per-thread event lanes of one run. Recording is
+/// lock-free after a thread's first event (lane registration takes the
+/// mutex once per thread per collector); when disabled — the default —
+/// every Record call is a single relaxed load and branch, so
+/// uninstrumented runs pay nothing. Lanes live until the collector is
+/// destroyed; Clear() retires them (thread-local caches are invalidated
+/// via a fresh registration serial, never reused).
+class EventCollector {
+ public:
+  explicit EventCollector(TraceClock* clock = nullptr);
+
+  EventCollector(const EventCollector&) = delete;
+  EventCollector& operator=(const EventCollector&) = delete;
+
+  /// Event recording is off by default; the CLI's --trace-out flag (or
+  /// DBREPAIR_TRACE_EVENTS=1 for the benchmarks) turns it on.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  const TraceClock& clock() const { return *clock_; }
+
+  /// Opens a region on the calling thread's lane (no-ops when disabled).
+  void RecordBegin(std::string_view name);
+  /// Closes the innermost open region of the same name on this lane.
+  void RecordEnd(std::string_view name);
+  /// A point event, optionally carrying a payload value.
+  void RecordInstant(std::string_view name, double value = 0.0);
+  /// Samples a counter track (one time-series per distinct name).
+  void RecordCounter(std::string_view name, double value);
+
+  /// Stable lane pointers, in registration order. Lanes may still be
+  /// written concurrently; read them via EventLane::Events()/size().
+  std::vector<const EventLane*> lanes() const;
+
+  size_t num_lanes() const;
+
+  /// Retires all lanes. Callers must guarantee no thread is concurrently
+  /// recording (i.e. the run's pools have drained), same as Tracer::Clear.
+  void Clear();
+
+ private:
+  EventLane* LaneForThisThread();
+  void Record(EventKind kind, std::string_view name, double value);
+
+  TraceClock own_clock_;
+  TraceClock* clock_;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  uint64_t serial_;  ///< cache key for thread-local lane lookup; unique ever
+  std::vector<std::unique_ptr<EventLane>> lanes_;
+  std::vector<std::unique_ptr<EventLane>> retired_;  ///< lanes from before Clear()
+  size_t worker_lanes_ = 0;
+  size_t main_lanes_ = 0;
+};
+
+/// Pairs every lane's begin/end events into intervals as of `now_seconds`
+/// (the collector's clock), computing per-lane busy time. Lanes are
+/// returned in registration order.
+std::vector<LaneSnapshot> SnapshotLanes(const EventCollector& events,
+                                        double now_seconds);
+
+/// RAII begin/end pair on the calling thread's current ObsContext event
+/// collector — the worker-side analogue of obs::Span. Safe (and free) when
+/// event recording is disabled.
+class ScopedWorkEvent {
+ public:
+  explicit ScopedWorkEvent(std::string_view name);
+  ~ScopedWorkEvent();
+
+  ScopedWorkEvent(const ScopedWorkEvent&) = delete;
+  ScopedWorkEvent& operator=(const ScopedWorkEvent&) = delete;
+
+ private:
+  EventCollector* events_;
+  std::string name_;
+  bool active_ = false;
+};
+
+}  // namespace dbrepair::obs
+
+#endif  // DBREPAIR_OBS_EVENTS_H_

@@ -1,11 +1,39 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
+#include <limits>
+
 namespace dbrepair::obs {
 
 void Histogram::Reset() {
   for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
+}
+
+double Histogram::ApproxQuantile(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target sample, 1-based; q = 0 maps to the first sample.
+  const double target = std::max(1.0, q * static_cast<double>(n));
+  double cumulative = 0.0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t c = bucket(i);
+    if (c == 0) continue;
+    if (cumulative + static_cast<double>(c) >= target) {
+      if (i == 0) return 0.0;  // bucket 0 holds only the value 0
+      const double lower = static_cast<double>(BucketLowerBound(i));
+      // Samples are integers, so bucket i really holds [lower, 2*lower - 1];
+      // interpolating across that closed range makes single-value buckets
+      // (0 and 1) exact and never overshoots the bucket.
+      const double width = lower - 1.0;
+      const double fraction = (target - cumulative) / static_cast<double>(c);
+      return lower + fraction * width;
+    }
+    cumulative += static_cast<double>(c);
+  }
+  return static_cast<double>(BucketLowerBound(kNumBuckets - 1));
 }
 
 Json Histogram::ToJson() const {
@@ -18,6 +46,11 @@ Json Histogram::ToJson() const {
   Json out = Json::MakeObject();
   out.Set("count", Json(count()));
   out.Set("sum", Json(sum()));
+  if (count() > 0) {
+    out.Set("p50", Json(ApproxQuantile(0.50)));
+    out.Set("p95", Json(ApproxQuantile(0.95)));
+    out.Set("p99", Json(ApproxQuantile(0.99)));
+  }
   out.Set("buckets", std::move(buckets));
   return out;
 }

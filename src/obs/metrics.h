@@ -79,8 +79,17 @@ class Histogram {
 
   void Reset();
 
-  /// {"count": n, "sum": s, "buckets": [[lower_bound, count], ...]} with
-  /// only the non-empty buckets listed.
+  /// Approximate q-quantile (q in [0, 1]) reconstructed from the log2
+  /// buckets: the sample at rank q*count is located in its bucket and the
+  /// value interpolated linearly inside the bucket's integer range
+  /// [lower, 2*lower - 1]. Exact when the bucket holds one distinct value
+  /// (0 and 1 always are); otherwise within a factor-2 bucket of the true
+  /// quantile. NaN when empty.
+  double ApproxQuantile(double q) const;
+
+  /// {"count": n, "sum": s, "p50": ..., "p95": ..., "p99": ...,
+  ///  "buckets": [[lower_bound, count], ...]} with only the non-empty
+  /// buckets listed; the percentile keys appear only when count > 0.
   Json ToJson() const;
 
  private:

@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "obs/context.h"
@@ -72,7 +73,7 @@ void Tracer::Clear() {
   const std::lock_guard<std::mutex> lock(mu_);
   roots_.clear();
   stack_.clear();
-  epoch_ = Clock::now();
+  clock_->Reset();
 }
 
 Span::Span(std::string_view name) : Span(&CurrentObs().tracer, name) {}
@@ -90,52 +91,63 @@ double Span::Finish() {
   return duration_seconds_;
 }
 
+double EffectiveDurationSeconds(const SpanNode& node, double now_seconds) {
+  if (!node.open) return node.duration_seconds;
+  if (now_seconds < 0.0) return 0.0;
+  return std::max(0.0, now_seconds - node.start_seconds);
+}
+
 namespace {
 
 void FormatSpanInto(const SpanNode& node, const SpanNode* parent, int depth,
-                    std::string* out) {
+                    double now_seconds, std::string* out) {
   char buffer[160];
-  const double ms = node.duration_seconds * 1e3;
-  if (parent != nullptr && parent->duration_seconds > 0.0) {
+  const double ms = EffectiveDurationSeconds(node, now_seconds) * 1e3;
+  const char* suffix = node.open ? " (open)" : "";
+  const double parent_seconds =
+      parent != nullptr ? EffectiveDurationSeconds(*parent, now_seconds) : 0.0;
+  if (parent != nullptr && parent_seconds > 0.0) {
     const double share =
-        100.0 * node.duration_seconds / parent->duration_seconds;
-    std::snprintf(buffer, sizeof(buffer), "%*s%-12s %10.3f ms  %5.1f%%\n",
-                  depth * 2, "", node.name.c_str(), ms, share);
+        100.0 * EffectiveDurationSeconds(node, now_seconds) / parent_seconds;
+    std::snprintf(buffer, sizeof(buffer), "%*s%-12s %10.3f ms  %5.1f%%%s\n",
+                  depth * 2, "", node.name.c_str(), ms, share, suffix);
   } else {
-    std::snprintf(buffer, sizeof(buffer), "%*s%-12s %10.3f ms\n", depth * 2,
-                  "", node.name.c_str(), ms);
+    std::snprintf(buffer, sizeof(buffer), "%*s%-12s %10.3f ms%s\n", depth * 2,
+                  "", node.name.c_str(), ms, suffix);
   }
   *out += buffer;
   for (const auto& child : node.children) {
-    FormatSpanInto(*child, &node, depth + 1, out);
+    FormatSpanInto(*child, &node, depth + 1, now_seconds, out);
   }
 }
 
 }  // namespace
 
-std::string FormatSpanTree(const SpanNode& root) {
+std::string FormatSpanTree(const SpanNode& root, double now_seconds) {
   std::string out;
-  FormatSpanInto(root, nullptr, 0, &out);
+  FormatSpanInto(root, nullptr, 0, now_seconds, &out);
   return out;
 }
 
 std::string FormatSpanTrees(const Tracer& tracer) {
   std::string out;
+  const double now = tracer.clock().SecondsSinceEpoch();
   for (const SpanNode* root : tracer.roots()) {
-    out += FormatSpanTree(*root);
+    out += FormatSpanTree(*root, now);
   }
   return out;
 }
 
-Json SpanTreeToJson(const SpanNode& root) {
+Json SpanTreeToJson(const SpanNode& root, double now_seconds) {
   Json out = Json::MakeObject();
   out.Set("name", Json(root.name));
   out.Set("start_s", Json(root.start_seconds));
-  out.Set("duration_s", Json(root.duration_seconds));
+  out.Set("duration_s", Json(EffectiveDurationSeconds(root, now_seconds)));
+  if (root.open) out.Set("open", Json(true));
   if (!root.children.empty()) {
     Json children = Json::MakeArray();
     for (const auto& child : root.children) {
-      children.Append(SpanTreeToJson(*child));
+      children.Append(SpanTreeToJson(*child, now_seconds));
     }
     out.Set("children", std::move(children));
   }

@@ -1,13 +1,13 @@
 #ifndef DBREPAIR_OBS_TRACE_H_
 #define DBREPAIR_OBS_TRACE_H_
 
-#include <chrono>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "obs/clock.h"
 #include "obs/json.h"
 
 namespace dbrepair::obs {
@@ -26,11 +26,21 @@ struct SpanNode {
 
 /// Records a tree of scoped spans. Open/close follows stack discipline on
 /// the instrumented (pipeline) thread; the structure itself is mutex-guarded
-/// so concurrent readers (snapshots) are safe. Counters, not spans, are the
-/// tool for intra-phase multi-threaded work.
+/// so concurrent readers (snapshots) are safe. Worker-side work inside a
+/// phase is recorded into the EventCollector's per-thread lanes and merged
+/// back against this tree at snapshot time.
 class Tracer {
  public:
-  Tracer() : epoch_(Clock::now()) {}
+  /// Standalone tracer with its own epoch.
+  Tracer() : clock_(&own_clock_) {}
+
+  /// Tracer stamping against a shared clock (the ObsContext wires its
+  /// tracer and event collector to one TraceClock so both merge cleanly).
+  explicit Tracer(TraceClock* clock)
+      : clock_(clock != nullptr ? clock : &own_clock_) {}
+
+  /// The clock this tracer stamps spans against.
+  const TraceClock& clock() const { return *clock_; }
 
   /// Opens a span as a child of the innermost open span (or a new root).
   SpanNode* OpenSpan(std::string_view name);
@@ -51,14 +61,11 @@ class Tracer {
   void Clear();
 
  private:
-  using Clock = std::chrono::steady_clock;
-
-  double Now() const {
-    return std::chrono::duration<double>(Clock::now() - epoch_).count();
-  }
+  double Now() const { return clock_->SecondsSinceEpoch(); }
 
   mutable std::mutex mu_;
-  Clock::time_point epoch_;
+  TraceClock own_clock_;
+  TraceClock* clock_;
   std::vector<std::unique_ptr<SpanNode>> roots_;
   std::vector<SpanNode*> stack_;
 };
@@ -87,14 +94,25 @@ class Span {
 };
 
 /// Indented human-readable rendering of one span tree, one line per span
-/// with wall time in ms and the share of its parent.
-std::string FormatSpanTree(const SpanNode& root);
+/// with wall time in ms and the share of its parent. Spans still open are
+/// marked "(open)" and, when `now_seconds` (on the tracer's clock) is
+/// non-negative, show elapsed-so-far instead of 0.
+std::string FormatSpanTree(const SpanNode& root, double now_seconds = -1.0);
 
-/// All root span trees of `tracer`, concatenated.
+/// All root span trees of `tracer`, concatenated (open spans show
+/// elapsed-so-far against the tracer's clock).
 std::string FormatSpanTrees(const Tracer& tracer);
 
 /// {"name": ..., "start_s": ..., "duration_s": ..., "children": [...]}.
-Json SpanTreeToJson(const SpanNode& root);
+/// A span still open when the snapshot is taken additionally carries
+/// "open": true, and its duration_s reports elapsed time up to
+/// `now_seconds` (when non-negative) instead of 0.
+Json SpanTreeToJson(const SpanNode& root, double now_seconds = -1.0);
+
+/// The duration to report for `node`: its measured duration when closed,
+/// elapsed time up to `now_seconds` while still open (0 when now_seconds
+/// is negative, i.e. unknown).
+double EffectiveDurationSeconds(const SpanNode& node, double now_seconds);
 
 }  // namespace dbrepair::obs
 

@@ -110,6 +110,7 @@ Result<std::vector<CandidateFix>> GenerateCandidateFixes(
   std::vector<std::vector<PendingFix>> shard_fixes(fix_ranges.size());
   std::vector<uint64_t> fix_shard_ns(fix_ranges.size(), 0);
   ParallelFor(pool, fix_ranges.size(), [&](size_t s) {
+    const obs::ScopedWorkEvent shard_event("fixes.shard");
     const auto start = std::chrono::steady_clock::now();
     std::unordered_set<FixKey, FixKeyHash> seen;
     // Each violation set emits at most ~2 fixes per (tuple, attribute)
@@ -189,6 +190,7 @@ Result<std::vector<CandidateFix>> GenerateCandidateFixes(
   std::vector<uint64_t> shard_checks(link_ranges.size(), 0);
   std::vector<uint64_t> link_shard_ns(link_ranges.size(), 0);
   ParallelFor(pool, link_ranges.size(), [&](size_t s) {
+    const obs::ScopedWorkEvent shard_event("links.shard");
     const auto start = std::chrono::steady_clock::now();
     std::vector<std::pair<uint32_t, const Tuple*>> members;
     for (size_t vid = link_ranges[s].first; vid < link_ranges[s].second;

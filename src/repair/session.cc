@@ -126,7 +126,7 @@ Status RepairSession::Init() {
   obs::Span solve_span(&obs.tracer, "solve");
   DBREPAIR_ASSIGN_OR_RETURN(const SetCoverSolution solution,
                             solver_->SolveDelta());
-  solve_span.Finish();
+  const double open_solve_seconds = solve_span.Finish();
 
   obs::Span apply_span(&obs.tracer, "apply");
   std::vector<std::vector<uint32_t>> updated_rows;
@@ -137,7 +137,7 @@ Status RepairSession::Init() {
     if (!updated_rows[r].empty()) updated_relations.push_back(r);
   }
   RefreshAfterUpdates(updated_relations);
-  apply_span.Finish();
+  const double open_apply_seconds = apply_span.Finish();
 
   if (options_.verify && !updated_relations.empty()) {
     obs::Span verify_span(&obs.tracer, "verify");
@@ -169,6 +169,18 @@ Status RepairSession::Init() {
   obs.metrics.GetCounter("session.open.updates")->Add(num_updates);
   obs.metrics.GetGauge("session.cover_weight")->Set(stats_.cover_weight);
   obs.metrics.GetGauge("session.distance")->Set(cumulative_distance_);
+
+  // The initial full repair is telemetry batch 0.
+  BatchStats open_batch;
+  open_batch.num_new_violations = violations_.size();
+  open_batch.num_new_fixes = fixes_.size();
+  open_batch.num_chosen_fixes = solution.chosen.size();
+  open_batch.num_updates = num_updates;
+  open_batch.cover_weight = solution.weight;
+  open_batch.solve_seconds = open_solve_seconds;
+  open_batch.apply_seconds = open_apply_seconds;
+  open_batch.total_seconds = open_span.Finish();
+  RecordBatchTelemetry(/*batch_id=*/0, open_batch);
   return Status::OK();
 }
 
@@ -364,7 +376,98 @@ Result<BatchStats> RepairSession::ApplyBatch(const std::vector<BatchRow>& rows) 
   obs.metrics.GetGauge("session.distance")->Set(cumulative_distance_);
 
   batch.total_seconds = batch_span.Finish();
+  RecordBatchTelemetry(stats_.num_batches, batch);
   return batch;
+}
+
+void RepairSession::RecordBatchTelemetry(uint64_t batch_id,
+                                         const BatchStats& batch) {
+  BatchTelemetry record;
+  record.batch = batch_id;
+  record.rows = batch.num_rows;
+  record.new_violations = batch.num_new_violations;
+  record.new_sets = batch.num_new_fixes;
+  record.extended_sets = batch.num_extended_fixes;
+  record.chosen_sets = batch.num_chosen_fixes;
+  record.updates = batch.num_updates;
+  record.csr_arena_bytes = csr_.arena_bytes();
+  record.csr_dead_slots = csr_.dead_slots();
+  record.detect_seconds = batch.detect_seconds;
+  record.patch_seconds = batch.patch_seconds;
+  record.solve_seconds = batch.solve_seconds;
+  record.apply_seconds = batch.apply_seconds;
+  record.verify_seconds = batch.verify_seconds;
+  record.total_seconds = batch.total_seconds;
+  record.cover_weight = stats_.cover_weight;
+  record.cumulative_distance = cumulative_distance_;
+  telemetry_.push_back(record);
+  if (telemetry_.size() > kTelemetryWindow) telemetry_.pop_front();
+
+  obs::ObsContext& obs = obs::CurrentObs();
+  const auto micros = [](double seconds) {
+    return static_cast<uint64_t>(std::max(0.0, seconds) * 1e6);
+  };
+  obs.metrics.GetHistogram("session.batch.detect_us")
+      ->Record(micros(batch.detect_seconds));
+  obs.metrics.GetHistogram("session.batch.patch_us")
+      ->Record(micros(batch.patch_seconds));
+  obs.metrics.GetHistogram("session.batch.solve_us")
+      ->Record(micros(batch.solve_seconds));
+  obs.metrics.GetHistogram("session.batch.apply_us")
+      ->Record(micros(batch.apply_seconds));
+  obs.metrics.GetHistogram("session.batch.total_us")
+      ->Record(micros(batch.total_seconds));
+
+  // Counter tracks: one sample per batch, so the trace viewer shows the
+  // session's trend lines, not just final values.
+  obs.events.RecordCounter("session.cover_weight", stats_.cover_weight);
+  obs.events.RecordCounter("session.distance", cumulative_distance_);
+  obs.events.RecordCounter("session.batch.updates",
+                           static_cast<double>(batch.num_updates));
+}
+
+obs::Json RepairSession::TelemetryToJson() const {
+  using obs::Json;
+  Json window = Json::MakeArray();
+  for (const BatchTelemetry& r : telemetry_) {
+    Json entry = Json::MakeObject();
+    entry.Set("batch", Json(r.batch));
+    entry.Set("rows", Json(static_cast<uint64_t>(r.rows)));
+    entry.Set("new_violations", Json(static_cast<uint64_t>(r.new_violations)));
+    entry.Set("new_sets", Json(static_cast<uint64_t>(r.new_sets)));
+    entry.Set("extended_sets", Json(static_cast<uint64_t>(r.extended_sets)));
+    entry.Set("chosen_sets", Json(static_cast<uint64_t>(r.chosen_sets)));
+    entry.Set("updates", Json(static_cast<uint64_t>(r.updates)));
+    entry.Set("csr_arena_bytes",
+              Json(static_cast<uint64_t>(r.csr_arena_bytes)));
+    entry.Set("csr_dead_slots", Json(static_cast<uint64_t>(r.csr_dead_slots)));
+    entry.Set("detect_seconds", Json(r.detect_seconds));
+    entry.Set("patch_seconds", Json(r.patch_seconds));
+    entry.Set("solve_seconds", Json(r.solve_seconds));
+    entry.Set("apply_seconds", Json(r.apply_seconds));
+    entry.Set("verify_seconds", Json(r.verify_seconds));
+    entry.Set("total_seconds", Json(r.total_seconds));
+    entry.Set("cover_weight", Json(r.cover_weight));
+    entry.Set("cumulative_distance", Json(r.cumulative_distance));
+    window.Append(std::move(entry));
+  }
+  Json totals = Json::MakeObject();
+  totals.Set("num_batches", Json(static_cast<uint64_t>(stats_.num_batches)));
+  totals.Set("total_rows_inserted",
+             Json(static_cast<uint64_t>(stats_.total_rows_inserted)));
+  totals.Set("total_violations",
+             Json(static_cast<uint64_t>(stats_.total_violations)));
+  totals.Set("total_fixes", Json(static_cast<uint64_t>(stats_.total_fixes)));
+  totals.Set("total_updates",
+             Json(static_cast<uint64_t>(stats_.total_updates)));
+  totals.Set("cover_weight", Json(stats_.cover_weight));
+  totals.Set("cumulative_distance", Json(cumulative_distance_));
+  Json out = Json::MakeObject();
+  out.Set("batches_recorded",
+          Json(static_cast<uint64_t>(telemetry_.size())));
+  out.Set("window", std::move(window));
+  out.Set("totals", std::move(totals));
+  return out;
 }
 
 Status RepairSession::PatchInstance(std::vector<ViolationSet> new_violations,

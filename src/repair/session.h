@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -11,6 +12,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/json.h"
 #include "common/thread_pool.h"
 #include "constraints/ast.h"
 #include "constraints/violation.h"
@@ -51,6 +53,33 @@ struct BatchStats {
   double apply_seconds = 0.0;
   double verify_seconds = 0.0;
   double total_seconds = 0.0;
+};
+
+/// One batch's telemetry record: the rolling time-series the session keeps
+/// alongside BatchStats (which is returned to the caller and dropped).
+/// Batch ids count ApplyBatch calls from 1; the initial full repair of
+/// Open() is batch 0. Exported by RepairSession::TelemetryToJson() into the
+/// run snapshot, so per-batch trends (delta sizes, latencies, cumulative
+/// repair distance — the session's inconsistency-measurement signal)
+/// survive the batch loop.
+struct BatchTelemetry {
+  uint64_t batch = 0;
+  size_t rows = 0;
+  size_t new_violations = 0;
+  size_t new_sets = 0;       ///< fresh set-cover columns this batch added
+  size_t extended_sets = 0;  ///< pre-epoch columns that gained elements
+  size_t chosen_sets = 0;
+  size_t updates = 0;
+  size_t csr_arena_bytes = 0;  ///< frozen-view footprint after the append
+  size_t csr_dead_slots = 0;   ///< relocation slack after the append
+  double detect_seconds = 0.0;
+  double patch_seconds = 0.0;
+  double solve_seconds = 0.0;
+  double apply_seconds = 0.0;
+  double verify_seconds = 0.0;
+  double total_seconds = 0.0;
+  double cover_weight = 0.0;          ///< session cumulative after the batch
+  double cumulative_distance = 0.0;   ///< Delta(inserted, repaired) so far
 };
 
 /// Cumulative totals since Open (the initial full repair counts as batch 0).
@@ -149,6 +178,21 @@ class RepairSession {
   /// introduced so far, i.e. Delta(inserted data, current data).
   double cumulative_distance() const { return cumulative_distance_; }
 
+  /// The rolling per-batch telemetry window (newest last; the oldest
+  /// records are dropped past kTelemetryWindow batches). Batch 0 is the
+  /// initial full repair of Open().
+  const std::deque<BatchTelemetry>& telemetry() const { return telemetry_; }
+
+  /// Keep at most this many per-batch records (the batches a long-running
+  /// session dropped are still summed in stats()).
+  static constexpr size_t kTelemetryWindow = 256;
+
+  /// {"batches_recorded": n, "window": [...], "totals": {...}} — the
+  /// session section of the run snapshot. Each window entry carries the
+  /// batch id, delta sizes, epoch-append stats, phase latencies, and the
+  /// cumulative cover weight / repair distance after the batch.
+  obs::Json TelemetryToJson() const;
+
   /// The mutable MWSCP instance (the session's patch log). Exposed for
   /// tests and diagnostics.
   const SetCoverInstance& instance() const { return instance_; }
@@ -220,7 +264,13 @@ class RepairSession {
   CsrSetCoverInstance csr_;         // frozen view; one AppendEpoch per batch
   std::unique_ptr<IncrementalGreedySolver> solver_;  // reads csr_
 
+  // Records one completed batch into the rolling window, the latency
+  // histograms (session.batch.*_us), and the event collector's counter
+  // tracks (session.distance / session.cover_weight time series).
+  void RecordBatchTelemetry(uint64_t batch_id, const BatchStats& batch);
+
   SessionStats stats_;
+  std::deque<BatchTelemetry> telemetry_;
   std::vector<AppliedUpdate> open_updates_;
   // First-touch original value of every cell a repair has updated, keyed on
   // (tuple.Packed(), attribute): lets cumulative_distance_ stay exact when a

@@ -66,7 +66,10 @@ CsrSetCoverInstance CsrSetCoverInstance::Freeze(
     }
   }
 
-  obs::MetricsRegistry& metrics = obs::CurrentObs().metrics;
+  obs::ObsContext& obs = obs::CurrentObs();
+  obs.events.RecordInstant("csr.freeze",
+                           static_cast<double>(ElapsedNs(start)) * 1e-9);
+  obs::MetricsRegistry& metrics = obs.metrics;
   metrics.GetCounter("solve.csr.freezes")->Add(1);
   metrics.GetCounter("solve.csr.freeze_ns")->Add(ElapsedNs(start));
   metrics.GetGauge("solve.csr.arena_bytes")
@@ -173,7 +176,14 @@ Status CsrSetCoverInstance::AppendEpoch(const SetCoverInstance& patched,
   // once it dominates so the arena stays within 2x of its live size.
   if (dead_slots_ > set_arena_.size() / 2) CompactSetArena();
 
-  obs::MetricsRegistry& metrics = obs::CurrentObs().metrics;
+  obs::ObsContext& obs = obs::CurrentObs();
+  obs.events.RecordInstant("csr.epoch_append",
+                           static_cast<double>(ElapsedNs(start)) * 1e-9);
+  obs.events.RecordCounter("csr.arena_bytes",
+                           static_cast<double>(arena_bytes()));
+  obs.events.RecordCounter("csr.dead_slots",
+                           static_cast<double>(dead_slots_));
+  obs::MetricsRegistry& metrics = obs.metrics;
   metrics.GetCounter("solve.csr.epoch_appends")->Add(1);
   metrics.GetCounter("solve.csr.epoch_append_ns")->Add(ElapsedNs(start));
   metrics.GetCounter("solve.csr.relocated_sets")->Add(delta.extended.size());

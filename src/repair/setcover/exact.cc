@@ -163,6 +163,8 @@ Result<SetCoverSolution> ExactSetCover(const CsrSetCoverInstance& instance,
 
 Result<SetCoverSolution> SolveSetCover(SolverKind kind,
                                        const SetCoverInstance& instance) {
+  const obs::ScopedWorkEvent solve_event(
+      std::string("solve.") + SolverKindName(kind));
   switch (kind) {
     case SolverKind::kGreedy:
       return GreedySetCover(instance);
@@ -182,6 +184,8 @@ Result<SetCoverSolution> SolveSetCover(SolverKind kind,
 
 Result<SetCoverSolution> SolveSetCover(SolverKind kind,
                                        const CsrSetCoverInstance& instance) {
+  const obs::ScopedWorkEvent solve_event(
+      std::string("solve.") + SolverKindName(kind));
   switch (kind) {
     case SolverKind::kGreedy:
       return GreedySetCover(instance);

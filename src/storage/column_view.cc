@@ -3,6 +3,8 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/events.h"
+
 namespace dbrepair {
 
 namespace {
@@ -171,6 +173,7 @@ ColumnSnapshot ColumnSnapshot::Build(const Database& db, ThreadPool* pool) {
       }
     }
     ParallelFor(pool, work.size(), [&](size_t i) {
+      const obs::ScopedWorkEvent column_event("snapshot.column");
       const auto [r, c] = work[i];
       FillColumn(db.table(r), c, interner, &shells[r]->columns[c]);
     });

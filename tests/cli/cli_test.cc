@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 
@@ -379,6 +380,102 @@ TEST_F(CliTest, SolverFlagFlipsCounterBlock) {
   ASSERT_NE(counters->Find("solver.greedy.runs"), nullptr);
   EXPECT_GE(counters->Find("solver.greedy.runs")->AsInt(), 1);
   EXPECT_EQ(counters->Find("solver.modified-greedy.runs"), nullptr);
+}
+
+TEST_F(CliTest, TraceOutWritesChromeTraceWithWorkerLanes) {
+  // A workload big enough that every phase fans real shards out over the
+  // 4-thread pool: thousands of rows, ~half inconsistent.
+  std::string csv = "ID,EF,PRC,CF\n";
+  for (int i = 0; i < 6000; ++i) {
+    csv += "P" + std::to_string(i) + "," + std::to_string(i % 2) + "," +
+           std::to_string((i * 37) % 100) + "," + std::to_string(i % 2) +
+           "\n";
+  }
+  WriteFile(dir_ + "/big.csv", csv);
+  WriteFile(dir_ + "/big.conf",
+            "[relation Paper]\n"
+            "attribute ID STRING key\n"
+            "attribute EF INT flexible weight=1\n"
+            "attribute PRC INT flexible weight=0.05\n"
+            "attribute CF INT flexible weight=0.5\n"
+            "data = " + dir_ + "/big.csv\n"
+            "[constraints]\n"
+            "ic1: :- Paper(x, y, z, w), y > 0, z < 50\n"
+            "ic2: :- Paper(x, y, z, w), y > 0, w < 1\n"
+            "[repair]\n"
+            "solver = modified-greedy\n"
+            "mode = update\n");
+  const std::string trace_path = dir_ + "/trace.json";
+  const std::string metrics_path = dir_ + "/metrics.json";
+  const RunResult result = RunCli(
+      dir_ + "/big.conf --quiet --threads 4 --output /dev/null "
+      "--trace-out " + trace_path + " --metrics-out " + metrics_path);
+  ASSERT_EQ(result.exit_code, 0);
+
+  auto trace = obs::Json::Parse(ReadFile(trace_path));
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  EXPECT_EQ(trace->Find("displayTimeUnit")->AsString(), "ms");
+  const obs::Json* events = trace->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  // Map tid -> lane label via the thread_name metadata, then require at
+  // least 4 distinct worker lanes that carry complete ("X") work spans.
+  std::map<int64_t, std::string> lane_names;
+  std::map<int64_t, int> x_events;
+  bool saw_shard_span = false;
+  for (const obs::Json& event : events->AsArray()) {
+    const std::string& ph = event.Find("ph")->AsString();
+    if (ph == "M" && event.Find("name")->AsString() == "thread_name") {
+      lane_names[event.Find("tid")->AsInt()] =
+          event.Find("args")->Find("name")->AsString();
+    }
+    if (ph == "X") {
+      ++x_events[event.Find("tid")->AsInt()];
+      const std::string& name = event.Find("name")->AsString();
+      if (name == "scan.shard" || name == "fixes.shard" ||
+          name == "links.shard" || name == "snapshot.column") {
+        saw_shard_span = true;
+      }
+    }
+  }
+  int worker_lanes_with_spans = 0;
+  for (const auto& [tid, label] : lane_names) {
+    if (label.rfind("worker-", 0) == 0 && x_events[tid] > 0) {
+      ++worker_lanes_with_spans;
+    }
+  }
+  EXPECT_GE(worker_lanes_with_spans, 4) << ReadFile(trace_path).substr(0, 500);
+  EXPECT_TRUE(saw_shard_span);
+
+  // The run snapshot merged the same lanes: a workers section exists and
+  // attributes worker time to build phases without exceeding
+  // threads * phase wall time.
+  auto snapshot = obs::Json::Parse(ReadFile(metrics_path));
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  const obs::Json* workers = snapshot->Find("workers");
+  ASSERT_NE(workers, nullptr);
+  EXPECT_GE(workers->Find("lanes")->AsArray().size(), 5u);  // main + 4
+  const obs::Json* phases = snapshot->Find("phases");
+  const obs::Json* merged = workers->Find("phases");
+  ASSERT_NE(merged, nullptr);
+  for (const auto& [phase, work] : merged->AsObject()) {
+    const obs::Json* wall = phases->Find(phase);
+    ASSERT_NE(wall, nullptr) << phase;
+    EXPECT_LE(work.Find("worker_busy_seconds")->AsDouble(),
+              4.0 * wall->AsDouble() + 1e-6)
+        << phase;
+  }
+}
+
+TEST_F(CliTest, ReportIncludesHistogramPercentiles) {
+  const RunResult result =
+      RunCliStderr(dir_ + "/repair.conf --quiet --report --output /dev/null");
+  EXPECT_EQ(result.exit_code, 0);
+  const std::string& text = result.stdout_text;  // captured stderr
+  EXPECT_NE(text.find("histograms (count / mean / p50 / p95 / p99)"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("build.fix_set_size"), std::string::npos) << text;
 }
 
 TEST_F(CliTest, TraceFlagPrintsSpanTreeToStderr) {

@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <cmath>
 #include <thread>
 #include <vector>
 
@@ -101,6 +102,60 @@ TEST(HistogramTest, ToJsonListsOnlyNonEmptyBuckets) {
   EXPECT_EQ(buckets->AsArray()[0].AsArray()[1].AsInt(), 2);
   EXPECT_EQ(buckets->AsArray()[1].AsArray()[0].AsInt(), 64);
   EXPECT_EQ(buckets->AsArray()[1].AsArray()[1].AsInt(), 1);
+}
+
+TEST(HistogramTest, ApproxQuantileExactForSingleValueBuckets) {
+  // 0 and 1 occupy single-value buckets, so their quantiles are exact.
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.Record(0);
+  for (int i = 0; i < 10; ++i) h.Record(1);
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(0.9), 0.0);
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(0.95), 1.0);
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(0.99), 1.0);
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(1.0), 1.0);
+}
+
+TEST(HistogramTest, ApproxQuantileWithinBucketOfTruth) {
+  // Uniform samples 1..1000: each estimate must land within the log2
+  // bucket containing the true quantile (factor-2 accuracy).
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  for (const double q : {0.5, 0.95, 0.99}) {
+    const double truth = q * 1000.0;
+    const double estimate = h.ApproxQuantile(q);
+    EXPECT_GE(estimate, Histogram::BucketLowerBound(
+                            Histogram::BucketIndex(
+                                static_cast<uint64_t>(truth))))
+        << q;
+    EXPECT_LE(estimate, 2.0 * truth) << q;
+    EXPECT_GE(estimate, truth / 2.0) << q;
+  }
+}
+
+TEST(HistogramTest, ApproxQuantileEmptyIsNaN) {
+  Histogram h;
+  EXPECT_TRUE(std::isnan(h.ApproxQuantile(0.5)));
+}
+
+TEST(HistogramTest, ToJsonCarriesPercentiles) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) h.Record(v);
+  const Json json = h.ToJson();
+  ASSERT_NE(json.Find("p50"), nullptr);
+  ASSERT_NE(json.Find("p95"), nullptr);
+  ASSERT_NE(json.Find("p99"), nullptr);
+  EXPECT_DOUBLE_EQ(json.Find("p50")->AsDouble(), h.ApproxQuantile(0.5));
+  EXPECT_DOUBLE_EQ(json.Find("p95")->AsDouble(), h.ApproxQuantile(0.95));
+  EXPECT_DOUBLE_EQ(json.Find("p99")->AsDouble(), h.ApproxQuantile(0.99));
+  EXPECT_LE(json.Find("p50")->AsDouble(), json.Find("p95")->AsDouble());
+  EXPECT_LE(json.Find("p95")->AsDouble(), json.Find("p99")->AsDouble());
+
+  // Empty histograms omit the percentile keys entirely.
+  const Json empty = Histogram().ToJson();
+  EXPECT_EQ(empty.Find("p50"), nullptr);
+  EXPECT_EQ(empty.Find("p95"), nullptr);
+  EXPECT_EQ(empty.Find("p99"), nullptr);
 }
 
 TEST(MetricsRegistryTest, SnapshotRoundTripsThroughJson) {

@@ -128,6 +128,35 @@ TEST(TracerTest, SpanTreeToJsonShape) {
   EXPECT_EQ(children->AsArray()[0].Find("name")->AsString(), "solve");
 }
 
+TEST(TracerTest, OpenSpansReportElapsedInJsonAndText) {
+  Tracer tracer;
+  SpanNode* repair = tracer.OpenSpan("repair");
+  SpanNode* solve = tracer.OpenSpan("solve");
+  tracer.CloseSpan(solve);
+  // "repair" is still open: a mid-run snapshot must say so and report
+  // elapsed-so-far rather than duration 0.
+  for (volatile int i = 0; i < 100000; ++i) {  // let some time pass
+  }
+  const double now = tracer.clock().SecondsSinceEpoch();
+  const Json json = SpanTreeToJson(*tracer.roots()[0], now);
+  const Json* open = json.Find("open");
+  ASSERT_NE(open, nullptr);
+  EXPECT_TRUE(open->AsBool());
+  EXPECT_GT(json.Find("duration_s")->AsDouble(), 0.0);
+  EXPECT_GE(now, json.Find("duration_s")->AsDouble());
+  // The closed child reports its real duration and no "open" key.
+  const Json& child = json.Find("children")->AsArray()[0];
+  EXPECT_EQ(child.Find("open"), nullptr);
+
+  const std::string text = FormatSpanTree(*tracer.roots()[0], now);
+  EXPECT_NE(text.find("(open)"), std::string::npos) << text;
+
+  // Without a reference time an open span's duration stays 0 (unknown).
+  const Json unknown = SpanTreeToJson(*tracer.roots()[0]);
+  EXPECT_DOUBLE_EQ(unknown.Find("duration_s")->AsDouble(), 0.0);
+  tracer.CloseSpan(repair);
+}
+
 TEST(ScopedObsTest, InstallsAndRestoresCurrentContext) {
   ObsContext& base = CurrentObs();
   ObsContext local;

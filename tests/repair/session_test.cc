@@ -30,6 +30,7 @@
 #include "constraints/violation_engine.h"
 #include "gen/census.h"
 #include "gen/client_buy.h"
+#include "obs/json.h"
 #include "repair/api.h"
 
 namespace dbrepair {
@@ -230,6 +231,79 @@ TEST(SessionTest, CrossBatchJoinViolationIsRepaired) {
   EXPECT_EQ(stats.total_violations, 1u);
   EXPECT_EQ(stats.total_updates, second->num_updates);
   EXPECT_GT((*session)->cumulative_distance(), 0.0);
+}
+
+TEST(SessionTest, TelemetryRecordsEveryBatch) {
+  // Batch 0 is Open()'s full repair; each ApplyBatch appends one record
+  // carrying its delta sizes and the cumulative distance after the batch.
+  ClientBuyOptions gen;
+  gen.num_clients = 60;
+  gen.inconsistency_ratio = 0.3;
+  gen.seed = 11;
+  auto workload = GenerateClientBuy(gen);
+  ASSERT_TRUE(workload.ok());
+  auto session = RepairSession::Open(workload->db, workload->ics);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  RepairSession& s = **session;
+  ASSERT_EQ(s.telemetry().size(), 1u);
+  EXPECT_EQ(s.telemetry()[0].batch, 0u);
+  EXPECT_EQ(s.telemetry()[0].new_violations, s.stats().total_violations);
+  EXPECT_EQ(s.telemetry()[0].updates, s.open_updates().size());
+  EXPECT_GE(s.telemetry()[0].total_seconds, 0.0);
+
+  auto batch = s.ApplyBatch(
+      {{"Client", {Value::Int(9001), Value::Int(15), Value::Int(10)}},
+       {"Buy", {Value::Int(9001), Value::Int(9001), Value::Int(80)}}});
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(s.telemetry().size(), 2u);
+  const BatchTelemetry& last = s.telemetry().back();
+  EXPECT_EQ(last.batch, 1u);
+  EXPECT_EQ(last.rows, 2u);
+  EXPECT_EQ(last.new_violations, batch->num_new_violations);
+  EXPECT_EQ(last.chosen_sets, batch->num_chosen_fixes);
+  EXPECT_EQ(last.updates, batch->num_updates);
+  EXPECT_GT(last.csr_arena_bytes, 0u);
+  EXPECT_DOUBLE_EQ(last.cumulative_distance, s.cumulative_distance());
+  EXPECT_DOUBLE_EQ(last.cover_weight, s.stats().cover_weight);
+  // Monotone cumulative series: distance never shrinks across batches.
+  EXPECT_GE(last.cumulative_distance, s.telemetry()[0].cumulative_distance);
+
+  const obs::Json json = s.TelemetryToJson();
+  EXPECT_EQ(json.Find("batches_recorded")->AsInt(), 2);
+  const obs::Json* window = json.Find("window");
+  ASSERT_NE(window, nullptr);
+  ASSERT_EQ(window->AsArray().size(), 2u);
+  EXPECT_EQ(window->AsArray()[1].Find("batch")->AsInt(), 1);
+  EXPECT_EQ(window->AsArray()[1].Find("rows")->AsInt(), 2);
+  const obs::Json* totals = json.Find("totals");
+  ASSERT_NE(totals, nullptr);
+  EXPECT_EQ(totals->Find("num_batches")->AsInt(), 1);
+  EXPECT_DOUBLE_EQ(totals->Find("cumulative_distance")->AsDouble(),
+                   s.cumulative_distance());
+  // The whole section serialises to valid JSON.
+  auto reparsed = obs::Json::Parse(json.Dump());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+}
+
+TEST(SessionTest, TelemetryWindowIsBounded) {
+  const Database empty(MakeClientBuySchema());
+  const auto ics = MakeClientBuyConstraints();
+  auto session = RepairSession::Open(empty, ics);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  for (size_t i = 0; i < RepairSession::kTelemetryWindow + 10; ++i) {
+    auto batch = (*session)->ApplyBatch(
+        {{"Client",
+          {Value::Int(static_cast<int64_t>(10000 + i)), Value::Int(30),
+           Value::Int(10)}}});
+    ASSERT_TRUE(batch.ok()) << i << ": " << batch.status().ToString();
+  }
+  EXPECT_EQ((*session)->telemetry().size(), RepairSession::kTelemetryWindow);
+  // The oldest records fell off the front; the newest batch is still last.
+  EXPECT_EQ((*session)->telemetry().back().batch,
+            RepairSession::kTelemetryWindow + 10);
+  // Totals still count every batch, including the dropped ones.
+  EXPECT_EQ((*session)->stats().num_batches,
+            RepairSession::kTelemetryWindow + 10);
 }
 
 TEST(SessionTest, EmptyAndNetNegativeBatches) {

@@ -2,9 +2,11 @@
 # Builds the tree under ThreadSanitizer and runs the concurrency-labelled
 # tests: the thread-pool unit tests, the serial-vs-parallel differential
 # harness, the RepairSession suite (whose concurrent-ApplyBatch misuse
-# case must fail cleanly, not racily), and the flat set-cover layout suite
-# (which replays the per-batch CSR re-freeze at 1 and 4 threads). Any data
-# race in the parallel pipeline fails this job.
+# case must fail cleanly, not racily), the flat set-cover layout suite
+# (which replays the per-batch CSR re-freeze at 1 and 4 threads), and the
+# randomized trace-merge suite (pool workers appending to per-thread event
+# lanes while snapshots read them). Any data race in the parallel pipeline
+# or the lock-free event buffers fails this job.
 #
 # Usage: tools/check_concurrency.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -17,6 +19,6 @@ cmake -B "$BUILD_DIR" -S . \
   -DDBREPAIR_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target thread_pool_test differential_test obs_test session_test \
-           setcover_layout_test
+           setcover_layout_test trace_merge_test
 ctest --test-dir "$BUILD_DIR" -L 'concurrency|obs|session|setcover' \
   --output-on-failure

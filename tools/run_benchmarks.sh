@@ -16,21 +16,40 @@
 #   HEADLINE=0 tools/run_benchmarks.sh # small sizes only
 #   BUILD_DIR=out tools/run_benchmarks.sh
 #
-# Requires the benchmarks to be built (cmake --build $BUILD_DIR). Release
-# builds are strongly recommended; the summary records the build type the
-# binaries report (debug builds are flagged by Google Benchmark itself).
+# Benchmarks must run from a Release build — debug timings are meaningless
+# as baselines and have silently polluted BENCH_summary.json before. The
+# script checks CMakeCache.txt: if $BUILD_DIR is not a Release tree it
+# configures and uses $ROOT/build-release instead (never reconfiguring a
+# dev build dir out from under you), rebuilds the bench binaries, and
+# records the build type in the summary's "context".
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
-BENCH_DIR="$BUILD_DIR/bench"
 OUT="${OUT:-$ROOT/BENCH_summary.json}"
 HEADLINE="${HEADLINE:-1}"
 
-if [[ ! -d "$BENCH_DIR" ]]; then
-  echo "error: $BENCH_DIR not found — build first (cmake --build $BUILD_DIR)" >&2
-  exit 1
+cache_build_type() {
+  sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$1/CMakeCache.txt" 2>/dev/null || true
+}
+
+BUILD_TYPE="$(cache_build_type "$BUILD_DIR")"
+if [[ "$BUILD_TYPE" != "Release" ]]; then
+  echo "note: $BUILD_DIR is '${BUILD_TYPE:-unconfigured}', not Release —" \
+       "switching to $ROOT/build-release" >&2
+  BUILD_DIR="$ROOT/build-release"
+  cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >&2
+  BUILD_TYPE="Release"
 fi
+
+BENCH_TARGETS=(bench_figure2_approximation bench_figure3_runtime
+               bench_complexity_scaling bench_degree_sweep
+               bench_inconsistency_ratio bench_cardinality
+               bench_setcover_micro bench_setcover_layout
+               bench_build_pipeline bench_session_batches)
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${BENCH_TARGETS[@]}" >&2
+
+BENCH_DIR="$BUILD_DIR/bench"
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -89,10 +108,10 @@ run_gbench bench_session_batches '/10000$'
 echo "== bench_figure2_approximation (cap 300 clients)" >&2
 "$BENCH_DIR/bench_figure2_approximation" 300 > "$TMP/figure2.txt"
 
-python3 - "$TMP" "$OUT" <<'PY'
+python3 - "$TMP" "$OUT" "$BUILD_TYPE" <<'PY'
 import json, sys, os
 
-tmp, out = sys.argv[1], sys.argv[2]
+tmp, out, build_type = sys.argv[1], sys.argv[2], sys.argv[3]
 summary = {"benchmarks": [], "headline": None, "session_headline": None,
            "setcover_headline": None, "figure2_table": []}
 
@@ -186,6 +205,12 @@ if len(layout_medians) == 2:
         "csr_ms": csr["real_time"],
         "csr_speedup": legacy["real_time"] / csr["real_time"],
     }
+
+# The CMake build type the binaries were actually compiled with; the
+# script only ever runs Release trees, so anything else here means the
+# summary predates the enforcement and should not be used as a baseline.
+summary.setdefault("context", {})
+summary["context"]["cmake_build_type"] = build_type
 
 with open(out, "w") as f:
     json.dump(summary, f, indent=2)
