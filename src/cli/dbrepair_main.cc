@@ -36,9 +36,15 @@
 #include "io/csv.h"
 #include "io/export.h"
 #include "io/report.h"
+#include "gen/adversary.h"
+#include "gen/census.h"
+#include "gen/client_buy.h"
+#include "gen/sensor_drift.h"
+#include "gen/zipf_hotspot.h"
 #include "obs/chrome_trace.h"
 #include "obs/context.h"
 #include "repair/api.h"
+#include "repair/inconsistency.h"
 #include "sql/executor.h"
 #include "sql/views.h"
 
@@ -58,11 +64,26 @@ void PrintUsage() {
          " [--trace-out PATH]\n"
          "                [--threads N] [--no-columnar] [--batch-file PATH]"
          " [--batch-size N]\n"
-         "                [--trace] [--quiet] [--report]\n"
+         "                [--trace] [--quiet] [--report] [--measure]\n"
          "       dbrepair check <config> [--quiet]\n"
          "       dbrepair explain <config>\n"
          "       dbrepair query <config> <SQL>\n"
+         "       dbrepair gen <scenario> [--rows N] [--seed N] [--skew X]\n"
+         "                [--ratio X] [--degree N] [--output PATH]\n"
+         "                [--mode update|insert|dump] [repair flags...]\n"
+         "           scenario: zipf-hotspot | sensor-drift | adversary |\n"
+         "                     client-buy | census\n"
          "\n"
+         "  --measure           print the repair-distance inconsistency\n"
+         "                      measure of the input (distance normalized\n"
+         "                      by instance size) to stderr\n"
+         "  --rows N            approximate generated instance size (gen)\n"
+         "  --seed N            generator RNG seed (gen; default 1)\n"
+         "  --skew X            Zipf exponent of the hotspot join (gen\n"
+         "                      zipf-hotspot; default 1.0)\n"
+         "  --ratio X           inconsistency/drift ratio (gen; default 0.3)\n"
+         "  --degree N          exact Deg(D, IC) target (gen adversary;\n"
+         "                      default 8)\n"
          "  --metrics-out PATH  write the JSON run snapshot (per-phase wall\n"
          "                      times, per-constraint violation counts,\n"
          "                      solver counters, span tree, per-worker\n"
@@ -237,7 +258,7 @@ Result<std::vector<BatchRow>> LoadBatchFile(const Database& db,
 int RunSessionReplay(const RepairConfig& config, const Database& db,
                      const RepairOptions& options,
                      const std::string& batch_file, size_t batch_size,
-                     bool report, obs::ObsContext& obs,
+                     bool report, bool measure, obs::ObsContext& obs,
                      obs::Json* session_json) {
   auto rows = LoadBatchFile(db, batch_file);
   if (!rows.ok()) return Fail(rows.status());
@@ -276,6 +297,10 @@ int RunSessionReplay(const RepairConfig& config, const Database& db,
       s.stats().total_violations, s.stats().total_updates,
       s.stats().cover_weight, s.cumulative_distance()));
   *session_json = s.TelemetryToJson();
+  if (measure) {
+    std::fprintf(stderr, "%s\n",
+                 FormatInconsistencyMeasure(s.inconsistency()).c_str());
+  }
   if (report) {
     std::fprintf(stderr,
                  "repair session: %zu batches, %zu rows inserted, "
@@ -300,6 +325,7 @@ int RunSessionReplay(const RepairConfig& config, const Database& db,
 int RunRepair(RepairConfig config, int argc, char** argv, int arg_start) {
   bool quiet = false;
   bool report = false;
+  bool measure = false;
   bool trace = false;
   bool no_columnar = false;
   size_t num_threads = 0;
@@ -334,6 +360,8 @@ int RunRepair(RepairConfig config, int argc, char** argv, int arg_start) {
   flags.AddBool("--trace", &trace, "print the span tree to stderr");
   flags.AddBool("--quiet", &quiet, "suppress incidental output");
   flags.AddBool("--report", &report, "print the repair report to stderr");
+  flags.AddBool("--measure", &measure,
+                "print the inconsistency measure to stderr");
   const Status parsed = flags.Parse(argc, argv, arg_start);
   if (!parsed.ok()) {
     std::cerr << "dbrepair: " << parsed.ToString() << "\n";
@@ -381,12 +409,21 @@ int RunRepair(RepairConfig config, int argc, char** argv, int arg_start) {
   obs::Json session_json;
   if (!batch_file.empty()) {
     exit_code = RunSessionReplay(config, *db, options, batch_file, batch_size,
-                                 report, obs, &session_json);
+                                 report, measure, obs, &session_json);
   } else {
     auto outcome = RepairDatabase(*db, config.constraints, options);
     if (!outcome.ok()) return Fail(outcome.status());
     if (report) {
       std::cerr << FormatRepairReport(*db, outcome.value());
+    }
+    if (measure) {
+      const RepairStats& s = outcome.value().stats;
+      std::fprintf(stderr, "%s\n",
+                   FormatInconsistencyMeasure(ComputeInconsistencyMeasure(
+                                                  s.distance, db->TotalTuples(),
+                                                  s.inconsistent_tuples,
+                                                  s.num_violations))
+                       .c_str());
     }
     const RepairStats& stats = outcome.value().stats;
     obs.logger.Info(Printf(
@@ -437,6 +474,201 @@ int RunRepair(RepairConfig config, int argc, char** argv, int arg_start) {
   return 0;
 }
 
+// The `gen` subcommand: build one of the named scenario workloads in
+// memory (no config file), repair it, and report. The export is written
+// only when --output is given — the primary outputs are the summary line,
+// --report, --measure, and --metrics-out.
+int RunGenerate(int argc, char** argv, int arg_start) {
+  if (arg_start >= argc) {
+    PrintUsage();
+    return 2;
+  }
+  const std::string scenario = argv[arg_start];
+
+  bool quiet = false;
+  bool report = false;
+  bool measure = false;
+  bool trace = false;
+  bool no_columnar = false;
+  size_t rows = 1000;
+  size_t seed = 1;
+  size_t degree = 8;
+  size_t num_threads = 0;
+  std::string skew_text;
+  std::string ratio_text;
+  std::string solver_name;
+  std::string distance_name;
+  std::string mode_name;
+  std::string output_path;
+  std::string metrics_out;
+  std::string trace_out;
+
+  FlagSet flags;
+  flags.AddSize("--rows", &rows, "approximate generated instance size");
+  flags.AddSize("--seed", &seed, "generator RNG seed");
+  flags.AddString("--skew", &skew_text, "Zipf exponent (zipf-hotspot)");
+  flags.AddString("--ratio", &ratio_text, "inconsistency/drift ratio");
+  flags.AddSize("--degree", &degree, "exact Deg(D, IC) target (adversary)");
+  flags.AddString(kFlagSolver, &solver_name,
+                  "set-cover solver (greedy|modified-greedy|lazy-greedy|"
+                  "layer|modified-layer|exact)");
+  flags.AddString("--distance", &distance_name, "distance norm (L1|L2)");
+  flags.AddString("--mode", &mode_name, "export mode (update|insert|dump)");
+  flags.AddString("--output", &output_path, "write the export to PATH");
+  flags.AddSize(kFlagThreads, &num_threads,
+                "worker threads (0 = auto, 1 = serial)");
+  flags.AddString("--metrics-out", &metrics_out,
+                  "write the JSON run snapshot to PATH");
+  flags.AddString(kFlagTraceOut, &trace_out,
+                  "record worker events; write Chrome trace JSON to PATH");
+  flags.AddBool(kFlagNoColumnar, &no_columnar,
+                "force the row-store scan path");
+  flags.AddBool("--trace", &trace, "print the span tree to stderr");
+  flags.AddBool("--quiet", &quiet, "suppress incidental output");
+  flags.AddBool("--report", &report, "print the repair report to stderr");
+  flags.AddBool("--measure", &measure,
+                "print the inconsistency measure to stderr");
+  const Status parsed = flags.Parse(argc, argv, arg_start + 1);
+  if (!parsed.ok()) {
+    std::cerr << "dbrepair: " << parsed.ToString() << "\n";
+    PrintUsage();
+    return 2;
+  }
+  double skew = 1.0;
+  double ratio = 0.3;
+  if (!skew_text.empty()) {
+    auto v = ParseDouble(skew_text);
+    if (!v.ok()) return Fail(v.status());
+    skew = v.value();
+  }
+  if (!ratio_text.empty()) {
+    auto v = ParseDouble(ratio_text);
+    if (!v.ok()) return Fail(v.status());
+    ratio = v.value();
+  }
+
+  Result<GeneratedWorkload> workload =
+      Status::InvalidArgument("unknown scenario '" + scenario +
+                              "' (expected zipf-hotspot, sensor-drift, "
+                              "adversary, client-buy, or census)");
+  if (scenario == "zipf-hotspot") {
+    ZipfHotspotOptions options;
+    options.num_hubs = std::max<size_t>(1, rows / 5);
+    options.spokes_per_hub = 4;
+    options.skew = skew;
+    options.inconsistency_ratio = ratio;
+    options.seed = seed;
+    workload = GenerateZipfHotspot(options);
+  } else if (scenario == "sensor-drift") {
+    SensorDriftOptions options;
+    options.num_sensors = std::max<size_t>(1, rows / 50);
+    options.readings_per_sensor = 50;
+    options.drift_ratio = ratio;
+    options.seed = seed;
+    workload = GenerateSensorDrift(options);
+  } else if (scenario == "adversary") {
+    AdversaryOptions options;
+    options.target_degree = degree;
+    options.num_hubs = std::max<size_t>(1, rows / (degree + 3));
+    options.seed = seed;
+    workload = GenerateAdversary(options);
+  } else if (scenario == "client-buy") {
+    ClientBuyOptions options;
+    options.num_clients = std::max<size_t>(1, rows / 3);
+    options.inconsistency_ratio = ratio;
+    options.seed = seed;
+    workload = GenerateClientBuy(options);
+  } else if (scenario == "census") {
+    CensusOptions options;
+    options.num_households = std::max<size_t>(1, rows / 4);
+    options.inconsistency_ratio = ratio;
+    options.seed = seed;
+    workload = GenerateCensus(options);
+  }
+  if (!workload.ok()) return Fail(workload.status());
+
+  obs::ObsContext obs;
+  obs::ScopedObs scoped_obs(&obs);
+  ConfigureLogger(&obs.logger, quiet);
+  if (!trace_out.empty()) obs.events.set_enabled(true);
+
+  RepairOptions options;
+  if (!solver_name.empty()) {
+    auto solver = ParseSolverKind(solver_name);
+    if (!solver.ok()) return Fail(solver.status());
+    options.solver = solver.value();
+  }
+  if (!distance_name.empty()) {
+    auto distance = ParseDistanceKind(distance_name);
+    if (!distance.ok()) return Fail(distance.status());
+    options.distance = distance.value();
+  }
+  options.num_threads = num_threads;
+  options.use_columnar_scan = !no_columnar;
+  const Status valid = options.Validate();
+  if (!valid.ok()) return Fail(valid);
+
+  const Database& db = workload.value().db;
+  obs.logger.Info(Printf("generated %s: %zu tuples, %zu constraints, seed %zu",
+                         scenario.c_str(), db.TotalTuples(),
+                         workload.value().ics.size(), seed));
+  auto outcome = RepairDatabase(db, workload.value().ics, options);
+  if (!outcome.ok()) return Fail(outcome.status());
+  const RepairStats& stats = outcome.value().stats;
+  if (report) {
+    std::cerr << FormatRepairReport(db, outcome.value());
+    std::cerr << FormatHistogramSummaries(obs.metrics);
+  }
+  if (measure) {
+    std::fprintf(stderr, "%s\n",
+                 FormatInconsistencyMeasure(ComputeInconsistencyMeasure(
+                                                stats.distance,
+                                                db.TotalTuples(),
+                                                stats.inconsistent_tuples,
+                                                stats.num_violations))
+                     .c_str());
+  }
+  obs.logger.Info(Printf(
+      "scenario=%s violations=%zu chosen=%zu updates=%zu max_degree=%u "
+      "cover_weight=%.6g distance=%.6g inconsistency=%.6g",
+      scenario.c_str(), stats.num_violations, stats.num_chosen_fixes,
+      stats.num_updates, stats.max_degree, stats.cover_weight, stats.distance,
+      stats.inconsistency));
+
+  if (!output_path.empty()) {
+    ExportMode mode = ExportMode::kDump;
+    if (!mode_name.empty()) {
+      auto parsed_mode = ParseExportMode(mode_name);
+      if (!parsed_mode.ok()) return Fail(parsed_mode.status());
+      mode = parsed_mode.value();
+    }
+    auto exported =
+        ExportRepair(outcome.value().repaired, outcome.value().updates, mode);
+    if (!exported.ok()) return Fail(exported.status());
+    const Status st = WriteTextFile(output_path, exported.value());
+    if (!st.ok()) return Fail(st);
+    obs.logger.Info("wrote " + std::string(ExportModeName(mode)) +
+                    " export to " + output_path);
+  }
+  if (trace) {
+    std::cerr << obs::FormatSpanTrees(obs.tracer);
+  }
+  if (!metrics_out.empty()) {
+    obs::Json snapshot = obs::BuildRunSnapshot(obs);
+    snapshot.Set("scenario", obs::Json(scenario));
+    const Status st = WriteTextFile(metrics_out, snapshot.Dump(2) + "\n");
+    if (!st.ok()) return Fail(st);
+    obs.logger.Info("wrote metrics snapshot to " + metrics_out);
+  }
+  if (!trace_out.empty()) {
+    const Status st =
+        WriteTextFile(trace_out, obs::ChromeTraceJson(obs).Dump() + "\n");
+    if (!st.ok()) return Fail(st);
+    obs.logger.Info("wrote Chrome trace to " + trace_out);
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace dbrepair
 
@@ -450,6 +682,9 @@ int main(int argc, char** argv) {
 
   // Subcommand dispatch; a path as the first argument means `repair`.
   std::string command = argv[1];
+  if (command == "gen") {
+    return RunGenerate(argc, argv, 2);
+  }
   int config_arg = 1;
   if (command == "repair" || command == "check" || command == "explain" ||
       command == "query") {

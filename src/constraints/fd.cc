@@ -1,0 +1,304 @@
+#include "constraints/fd.h"
+
+#include <algorithm>
+#include <cctype>
+#include <iterator>
+#include <optional>
+#include <sstream>
+
+#include "common/strings.h"
+#include "constraints/parser.h"
+
+namespace dbrepair {
+
+namespace {
+
+// Splits "A, B, C" into trimmed attribute names, rejecting empties.
+Result<std::vector<std::string>> SplitAttrList(std::string_view text,
+                                               std::string_view side) {
+  std::vector<std::string> attrs;
+  size_t begin = 0;
+  while (begin <= text.size()) {
+    const size_t comma = text.find(',', begin);
+    const std::string_view piece =
+        comma == std::string_view::npos
+            ? text.substr(begin)
+            : text.substr(begin, comma - begin);
+    const std::string_view trimmed = TrimWhitespace(piece);
+    if (trimmed.empty()) {
+      return Status::ParseError("FD has an empty attribute name on its " +
+                                std::string(side) + " side");
+    }
+    attrs.emplace_back(trimmed);
+    if (comma == std::string_view::npos) break;
+    begin = comma + 1;
+  }
+  return attrs;
+}
+
+Status CheckDuplicates(const std::vector<std::string>& attrs,
+                       std::string_view side) {
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    for (size_t j = i + 1; j < attrs.size(); ++j) {
+      if (attrs[i] == attrs[j]) {
+        return Status::ParseError("FD repeats attribute '" + attrs[i] +
+                                  "' on its " + std::string(side) + " side");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+bool IsIdentifier(std::string_view s) {
+  if (s.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_') {
+    return false;
+  }
+  for (char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string FdSpec::ToString() const {
+  std::ostringstream out;
+  if (!name.empty()) out << name << ": ";
+  out << relation << ": ";
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << lhs[i];
+  }
+  out << " -> ";
+  for (size_t i = 0; i < rhs.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << rhs[i];
+  }
+  return out.str();
+}
+
+Result<FdSpec> ParseFd(std::string_view text) {
+  std::string_view rest = TrimWhitespace(text);
+  if (!rest.empty() && rest.back() == '.') {
+    rest = TrimWhitespace(rest.substr(0, rest.size() - 1));
+  }
+  if (rest.empty()) return Status::ParseError("empty FD spec");
+
+  FdSpec fd;
+  // "R: A -> B" has one ':'; "name: R: A -> B" has two. Split on the
+  // colons before the arrow only — attribute names cannot contain ':'.
+  const size_t arrow = rest.find("->");
+  if (arrow == std::string_view::npos) {
+    return Status::ParseError("FD '" + std::string(rest) +
+                              "' is missing '->'");
+  }
+  std::string_view head = rest.substr(0, arrow);
+  const std::string_view rhs_text = TrimWhitespace(rest.substr(arrow + 2));
+
+  const size_t first_colon = head.find(':');
+  if (first_colon == std::string_view::npos) {
+    return Status::ParseError("FD '" + std::string(rest) +
+                              "' is missing the 'Relation:' prefix");
+  }
+  const size_t second_colon = head.find(':', first_colon + 1);
+  if (second_colon != std::string_view::npos) {
+    fd.name = std::string(TrimWhitespace(head.substr(0, first_colon)));
+    fd.relation = std::string(TrimWhitespace(
+        head.substr(first_colon + 1, second_colon - first_colon - 1)));
+    head = head.substr(second_colon + 1);
+    if (fd.name.empty() || !IsIdentifier(fd.name)) {
+      return Status::ParseError("FD name '" + fd.name +
+                                "' is not an identifier");
+    }
+  } else {
+    fd.relation = std::string(TrimWhitespace(head.substr(0, first_colon)));
+    head = head.substr(first_colon + 1);
+  }
+  if (!IsIdentifier(fd.relation)) {
+    return Status::ParseError("FD relation '" + fd.relation +
+                              "' is not an identifier");
+  }
+
+  DBREPAIR_ASSIGN_OR_RETURN(fd.lhs,
+                            SplitAttrList(TrimWhitespace(head), "left"));
+  if (rhs_text.empty()) {
+    return Status::ParseError("FD '" + std::string(rest) +
+                              "' has an empty right-hand side");
+  }
+  DBREPAIR_ASSIGN_OR_RETURN(fd.rhs, SplitAttrList(rhs_text, "right"));
+  DBREPAIR_RETURN_IF_ERROR(CheckDuplicates(fd.lhs, "left"));
+  DBREPAIR_RETURN_IF_ERROR(CheckDuplicates(fd.rhs, "right"));
+  for (const std::string& attr : fd.rhs) {
+    if (std::find(fd.lhs.begin(), fd.lhs.end(), attr) != fd.lhs.end()) {
+      return Status::ParseError("FD attribute '" + attr +
+                                "' appears on both sides");
+    }
+  }
+  for (const std::string& attr : fd.lhs) {
+    if (!IsIdentifier(attr)) {
+      return Status::ParseError("FD attribute '" + attr +
+                                "' is not an identifier");
+    }
+  }
+  for (const std::string& attr : fd.rhs) {
+    if (!IsIdentifier(attr)) {
+      return Status::ParseError("FD attribute '" + attr +
+                                "' is not an identifier");
+    }
+  }
+  return fd;
+}
+
+Result<std::vector<FdSpec>> ParseFdSet(std::string_view text) {
+  std::vector<FdSpec> fds;
+  size_t begin = 0;
+  while (begin <= text.size()) {
+    const size_t newline = text.find('\n', begin);
+    const std::string_view raw =
+        newline == std::string_view::npos
+            ? text.substr(begin)
+            : text.substr(begin, newline - begin);
+    const std::string_view line = TrimWhitespace(raw);
+    if (!line.empty() && line.front() != '#' && line.substr(0, 2) != "--") {
+      DBREPAIR_ASSIGN_OR_RETURN(FdSpec fd, ParseFd(line));
+      fds.push_back(std::move(fd));
+    }
+    if (newline == std::string_view::npos) break;
+    begin = newline + 1;
+  }
+  return fds;
+}
+
+Result<std::vector<DenialConstraint>> CompileFd(const Schema& schema,
+                                                const FdSpec& fd) {
+  const RelationSchema* rel = schema.FindRelation(fd.relation);
+  if (rel == nullptr) {
+    return Status::NotFound("FD '" + fd.ToString() +
+                            "' names unknown relation '" + fd.relation + "'");
+  }
+  if (fd.lhs.empty() || fd.rhs.empty()) {
+    return Status::InvalidArgument("FD '" + fd.ToString() +
+                                   "' has an empty side");
+  }
+  // Resolve every attribute to its position once; the same list also
+  // rejects typos before any denial text is generated.
+  const auto resolve = [&](const std::string& attr) -> Result<size_t> {
+    const std::optional<size_t> index = rel->FindAttribute(attr);
+    if (!index.has_value()) {
+      return Status::NotFound("FD '" + fd.ToString() +
+                              "' names unknown attribute '" + attr + "' of " +
+                              fd.relation);
+    }
+    return *index;
+  };
+  std::vector<bool> is_lhs(rel->arity(), false);
+  for (const std::string& attr : fd.lhs) {
+    DBREPAIR_ASSIGN_OR_RETURN(const size_t pos, resolve(attr));
+    is_lhs[pos] = true;
+  }
+
+  std::vector<DenialConstraint> denials;
+  denials.reserve(fd.rhs.size());
+  for (const std::string& attr : fd.rhs) {
+    DBREPAIR_ASSIGN_OR_RETURN(const size_t rhs_pos, resolve(attr));
+    // Generate the denial as text and re-parse it: the compiler shares the
+    // parser's term/identifier rules by construction, and the produced AST
+    // is exactly what hand-writing the same constraint would give.
+    std::ostringstream text;
+    if (!fd.name.empty()) {
+      text << fd.name;
+      if (fd.rhs.size() > 1) text << "_" << attr;
+      text << ": ";
+    }
+    text << ":- " << fd.relation << "(";
+    for (size_t i = 0; i < rel->arity(); ++i) {
+      if (i > 0) text << ", ";
+      text << "x" << i;
+    }
+    text << "), " << fd.relation << "(";
+    for (size_t i = 0; i < rel->arity(); ++i) {
+      if (i > 0) text << ", ";
+      text << (is_lhs[i] ? "x" : "y") << i;
+    }
+    text << "), x" << rhs_pos << " != y" << rhs_pos;
+    DBREPAIR_ASSIGN_OR_RETURN(DenialConstraint dc,
+                              ParseConstraint(text.str()));
+    denials.push_back(std::move(dc));
+  }
+  return denials;
+}
+
+Result<std::vector<DenialConstraint>> CompileFds(
+    const Schema& schema, const std::vector<FdSpec>& fds) {
+  std::vector<DenialConstraint> denials;
+  for (const FdSpec& fd : fds) {
+    DBREPAIR_ASSIGN_OR_RETURN(std::vector<DenialConstraint> lowered,
+                              CompileFd(schema, fd));
+    denials.insert(denials.end(),
+                   std::make_move_iterator(lowered.begin()),
+                   std::make_move_iterator(lowered.end()));
+  }
+  return denials;
+}
+
+Result<FdSpec> RecognizeFd(const Schema& schema, const DenialConstraint& dc) {
+  const auto fail = [&](const std::string& why) {
+    return Status::InvalidArgument("constraint '" + dc.ToString() +
+                                   "' is not FD-shaped: " + why);
+  };
+  if (dc.atoms.size() != 2) return fail("needs exactly two relation atoms");
+  if (dc.atoms[0].relation != dc.atoms[1].relation) {
+    return fail("the two atoms must reference the same relation");
+  }
+  const RelationSchema* rel = schema.FindRelation(dc.atoms[0].relation);
+  if (rel == nullptr) {
+    return fail("unknown relation '" + dc.atoms[0].relation + "'");
+  }
+  if (dc.atoms[0].args.size() != rel->arity() ||
+      dc.atoms[1].args.size() != rel->arity()) {
+    return fail("atom arity does not match the schema");
+  }
+  if (dc.builtins.size() != 1) return fail("needs exactly one builtin");
+  const BuiltinAtom& builtin = dc.builtins[0];
+  if (builtin.op != CompareOp::kNe || !builtin.lhs.is_variable() ||
+      !builtin.rhs.is_variable()) {
+    return fail("the builtin must be a variable-variable '!='");
+  }
+  for (const RelationAtom& atom : dc.atoms) {
+    for (const Term& arg : atom.args) {
+      if (!arg.is_variable()) return fail("atom arguments must be variables");
+    }
+  }
+
+  FdSpec fd;
+  fd.name = dc.name;
+  fd.relation = dc.atoms[0].relation;
+  std::optional<size_t> rhs_pos;
+  for (size_t i = 0; i < rel->arity(); ++i) {
+    const std::string& a = dc.atoms[0].args[i].variable;
+    const std::string& b = dc.atoms[1].args[i].variable;
+    if (a == b) {
+      fd.lhs.push_back(rel->attribute(i).name);
+      continue;
+    }
+    const bool disequated = (builtin.lhs.variable == a &&
+                             builtin.rhs.variable == b) ||
+                            (builtin.lhs.variable == b &&
+                             builtin.rhs.variable == a);
+    if (disequated) {
+      if (rhs_pos.has_value()) return fail("the '!=' matches two positions");
+      rhs_pos = i;
+      fd.rhs.push_back(rel->attribute(i).name);
+    }
+    // A position with distinct, un-disequated variables is existential
+    // padding ("y3"): allowed, contributes to neither side.
+  }
+  if (fd.lhs.empty()) return fail("no shared (left-hand-side) positions");
+  if (!rhs_pos.has_value()) {
+    return fail("the '!=' does not disequate a position pair");
+  }
+  return fd;
+}
+
+}  // namespace dbrepair

@@ -1,0 +1,84 @@
+#ifndef DBREPAIR_CONSTRAINTS_FD_H_
+#define DBREPAIR_CONSTRAINTS_FD_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "constraints/ast.h"
+
+namespace dbrepair {
+
+/// A functional dependency R: A1, ..., Am -> B1, ..., Bn ("any two tuples
+/// of R agreeing on the left-hand side also agree on the right-hand side").
+/// The textual form accepted by ParseFd is
+///
+///   [name:] R: A, B -> C, D
+///
+/// with an optional leading constraint name. FDs are not denial constraints
+/// themselves; CompileFd lowers each one into the equivalent two-atom
+/// linear denials (one per right-hand-side attribute), which then flow
+/// through the ordinary bind / repair pipeline. This opens the optimal
+/// FD-repair workload of Livshits/Kimelfeld/Roy (arXiv:1712.07705): the
+/// compiled denials carry a variable-variable `!=`, so they are repairable
+/// by tuple deletion (repair/cardinality.h) rather than attribute updates.
+struct FdSpec {
+  std::string name;  ///< optional; empty means unnamed
+  std::string relation;
+  std::vector<std::string> lhs;  ///< determinant attributes (the "key")
+  std::vector<std::string> rhs;  ///< dependent attributes
+
+  /// Round-trippable rendering, e.g. "fd1: Reading: SID, TS -> VAL".
+  /// ParseFd(ToString()) reproduces the spec exactly.
+  std::string ToString() const;
+};
+
+/// Parses one FD from "[name:] R: A, B -> C, D". Rejects empty sides,
+/// duplicate attributes within a side, and attributes appearing on both
+/// sides (a trivial or partially-trivial FD is almost certainly a typo).
+/// Schema resolution happens later, in CompileFd.
+Result<FdSpec> ParseFd(std::string_view text);
+
+/// Parses a whole FD program: one FD per non-empty line; lines starting
+/// with '#' or '--' are comments (same conventions as ParseConstraintSet).
+Result<std::vector<FdSpec>> ParseFdSet(std::string_view text);
+
+/// Lowers `fd` against `schema` into one two-atom denial constraint per
+/// right-hand-side attribute:
+///
+///   R: A -> C   over R(A, B, C)   becomes
+///   name: :- R(x0, x1, x2), R(x0, y1, y2), x2 != y2
+///
+/// Shared variables x_i appear at the LHS positions of both atoms; every
+/// other position gets a distinct variable per atom; the single builtin
+/// disequates the two copies of the RHS attribute. The denial text is
+/// generated and run back through ParseConstraint, so the compiler can
+/// never produce a constraint the parser would reject, and the result
+/// pretty-prints (DenialConstraint::ToString) to re-parseable text.
+/// Multi-attribute RHS FDs emit one denial per RHS attribute, named
+/// "<fd-name>_<attr>" (or just the fd name when the RHS is singular).
+///
+/// Validates against the schema: the relation and every attribute must
+/// exist. Note the compiled denials are NOT local (the var-var `!=` makes
+/// every attribute hard under Definition 2.9), so repair them via
+/// CardinalityRepair, not attribute-update RepairDatabase.
+Result<std::vector<DenialConstraint>> CompileFd(const Schema& schema,
+                                                const FdSpec& fd);
+
+/// CompileFd over a list, concatenating the lowered denials in input order.
+Result<std::vector<DenialConstraint>> CompileFds(
+    const Schema& schema, const std::vector<FdSpec>& fds);
+
+/// The inverse of CompileFd for a single-RHS lowering: pattern-matches a
+/// denial of the exact two-atom shape above back into its FdSpec (same
+/// relation twice at equal arity, exactly one var-var `!=` builtin over a
+/// shared position pair, shared variables elsewhere defining the LHS).
+/// Fails with InvalidArgument when `dc` is not FD-shaped. Together with
+/// CompileFd this gives the round trip FD -> DC -> FD.
+Result<FdSpec> RecognizeFd(const Schema& schema, const DenialConstraint& dc);
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_CONSTRAINTS_FD_H_

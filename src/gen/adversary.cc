@@ -1,0 +1,74 @@
+#include "gen/adversary.h"
+
+#include "common/rng.h"
+#include "constraints/parser.h"
+
+namespace dbrepair {
+
+std::shared_ptr<const Schema> MakeAdversarySchema(double alpha_scale) {
+  auto schema = std::make_shared<Schema>();
+  {
+    std::vector<AttributeDef> attrs;
+    attrs.push_back(AttributeDef{"K", Type::kInt64, false, 1.0});
+    attrs.push_back(AttributeDef{"G", Type::kInt64, false, 1.0});
+    attrs.push_back(AttributeDef{"A", Type::kInt64, true, 1.0 * alpha_scale});
+    Status st =
+        schema->AddRelation(RelationSchema("AHub", std::move(attrs), {"K"}));
+    (void)st;
+  }
+  {
+    std::vector<AttributeDef> attrs;
+    attrs.push_back(AttributeDef{"SID", Type::kInt64, false, 1.0});
+    attrs.push_back(AttributeDef{"G", Type::kInt64, false, 1.0});
+    attrs.push_back(AttributeDef{"B", Type::kInt64, true, 1.0 * alpha_scale});
+    Status st =
+        schema->AddRelation(RelationSchema("ASat", std::move(attrs), {"SID"}));
+    (void)st;
+  }
+  return schema;
+}
+
+std::vector<DenialConstraint> MakeAdversaryConstraints() {
+  // Locality: the join attribute G is hard on both sides; A is compared
+  // only with '<' (fix raises to 50), B only with '>' (fix lowers to 50).
+  const char* text = "adv1: :- AHub(k, g, a), ASat(s, g, b), a < 50, b > 50\n";
+  auto parsed = ParseConstraintSet(text);
+  return std::move(parsed).value();
+}
+
+Result<GeneratedWorkload> GenerateAdversary(const AdversaryOptions& options) {
+  if (options.num_hubs == 0) {
+    return Status::InvalidArgument("AdversaryOptions::num_hubs must be > 0");
+  }
+  Rng rng(options.seed);
+  Database db(MakeAdversarySchema(options.alpha_scale));
+
+  int64_t next_sat = 1;
+  for (size_t h = 0; h < options.num_hubs; ++h) {
+    const auto group = static_cast<int64_t>(h + 1);
+    // target_degree == 0 makes every hub consistent; otherwise every hub
+    // violates its side of adv1 and meets exactly target_degree violating
+    // satellites in its private group.
+    const int64_t a = options.target_degree > 0 ? rng.UniformInRange(0, 49)
+                                                : rng.UniformInRange(50, 100);
+    DBREPAIR_RETURN_IF_ERROR(
+        db.Insert("AHub", {Value::Int(group), Value::Int(group),
+                           Value::Int(a)})
+            .status());
+    for (size_t s = 0; s < options.target_degree; ++s) {
+      DBREPAIR_RETURN_IF_ERROR(
+          db.Insert("ASat", {Value::Int(next_sat++), Value::Int(group),
+                             Value::Int(rng.UniformInRange(51, 100))})
+              .status());
+    }
+    for (size_t s = 0; s < options.clean_spokes; ++s) {
+      DBREPAIR_RETURN_IF_ERROR(
+          db.Insert("ASat", {Value::Int(next_sat++), Value::Int(group),
+                             Value::Int(rng.UniformInRange(0, 50))})
+              .status());
+    }
+  }
+  return GeneratedWorkload{std::move(db), MakeAdversaryConstraints()};
+}
+
+}  // namespace dbrepair

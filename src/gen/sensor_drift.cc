@@ -1,0 +1,71 @@
+#include "gen/sensor_drift.h"
+
+#include <cmath>
+#include <string>
+
+#include "common/rng.h"
+#include "constraints/parser.h"
+
+namespace dbrepair {
+
+std::shared_ptr<const Schema> MakeSensorDriftSchema(double alpha_scale) {
+  auto schema = std::make_shared<Schema>();
+  std::vector<AttributeDef> attrs;
+  attrs.push_back(AttributeDef{"SID", Type::kInt64, false, 1.0});
+  attrs.push_back(AttributeDef{"TS", Type::kInt64, false, 1.0});
+  attrs.push_back(AttributeDef{"VAL", Type::kInt64, true, 1.0 * alpha_scale});
+  Status st = schema->AddRelation(
+      RelationSchema("Reading", std::move(attrs), {"SID", "TS"}));
+  (void)st;
+  return schema;
+}
+
+std::vector<DenialConstraint> MakeSensorDriftConstraints(int64_t threshold) {
+  const std::string text = "sd1: :- Reading(s, t, v), v > " +
+                           std::to_string(threshold) + "\n";
+  auto parsed = ParseConstraintSet(text);
+  return std::move(parsed).value();
+}
+
+Result<GeneratedWorkload> GenerateSensorDrift(
+    const SensorDriftOptions& options) {
+  if (options.num_sensors == 0) {
+    return Status::InvalidArgument(
+        "SensorDriftOptions::num_sensors must be > 0");
+  }
+  if (options.drift_ratio < 0.0 || options.drift_ratio > 1.0) {
+    return Status::InvalidArgument(
+        "SensorDriftOptions::drift_ratio must be in [0, 1]");
+  }
+  Rng rng(options.seed);
+  Database db(MakeSensorDriftSchema(options.alpha_scale));
+
+  const size_t num_drifting = static_cast<size_t>(
+      std::llround(options.drift_ratio * options.num_sensors));
+  // Per-sensor baseline: 20..60 below the threshold, so the +0..3 noise of
+  // a non-drifting sensor can never cross it.
+  std::vector<int64_t> baseline(options.num_sensors);
+  for (size_t i = 0; i < options.num_sensors; ++i) {
+    baseline[i] = options.threshold - 60 + rng.UniformInRange(0, 40);
+  }
+
+  // Timestamp-major emission: every sensor reports at tick t before any
+  // sensor reports at t+1, matching a real ingestion stream.
+  for (size_t t = 0; t < options.readings_per_sensor; ++t) {
+    for (size_t i = 0; i < options.num_sensors; ++i) {
+      int64_t val = baseline[i] + rng.UniformInRange(0, 3);
+      if (i < num_drifting) {
+        val += options.drift_per_tick * static_cast<int64_t>(t);
+      }
+      DBREPAIR_RETURN_IF_ERROR(
+          db.Insert("Reading", {Value::Int(static_cast<int64_t>(i + 1)),
+                                Value::Int(static_cast<int64_t>(t)),
+                                Value::Int(val)})
+              .status());
+    }
+  }
+  return GeneratedWorkload{std::move(db),
+                           MakeSensorDriftConstraints(options.threshold)};
+}
+
+}  // namespace dbrepair

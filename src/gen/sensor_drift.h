@@ -1,0 +1,54 @@
+#ifndef DBREPAIR_GEN_SENSOR_DRIFT_H_
+#define DBREPAIR_GEN_SENSOR_DRIFT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "constraints/ast.h"
+#include "gen/client_buy.h"
+#include "storage/database.h"
+
+namespace dbrepair {
+
+/// A time-series workload where numeric columns drift across a threshold
+/// denial constraint — the Bertossi-style numerical-fix scenario: repairs
+/// clamp a drifted value back to the bound, and the repair distance (the
+/// inconsistency measure's numerator) grows with how far past the bound
+/// the drift has carried.
+///
+///   Reading(SID, TS, VAL)  key {SID, TS},  F = {VAL}
+///   sd1: :- Reading(s, t, v), v > <threshold>
+///
+/// A fixed prefix of the sensors (round(drift_ratio * num_sensors)) drifts
+/// upward by `drift_per_tick` per timestamp from a baseline safely below
+/// the threshold; the rest hold their baseline. Rows are emitted in
+/// timestamp-major order, so streaming them through a RepairSession in
+/// arrival order produces a monotonically climbing per-batch inconsistency
+/// trend once the drifters cross the threshold.
+struct SensorDriftOptions {
+  size_t num_sensors = 20;
+  size_t readings_per_sensor = 50;
+  /// Fraction of sensors that drift (deterministically the lowest sensor
+  /// ids, so the violating population is exact, not a coin-flip estimate).
+  double drift_ratio = 0.3;
+  /// Upward drift per timestamp tick for the drifting sensors.
+  int64_t drift_per_tick = 3;
+  /// The DC bound: readings above this are violations.
+  int64_t threshold = 100;
+  /// Multiplies the flexible VAL weight (scaling metamorphic invariance).
+  double alpha_scale = 1.0;
+  uint64_t seed = 1;
+};
+
+/// Generates the workload. Deterministic in the seed.
+Result<GeneratedWorkload> GenerateSensorDrift(const SensorDriftOptions& options);
+
+std::shared_ptr<const Schema> MakeSensorDriftSchema(double alpha_scale = 1.0);
+std::vector<DenialConstraint> MakeSensorDriftConstraints(
+    int64_t threshold = 100);
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_GEN_SENSOR_DRIFT_H_

@@ -1,0 +1,112 @@
+#include "gen/zipf_hotspot.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "constraints/parser.h"
+
+namespace dbrepair {
+
+namespace {
+
+// Cumulative Zipf(skew) table over `n` ranks: cdf[i] = P(rank <= i). Built
+// once per generation; a draw is one NextDouble plus a binary search, so
+// the stream stays deterministic in the seed regardless of skew.
+std::vector<double> ZipfCdf(size_t n, double skew) {
+  std::vector<double> cdf(n);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+    cdf[i] = total;
+  }
+  for (double& c : cdf) c /= total;
+  return cdf;
+}
+
+size_t ZipfDraw(const std::vector<double>& cdf, Rng& rng) {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  return it == cdf.end() ? cdf.size() - 1
+                         : static_cast<size_t>(it - cdf.begin());
+}
+
+}  // namespace
+
+std::shared_ptr<const Schema> MakeZipfHotspotSchema(double alpha_scale) {
+  auto schema = std::make_shared<Schema>();
+  {
+    std::vector<AttributeDef> attrs;
+    attrs.push_back(AttributeDef{"HK", Type::kInt64, false, 1.0});
+    attrs.push_back(AttributeDef{"HV", Type::kInt64, true, 1.0 * alpha_scale});
+    Status st =
+        schema->AddRelation(RelationSchema("Hub", std::move(attrs), {"HK"}));
+    (void)st;
+  }
+  {
+    std::vector<AttributeDef> attrs;
+    attrs.push_back(AttributeDef{"SID", Type::kInt64, false, 1.0});
+    attrs.push_back(AttributeDef{"HK", Type::kInt64, false, 1.0});
+    attrs.push_back(AttributeDef{"SV", Type::kInt64, true, 1.0 * alpha_scale});
+    Status st =
+        schema->AddRelation(RelationSchema("Spoke", std::move(attrs), {"SID"}));
+    (void)st;
+  }
+  return schema;
+}
+
+std::vector<DenialConstraint> MakeZipfHotspotConstraints() {
+  // Locality: the join attribute Spoke.HK is hard; HV is compared only
+  // with '<' (fixes raise it to 40) and SV only with '>' (fixes lower it to
+  // 60 or 90), so no flexible attribute mixes directions.
+  const char* text =
+      "zh1: :- Hub(k, hv), Spoke(s, k, sv), hv < 40, sv > 60\n"
+      "zh2: :- Spoke(s, k, sv), sv > 90\n";
+  auto parsed = ParseConstraintSet(text);
+  return std::move(parsed).value();
+}
+
+Result<GeneratedWorkload> GenerateZipfHotspot(
+    const ZipfHotspotOptions& options) {
+  if (options.num_hubs == 0) {
+    return Status::InvalidArgument("ZipfHotspotOptions::num_hubs must be > 0");
+  }
+  if (options.skew < 0.0) {
+    return Status::InvalidArgument("ZipfHotspotOptions::skew must be >= 0");
+  }
+  Rng rng(options.seed);
+  Database db(MakeZipfHotspotSchema(options.alpha_scale));
+
+  for (size_t h = 0; h < options.num_hubs; ++h) {
+    // The hottest hub is deterministically inconsistent whenever the ratio
+    // asks for any inconsistency at all (see the header).
+    const bool bad = options.inconsistency_ratio > 0.0 &&
+                     (h == 0 || rng.Bernoulli(options.inconsistency_ratio));
+    const int64_t hv =
+        bad ? rng.UniformInRange(0, 39) : rng.UniformInRange(40, 100);
+    DBREPAIR_RETURN_IF_ERROR(
+        db.Insert("Hub", {Value::Int(static_cast<int64_t>(h + 1)),
+                          Value::Int(hv)})
+            .status());
+  }
+
+  const std::vector<double> cdf = ZipfCdf(options.num_hubs, options.skew);
+  const size_t num_spokes = options.num_hubs * options.spokes_per_hub;
+  for (size_t s = 0; s < num_spokes; ++s) {
+    const size_t hub = ZipfDraw(cdf, rng);
+    const bool bad = rng.Bernoulli(options.inconsistency_ratio);
+    // Bad spokes span the zh1-only band (61..90] and the zh2 band (> 90),
+    // so a single workload exercises both the join and the single-tuple
+    // constraint, with overlapping candidate fixes (SV -> 60 solves both).
+    const int64_t sv =
+        bad ? rng.UniformInRange(61, 100) : rng.UniformInRange(0, 60);
+    DBREPAIR_RETURN_IF_ERROR(
+        db.Insert("Spoke", {Value::Int(static_cast<int64_t>(s + 1)),
+                            Value::Int(static_cast<int64_t>(hub + 1)),
+                            Value::Int(sv)})
+            .status());
+  }
+  return GeneratedWorkload{std::move(db), MakeZipfHotspotConstraints()};
+}
+
+}  // namespace dbrepair

@@ -1,0 +1,50 @@
+#ifndef DBREPAIR_GEN_ZIPF_HOTSPOT_H_
+#define DBREPAIR_GEN_ZIPF_HOTSPOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "constraints/ast.h"
+#include "gen/client_buy.h"
+#include "storage/database.h"
+
+namespace dbrepair {
+
+/// A Zipf-skewed hotspot-join workload:
+///   Hub(HK, HV)        key {HK},      F = {HV}
+///   Spoke(SID, HK, SV) key {SID},     F = {SV}
+///   zh1: :- Hub(k, hv), Spoke(s, k, sv), hv < 40, sv > 60
+///   zh2: :- Spoke(s, k, sv), sv > 90
+///
+/// Spokes pick their hub by a Zipf(skew) draw over the hub ids, so raising
+/// `skew` concentrates the join — and with it the violation sets of zh1 —
+/// onto the first few hubs, driving Deg(D, IC) up without changing the
+/// instance size. skew = 0 degenerates to a uniform join (the friendly
+/// case). When `inconsistency_ratio > 0` the hottest hub (HK = 1) is
+/// always generated inconsistent, so the skew knob maps directly onto the
+/// degree of the hotspot instead of depending on a coin flip.
+struct ZipfHotspotOptions {
+  size_t num_hubs = 200;
+  size_t spokes_per_hub = 4;  ///< average: total spokes = hubs * this
+  /// Zipf exponent of the hub-choice distribution (0 = uniform; 1-2 are
+  /// realistic web-like skews; larger pushes almost every spoke onto the
+  /// first hub).
+  double skew = 1.0;
+  double inconsistency_ratio = 0.3;
+  /// Multiplies every flexible-attribute weight in the generated schema
+  /// (for the scaling metamorphic invariance: repairs are alpha-homogeneous).
+  double alpha_scale = 1.0;
+  uint64_t seed = 1;
+};
+
+/// Generates the workload. Deterministic in the seed.
+Result<GeneratedWorkload> GenerateZipfHotspot(const ZipfHotspotOptions& options);
+
+std::shared_ptr<const Schema> MakeZipfHotspotSchema(double alpha_scale = 1.0);
+std::vector<DenialConstraint> MakeZipfHotspotConstraints();
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_GEN_ZIPF_HOTSPOT_H_

@@ -33,6 +33,8 @@ std::string FormatRepairReport(const Database& original,
   out += Printf("  applied updates:   %zu\n", stats.num_updates);
   out += Printf("  cover weight:      %.6g\n", stats.cover_weight);
   out += Printf("  Delta(D, D'):      %.6g\n", stats.distance);
+  out += Printf("  inconsistency:     %.6g (%zu tuples inconsistent)\n",
+                stats.inconsistency, stats.inconsistent_tuples);
   out += "per-phase wall time\n";
   out += Printf("  build:             %.3f ms\n", stats.build_seconds * 1e3);
   out += Printf("  solve:             %.3f ms\n", stats.solve_seconds * 1e3);

@@ -1,0 +1,46 @@
+#include "repair/inconsistency.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "repair/repairer.h"
+
+namespace dbrepair {
+
+InconsistencyMeasure ComputeInconsistencyMeasure(double repair_distance,
+                                                 size_t total_tuples,
+                                                 size_t inconsistent_tuples,
+                                                 size_t violation_sets) {
+  InconsistencyMeasure m;
+  m.repair_distance = repair_distance;
+  m.total_tuples = total_tuples;
+  m.inconsistent_tuples = inconsistent_tuples;
+  m.violation_sets = violation_sets;
+  const double denom = static_cast<double>(std::max<size_t>(1, total_tuples));
+  m.normalized = repair_distance / denom;
+  m.inconsistent_ratio = static_cast<double>(inconsistent_tuples) / denom;
+  return m;
+}
+
+Result<InconsistencyMeasure> MeasureInconsistency(
+    const Database& db, const std::vector<DenialConstraint>& ics,
+    const RepairOptions& options) {
+  DBREPAIR_ASSIGN_OR_RETURN(const RepairOutcome outcome,
+                            RepairDatabase(db, ics, options));
+  return ComputeInconsistencyMeasure(
+      outcome.stats.distance, db.TotalTuples(),
+      outcome.stats.inconsistent_tuples, outcome.stats.num_violations);
+}
+
+std::string FormatInconsistencyMeasure(const InconsistencyMeasure& measure) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "inconsistency %.6g (distance %.6g over %zu tuples, "
+                "%zu inconsistent [%.1f%%], %zu violation sets)",
+                measure.normalized, measure.repair_distance,
+                measure.total_tuples, measure.inconsistent_tuples,
+                measure.inconsistent_ratio * 100.0, measure.violation_sets);
+  return buffer;
+}
+
+}  // namespace dbrepair

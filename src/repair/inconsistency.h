@@ -1,0 +1,63 @@
+#ifndef DBREPAIR_REPAIR_INCONSISTENCY_H_
+#define DBREPAIR_REPAIR_INCONSISTENCY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "constraints/ast.h"
+#include "storage/database.h"
+
+namespace dbrepair {
+
+struct RepairOptions;
+
+/// The repair-distance inconsistency measure of Bertossi (arXiv:1804.08834):
+/// how inconsistent is D, quantified as the (weighted) distance from D to
+/// its repair, normalized by the size of the instance. The repair distance
+/// here is the one the pipeline actually achieved, so the measure inherits
+/// the solver's approximation factor — an upper bound on the exact measure
+/// within the same factor.
+struct InconsistencyMeasure {
+  /// Delta(D, D'): the weighted repair distance the pipeline achieved.
+  double repair_distance = 0.0;
+  /// |D|: total tuples of the measured instance.
+  size_t total_tuples = 0;
+  /// Tuples participating in at least one violation set.
+  size_t inconsistent_tuples = 0;
+  /// Violation sets of (D, IC).
+  size_t violation_sets = 0;
+  /// The headline number: repair_distance / max(1, total_tuples). 0 iff the
+  /// instance is consistent; grows with both the number of violations and
+  /// how far cells must move to resolve them.
+  double normalized = 0.0;
+  /// inconsistent_tuples / max(1, total_tuples) — the paper's "ratio of
+  /// inconsistency" as a companion signal (size-sensitive, not
+  /// magnitude-sensitive).
+  double inconsistent_ratio = 0.0;
+};
+
+/// Assembles the derived fields from the raw ingredients. The only
+/// computation is the two normalizations, kept in one place so RepairStats,
+/// RepairSession, and MeasureInconsistency cannot drift on the definition.
+InconsistencyMeasure ComputeInconsistencyMeasure(double repair_distance,
+                                                 size_t total_tuples,
+                                                 size_t inconsistent_tuples,
+                                                 size_t violation_sets);
+
+/// One-shot metering: repairs a clone of `db` under `options` and returns
+/// the measure of `db` itself (the original is untouched). This is what the
+/// CLI's `--measure` flag calls when no repair output is otherwise needed.
+Result<InconsistencyMeasure> MeasureInconsistency(
+    const Database& db, const std::vector<DenialConstraint>& ics,
+    const RepairOptions& options);
+
+/// Human-readable one-liner, e.g.
+/// "inconsistency 0.0125 (distance 25 over 2000 tuples, 40 inconsistent
+///  [2.0%], 31 violation sets)".
+std::string FormatInconsistencyMeasure(const InconsistencyMeasure& measure);
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_REPAIR_INCONSISTENCY_H_

@@ -5,6 +5,7 @@
 #include "constraints/locality.h"
 #include "constraints/violation_engine.h"
 #include "obs/context.h"
+#include "repair/inconsistency.h"
 #include "obs/trace.h"
 #include "repair/setcover/csr_instance.h"
 #include "repair/setcover/prune.h"
@@ -104,6 +105,11 @@ Result<RepairOutcome> RepairBoundImpl(const Database& db,
   outcome.stats.cover_weight = cover.weight;
   DBREPAIR_ASSIGN_OR_RETURN(outcome.stats.distance,
                             distance.DatabaseDistance(db, outcome.repaired));
+  const InconsistencyMeasure measure = ComputeInconsistencyMeasure(
+      outcome.stats.distance, db.TotalTuples(),
+      problem.degrees.per_tuple.size(), problem.violations.size());
+  outcome.stats.inconsistent_tuples = measure.inconsistent_tuples;
+  outcome.stats.inconsistency = measure.normalized;
   outcome.stats.build_seconds = build_seconds;
   outcome.stats.solve_seconds = solve_seconds;
   outcome.stats.apply_seconds = apply_seconds;
@@ -113,6 +119,8 @@ Result<RepairOutcome> RepairBoundImpl(const Database& db,
       ->Set(static_cast<double>(problem.degrees.max_degree));
   obs.metrics.GetGauge("repair.cover_weight")->Set(cover.weight);
   obs.metrics.GetGauge("repair.distance")->Set(outcome.stats.distance);
+  obs.metrics.GetGauge("repair.inconsistency")
+      ->Set(outcome.stats.inconsistency);
   obs.metrics.GetCounter("repair.violation_sets")
       ->Add(problem.violations.size());
   obs.metrics.GetCounter("repair.candidate_fixes")->Add(problem.fixes.size());

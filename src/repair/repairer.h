@@ -68,6 +68,12 @@ struct RepairStats {
   uint32_t max_degree = 0;  ///< Deg(D, IC)
   double cover_weight = 0.0;
   double distance = 0.0;  ///< Delta(D, D') of the produced repair
+  /// Tuples of D participating in at least one violation set.
+  size_t inconsistent_tuples = 0;
+  /// The repair-distance inconsistency measure of the input: `distance`
+  /// normalized by |D| (see repair/inconsistency.h). 0 iff D was already
+  /// consistent.
+  double inconsistency = 0.0;
   /// Phase wall times, all derived from the obs span tree (one steady
   /// clock, no overlap: verify is its own phase, not part of apply).
   double build_seconds = 0.0;

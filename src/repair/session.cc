@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <unordered_set>
 #include <utility>
 
 #include "constraints/locality.h"
@@ -400,6 +401,15 @@ void RepairSession::RecordBatchTelemetry(uint64_t batch_id,
   record.total_seconds = batch.total_seconds;
   record.cover_weight = stats_.cover_weight;
   record.cumulative_distance = cumulative_distance_;
+  // The rolling trend keeps only the cheap normalization (the full
+  // inconsistent-tuple census is available on demand via inconsistency()).
+  record.inconsistency =
+      ComputeInconsistencyMeasure(cumulative_distance_, db_.TotalTuples(),
+                                  /*inconsistent_tuples=*/0,
+                                  /*violation_sets=*/0)
+          .normalized;
+  record.inconsistency_delta = record.inconsistency - last_inconsistency_;
+  last_inconsistency_ = record.inconsistency;
   telemetry_.push_back(record);
   if (telemetry_.size() > kTelemetryWindow) telemetry_.pop_front();
 
@@ -422,8 +432,21 @@ void RepairSession::RecordBatchTelemetry(uint64_t batch_id,
   // session's trend lines, not just final values.
   obs.events.RecordCounter("session.cover_weight", stats_.cover_weight);
   obs.events.RecordCounter("session.distance", cumulative_distance_);
+  obs.events.RecordCounter("session.inconsistency", record.inconsistency);
   obs.events.RecordCounter("session.batch.updates",
                            static_cast<double>(batch.num_updates));
+}
+
+InconsistencyMeasure RepairSession::inconsistency() const {
+  // Every violation set the session has ever allocated references rows of
+  // db_ (rows only append, so the ids stay valid); the census therefore
+  // covers the whole stream, not just the current batch.
+  std::unordered_set<uint64_t> inconsistent;
+  for (const ViolationSet& v : violations_) {
+    for (const TupleRef& t : v.tuples) inconsistent.insert(t.Packed());
+  }
+  return ComputeInconsistencyMeasure(cumulative_distance_, db_.TotalTuples(),
+                                     inconsistent.size(), violations_.size());
 }
 
 obs::Json RepairSession::TelemetryToJson() const {
@@ -449,6 +472,8 @@ obs::Json RepairSession::TelemetryToJson() const {
     entry.Set("total_seconds", Json(r.total_seconds));
     entry.Set("cover_weight", Json(r.cover_weight));
     entry.Set("cumulative_distance", Json(r.cumulative_distance));
+    entry.Set("inconsistency", Json(r.inconsistency));
+    entry.Set("inconsistency_delta", Json(r.inconsistency_delta));
     window.Append(std::move(entry));
   }
   Json totals = Json::MakeObject();
@@ -462,6 +487,7 @@ obs::Json RepairSession::TelemetryToJson() const {
              Json(static_cast<uint64_t>(stats_.total_updates)));
   totals.Set("cover_weight", Json(stats_.cover_weight));
   totals.Set("cumulative_distance", Json(cumulative_distance_));
+  totals.Set("inconsistency", Json(inconsistency().normalized));
   Json out = Json::MakeObject();
   out.Set("batches_recorded",
           Json(static_cast<uint64_t>(telemetry_.size())));

@@ -18,6 +18,7 @@
 #include "constraints/violation.h"
 #include "constraints/violation_engine.h"
 #include "repair/distance.h"
+#include "repair/inconsistency.h"
 #include "repair/repair_builder.h"
 #include "repair/repairer.h"
 #include "repair/setcover/csr_instance.h"
@@ -80,6 +81,13 @@ struct BatchTelemetry {
   double total_seconds = 0.0;
   double cover_weight = 0.0;          ///< session cumulative after the batch
   double cumulative_distance = 0.0;   ///< Delta(inserted, repaired) so far
+  /// Repair-distance inconsistency measure of the stream so far: the
+  /// cumulative distance normalized by the instance size after this batch
+  /// (repair/inconsistency.h). Together with `inconsistency_delta` (the
+  /// change versus the previous batch) this is the session's rolling
+  /// inconsistency trend.
+  double inconsistency = 0.0;
+  double inconsistency_delta = 0.0;
 };
 
 /// Cumulative totals since Open (the initial full repair counts as batch 0).
@@ -177,6 +185,14 @@ class RepairSession {
   /// Sum over all cells of the weighted distance the session's repairs have
   /// introduced so far, i.e. Delta(inserted data, current data).
   double cumulative_distance() const { return cumulative_distance_; }
+
+  /// The full inconsistency measure of everything streamed so far:
+  /// cumulative repair distance normalized by the current instance size,
+  /// plus the inconsistent-tuple census over every violation set the
+  /// session has seen. Equals the one-shot measure of the final data when
+  /// the whole stream arrives as one batch, and tracks it within the
+  /// incremental solver's guarantees otherwise.
+  InconsistencyMeasure inconsistency() const;
 
   /// The rolling per-batch telemetry window (newest last; the oldest
   /// records are dropped past kTelemetryWindow batches). Batch 0 is the
@@ -277,6 +293,9 @@ class RepairSession {
   // later batch moves an already-repaired cell further.
   std::map<std::pair<uint64_t, uint32_t>, int64_t> original_values_;
   double cumulative_distance_ = 0.0;
+  // Normalized measure after the previous batch, for the per-batch delta in
+  // the telemetry window.
+  double last_inconsistency_ = 0.0;
 
   std::atomic<bool> busy_{false};
   bool poisoned_ = false;

@@ -504,6 +504,66 @@ TEST_F(CliTest, DefaultVerbosityLogsLoadsAndSummary) {
   EXPECT_NE(text.find("solver=modified-greedy"), std::string::npos) << text;
 }
 
+TEST_F(CliTest, MeasureFlagPrintsInconsistency) {
+  const RunResult result =
+      RunCliStderr(dir_ + "/repair.conf --quiet --measure --output /dev/null");
+  EXPECT_EQ(result.exit_code, 0);
+  const std::string& text = result.stdout_text;  // captured stderr
+  EXPECT_NE(text.find("inconsistency"), std::string::npos) << text;
+  EXPECT_NE(text.find("tuples"), std::string::npos) << text;
+}
+
+TEST_F(CliTest, GenSubcommandRepairsScenario) {
+  // --quiet silences the logger; --report and --measure still write their
+  // blocks to stderr. The adversary must hit its degree target exactly.
+  const RunResult result = RunCliStderr(
+      "gen adversary --rows 60 --degree 5 --seed 3 --quiet --report "
+      "--measure");
+  EXPECT_EQ(result.exit_code, 0);
+  const std::string& text = result.stdout_text;  // captured stderr
+  EXPECT_NE(text.find("repair summary"), std::string::npos) << text;
+  EXPECT_NE(text.find("degree Deg(D, IC): 5"), std::string::npos) << text;
+  EXPECT_NE(text.find("inconsistency"), std::string::npos) << text;
+}
+
+TEST_F(CliTest, GenSubcommandEveryScenarioRuns) {
+  for (const char* scenario : {"zipf-hotspot", "sensor-drift", "adversary",
+                               "client-buy", "census"}) {
+    const RunResult result = RunCli(
+        std::string("gen ") + scenario + " --rows 50 --seed 2 --quiet");
+    EXPECT_EQ(result.exit_code, 0) << scenario;
+  }
+}
+
+TEST_F(CliTest, GenSubcommandWritesExportAndMetrics) {
+  const std::string dump_path = dir_ + "/zipf_dump.txt";
+  const std::string metrics_path = dir_ + "/zipf_metrics.json";
+  const RunResult result = RunCli(
+      "gen zipf-hotspot --rows 50 --seed 4 --skew 1.5 --quiet --output " +
+      dump_path + " --metrics-out " + metrics_path);
+  EXPECT_EQ(result.exit_code, 0);
+  const std::string dump = ReadFile(dump_path);
+  EXPECT_NE(dump.find("Hub("), std::string::npos) << dump.substr(0, 200);
+  EXPECT_NE(dump.find("Spoke("), std::string::npos);
+
+  auto snapshot = obs::Json::Parse(ReadFile(metrics_path));
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  ASSERT_NE(snapshot->Find("scenario"), nullptr);
+  EXPECT_EQ(snapshot->Find("scenario")->AsString(), "zipf-hotspot");
+  const obs::Json* gauges = snapshot->Find("metrics")->Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_NE(gauges->Find("repair.inconsistency"), nullptr);
+}
+
+TEST_F(CliTest, GenSubcommandErrors) {
+  // Unknown scenario is a runtime error; unknown flag is a usage error; a
+  // missing scenario prints usage.
+  EXPECT_EQ(RunCli("gen warehouse --quiet").exit_code, 1);
+  EXPECT_EQ(RunCli("gen adversary --bogus").exit_code, 2);
+  EXPECT_EQ(RunCli("gen").exit_code, 2);
+  EXPECT_EQ(RunCli("gen zipf-hotspot --skew nope --quiet").exit_code, 1);
+}
+
 TEST_F(CliTest, QuerySubcommand) {
   const RunResult result = RunCli(
       "query " + dir_ + "/repair.conf \"SELECT ID, PRC FROM Paper WHERE "

@@ -1,0 +1,209 @@
+// Metamorphic relations for the scenario generators. Each test transforms
+// a generated workload in a way with a provable effect on the repair:
+//   * appending consistent tuples must not change the repair at all
+//     (violations, chosen fixes, and applied updates are untouched);
+//   * scaling every attribute weight by a power of two scales the cover
+//     weight and distance by exactly that factor while choosing the same
+//     fixes (ratios scale uniformly, and x4 is exact in binary floating
+//     point, so every solver comparison is bit-identical);
+//   * for the single-tuple sensor-drift constraint, permuting the tuple
+//     order permutes but never changes the repaired rows.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "gen/adversary.h"
+#include "gen/sensor_drift.h"
+#include "gen/zipf_hotspot.h"
+#include "repair/repairer.h"
+
+namespace dbrepair {
+namespace {
+
+void ExpectSameUpdates(const RepairOutcome& a, const RepairOutcome& b) {
+  ASSERT_EQ(a.updates.size(), b.updates.size());
+  for (size_t i = 0; i < a.updates.size(); ++i) {
+    EXPECT_EQ(a.updates[i].tuple.Packed(), b.updates[i].tuple.Packed())
+        << "update " << i;
+    EXPECT_EQ(a.updates[i].attribute, b.updates[i].attribute) << "update " << i;
+    EXPECT_EQ(a.updates[i].old_value, b.updates[i].old_value) << "update " << i;
+    EXPECT_EQ(a.updates[i].new_value, b.updates[i].new_value) << "update " << i;
+  }
+}
+
+// Copies every row of `base` into a fresh database over the same schema.
+Database CloneDatabase(const Database& base) {
+  Database copy(base.schema_ptr());
+  for (const RelationSchema& rel : base.schema().relations()) {
+    const Table* table = base.FindTable(rel.name());
+    for (size_t row = 0; row < table->size(); ++row) {
+      auto ref = copy.Insert(rel.name(), table->row(row).values());
+      EXPECT_TRUE(ref.ok()) << ref.status().ToString();
+    }
+  }
+  return copy;
+}
+
+// Appending consistent rows at the end leaves every original row id intact,
+// so the two repairs must agree update for update.
+void RunDuplicationCase(const GeneratedWorkload& workload,
+                        const std::vector<std::pair<std::string,
+                                                    std::vector<Value>>>&
+                            consistent_rows) {
+  auto base_outcome = RepairDatabase(workload.db, workload.ics);
+  ASSERT_TRUE(base_outcome.ok()) << base_outcome.status().ToString();
+
+  Database augmented = CloneDatabase(workload.db);
+  for (const auto& [relation, values] : consistent_rows) {
+    auto ref = augmented.Insert(relation, values);
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+  }
+  auto augmented_outcome = RepairDatabase(augmented, workload.ics);
+  ASSERT_TRUE(augmented_outcome.ok()) << augmented_outcome.status().ToString();
+
+  EXPECT_EQ(base_outcome->stats.num_violations,
+            augmented_outcome->stats.num_violations);
+  EXPECT_EQ(base_outcome->stats.distance, augmented_outcome->stats.distance);
+  EXPECT_EQ(base_outcome->stats.cover_weight,
+            augmented_outcome->stats.cover_weight);
+  ExpectSameUpdates(*base_outcome, *augmented_outcome);
+}
+
+TEST(ScenarioMetamorphic, ZipfHotspotIgnoresConsistentRows) {
+  ZipfHotspotOptions options;
+  options.num_hubs = 12;
+  options.spokes_per_hub = 3;
+  options.seed = 11;
+  auto workload = GenerateZipfHotspot(options);
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+  // A fresh hub above the hv threshold and a quiet spoke under its own key:
+  // neither can enter a zh1 join pair or trip zh2.
+  RunDuplicationCase(
+      *workload,
+      {{"Hub", {Value::Int(1000000), Value::Int(80)}},
+       {"Spoke",
+        {Value::Int(1000001), Value::Int(1000000), Value::Int(10)}}});
+}
+
+TEST(ScenarioMetamorphic, SensorDriftIgnoresConsistentRows) {
+  SensorDriftOptions options;
+  options.num_sensors = 8;
+  options.readings_per_sensor = 20;
+  options.seed = 11;
+  auto workload = GenerateSensorDrift(options);
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+  RunDuplicationCase(
+      *workload,
+      {{"Reading", {Value::Int(1000), Value::Int(0), Value::Int(0)}},
+       {"Reading", {Value::Int(1000), Value::Int(1), Value::Int(50)}}});
+}
+
+TEST(ScenarioMetamorphic, AdversaryIgnoresConsistentRows) {
+  AdversaryOptions options;
+  options.num_hubs = 6;
+  options.target_degree = 4;
+  options.seed = 11;
+  auto workload = GenerateAdversary(options);
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+  // A hub with A >= 50 never violates adv1, whatever joins its group.
+  RunDuplicationCase(
+      *workload,
+      {{"AHub",
+        {Value::Int(1000000), Value::Int(1000000), Value::Int(80)}},
+       {"ASat",
+        {Value::Int(1000001), Value::Int(1000000), Value::Int(10)}}});
+}
+
+// Scaling every alpha by 4 must scale the objective by exactly 4 while the
+// chosen fixes stay the same.
+template <typename Options, typename Generate>
+void RunAlphaScalingCase(Options options, Generate generate) {
+  options.alpha_scale = 1.0;
+  auto base = generate(options);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  options.alpha_scale = 4.0;
+  auto scaled = generate(options);
+  ASSERT_TRUE(scaled.ok()) << scaled.status().ToString();
+
+  auto base_outcome = RepairDatabase(base->db, base->ics);
+  ASSERT_TRUE(base_outcome.ok()) << base_outcome.status().ToString();
+  auto scaled_outcome = RepairDatabase(scaled->db, scaled->ics);
+  ASSERT_TRUE(scaled_outcome.ok()) << scaled_outcome.status().ToString();
+
+  EXPECT_GT(base_outcome->updates.size(), 0u);
+  ExpectSameUpdates(*base_outcome, *scaled_outcome);
+  EXPECT_DOUBLE_EQ(scaled_outcome->stats.cover_weight,
+                   4.0 * base_outcome->stats.cover_weight);
+  EXPECT_DOUBLE_EQ(scaled_outcome->stats.distance,
+                   4.0 * base_outcome->stats.distance);
+}
+
+TEST(ScenarioMetamorphic, ZipfHotspotAlphaScalesObjective) {
+  ZipfHotspotOptions options;
+  options.num_hubs = 12;
+  options.spokes_per_hub = 3;
+  options.seed = 13;
+  RunAlphaScalingCase(options, GenerateZipfHotspot);
+}
+
+TEST(ScenarioMetamorphic, SensorDriftAlphaScalesObjective) {
+  SensorDriftOptions options;
+  options.num_sensors = 8;
+  options.readings_per_sensor = 20;
+  options.seed = 13;
+  RunAlphaScalingCase(options, GenerateSensorDrift);
+}
+
+TEST(ScenarioMetamorphic, AdversaryAlphaScalesObjective) {
+  AdversaryOptions options;
+  options.num_hubs = 6;
+  options.target_degree = 4;
+  options.seed = 13;
+  RunAlphaScalingCase(options, GenerateAdversary);
+}
+
+// sd1 constrains one tuple at a time, so reversing the insertion order can
+// only permute the repair, never change it: the repaired databases hold the
+// same rows as multisets.
+TEST(ScenarioMetamorphic, SensorDriftRepairIsPermutationInvariant) {
+  SensorDriftOptions options;
+  options.num_sensors = 8;
+  options.readings_per_sensor = 15;
+  options.drift_ratio = 0.5;
+  options.seed = 17;
+  auto workload = GenerateSensorDrift(options);
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+
+  const Table* readings = workload->db.FindTable("Reading");
+  ASSERT_NE(readings, nullptr);
+  Database reversed(workload->db.schema_ptr());
+  for (size_t row = readings->size(); row > 0; --row) {
+    ASSERT_TRUE(
+        reversed.Insert("Reading", readings->row(row - 1).values()).ok());
+  }
+
+  auto forward = RepairDatabase(workload->db, workload->ics);
+  ASSERT_TRUE(forward.ok()) << forward.status().ToString();
+  auto backward = RepairDatabase(reversed, workload->ics);
+  ASSERT_TRUE(backward.ok()) << backward.status().ToString();
+  EXPECT_GT(forward->updates.size(), 0u);
+  EXPECT_EQ(forward->updates.size(), backward->updates.size());
+  EXPECT_DOUBLE_EQ(forward->stats.distance, backward->stats.distance);
+
+  const auto sorted_rows = [](const Database& db) {
+    std::vector<std::vector<Value>> rows;
+    const Table* table = db.FindTable("Reading");
+    EXPECT_NE(table, nullptr);
+    for (size_t row = 0; row < table->size(); ++row) {
+      rows.push_back(table->row(row).values());
+    }
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  };
+  EXPECT_EQ(sorted_rows(forward->repaired), sorted_rows(backward->repaired));
+}
+
+}  // namespace
+}  // namespace dbrepair

@@ -1,0 +1,137 @@
+#include "repair/inconsistency.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/adversary.h"
+#include "gen/sensor_drift.h"
+#include "repair/repairer.h"
+
+namespace dbrepair {
+namespace {
+
+TEST(InconsistencyMeasure, NormalizationDefinition) {
+  const InconsistencyMeasure m =
+      ComputeInconsistencyMeasure(25.0, 2000, 40, 31);
+  EXPECT_DOUBLE_EQ(m.normalized, 25.0 / 2000.0);
+  EXPECT_DOUBLE_EQ(m.inconsistent_ratio, 40.0 / 2000.0);
+  EXPECT_EQ(m.violation_sets, 31u);
+  // An empty instance never divides by zero.
+  const InconsistencyMeasure empty = ComputeInconsistencyMeasure(0.0, 0, 0, 0);
+  EXPECT_DOUBLE_EQ(empty.normalized, 0.0);
+}
+
+TEST(InconsistencyMeasure, ZeroOnConsistentDatabase) {
+  AdversaryOptions options;
+  options.num_hubs = 8;
+  options.target_degree = 0;  // every hub and satellite consistent
+  options.clean_spokes = 3;
+  auto workload = GenerateAdversary(options);
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+
+  auto measure =
+      MeasureInconsistency(workload->db, workload->ics, RepairOptions{});
+  ASSERT_TRUE(measure.ok()) << measure.status().ToString();
+  EXPECT_DOUBLE_EQ(measure->normalized, 0.0);
+  EXPECT_DOUBLE_EQ(measure->repair_distance, 0.0);
+  EXPECT_EQ(measure->inconsistent_tuples, 0u);
+  EXPECT_EQ(measure->violation_sets, 0u);
+}
+
+// Adding violations to a fixed-size instance must never lower the measure.
+// The family D_0 ⊆ ... ⊆ D_5 shares every tuple; D_k only flips the first k
+// satellites of each group to their violating value, so |D_k| is constant
+// and the exact optimal distance is provably nondecreasing in k (any repair
+// of D_{k+1} restricts to one of D_k at no greater cost). Measured with the
+// exact solver so the theorem, not a greedy tie-break, is what's tested.
+TEST(InconsistencyMeasure, MonotoneUnderAddedViolations) {
+  constexpr size_t kSatsPerGroup = 5;
+  AdversaryOptions base_options;
+  base_options.num_hubs = 4;
+  base_options.target_degree = kSatsPerGroup;
+  base_options.clean_spokes = 0;
+  base_options.seed = 7;
+  auto base = GenerateAdversary(base_options);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+
+  RepairOptions exact;
+  exact.solver = SolverKind::kExact;
+
+  const Table* hubs = base->db.FindTable("AHub");
+  const Table* sats = base->db.FindTable("ASat");
+  ASSERT_NE(hubs, nullptr);
+  ASSERT_NE(sats, nullptr);
+
+  double previous = -1.0;
+  for (size_t k = 0; k <= kSatsPerGroup; ++k) {
+    Database dk(base->db.schema_ptr());
+    for (size_t row = 0; row < hubs->size(); ++row) {
+      ASSERT_TRUE(dk.Insert("AHub", hubs->row(row).values()).ok());
+    }
+    for (size_t row = 0; row < sats->size(); ++row) {
+      std::vector<Value> values = sats->row(row).values();
+      if (row % kSatsPerGroup >= k) {
+        values[2] = Value::Int(30);  // clean; the first k stay violating
+      }
+      ASSERT_TRUE(dk.Insert("ASat", std::move(values)).ok());
+    }
+
+    auto measure = MeasureInconsistency(dk, base->ics, exact);
+    ASSERT_TRUE(measure.ok()) << measure.status().ToString();
+    EXPECT_GE(measure->normalized, previous)
+        << "k=" << k << " lowered the measure";
+    if (k == 0) {
+      EXPECT_DOUBLE_EQ(measure->normalized, 0.0);
+    } else {
+      EXPECT_GT(measure->normalized, 0.0);
+    }
+    previous = measure->normalized;
+  }
+}
+
+// The drift scenario's measure grows with how long the drifters have been
+// past the threshold: more ticks, larger clamp distances, larger measure.
+TEST(InconsistencyMeasure, GrowsWithDriftDepth) {
+  double previous = 0.0;
+  for (size_t ticks : {10, 25, 50}) {
+    SensorDriftOptions options;
+    options.num_sensors = 10;
+    options.readings_per_sensor = ticks;
+    options.drift_ratio = 0.3;
+    // 8/tick guarantees every drifter crosses the threshold within 10 ticks
+    // (baseline >= threshold - 60), whatever the seed draws.
+    options.drift_per_tick = 8;
+    options.seed = 5;
+    auto workload = GenerateSensorDrift(options);
+    ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+    auto measure =
+        MeasureInconsistency(workload->db, workload->ics, RepairOptions{});
+    ASSERT_TRUE(measure.ok()) << measure.status().ToString();
+    EXPECT_GT(measure->normalized, previous) << "ticks " << ticks;
+    previous = measure->normalized;
+  }
+}
+
+TEST(InconsistencyMeasure, RepairStatsCarryTheMeasure) {
+  AdversaryOptions options;
+  options.num_hubs = 4;
+  options.target_degree = 3;
+  auto workload = GenerateAdversary(options);
+  ASSERT_TRUE(workload.ok());
+  auto outcome = RepairDatabase(workload->db, workload->ics);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  const RepairStats& stats = outcome->stats;
+  EXPECT_DOUBLE_EQ(
+      stats.inconsistency,
+      stats.distance / static_cast<double>(workload->db.TotalTuples()));
+  // Every hub and every violating satellite participates: 4 hubs + 12 sats.
+  EXPECT_EQ(stats.inconsistent_tuples, 16u);
+  // And the formatted line carries the headline number.
+  const std::string line =
+      FormatInconsistencyMeasure(ComputeInconsistencyMeasure(
+          stats.distance, workload->db.TotalTuples(),
+          stats.inconsistent_tuples, stats.num_violations));
+  EXPECT_NE(line.find("inconsistency"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dbrepair

@@ -32,6 +32,7 @@
 #include "gen/client_buy.h"
 #include "obs/json.h"
 #include "repair/api.h"
+#include "repair/inconsistency.h"
 
 namespace dbrepair {
 namespace {
@@ -461,6 +462,67 @@ TEST(SessionTest, ConcurrentApplyBatchFailsCleanlyNotCorruptly) {
   EXPECT_EQ((*session)->db().TotalTuples(),
             static_cast<size_t>(successes.load()));
   ExpectConsistent((*session)->db(), ics);
+}
+
+TEST(SessionTest, InconsistencyTrendMatchesOneShotMeasure) {
+  // The per-batch inconsistency series must telescope exactly (each record's
+  // value is the previous plus its delta), the session-level measure must
+  // agree with the last record, and a K=1 replay over an empty base must land
+  // bit-equal on the one-shot measure: same cumulative distance, same tuple
+  // count, same division.
+  ClientBuyOptions gen;
+  gen.num_clients = 80;
+  gen.inconsistency_ratio = 0.3;
+  gen.seed = 11;
+  auto workload = GenerateClientBuy(gen);
+  ASSERT_TRUE(workload.ok());
+
+  auto one_shot = RepairDatabase(workload->db, workload->ics);
+  ASSERT_TRUE(one_shot.ok()) << one_shot.status().ToString();
+  auto measured =
+      MeasureInconsistency(workload->db, workload->ics, RepairOptions{});
+  ASSERT_TRUE(measured.ok()) << measured.status().ToString();
+  EXPECT_GT(one_shot->stats.inconsistency, 0.0);
+  EXPECT_EQ(one_shot->stats.inconsistency, measured->normalized);
+
+  const Database empty(workload->db.schema_ptr());
+  const std::vector<BatchRow> rows = ExtractRows(workload->db, 0);
+
+  auto single = Replay(empty, workload->ics, rows, 1, RepairOptions{});
+  ASSERT_TRUE(single.ok()) << single.status().ToString();
+  const BatchTelemetry& final_record = (*single)->telemetry().back();
+  EXPECT_EQ(final_record.inconsistency, one_shot->stats.inconsistency);
+  EXPECT_EQ((*single)->inconsistency().normalized, final_record.inconsistency);
+
+  auto streamed = Replay(empty, workload->ics, rows, 6, RepairOptions{});
+  ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+  RepairSession& s = **streamed;
+  ASSERT_GT(s.telemetry().size(), 2u);
+  double running = 0.0;
+  for (const BatchTelemetry& record : s.telemetry()) {
+    EXPECT_EQ(record.inconsistency, running + record.inconsistency_delta)
+        << "batch " << record.batch;
+    running = record.inconsistency;
+  }
+  // The last record is the cumulative distance over the final instance size.
+  EXPECT_EQ(s.telemetry().back().inconsistency,
+            s.cumulative_distance() /
+                static_cast<double>(s.db().TotalTuples()));
+  const InconsistencyMeasure session_measure = s.inconsistency();
+  EXPECT_EQ(session_measure.normalized, running);
+  EXPECT_EQ(session_measure.total_tuples, s.db().TotalTuples());
+  EXPECT_GT(session_measure.inconsistent_tuples, 0u);
+  EXPECT_LE(session_measure.inconsistent_tuples, s.db().TotalTuples());
+
+  // The JSON telemetry carries the trend: every window entry has the pair of
+  // fields and the totals block has the headline value.
+  const obs::Json json = s.TelemetryToJson();
+  for (const obs::Json& entry : json.Find("window")->AsArray()) {
+    ASSERT_NE(entry.Find("inconsistency"), nullptr);
+    ASSERT_NE(entry.Find("inconsistency_delta"), nullptr);
+  }
+  EXPECT_DOUBLE_EQ(json.Find("totals")->Find("inconsistency")->AsDouble(),
+                   session_measure.normalized);
 }
 
 TEST(SessionTest, RandomWorkloadStreamsMatchOneShot) {

@@ -3,10 +3,13 @@
 # tests: the thread-pool unit tests, the serial-vs-parallel differential
 # harness, the RepairSession suite (whose concurrent-ApplyBatch misuse
 # case must fail cleanly, not racily), the flat set-cover layout suite
-# (which replays the per-batch CSR re-freeze at 1 and 4 threads), and the
+# (which replays the per-batch CSR re-freeze at 1 and 4 threads), the
 # randomized trace-merge suite (pool workers appending to per-thread event
-# lanes while snapshots read them). Any data race in the parallel pipeline
-# or the lock-free event buffers fails this job.
+# lanes while snapshots read them), and the scenario suite (the generator
+# differential oracle replays every scenario at 1 and 4 threads, plus the
+# FD-compilation and inconsistency-measure tests that ride the same label).
+# Any data race in the parallel pipeline or the lock-free event buffers
+# fails this job.
 #
 # Usage: tools/check_concurrency.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -19,6 +22,8 @@ cmake -B "$BUILD_DIR" -S . \
   -DDBREPAIR_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target thread_pool_test differential_test obs_test session_test \
-           setcover_layout_test trace_merge_test
-ctest --test-dir "$BUILD_DIR" -L 'concurrency|obs|session|setcover' \
+           setcover_layout_test trace_merge_test \
+           fd_test inconsistency_test scenario_metamorphic_test \
+           scenario_differential_test
+ctest --test-dir "$BUILD_DIR" -L 'concurrency|obs|session|setcover|scenario' \
   --output-on-failure

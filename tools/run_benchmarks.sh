@@ -46,7 +46,8 @@ BENCH_TARGETS=(bench_figure2_approximation bench_figure3_runtime
                bench_complexity_scaling bench_degree_sweep
                bench_inconsistency_ratio bench_cardinality
                bench_setcover_micro bench_setcover_layout
-               bench_build_pipeline bench_session_batches)
+               bench_build_pipeline bench_session_batches
+               bench_scenarios)
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${BENCH_TARGETS[@]}" >&2
 
 BENCH_DIR="$BUILD_DIR/bench"
@@ -90,6 +91,15 @@ if [[ "$HEADLINE" == "1" ]]; then
   run_gbench bench_setcover_layout 'BM_ModifiedGreedy(Legacy|Csr)/100000$' \
     --benchmark_repetitions=3 --benchmark_report_aggregates_only=true
   mv "$TMP/bench_setcover_layout.json" "$TMP/zz_headline_setcover.json"
+
+  # Scenario headline: end-to-end repair throughput of the three scenario
+  # generators at 20k rows, single thread, median of 3. Tracks regressions
+  # in the join-heavy (zipf), numeric-fix (drift), and high-degree
+  # (adversary) paths together.
+  run_gbench bench_scenarios \
+    'BM_(ZipfHotspotRepair|SensorDriftRepair|AdversaryRepair)/20000$' \
+    --benchmark_repetitions=3 --benchmark_report_aggregates_only=true
+  mv "$TMP/bench_scenarios.json" "$TMP/zz_headline_scenario.json"
 fi
 
 # Smallest registered size of every benchmark family in each binary.
@@ -102,6 +112,7 @@ run_gbench bench_complexity_scaling '/2000$'
 run_gbench bench_degree_sweep 'Sweep/2$|EndToEnd/5000$'
 run_gbench bench_inconsistency_ratio '/5$'
 run_gbench bench_session_batches '/10000$'
+run_gbench bench_scenarios '/1000$'
 
 # bench_figure2_approximation is a plain table printer, not a
 # Google-Benchmark binary; capture its text at a small size cap.
@@ -113,7 +124,8 @@ import json, sys, os
 
 tmp, out, build_type = sys.argv[1], sys.argv[2], sys.argv[3]
 summary = {"benchmarks": [], "headline": None, "session_headline": None,
-           "setcover_headline": None, "figure2_table": []}
+           "setcover_headline": None, "scenario_headline": None,
+           "figure2_table": []}
 
 for fname in sorted(os.listdir(tmp)):
     path = os.path.join(tmp, fname)
@@ -130,7 +142,8 @@ for fname in sorted(os.listdir(tmp)):
     for b in data.get("benchmarks", []):
         display = {"zz_headline": "headline",
                    "zz_headline_session": "session_headline",
-                   "zz_headline_setcover": "setcover_headline"}
+                   "zz_headline_setcover": "setcover_headline",
+                   "zz_headline_scenario": "scenario_headline"}
         entry = {
             "binary": display.get(binary, binary),
             "name": b["name"],
@@ -206,6 +219,29 @@ if len(layout_medians) == 2:
         "csr_speedup": legacy["real_time"] / csr["real_time"],
     }
 
+# Scenario headline: median end-to-end repair throughput per generator at
+# 20k rows; the summary keeps one entry per scenario with its
+# items_per_second (tuples repaired per second).
+scenario_medians = {}
+for b in summary["benchmarks"]:
+    if (b["binary"] == "scenario_headline"
+            and b.get("aggregate_name") == "median"):
+        for key, bm in (("zipf_hotspot", "BM_ZipfHotspotRepair/20000"),
+                        ("sensor_drift", "BM_SensorDriftRepair/20000"),
+                        ("adversary", "BM_AdversaryRepair/20000")):
+            if bm in b["name"]:
+                scenario_medians[key] = b
+if len(scenario_medians) == 3:
+    summary["scenario_headline"] = {
+        "workload": "scenario generators at ~20k rows, single thread",
+        "metric": "end-to-end RepairDatabase latency, median of 3",
+    }
+    for key, b in scenario_medians.items():
+        summary["scenario_headline"][key] = {
+            "ms": b["real_time"],
+            "items_per_second": b.get("items_per_second"),
+        }
+
 # The CMake build type the binaries were actually compiled with; the
 # script only ever runs Release trees, so anything else here means the
 # summary predates the enforcement and should not be used as a baseline.
@@ -229,4 +265,11 @@ if summary["setcover_headline"]:
     c = summary["setcover_headline"]
     print(f"setcover headline: CSR solve {c['csr_speedup']:.2f}x over "
           f"nested ({c['legacy_ms']:.1f} ms -> {c['csr_ms']:.1f} ms)")
+if summary["scenario_headline"]:
+    parts = []
+    for key in ("zipf_hotspot", "sensor_drift", "adversary"):
+        entry = summary["scenario_headline"].get(key)
+        if entry:
+            parts.append(f"{key} {entry['ms']:.1f} ms")
+    print("scenario headline: " + ", ".join(parts))
 PY
