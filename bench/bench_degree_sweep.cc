@@ -6,7 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
-#include "repair/repairer.h"
+#include "repair/api.h"
 #include "repair/setcover/solvers.h"
 
 using namespace dbrepair;        // NOLINT(build/namespaces)

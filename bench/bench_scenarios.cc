@@ -14,7 +14,7 @@
 #include "gen/adversary.h"
 #include "gen/sensor_drift.h"
 #include "gen/zipf_hotspot.h"
-#include "repair/repairer.h"
+#include "repair/api.h"
 
 using namespace dbrepair;        // NOLINT(build/namespaces)
 using namespace dbrepair::bench; // NOLINT(build/namespaces)

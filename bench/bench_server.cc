@@ -1,0 +1,113 @@
+// Multi-tenant server throughput: rows repaired per second over the wire
+// as the tenant count grows.
+//
+// Setup (untimed): one in-process RepairServer with as many pool workers as
+// tenants, one connection per tenant, each OPENed on its own client-buy
+// workload. Each timed iteration streams one dirty batch per tenant
+// concurrently — sessions are serialized per tenant but independent across
+// tenants, so throughput should scale with the tenant count until the pool
+// saturates. tools/run_benchmarks.sh records the 1-vs-max-tenant pair as
+// "server_headline" in BENCH_summary.json.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "server/client.h"
+#include "server/server.h"
+
+using namespace dbrepair;          // NOLINT(build/namespaces)
+using namespace dbrepair::bench;   // NOLINT(build/namespaces)
+using dbrepair::server::RepairClient;
+using dbrepair::server::RepairServer;
+using dbrepair::server::ServerOptions;
+
+namespace {
+
+constexpr size_t kBaseRows = 9000;   // per-tenant OPEN size
+constexpr size_t kBatchPairs = 30;   // Client+Buy pairs per batch
+
+// One dirty batch for tenant `t`, iteration `iter`: unique ids, minor
+// clients with bad credit buying at offending prices (ic1 + ic2 hits).
+std::vector<std::string> DirtyRows(int64_t t, int64_t iter) {
+  std::vector<std::string> rows;
+  rows.reserve(2 * kBatchPairs);
+  const int64_t base =
+      10'000'000 + t * 1'000'000 + iter * static_cast<int64_t>(kBatchPairs);
+  for (size_t i = 0; i < kBatchPairs; ++i) {
+    const int64_t id = base + static_cast<int64_t>(i);
+    rows.push_back("Client," + std::to_string(id) + ",15,90");
+    rows.push_back("Buy," + std::to_string(id) + ",1,60");
+  }
+  return rows;
+}
+
+void BM_ServerTenantThroughput(benchmark::State& state) {
+  InstallObsSnapshotAtExit();
+  const size_t tenants = static_cast<size_t>(state.range(0));
+
+  ServerOptions options;
+  options.port = 0;
+  options.num_workers = tenants;
+  options.max_tenants = tenants;
+  auto server = RepairServer::Start(options);
+  if (!server.ok()) {
+    state.SkipWithError(server.status().ToString().c_str());
+    return;
+  }
+
+  std::vector<RepairClient> clients;
+  for (size_t t = 0; t < tenants; ++t) {
+    auto client = RepairClient::Connect("127.0.0.1", (*server)->port());
+    if (!client.ok()) {
+      state.SkipWithError(client.status().ToString().c_str());
+      return;
+    }
+    const auto opened = client->Send(
+        "OPEN bench" + std::to_string(t) + " GEN client-buy " +
+        std::to_string(kBaseRows) + " " + std::to_string(t + 1));
+    if (!opened.ok()) {
+      state.SkipWithError(opened.status().ToString().c_str());
+      return;
+    }
+    clients.push_back(std::move(*client));
+  }
+
+  int64_t iter = 0;
+  for (auto _ : state) {
+    std::vector<std::thread> streams;
+    streams.reserve(tenants);
+    for (size_t t = 0; t < tenants; ++t) {
+      streams.emplace_back([&, t] {
+        const auto reply = clients[t].SendBatch(
+            "bench" + std::to_string(t),
+            DirtyRows(static_cast<int64_t>(t), iter));
+        if (!reply.ok()) {
+          state.SkipWithError(reply.status().ToString().c_str());
+        }
+      });
+    }
+    for (std::thread& s : streams) s.join();
+    ++iter;
+  }
+
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(tenants * 2 * kBatchPairs));
+  state.counters["tenants"] = static_cast<double>(tenants);
+  state.counters["rows_per_batch"] = static_cast<double>(2 * kBatchPairs);
+  (*server)->Stop();
+}
+
+}  // namespace
+
+BENCHMARK(BM_ServerTenantThroughput)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4);
+
+BENCHMARK_MAIN();

@@ -11,7 +11,7 @@
 
 #include "common/timer.h"
 #include "gen/census.h"
-#include "repair/repairer.h"
+#include "repair/api.h"
 
 using namespace dbrepair;  // NOLINT(build/namespaces): example code.
 

@@ -11,7 +11,7 @@
 #include "io/config.h"
 #include "io/csv.h"
 #include "io/export.h"
-#include "repair/repairer.h"
+#include "repair/api.h"
 
 using namespace dbrepair;  // NOLINT(build/namespaces): example code.
 

@@ -8,7 +8,7 @@
 
 #include "cqa/cqa.h"
 #include "gen/paper_example.h"
-#include "repair/repairer.h"
+#include "repair/api.h"
 #include "sql/executor.h"
 
 using namespace dbrepair;  // NOLINT(build/namespaces): example code.

@@ -8,7 +8,7 @@
 #include <iostream>
 
 #include "constraints/parser.h"
-#include "repair/repairer.h"
+#include "repair/api.h"
 #include "storage/database.h"
 
 using namespace dbrepair;  // NOLINT(build/namespaces): example code.

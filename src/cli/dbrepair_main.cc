@@ -18,10 +18,12 @@
 // session telemetry), and --trace-out enables the per-worker event buffers
 // and writes a Chrome trace-event JSON (chrome://tracing / Perfetto).
 
+#include <csignal>
 #include <algorithm>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -36,15 +38,12 @@
 #include "io/csv.h"
 #include "io/export.h"
 #include "io/report.h"
-#include "gen/adversary.h"
-#include "gen/census.h"
-#include "gen/client_buy.h"
-#include "gen/sensor_drift.h"
-#include "gen/zipf_hotspot.h"
+#include "gen/scenario.h"
 #include "obs/chrome_trace.h"
 #include "obs/context.h"
 #include "repair/api.h"
-#include "repair/inconsistency.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "sql/executor.h"
 #include "sql/views.h"
 
@@ -73,6 +72,14 @@ void PrintUsage() {
          "                [--mode update|insert|dump] [repair flags...]\n"
          "           scenario: zipf-hotspot | sensor-drift | adversary |\n"
          "                     client-buy | census\n"
+         "       dbrepair serve [--host A] [--port N] [--threads N]\n"
+         "                [--max-tenants N] [--max-pending N] [--quiet]\n"
+         "           run the multi-tenant repair server (dbrepaird); one\n"
+         "           named RepairSession per tenant, line protocol over TCP\n"
+         "           (OPEN/BATCH/STATS/SNAPSHOT/MEASURE/CLOSE/PING/QUIT)\n"
+         "       dbrepair client --port N [--host A] <command...>\n"
+         "           send one protocol command; BATCH reads payload rows\n"
+         "           from stdin\n"
          "\n"
          "  --measure           print the repair-distance inconsistency\n"
          "                      measure of the input (distance normalized\n"
@@ -223,30 +230,14 @@ Result<std::vector<BatchRow>> LoadBatchFile(const Database& db,
     if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
     line = TrimWhitespace(line);
     if (line.empty() || line.front() == '#') continue;
-    DBREPAIR_ASSIGN_OR_RETURN(const std::vector<std::string> fields,
-                              ParseCsvLine(line, ','));
-    const std::string relation(TrimWhitespace(fields[0]));
-    const Table* table = db.FindTable(relation);
-    if (table == nullptr) {
-      return Status::NotFound("batch line " + std::to_string(line_number) +
-                              ": unknown relation '" + relation + "'");
+    auto parsed = ParseTypedCsvRow(db, line);
+    if (!parsed.ok()) {
+      return Status(parsed.status().code(),
+                    "batch line " + std::to_string(line_number) + ": " +
+                        parsed.status().message());
     }
-    const RelationSchema& schema = table->schema();
-    if (fields.size() != schema.arity() + 1) {
-      return Status::ParseError(
-          "batch line " + std::to_string(line_number) + " has " +
-          std::to_string(fields.size() - 1) + " values for '" + relation +
-          "', expected " + std::to_string(schema.arity()));
-    }
-    BatchRow row;
-    row.relation = relation;
-    row.values.reserve(schema.arity());
-    for (size_t i = 0; i < schema.arity(); ++i) {
-      DBREPAIR_ASSIGN_OR_RETURN(
-          Value v, CsvFieldToValue(fields[i + 1], schema.attribute(i).type));
-      row.values.push_back(std::move(v));
-    }
-    rows.push_back(std::move(row));
+    rows.push_back(
+        BatchRow{std::move(parsed->relation), std::move(parsed->values)});
   }
   return rows;
 }
@@ -263,7 +254,11 @@ int RunSessionReplay(const RepairConfig& config, const Database& db,
   auto rows = LoadBatchFile(db, batch_file);
   if (!rows.ok()) return Fail(rows.status());
 
-  auto session = RepairSession::Open(db, config.constraints, options);
+  RepairRequest request;
+  request.database = &db;
+  request.constraints = config.constraints;
+  request.options = options;
+  auto session = OpenSession(request);
   if (!session.ok()) return Fail(session.status());
   RepairSession& s = **session;
   obs.logger.Info(Printf(
@@ -411,21 +406,21 @@ int RunRepair(RepairConfig config, int argc, char** argv, int arg_start) {
     exit_code = RunSessionReplay(config, *db, options, batch_file, batch_size,
                                  report, measure, obs, &session_json);
   } else {
-    auto outcome = RepairDatabase(*db, config.constraints, options);
-    if (!outcome.ok()) return Fail(outcome.status());
+    RepairRequest request;
+    request.database = &db.value();
+    request.constraints = config.constraints;
+    request.options = options;
+    auto response = ExecuteRepair(request);
+    if (!response.ok()) return Fail(response.status());
+    const RepairOutcome& outcome = response->outcome;
     if (report) {
-      std::cerr << FormatRepairReport(*db, outcome.value());
+      std::cerr << FormatRepairReport(*db, outcome);
     }
     if (measure) {
-      const RepairStats& s = outcome.value().stats;
       std::fprintf(stderr, "%s\n",
-                   FormatInconsistencyMeasure(ComputeInconsistencyMeasure(
-                                                  s.distance, db->TotalTuples(),
-                                                  s.inconsistent_tuples,
-                                                  s.num_violations))
-                       .c_str());
+                   FormatInconsistencyMeasure(response->inconsistency).c_str());
     }
-    const RepairStats& stats = outcome.value().stats;
+    const RepairStats& stats = outcome.stats;
     obs.logger.Info(Printf(
         "solver=%s violations=%zu candidate_fixes=%zu chosen=%zu "
         "updates=%zu max_degree=%u cover_weight=%.6g "
@@ -435,8 +430,8 @@ int RunRepair(RepairConfig config, int argc, char** argv, int arg_start) {
         stats.max_degree, stats.cover_weight, stats.distance,
         stats.build_seconds, stats.solve_seconds));
 
-    auto exported = ExportRepair(outcome.value().repaired,
-                                 outcome.value().updates, config.mode);
+    auto exported =
+        ExportRepair(outcome.repaired, outcome.updates, config.mode);
     if (!exported.ok()) return Fail(exported.status());
     if (config.output_path.empty()) {
       std::cout << exported.value();
@@ -547,44 +542,14 @@ int RunGenerate(int argc, char** argv, int arg_start) {
     ratio = v.value();
   }
 
-  Result<GeneratedWorkload> workload =
-      Status::InvalidArgument("unknown scenario '" + scenario +
-                              "' (expected zipf-hotspot, sensor-drift, "
-                              "adversary, client-buy, or census)");
-  if (scenario == "zipf-hotspot") {
-    ZipfHotspotOptions options;
-    options.num_hubs = std::max<size_t>(1, rows / 5);
-    options.spokes_per_hub = 4;
-    options.skew = skew;
-    options.inconsistency_ratio = ratio;
-    options.seed = seed;
-    workload = GenerateZipfHotspot(options);
-  } else if (scenario == "sensor-drift") {
-    SensorDriftOptions options;
-    options.num_sensors = std::max<size_t>(1, rows / 50);
-    options.readings_per_sensor = 50;
-    options.drift_ratio = ratio;
-    options.seed = seed;
-    workload = GenerateSensorDrift(options);
-  } else if (scenario == "adversary") {
-    AdversaryOptions options;
-    options.target_degree = degree;
-    options.num_hubs = std::max<size_t>(1, rows / (degree + 3));
-    options.seed = seed;
-    workload = GenerateAdversary(options);
-  } else if (scenario == "client-buy") {
-    ClientBuyOptions options;
-    options.num_clients = std::max<size_t>(1, rows / 3);
-    options.inconsistency_ratio = ratio;
-    options.seed = seed;
-    workload = GenerateClientBuy(options);
-  } else if (scenario == "census") {
-    CensusOptions options;
-    options.num_households = std::max<size_t>(1, rows / 4);
-    options.inconsistency_ratio = ratio;
-    options.seed = seed;
-    workload = GenerateCensus(options);
-  }
+  ScenarioSpec spec;
+  spec.name = scenario;
+  spec.rows = rows;
+  spec.seed = seed;
+  spec.ratio = ratio;
+  spec.skew = skew;
+  spec.degree = degree;
+  auto workload = GenerateScenario(spec);
   if (!workload.ok()) return Fail(workload.status());
 
   obs::ObsContext obs;
@@ -612,21 +577,21 @@ int RunGenerate(int argc, char** argv, int arg_start) {
   obs.logger.Info(Printf("generated %s: %zu tuples, %zu constraints, seed %zu",
                          scenario.c_str(), db.TotalTuples(),
                          workload.value().ics.size(), seed));
-  auto outcome = RepairDatabase(db, workload.value().ics, options);
-  if (!outcome.ok()) return Fail(outcome.status());
-  const RepairStats& stats = outcome.value().stats;
+  RepairRequest request;
+  request.database = &db;
+  request.constraints = workload.value().ics;
+  request.options = options;
+  auto response = ExecuteRepair(request);
+  if (!response.ok()) return Fail(response.status());
+  const RepairOutcome& outcome = response->outcome;
+  const RepairStats& stats = outcome.stats;
   if (report) {
-    std::cerr << FormatRepairReport(db, outcome.value());
+    std::cerr << FormatRepairReport(db, outcome);
     std::cerr << FormatHistogramSummaries(obs.metrics);
   }
   if (measure) {
     std::fprintf(stderr, "%s\n",
-                 FormatInconsistencyMeasure(ComputeInconsistencyMeasure(
-                                                stats.distance,
-                                                db.TotalTuples(),
-                                                stats.inconsistent_tuples,
-                                                stats.num_violations))
-                     .c_str());
+                 FormatInconsistencyMeasure(response->inconsistency).c_str());
   }
   obs.logger.Info(Printf(
       "scenario=%s violations=%zu chosen=%zu updates=%zu max_degree=%u "
@@ -642,8 +607,7 @@ int RunGenerate(int argc, char** argv, int arg_start) {
       if (!parsed_mode.ok()) return Fail(parsed_mode.status());
       mode = parsed_mode.value();
     }
-    auto exported =
-        ExportRepair(outcome.value().repaired, outcome.value().updates, mode);
+    auto exported = ExportRepair(outcome.repaired, outcome.updates, mode);
     if (!exported.ok()) return Fail(exported.status());
     const Status st = WriteTextFile(output_path, exported.value());
     if (!st.ok()) return Fail(st);
@@ -669,6 +633,126 @@ int RunGenerate(int argc, char** argv, int arg_start) {
   return 0;
 }
 
+// The `serve` subcommand: run dbrepaird in the foreground until SIGINT or
+// SIGTERM. The signal mask is installed before RepairServer::Start so every
+// server thread inherits it and the signal is delivered to sigwait below.
+int RunServe(int argc, char** argv, int arg_start) {
+  bool quiet = false;
+  size_t port = 7433;
+  size_t workers = 0;
+  size_t max_tenants = 16;
+  size_t max_pending = 64;
+  std::string host = "127.0.0.1";
+
+  FlagSet flags;
+  flags.AddString("--host", &host, "literal IPv4 address to bind");
+  flags.AddSize("--port", &port, "TCP port (0 = ephemeral, printed at start)");
+  flags.AddSize(kFlagThreads, &workers,
+                "repair worker threads (0 = one per hardware thread)");
+  flags.AddSize("--max-tenants", &max_tenants, "most tenants live at once");
+  flags.AddSize("--max-pending", &max_pending,
+                "most queued-or-running requests");
+  flags.AddBool("--quiet", &quiet, "suppress incidental output");
+  const Status parsed = flags.Parse(argc, argv, arg_start);
+  if (!parsed.ok()) {
+    std::cerr << "dbrepair: " << parsed.ToString() << "\n";
+    PrintUsage();
+    return 2;
+  }
+  if (port > 65535) return Fail(Status::InvalidArgument("port must be <= 65535"));
+
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  server::ServerOptions options;
+  options.host = host;
+  options.port = static_cast<uint16_t>(port);
+  options.num_workers = workers;
+  options.max_tenants = max_tenants;
+  options.max_pending = max_pending;
+  auto srv = server::RepairServer::Start(options);
+  if (!srv.ok()) return Fail(srv.status());
+  // The banner is a tiny protocol of its own: tests and scripts parse the
+  // resolved port off this line, so it goes to stdout and is flushed.
+  std::printf("dbrepaird listening on %s:%u (workers=%zu max_tenants=%zu "
+              "max_pending=%zu)\n",
+              host.c_str(), (*srv)->port(), workers, max_tenants, max_pending);
+  std::fflush(stdout);
+  if (!quiet) {
+    std::fprintf(stderr, "send SIGINT or SIGTERM to stop\n");
+  }
+  int sig = 0;
+  sigwait(&sigs, &sig);
+  (*srv)->Stop();
+  if (!quiet) {
+    std::fprintf(stderr, "dbrepaird: stopped (%s)\n", strsignal(sig));
+  }
+  return 0;
+}
+
+// The `client` subcommand: one protocol exchange against a running server.
+// A BATCH command reads its payload rows from stdin (the declared count is
+// replaced by the number of rows actually read).
+int RunClient(int argc, char** argv, int arg_start) {
+  std::string host = "127.0.0.1";
+  size_t port = 0;
+  std::vector<std::string> words;
+  for (int i = arg_start; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      auto value = ParseInt64(argv[++i]);
+      if (!value.ok() || *value < 0 || *value > 65535) {
+        return Fail(Status::InvalidArgument("bad --port value"));
+      }
+      port = static_cast<size_t>(*value);
+    } else {
+      words.push_back(arg);
+    }
+  }
+  if (port == 0 || words.empty()) {
+    PrintUsage();
+    return 2;
+  }
+
+  auto client = server::RepairClient::Connect(host, static_cast<uint16_t>(port));
+  if (!client.ok()) return Fail(client.status());
+
+  Result<server::Reply> reply = Status::Internal("unreachable");
+  if (words[0] == "BATCH") {
+    if (words.size() < 2) {
+      return Fail(Status::InvalidArgument("usage: client ... BATCH <tenant>"));
+    }
+    std::vector<std::string> rows;
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty() || line.front() == '#') continue;
+      rows.push_back(line);
+    }
+    reply = client->SendBatch(words[1], rows);
+  } else {
+    std::string command;
+    for (size_t i = 0; i < words.size(); ++i) {
+      if (i > 0) command += ' ';
+      command += words[i];
+    }
+    reply = client->Send(command);
+  }
+  if (!reply.ok()) return Fail(reply.status());
+  if (reply->kind == server::Reply::Kind::kOk) {
+    std::printf("OK %s\n", reply->body.c_str());
+  } else {
+    std::fwrite(reply->body.data(), 1, reply->body.size(), stdout);
+  }
+  client->Quit();
+  return 0;
+}
+
 }  // namespace
 }  // namespace dbrepair
 
@@ -684,6 +768,12 @@ int main(int argc, char** argv) {
   std::string command = argv[1];
   if (command == "gen") {
     return RunGenerate(argc, argv, 2);
+  }
+  if (command == "serve") {
+    return RunServe(argc, argv, 2);
+  }
+  if (command == "client") {
+    return RunClient(argc, argv, 2);
   }
   int config_arg = 1;
   if (command == "repair" || command == "check" || command == "explain" ||

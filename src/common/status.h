@@ -3,6 +3,7 @@
 
 #include <cassert>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <variant>
 
@@ -28,11 +29,47 @@ enum class StatusCode {
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
 const char* StatusCodeName(StatusCode code);
 
+/// Every StatusCode, in enum order. Iterated by the wire round-trip test
+/// and by WireCodeToStatusCode; keep in sync with the enum (the
+/// static_assert in status.cc counts it).
+inline constexpr StatusCode kAllStatusCodes[] = {
+    StatusCode::kOk,
+    StatusCode::kInvalidArgument,
+    StatusCode::kNotFound,
+    StatusCode::kAlreadyExists,
+    StatusCode::kOutOfRange,
+    StatusCode::kParseError,
+    StatusCode::kConstraintNotLocal,
+    StatusCode::kKeyViolation,
+    StatusCode::kIoError,
+    StatusCode::kInternal,
+    StatusCode::kResourceExhausted,
+};
+
+/// The stable wire error code for `code`, as sent in the repair server's
+/// `ERR <code> <message>` replies. These are a protocol surface: clients
+/// match on them, so renaming one is a wire-breaking change (unlike
+/// StatusCodeName, which is only for humans). The switch has no default
+/// case, so adding a StatusCode without a wire spelling trips -Wswitch.
+const char* StatusCodeToWireCode(StatusCode code);
+
+/// Inverse of StatusCodeToWireCode. Returns false (leaving `code`
+/// untouched) when `wire` names no known code — e.g. a reply from a newer
+/// server.
+bool WireCodeToStatusCode(std::string_view wire, StatusCode* code);
+
 /// A success-or-error value. Cheap to copy on success (no allocation).
 class Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with an explicit code — for callers that re-wrap
+  /// an existing error with added context while preserving its category
+  /// (e.g. the server prefixing a frame location onto a parse error).
+  /// Prefer the named constructors when the code is fixed at the call site.
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
 
   static Status OK() { return Status(); }
   static Status InvalidArgument(std::string msg) {
@@ -78,9 +115,6 @@ class Status {
   }
 
  private:
-  Status(StatusCode code, std::string msg)
-      : code_(code), message_(std::move(msg)) {}
-
   StatusCode code_;
   std::string message_;
 };

@@ -1,0 +1,56 @@
+#include "gen/scenario.h"
+
+#include <algorithm>
+
+#include "gen/adversary.h"
+#include "gen/census.h"
+#include "gen/sensor_drift.h"
+#include "gen/zipf_hotspot.h"
+
+namespace dbrepair {
+
+Result<GeneratedWorkload> GenerateScenario(const ScenarioSpec& spec) {
+  if (spec.name == "zipf-hotspot") {
+    ZipfHotspotOptions options;
+    options.num_hubs = std::max<size_t>(1, spec.rows / 5);
+    options.spokes_per_hub = 4;
+    options.skew = spec.skew;
+    options.inconsistency_ratio = spec.ratio;
+    options.seed = spec.seed;
+    return GenerateZipfHotspot(options);
+  }
+  if (spec.name == "sensor-drift") {
+    SensorDriftOptions options;
+    options.num_sensors = std::max<size_t>(1, spec.rows / 50);
+    options.readings_per_sensor = 50;
+    options.drift_ratio = spec.ratio;
+    options.seed = spec.seed;
+    return GenerateSensorDrift(options);
+  }
+  if (spec.name == "adversary") {
+    AdversaryOptions options;
+    options.target_degree = spec.degree;
+    options.num_hubs = std::max<size_t>(1, spec.rows / (spec.degree + 3));
+    options.seed = spec.seed;
+    return GenerateAdversary(options);
+  }
+  if (spec.name == "client-buy") {
+    ClientBuyOptions options;
+    options.num_clients = std::max<size_t>(1, spec.rows / 3);
+    options.inconsistency_ratio = spec.ratio;
+    options.seed = spec.seed;
+    return GenerateClientBuy(options);
+  }
+  if (spec.name == "census") {
+    CensusOptions options;
+    options.num_households = std::max<size_t>(1, spec.rows / 4);
+    options.inconsistency_ratio = spec.ratio;
+    options.seed = spec.seed;
+    return GenerateCensus(options);
+  }
+  return Status::InvalidArgument("unknown scenario '" + spec.name +
+                                 "' (expected one of: " + kScenarioNames +
+                                 ")");
+}
+
+}  // namespace dbrepair

@@ -1,0 +1,43 @@
+#ifndef DBREPAIR_GEN_SCENARIO_H_
+#define DBREPAIR_GEN_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "gen/client_buy.h"
+
+namespace dbrepair {
+
+/// A named scenario workload request: the size/seed knobs common to every
+/// generator plus the per-generator extras, resolved by GenerateScenario.
+/// Shared by the CLI's `gen` subcommand and the repair server's
+/// `OPEN <tenant> GEN ...` form — the two map `rows` to generator-specific
+/// counts identically, so a server-generated tenant is byte-identical to
+/// the CLI (and library) workload with the same spec.
+struct ScenarioSpec {
+  /// One of: zipf-hotspot, sensor-drift, adversary, client-buy, census.
+  std::string name;
+  /// Approximate total tuple count; each generator derives its own primary
+  /// count from it (e.g. client-buy uses rows/3 clients).
+  size_t rows = 1000;
+  uint64_t seed = 1;
+  /// Inconsistency/drift ratio (all generators except adversary).
+  double ratio = 0.3;
+  /// Zipf exponent (zipf-hotspot only).
+  double skew = 1.0;
+  /// Exact Deg(D, IC) target (adversary only).
+  size_t degree = 8;
+};
+
+/// The scenario names GenerateScenario accepts, for usage strings.
+inline constexpr const char* kScenarioNames =
+    "zipf-hotspot, sensor-drift, adversary, client-buy, census";
+
+/// Builds the workload for `spec`. Deterministic in the spec; unknown
+/// names are InvalidArgument.
+Result<GeneratedWorkload> GenerateScenario(const ScenarioSpec& spec);
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_GEN_SCENARIO_H_

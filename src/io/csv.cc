@@ -60,6 +60,32 @@ Result<Value> CsvFieldToValue(const std::string& field, Type type) {
   return Status::Internal("unreachable type");
 }
 
+Result<TypedCsvRow> ParseTypedCsvRow(const Database& db,
+                                     std::string_view line) {
+  DBREPAIR_ASSIGN_OR_RETURN(const std::vector<std::string> fields,
+                            ParseCsvLine(line, ','));
+  const std::string relation(TrimWhitespace(fields[0]));
+  const Table* table = db.FindTable(relation);
+  if (table == nullptr) {
+    return Status::NotFound("unknown relation '" + relation + "'");
+  }
+  const RelationSchema& schema = table->schema();
+  if (fields.size() != schema.arity() + 1) {
+    return Status::ParseError(
+        "row has " + std::to_string(fields.size() - 1) + " values for '" +
+        relation + "', expected " + std::to_string(schema.arity()));
+  }
+  TypedCsvRow row;
+  row.relation = relation;
+  row.values.reserve(schema.arity());
+  for (size_t i = 0; i < schema.arity(); ++i) {
+    DBREPAIR_ASSIGN_OR_RETURN(
+        Value v, CsvFieldToValue(fields[i + 1], schema.attribute(i).type));
+    row.values.push_back(std::move(v));
+  }
+  return row;
+}
+
 namespace {
 
 std::string ValueToField(const Value& v, char delimiter) {

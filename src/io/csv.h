@@ -25,6 +25,22 @@ Result<std::vector<std::string>> ParseCsvLine(std::string_view line,
 /// batch-file reader.
 Result<Value> CsvFieldToValue(const std::string& field, Type type);
 
+/// One data row parsed from a `relation,v1,v2,...` line: the target
+/// relation plus one typed value per attribute.
+struct TypedCsvRow {
+  std::string relation;
+  std::vector<Value> values;
+};
+
+/// Parses one `relation,v1,v2,...` line against `db`'s schema: resolves
+/// the relation by name, checks the field count against its arity, and
+/// converts each field to the declared column type. This is the row
+/// framing shared by the CLI's --batch-file reader and the repair server's
+/// BATCH payload; callers prepend their own location (line number, frame
+/// index) to the returned error message.
+Result<TypedCsvRow> ParseTypedCsvRow(const Database& db,
+                                     std::string_view line);
+
 /// Loads CSV `data` into relation `relation` of `db`, converting each field
 /// to the column type. Returns the number of inserted rows.
 Result<size_t> LoadCsvString(Database* db, std::string_view relation,

@@ -4,7 +4,7 @@
 #include <string>
 
 #include "obs/metrics.h"
-#include "repair/repairer.h"
+#include "repair/api.h"
 #include "storage/database.h"
 
 namespace dbrepair {

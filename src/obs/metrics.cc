@@ -79,6 +79,17 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
       .first->second.get();
 }
 
+void MetricsRegistry::SetLabel(std::string_view key, std::string_view value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  labels_[std::string(key)] = std::string(value);
+}
+
+std::string MetricsRegistry::label(std::string_view key) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = labels_.find(key);
+  return it == labels_.end() ? std::string() : it->second;
+}
+
 void MetricsRegistry::Reset() {
   const std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
@@ -101,6 +112,11 @@ Json MetricsRegistry::Snapshot() const {
     histograms.Set(name, histogram->ToJson());
   }
   Json out = Json::MakeObject();
+  if (!labels_.empty()) {
+    Json labels = Json::MakeObject();
+    for (const auto& [key, value] : labels_) labels.Set(key, Json(value));
+    out.Set("labels", std::move(labels));
+  }
   out.Set("counters", std::move(counters));
   out.Set("gauges", std::move(gauges));
   out.Set("histograms", std::move(histograms));

@@ -111,15 +111,28 @@ class MetricsRegistry {
   Gauge* GetGauge(std::string_view name);
   Histogram* GetHistogram(std::string_view name);
 
-  /// Zeroes every metric, keeping the handles valid.
+  /// Attaches a string label to the registry (replacing an existing value
+  /// for `key`). Labels identify *whose* metrics these are — the repair
+  /// server tags every tenant's registry with `tenant=<name>` — and ride
+  /// along in Snapshot() under "labels", so multi-registry dumps stay
+  /// attributable after aggregation.
+  void SetLabel(std::string_view key, std::string_view value);
+
+  /// The label value for `key`, or "" when unset.
+  std::string label(std::string_view key) const;
+
+  /// Zeroes every metric, keeping the handles valid. Labels are identity,
+  /// not samples: Reset() keeps them.
   void Reset();
 
-  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with names
-  /// sorted for stable output.
+  /// {"labels": {...}, "counters": {...}, "gauges": {...},
+  ///  "histograms": {...}} with names sorted for stable output; "labels"
+  /// appears only when at least one label is set.
   Json Snapshot() const;
 
  private:
   mutable std::mutex mu_;
+  std::map<std::string, std::string, std::less<>> labels_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;

@@ -1,22 +1,38 @@
 #ifndef DBREPAIR_REPAIR_API_H_
 #define DBREPAIR_REPAIR_API_H_
 
-/// Umbrella header for the public repair API. Library consumers include
-/// this one header and get both entry styles:
+/// The single public entry surface of the repair library. Everything
+/// outside `src/repair/` — the CLI, the repair server, benches, tests,
+/// examples — includes this one header instead of reaching into
+/// repairer.h/session.h, and gets:
 ///
-///  * one-shot: RepairDatabase(db, ics, options) — bind, build, solve,
-///    apply, verify, return the repaired clone (repair/repairer.h);
-///  * incremental: RepairSession::Open(db, ics, options) once, then
-///    ApplyBatch(rows) per arriving batch — cached columnar snapshot,
-///    delta violation detection, and in-place set-cover maintenance
-///    (repair/session.h).
+///  * `Status` / `Result<T>` and the StatusCode wire-code mapping
+///    (common/status.h);
+///  * `RepairOptions`, `RepairStats`, `RepairOutcome`, and the one-shot
+///    `RepairDatabase` pipeline (repair/repairer.h);
+///  * `RepairSession`, `BatchRow`, `BatchStats`, `SessionStats`, and the
+///    per-batch telemetry types for incremental batched repair
+///    (repair/session.h);
+///  * `RepairRequest` / `RepairResponse` plus the `ExecuteRepair` and
+///    `OpenSession` entry points shared by the library and the repair
+///    server's dispatch loop (repair/request.h);
+///  * the `InconsistencyMeasure` of Bertossi's repair-based measure
+///    (repair/inconsistency.h).
 ///
-/// RepairOptions, RepairOutcome, and RepairStats are shared between the
-/// two. The old RepairDatabaseBound spelling still compiles but is
-/// deprecated in favour of the RepairDatabase overload on bound
-/// constraints.
+/// Two entry styles:
+///
+///  * one-shot: `ExecuteRepair({&db, ics, options})` — bind, build, solve,
+///    apply, verify; returns the repaired clone, stats, and the input's
+///    inconsistency measure (`RepairDatabase` is the lower-level spelling
+///    without the measure);
+///  * incremental: `OpenSession({&db, ics, options})` once, then
+///    `ApplyBatch(rows)` per arriving batch — cached columnar snapshot,
+///    delta violation detection, and in-place set-cover maintenance.
 
-#include "repair/repairer.h"  // IWYU pragma: export
-#include "repair/session.h"   // IWYU pragma: export
+#include "common/status.h"          // IWYU pragma: export
+#include "repair/inconsistency.h"   // IWYU pragma: export
+#include "repair/repairer.h"        // IWYU pragma: export
+#include "repair/request.h"         // IWYU pragma: export
+#include "repair/session.h"         // IWYU pragma: export
 
 #endif  // DBREPAIR_REPAIR_API_H_

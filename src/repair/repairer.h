@@ -110,15 +110,6 @@ Result<RepairOutcome> RepairDatabase(const Database& db,
                                      const std::vector<BoundConstraint>& ics,
                                      const RepairOptions& options = {});
 
-/// Old spelling of the pre-bound overload, kept so downstream code keeps
-/// compiling; forwards verbatim.
-[[deprecated("use RepairDatabase(db, bound_ics, options)")]] inline Result<
-    RepairOutcome>
-RepairDatabaseBound(const Database& db, const std::vector<BoundConstraint>& ics,
-                    const RepairOptions& options = {}) {
-  return RepairDatabase(db, ics, options);
-}
-
 }  // namespace dbrepair
 
 #endif  // DBREPAIR_REPAIR_REPAIRER_H_

@@ -1,0 +1,36 @@
+#include "repair/request.h"
+
+#include <utility>
+
+namespace dbrepair {
+
+namespace {
+
+Status ValidateRequest(const RepairRequest& request) {
+  if (request.database == nullptr) {
+    return Status::InvalidArgument("RepairRequest.database must be non-null");
+  }
+  return request.options.Validate();
+}
+
+}  // namespace
+
+Result<RepairResponse> ExecuteRepair(const RepairRequest& request) {
+  DBREPAIR_RETURN_IF_ERROR(ValidateRequest(request));
+  DBREPAIR_ASSIGN_OR_RETURN(
+      RepairOutcome outcome,
+      RepairDatabase(*request.database, request.constraints, request.options));
+  const InconsistencyMeasure inconsistency = ComputeInconsistencyMeasure(
+      outcome.stats.distance, request.database->TotalTuples(),
+      outcome.stats.inconsistent_tuples, outcome.stats.num_violations);
+  return RepairResponse{std::move(outcome), inconsistency};
+}
+
+Result<std::unique_ptr<RepairSession>> OpenSession(
+    const RepairRequest& request) {
+  DBREPAIR_RETURN_IF_ERROR(ValidateRequest(request));
+  return RepairSession::Open(*request.database, request.constraints,
+                             request.options);
+}
+
+}  // namespace dbrepair

@@ -1,0 +1,53 @@
+#ifndef DBREPAIR_REPAIR_REQUEST_H_
+#define DBREPAIR_REPAIR_REQUEST_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "constraints/ast.h"
+#include "repair/inconsistency.h"
+#include "repair/repairer.h"
+#include "repair/session.h"
+#include "storage/database.h"
+
+namespace dbrepair {
+
+/// One repair invocation, fully specified: the instance, its integrity
+/// constraints, and the pipeline options. Both library entry styles and the
+/// repair server's dispatch loop build this struct, so the wire protocol
+/// and the C++ API cannot drift — a field added here is immediately
+/// visible to every caller.
+struct RepairRequest {
+  /// The instance to repair. Borrowed, never owned: the pipeline clones it
+  /// and leaves the original untouched. Must be non-null and outlive the
+  /// ExecuteRepair / OpenSession call (sessions keep their own clone, so
+  /// the pointer may dangle afterwards).
+  const Database* database = nullptr;
+  std::vector<DenialConstraint> constraints;
+  RepairOptions options;
+};
+
+/// What a repair invocation returns: the outcome (repaired clone, stats,
+/// update list) plus the derived inconsistency measure of the *input* —
+/// assembled in one place so the CLI, the server's MEASURE reply, and
+/// library callers all report the same numbers.
+struct RepairResponse {
+  RepairOutcome outcome;
+  InconsistencyMeasure inconsistency;
+};
+
+/// The one-shot entry point over a RepairRequest: validates the request,
+/// runs RepairDatabase, and derives the inconsistency measure from the
+/// outcome's stats.
+Result<RepairResponse> ExecuteRepair(const RepairRequest& request);
+
+/// The incremental entry point over the same struct: validates the request
+/// and opens a RepairSession (initial full repair included). Batches are
+/// then fed through RepairSession::ApplyBatch.
+Result<std::unique_ptr<RepairSession>> OpenSession(
+    const RepairRequest& request);
+
+}  // namespace dbrepair
+
+#endif  // DBREPAIR_REPAIR_REQUEST_H_

@@ -1,0 +1,93 @@
+#include "server/client.h"
+
+#include "common/strings.h"
+
+namespace dbrepair::server {
+
+namespace {
+
+// A client must still frame a DATA payload from a server newer than
+// itself, so the size cap is generous rather than tied to WireLimits.
+constexpr size_t kMaxReplyLine = 1 << 20;
+constexpr size_t kMaxDataBytes = size_t{1} << 30;
+
+}  // namespace
+
+Result<RepairClient> RepairClient::Connect(const std::string& host,
+                                           uint16_t port) {
+  DBREPAIR_ASSIGN_OR_RETURN(Socket socket, ConnectTcp(host, port));
+  return RepairClient(std::move(socket));
+}
+
+Result<Reply> RepairClient::Send(std::string_view command) {
+  std::string frame(command);
+  frame += '\n';
+  DBREPAIR_RETURN_IF_ERROR(WriteAll(*socket_, frame));
+  return ReadReply();
+}
+
+Result<Reply> RepairClient::SendBatch(std::string_view tenant,
+                                      const std::vector<std::string>& rows) {
+  std::string frame = "BATCH ";
+  frame += tenant;
+  frame += ' ';
+  frame += std::to_string(rows.size());
+  frame += '\n';
+  for (const std::string& row : rows) {
+    frame += row;
+    frame += '\n';
+  }
+  DBREPAIR_RETURN_IF_ERROR(WriteAll(*socket_, frame));
+  return ReadReply();
+}
+
+void RepairClient::Quit() {
+  if (socket_ != nullptr && socket_->valid()) {
+    (void)Send("QUIT");
+    socket_->Close();
+  }
+}
+
+Result<Reply> RepairClient::ReadReply() {
+  std::string line;
+  DBREPAIR_RETURN_IF_ERROR(reader_.ReadLine(kMaxReplyLine, &line));
+  if (line.rfind("OK", 0) == 0 && (line.size() == 2 || line[2] == ' ')) {
+    Reply reply;
+    reply.kind = Reply::Kind::kOk;
+    reply.body = line.size() > 3 ? line.substr(3) : "";
+    return reply;
+  }
+  if (line.rfind("DATA ", 0) == 0) {
+    DBREPAIR_ASSIGN_OR_RETURN(const int64_t declared,
+                              ParseInt64(line.substr(5)));
+    if (declared < 0 || static_cast<size_t>(declared) > kMaxDataBytes) {
+      return Status::ParseError("bad DATA length: " + line.substr(5));
+    }
+    Reply reply;
+    reply.kind = Reply::Kind::kData;
+    DBREPAIR_RETURN_IF_ERROR(
+        reader_.ReadExact(static_cast<size_t>(declared), &reply.body));
+    // The frame's trailing newline.
+    std::string newline;
+    DBREPAIR_RETURN_IF_ERROR(reader_.ReadExact(1, &newline));
+    if (newline != "\n") {
+      return Status::ParseError("DATA payload not newline-terminated");
+    }
+    return reply;
+  }
+  if (line.rfind("ERR ", 0) == 0) {
+    const std::string rest = line.substr(4);
+    const size_t space = rest.find(' ');
+    const std::string wire = rest.substr(0, space);
+    const std::string message =
+        space == std::string::npos ? wire : rest.substr(space + 1);
+    StatusCode code = StatusCode::kInternal;
+    if (!WireCodeToStatusCode(wire, &code) || code == StatusCode::kOk) {
+      return Status::Internal("server error [" + wire + "]: " + message);
+    }
+    return Status(code, message);
+  }
+  return Status::ParseError("unparseable reply line: " + line);
+}
+
+}  // namespace dbrepair::server

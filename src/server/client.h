@@ -1,0 +1,61 @@
+#ifndef DBREPAIR_SERVER_CLIENT_H_
+#define DBREPAIR_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "server/protocol.h"
+#include "server/socket.h"
+
+namespace dbrepair::server {
+
+/// One parsed server reply.
+struct Reply {
+  enum class Kind { kOk, kData };
+  Kind kind = Kind::kOk;
+  /// kOk: the text after "OK". kData: the raw payload bytes.
+  std::string body;
+};
+
+/// A blocking client for the dbrepaird line protocol: one connection, one
+/// request in flight. ERR replies come back as the mapped Status (via
+/// WireCodeToStatusCode), so callers handle server-side and client-side
+/// failures uniformly. Not thread-safe; use one client per thread.
+class RepairClient {
+ public:
+  static Result<RepairClient> Connect(const std::string& host, uint16_t port);
+
+  RepairClient(RepairClient&&) = default;
+  RepairClient& operator=(RepairClient&&) = default;
+
+  /// Sends one command line (no trailing newline needed) and reads the
+  /// reply. For BATCH, pass the payload rows too — they are written in the
+  /// same send.
+  Result<Reply> Send(std::string_view command);
+  Result<Reply> SendBatch(std::string_view tenant,
+                          const std::vector<std::string>& rows);
+
+  /// Sends QUIT and closes the socket (best effort; also run by the
+  /// destructor via Socket RAII).
+  void Quit();
+
+ private:
+  // The socket lives on the heap so the reader's pointer into it survives
+  // moves of the client.
+  explicit RepairClient(Socket socket)
+      : socket_(std::make_unique<Socket>(std::move(socket))),
+        reader_(socket_.get()) {}
+
+  Result<Reply> ReadReply();
+
+  std::unique_ptr<Socket> socket_;
+  LineReader reader_;
+};
+
+}  // namespace dbrepair::server
+
+#endif  // DBREPAIR_SERVER_CLIENT_H_

@@ -1,0 +1,89 @@
+#ifndef DBREPAIR_SERVER_SOCKET_H_
+#define DBREPAIR_SERVER_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace dbrepair::server {
+
+/// A move-only owner of one POSIX socket descriptor. Closing is the only
+/// cleanup; Shutdown() additionally wakes any thread blocked on the fd
+/// (the server's stop path shuts peers down first, then joins, then
+/// closes).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// shutdown(2) both directions: any blocked read on the fd returns 0.
+  /// Safe to call from another thread while a read is in flight (which is
+  /// the point); harmless on an already-closed socket.
+  void Shutdown();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on `host:port` (TCP, SO_REUSEADDR). Port 0 asks the
+/// kernel for an ephemeral port; read it back with LocalPort.
+Result<Socket> ListenTcp(const std::string& host, uint16_t port);
+
+/// The locally-bound port of a listening or connected socket.
+Result<uint16_t> LocalPort(const Socket& socket);
+
+/// Blocking accept(2). IoError on failure (including a concurrent
+/// Shutdown of the listener, which is how the acceptor loop is stopped).
+Result<Socket> AcceptConn(const Socket& listener);
+
+/// Blocking connect to `host:port`.
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port);
+
+/// Writes all of `data`, retrying short writes; IoError on failure. SIGPIPE
+/// is suppressed (MSG_NOSIGNAL), so a vanished peer is an error, not a
+/// process kill.
+Status WriteAll(const Socket& socket, std::string_view data);
+
+/// Buffered reader of newline-delimited frames and fixed-size payloads
+/// over one socket. Not thread-safe; one reader per connection thread.
+class LineReader {
+ public:
+  explicit LineReader(const Socket* socket) : socket_(socket) {}
+
+  /// Reads up to and including the next '\n'; returns the line without the
+  /// newline (and without a trailing '\r', so clients may speak CRLF).
+  /// Error codes are meaningful to the connection loop:
+  ///  * kIoError — the peer closed or the read failed: drop the connection;
+  ///  * kResourceExhausted — the line exceeded `max_bytes`; the rest of the
+  ///    line (up to an absolute cap) has been consumed, so the caller may
+  ///    reply ERR and keep the connection.
+  Status ReadLine(size_t max_bytes, std::string* line);
+
+  /// Reads exactly `n` bytes into `out` (appending). IoError on EOF.
+  Status ReadExact(size_t n, std::string* out);
+
+ private:
+  /// Refills buffer_ from the socket; false on EOF/error.
+  bool Fill();
+
+  const Socket* socket_;
+  std::string buffer_;
+  size_t pos_ = 0;
+};
+
+}  // namespace dbrepair::server
+
+#endif  // DBREPAIR_SERVER_SOCKET_H_

@@ -1,0 +1,60 @@
+#include "server/tenant.h"
+
+#include <algorithm>
+
+namespace dbrepair::server {
+
+Status TenantRegistry::Publish(const std::shared_ptr<Tenant>& tenant) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (tenants_.count(tenant->name) != 0) {
+    return Status::AlreadyExists("tenant '" + tenant->name +
+                                 "' is already open");
+  }
+  if (tenants_.size() >= max_tenants_) {
+    return Status::ResourceExhausted(
+        "tenant limit reached (" + std::to_string(max_tenants_) +
+        "); CLOSE one first");
+  }
+  tenants_.emplace(tenant->name, tenant);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Tenant>> TenantRegistry::Find(
+    const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    return Status::NotFound("unknown tenant '" + name + "'");
+  }
+  return it->second;
+}
+
+Status TenantRegistry::Remove(const std::string& name) {
+  std::shared_ptr<Tenant> doomed;  // destroyed outside the mutex
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    return Status::NotFound("unknown tenant '" + name + "'");
+  }
+  doomed = std::move(it->second);
+  tenants_.erase(it);
+  return Status::OK();
+}
+
+size_t TenantRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return tenants_.size();
+}
+
+std::vector<std::string> TenantRegistry::Names() const {
+  std::vector<std::string> names;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    names.reserve(tenants_.size());
+    for (const auto& [name, tenant] : tenants_) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace dbrepair::server

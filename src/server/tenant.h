@@ -1,0 +1,86 @@
+#ifndef DBREPAIR_SERVER_TENANT_H_
+#define DBREPAIR_SERVER_TENANT_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/context.h"
+#include "repair/api.h"
+
+namespace dbrepair::server {
+
+/// One named tenant: a long-lived RepairSession plus everything the server
+/// keeps per database — the per-tenant observability context every session
+/// call runs under (so STATS dumps *this* tenant's metrics, labelled
+/// tenant=<name>), and the operation mutex that serialises work on the
+/// session (one in-flight batch per tenant; different tenants proceed
+/// concurrently).
+///
+/// Lifecycle: the registry publishes the tenant *before* its session is
+/// opened, with `op_mu` already held by the opening thread — so a
+/// concurrent BATCH on a just-opened name blocks on the mutex instead of
+/// observing a half-open session. If the open fails the tenant is removed
+/// again and `open_error` records why, for any request that raced in.
+struct Tenant {
+  explicit Tenant(std::string tenant_name) : name(std::move(tenant_name)) {
+    obs.metrics.SetLabel("tenant", name);
+  }
+
+  const std::string name;
+
+  /// Serialises every session operation (open included, see above). Lock
+  /// order: never acquire the registry mutex while holding this.
+  std::mutex op_mu;
+
+  /// Guarded by op_mu.
+  std::unique_ptr<RepairSession> session;
+  Status open_error;  ///< why `session` is null after a failed open
+
+  /// The tenant's own metrics/trace/log sink; installed (ScopedObs) around
+  /// every session call.
+  obs::ObsContext obs;
+};
+
+/// The server's named-session table with admission control: at most
+/// `max_tenants` live tenants; duplicate names rejected.
+///
+/// All methods are thread-safe. Returned shared_ptrs keep a tenant alive
+/// across Remove() — a racing CLOSE never frees a session another request
+/// is using; the last holder destroys it (outside the registry mutex).
+class TenantRegistry {
+ public:
+  explicit TenantRegistry(size_t max_tenants) : max_tenants_(max_tenants) {}
+
+  /// Admission-checks and publishes a new tenant with no session yet.
+  /// AlreadyExists on a duplicate name, ResourceExhausted at capacity.
+  /// The caller must hold `tenant->op_mu` *before* other threads can see
+  /// the tenant — see Tenant's lifecycle note — so the intended sequence
+  /// is: construct, lock, Publish, open, unlock.
+  Status Publish(const std::shared_ptr<Tenant>& tenant);
+
+  /// Looks up a live tenant. NotFound when the name is unknown.
+  Result<std::shared_ptr<Tenant>> Find(const std::string& name) const;
+
+  /// Unpublishes `name`. NotFound when unknown. In-flight holders of the
+  /// shared_ptr finish normally.
+  Status Remove(const std::string& name);
+
+  size_t size() const;
+  size_t max_tenants() const { return max_tenants_; }
+
+  /// The live tenant names, sorted (for the server-wide STATS reply).
+  std::vector<std::string> Names() const;
+
+ private:
+  const size_t max_tenants_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Tenant>> tenants_;
+};
+
+}  // namespace dbrepair::server
+
+#endif  // DBREPAIR_SERVER_TENANT_H_

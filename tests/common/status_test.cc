@@ -1,5 +1,8 @@
 #include "common/status.h"
 
+#include <set>
+#include <string_view>
+
 #include <gtest/gtest.h>
 
 namespace dbrepair {
@@ -92,6 +95,45 @@ TEST(ResultTest, ReturnIfErrorPropagates) {
   EXPECT_TRUE(CheckBoth(1, 2).ok());
   EXPECT_FALSE(CheckBoth(-1, 2).ok());
   EXPECT_FALSE(CheckBoth(1, -2).ok());
+}
+
+
+TEST(WireCodeTest, RoundTripsEveryCode) {
+  // Exhaustive: every StatusCode has a stable wire spelling that maps back
+  // to itself. kAllStatusCodes is static_assert-counted against the enum in
+  // status.cc, so a new code cannot dodge this loop.
+  for (const StatusCode code : kAllStatusCodes) {
+    const char* wire = StatusCodeToWireCode(code);
+    ASSERT_NE(wire, nullptr);
+    EXPECT_GT(std::string_view(wire).size(), 0u);
+    StatusCode back = StatusCode::kOk;
+    ASSERT_TRUE(WireCodeToStatusCode(wire, &back))
+        << "wire code '" << wire << "' does not parse back";
+    EXPECT_EQ(back, code) << "wire code '" << wire << "' round-trips wrong";
+  }
+}
+
+TEST(WireCodeTest, SpellingsAreDistinct) {
+  std::set<std::string> seen;
+  for (const StatusCode code : kAllStatusCodes) {
+    EXPECT_TRUE(seen.insert(StatusCodeToWireCode(code)).second)
+        << "duplicate wire code " << StatusCodeToWireCode(code);
+  }
+}
+
+TEST(WireCodeTest, UnknownWireCodeLeavesOutputUntouched) {
+  StatusCode code = StatusCode::kIoError;
+  EXPECT_FALSE(WireCodeToStatusCode("NoSuchCode", &code));
+  EXPECT_FALSE(WireCodeToStatusCode("", &code));
+  EXPECT_FALSE(WireCodeToStatusCode("invalidargument", &code));  // case matters
+  EXPECT_EQ(code, StatusCode::kIoError);
+}
+
+TEST(StatusTest, ExplicitCodeConstructorRewraps) {
+  const Status parse = Status::ParseError("row 3: bad int");
+  const Status wrapped(parse.code(), "frame 7: " + parse.message());
+  EXPECT_EQ(wrapped.code(), StatusCode::kParseError);
+  EXPECT_EQ(wrapped.message(), "frame 7: row 3: bad int");
 }
 
 }  // namespace

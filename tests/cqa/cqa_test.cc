@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "constraints/parser.h"
-#include "repair/repairer.h"
+#include "repair/api.h"
 #include "sql/executor.h"
 #include "gen/paper_example.h"
 

@@ -5,6 +5,7 @@
 #include "gen/census.h"
 #include "gen/client_buy.h"
 #include "gen/paper_example.h"
+#include "gen/scenario.h"
 #include "gen/sensor_drift.h"
 #include "gen/zipf_hotspot.h"
 
@@ -265,6 +266,55 @@ TEST(PaperExampleTest, TablesMatchThePaper) {
   const GeneratedWorkload card = MakeCardinalityExample();
   EXPECT_EQ(card.db.TotalTuples(), 4u);
   EXPECT_EQ(card.ics.size(), 2u);
+}
+
+
+// --- Scenario dispatch ----------------------------------------------------
+//
+// gen/scenario.h is the shared front door used by the CLI's `gen`
+// subcommand and the repair server's `OPEN <tenant> GEN ...`: the same spec
+// must resolve to the same generator parameters everywhere, so a tenant
+// opened over the wire is byte-identical to a locally generated workload.
+
+TEST(ScenarioDispatchTest, MatchesDirectGeneratorCalls) {
+  ScenarioSpec spec;
+  spec.name = "client-buy";
+  spec.rows = 90;
+  spec.seed = 11;
+  spec.ratio = 0.4;
+  auto via_dispatch = GenerateScenario(spec);
+  ASSERT_TRUE(via_dispatch.ok()) << via_dispatch.status().ToString();
+
+  ClientBuyOptions options;
+  options.num_clients = 30;  // rows / 3
+  options.inconsistency_ratio = 0.4;
+  options.seed = 11;
+  auto direct = GenerateClientBuy(options);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(SameDatabases(via_dispatch->db, direct->db));
+  EXPECT_EQ(via_dispatch->ics.size(), direct->ics.size());
+}
+
+TEST(ScenarioDispatchTest, CoversEveryScenarioName) {
+  for (const char* name :
+       {"zipf-hotspot", "sensor-drift", "adversary", "client-buy", "census"}) {
+    ScenarioSpec spec;
+    spec.name = name;
+    spec.rows = 60;
+    spec.seed = 3;
+    auto w = GenerateScenario(spec);
+    ASSERT_TRUE(w.ok()) << name << ": " << w.status().ToString();
+    EXPECT_GT(w->db.TotalTuples(), 0u) << name;
+    EXPECT_FALSE(w->ics.empty()) << name;
+  }
+}
+
+TEST(ScenarioDispatchTest, UnknownScenarioNamesTheAlternatives) {
+  ScenarioSpec spec;
+  spec.name = "bogus";
+  const auto w = GenerateScenario(spec);
+  EXPECT_EQ(w.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(w.status().message().find("zipf-hotspot"), std::string::npos);
 }
 
 }  // namespace

@@ -23,7 +23,7 @@
 #include "gen/sensor_drift.h"
 #include "gen/zipf_hotspot.h"
 #include "repair/instance_builder.h"
-#include "repair/repairer.h"
+#include "repair/api.h"
 #include "repair/setcover/solvers.h"
 
 namespace dbrepair {

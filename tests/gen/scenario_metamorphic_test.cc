@@ -17,7 +17,7 @@
 #include "gen/adversary.h"
 #include "gen/sensor_drift.h"
 #include "gen/zipf_hotspot.h"
-#include "repair/repairer.h"
+#include "repair/api.h"
 
 namespace dbrepair {
 namespace {

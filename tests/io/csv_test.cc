@@ -128,5 +128,30 @@ TEST(CsvFileTest, FileRoundTrip) {
   EXPECT_FALSE(LoadCsvFile(&reload, "Paper", "/nonexistent/x.csv").ok());
 }
 
+
+TEST(ParseTypedCsvRowTest, ParsesAgainstTheSchema) {
+  const GeneratedWorkload w = MakePaperTableExample();
+  const auto row = ParseTypedCsvRow(w.db, "Paper, B9 , 2, 55, 1");
+  ASSERT_TRUE(row.ok()) << row.status().ToString();
+  EXPECT_EQ(row->relation, "Paper");
+  ASSERT_EQ(row->values.size(), 4u);
+  EXPECT_EQ(row->values[0], Value::String("B9"));
+  EXPECT_EQ(row->values[1], Value::Int(2));
+  EXPECT_EQ(row->values[2], Value::Int(55));
+  EXPECT_EQ(row->values[3], Value::Int(1));
+}
+
+TEST(ParseTypedCsvRowTest, RejectsUnknownRelationArityAndType) {
+  const GeneratedWorkload w = MakePaperTableExample();
+  EXPECT_EQ(ParseTypedCsvRow(w.db, "Nope,1,2,3,4").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ParseTypedCsvRow(w.db, "Paper,B9,1").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseTypedCsvRow(w.db, "Paper,B9,1,40,0,9").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseTypedCsvRow(w.db, "Paper,B9,notanint,40,0").status().code(),
+            StatusCode::kParseError);
+}
+
 }  // namespace
 }  // namespace dbrepair

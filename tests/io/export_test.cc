@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "gen/paper_example.h"
-#include "repair/repairer.h"
+#include "repair/api.h"
 
 namespace dbrepair {
 namespace {

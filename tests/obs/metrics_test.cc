@@ -202,5 +202,32 @@ TEST(MetricsRegistryTest, ConcurrentMixedAccess) {
   EXPECT_EQ(registry.GetHistogram("h")->count(), 4000u);
 }
 
+
+TEST(MetricsRegistryTest, LabelsSurviveResetAndLandInSnapshot) {
+  MetricsRegistry registry;
+  registry.SetLabel("tenant", "acme");
+  registry.GetCounter("requests")->Add();
+  EXPECT_EQ(registry.label("tenant"), "acme");
+  EXPECT_EQ(registry.label("missing"), "");
+
+  const Json snapshot = registry.Snapshot();
+  const Json* labels = snapshot.Find("labels");
+  ASSERT_NE(labels, nullptr);
+  EXPECT_EQ(labels->Find("tenant")->AsString(), "acme");
+
+  // Reset drops samples but keeps identity: the registry still belongs to
+  // the same tenant afterwards.
+  registry.Reset();
+  EXPECT_EQ(registry.label("tenant"), "acme");
+  registry.SetLabel("tenant", "globex");  // last write wins
+  EXPECT_EQ(registry.label("tenant"), "globex");
+}
+
+TEST(MetricsRegistryTest, NoLabelsMeansNoLabelsKey) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Add();
+  EXPECT_EQ(registry.Snapshot().Find("labels"), nullptr);
+}
+
 }  // namespace
 }  // namespace dbrepair::obs

@@ -6,7 +6,7 @@
 
 #include "gen/paper_example.h"
 #include "obs/context.h"
-#include "repair/repairer.h"
+#include "repair/api.h"
 
 namespace dbrepair {
 namespace {

@@ -32,7 +32,7 @@
 #include "gen/census.h"
 #include "gen/client_buy.h"
 #include "repair/instance_builder.h"
-#include "repair/repairer.h"
+#include "repair/api.h"
 #include "repair/setcover/solvers.h"
 
 namespace dbrepair {

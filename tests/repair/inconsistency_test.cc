@@ -4,7 +4,7 @@
 
 #include "gen/adversary.h"
 #include "gen/sensor_drift.h"
-#include "repair/repairer.h"
+#include "repair/api.h"
 
 namespace dbrepair {
 namespace {

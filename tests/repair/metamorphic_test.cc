@@ -21,7 +21,7 @@
 #include "constraints/parser.h"
 #include "common/rng.h"
 #include "gen/client_buy.h"
-#include "repair/repairer.h"
+#include "repair/api.h"
 
 namespace dbrepair {
 namespace {

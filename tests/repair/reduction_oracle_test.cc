@@ -12,7 +12,7 @@
 #include "constraints/violation_engine.h"
 #include "gen/client_buy.h"
 #include "repair/instance_builder.h"
-#include "repair/repairer.h"
+#include "repair/api.h"
 #include "repair/setcover/solvers.h"
 
 namespace dbrepair {

@@ -1,4 +1,4 @@
-#include "repair/repairer.h"
+#include "repair/api.h"
 
 #include <gtest/gtest.h>
 

@@ -5,11 +5,13 @@
 # case must fail cleanly, not racily), the flat set-cover layout suite
 # (which replays the per-batch CSR re-freeze at 1 and 4 threads), the
 # randomized trace-merge suite (pool workers appending to per-thread event
-# lanes while snapshots read them), and the scenario suite (the generator
+# lanes while snapshots read them), the scenario suite (the generator
 # differential oracle replays every scenario at 1 and 4 threads, plus the
-# FD-compilation and inconsistency-measure tests that ride the same label).
-# Any data race in the parallel pipeline or the lock-free event buffers
-# fails this job.
+# FD-compilation and inconsistency-measure tests that ride the same label),
+# and the repair-server suite (concurrent tenants streaming batches over
+# real sockets into the shared worker pool, with STATS snapshots racing the
+# streams). Any data race in the parallel pipeline, the lock-free event
+# buffers, or the server's dispatch path fails this job.
 #
 # Usage: tools/check_concurrency.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -24,6 +26,7 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target thread_pool_test differential_test obs_test session_test \
            setcover_layout_test trace_merge_test \
            fd_test inconsistency_test scenario_metamorphic_test \
-           scenario_differential_test
-ctest --test-dir "$BUILD_DIR" -L 'concurrency|obs|session|setcover|scenario' \
+           scenario_differential_test protocol_test server_test
+ctest --test-dir "$BUILD_DIR" \
+  -L 'concurrency|obs|session|setcover|scenario|server' \
   --output-on-failure

@@ -9,7 +9,8 @@
 # the session-vs-full-repair pair ("session_headline") and the
 # CSR-vs-nested modified-greedy solve pair at 100k elements
 # ("setcover_headline", the acceptance number for the flat set-cover
-# layout).
+# layout), and the multi-tenant server throughput pair at 1 vs 4 tenants
+# ("server_headline", the scaling number for the repair server).
 #
 # Usage:
 #   tools/run_benchmarks.sh            # small sizes + headline pair
@@ -47,7 +48,7 @@ BENCH_TARGETS=(bench_figure2_approximation bench_figure3_runtime
                bench_inconsistency_ratio bench_cardinality
                bench_setcover_micro bench_setcover_layout
                bench_build_pipeline bench_session_batches
-               bench_scenarios)
+               bench_scenarios bench_server)
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${BENCH_TARGETS[@]}" >&2
 
 BENCH_DIR="$BUILD_DIR/bench"
@@ -100,6 +101,13 @@ if [[ "$HEADLINE" == "1" ]]; then
     'BM_(ZipfHotspotRepair|SensorDriftRepair|AdversaryRepair)/20000$' \
     --benchmark_repetitions=3 --benchmark_report_aggregates_only=true
   mv "$TMP/bench_scenarios.json" "$TMP/zz_headline_scenario.json"
+
+  # Server headline: batch throughput over the wire at 1 vs 4 concurrent
+  # tenants (shared worker pool sized to the tenant count), median of 3.
+  # Tracks whether cross-tenant parallelism actually scales.
+  run_gbench bench_server 'BM_ServerTenantThroughput/(1|4)$' \
+    --benchmark_repetitions=3 --benchmark_report_aggregates_only=true
+  mv "$TMP/bench_server.json" "$TMP/zz_headline_server.json"
 fi
 
 # Smallest registered size of every benchmark family in each binary.
@@ -113,6 +121,7 @@ run_gbench bench_degree_sweep 'Sweep/2$|EndToEnd/5000$'
 run_gbench bench_inconsistency_ratio '/5$'
 run_gbench bench_session_batches '/10000$'
 run_gbench bench_scenarios '/1000$'
+run_gbench bench_server '/1$'
 
 # bench_figure2_approximation is a plain table printer, not a
 # Google-Benchmark binary; capture its text at a small size cap.
@@ -125,7 +134,7 @@ import json, sys, os
 tmp, out, build_type = sys.argv[1], sys.argv[2], sys.argv[3]
 summary = {"benchmarks": [], "headline": None, "session_headline": None,
            "setcover_headline": None, "scenario_headline": None,
-           "figure2_table": []}
+           "server_headline": None, "figure2_table": []}
 
 for fname in sorted(os.listdir(tmp)):
     path = os.path.join(tmp, fname)
@@ -143,7 +152,8 @@ for fname in sorted(os.listdir(tmp)):
         display = {"zz_headline": "headline",
                    "zz_headline_session": "session_headline",
                    "zz_headline_setcover": "setcover_headline",
-                   "zz_headline_scenario": "scenario_headline"}
+                   "zz_headline_scenario": "scenario_headline",
+                   "zz_headline_server": "server_headline"}
         entry = {
             "binary": display.get(binary, binary),
             "name": b["name"],
@@ -242,6 +252,30 @@ if len(scenario_medians) == 3:
             "items_per_second": b.get("items_per_second"),
         }
 
+# Server headline: wire-level batch throughput at 1 vs 4 concurrent
+# tenants; the scaling factor is items_per_second(4) / items_per_second(1).
+server_medians = {}
+for b in summary["benchmarks"]:
+    if (b["binary"] == "server_headline"
+            and b.get("aggregate_name") == "median"):
+        if "BM_ServerTenantThroughput/1" in b["name"]:
+            server_medians["one"] = b
+        elif "BM_ServerTenantThroughput/4" in b["name"]:
+            server_medians["four"] = b
+if len(server_medians) == 2:
+    one, four = server_medians["one"], server_medians["four"]
+    entry = {
+        "workload": "client-buy tenants streaming dirty batches over "
+                    "loopback, worker pool sized to the tenant count",
+        "metric": "rows repaired per second over the wire, median of 3",
+        "one_tenant_rows_per_second": one.get("items_per_second"),
+        "four_tenant_rows_per_second": four.get("items_per_second"),
+    }
+    if one.get("items_per_second") and four.get("items_per_second"):
+        entry["tenant_scaling"] = (four["items_per_second"]
+                                   / one["items_per_second"])
+    summary["server_headline"] = entry
+
 # The CMake build type the binaries were actually compiled with; the
 # script only ever runs Release trees, so anything else here means the
 # summary predates the enforcement and should not be used as a baseline.
@@ -265,6 +299,13 @@ if summary["setcover_headline"]:
     c = summary["setcover_headline"]
     print(f"setcover headline: CSR solve {c['csr_speedup']:.2f}x over "
           f"nested ({c['legacy_ms']:.1f} ms -> {c['csr_ms']:.1f} ms)")
+if summary["server_headline"]:
+    v = summary["server_headline"]
+    if "tenant_scaling" in v:
+        print(f"server headline: {v['tenant_scaling']:.2f}x throughput at "
+              f"4 tenants vs 1 "
+              f"({v['one_tenant_rows_per_second']:.0f} -> "
+              f"{v['four_tenant_rows_per_second']:.0f} rows/s)")
 if summary["scenario_headline"]:
     parts = []
     for key in ("zipf_hotspot", "sensor_drift", "adversary"):
