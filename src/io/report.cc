@@ -28,6 +28,7 @@ std::string FormatRepairReport(const Database& original,
   out += Printf("  tuples:            %zu\n", original.TotalTuples());
   out += Printf("  violation sets:    %zu\n", stats.num_violations);
   out += Printf("  degree Deg(D, IC): %u\n", stats.max_degree);
+  out += Printf("  conflict comps:    %zu\n", stats.num_components);
   out += Printf("  candidate fixes:   %zu\n", stats.num_candidate_fixes);
   out += Printf("  chosen fixes:      %zu\n", stats.num_chosen_fixes);
   out += Printf("  applied updates:   %zu\n", stats.num_updates);

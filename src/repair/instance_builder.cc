@@ -246,15 +246,19 @@ Result<std::vector<CandidateFix>> GenerateCandidateFixes(
 
 Result<RepairProblem> BuildRepairProblem(
     const Database& db, const std::vector<BoundConstraint>& ics,
-    const DistanceFunction& distance, const BuildOptions& options) {
+    const DistanceFunction& distance, const BuildOptions& options,
+    ThreadPool* pool) {
   RepairProblem problem;
   obs::ObsContext& obs = obs::CurrentObs();
 
   const size_t num_threads = ResolveNumThreads(options.num_threads);
   obs.metrics.GetGauge("parallel.num_threads")
       ->Set(static_cast<double>(num_threads));
-  std::unique_ptr<ThreadPool> pool;
-  if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (pool == nullptr && num_threads > 1) {
+    owned_pool = std::make_unique<ThreadPool>(num_threads);
+    pool = owned_pool.get();
+  }
 
   // ---- Columnar snapshot of the row store (typed scan input). ----
   ViolationEngineOptions engine_options = options.engine;
@@ -262,7 +266,7 @@ Result<RepairProblem> BuildRepairProblem(
   if (options.use_columnar_scan && engine_options.columnar == nullptr) {
     obs::Span snapshot_span(&obs.tracer, "snapshot");
     const auto snapshot_start = std::chrono::steady_clock::now();
-    problem.snapshot = ColumnSnapshot::Build(db, pool.get());
+    problem.snapshot = ColumnSnapshot::Build(db, pool);
     engine_options.columnar = &problem.snapshot;
     obs.metrics.GetCounter("scan.columnar.snapshot_ns")
         ->Add(ElapsedNs(snapshot_start));
@@ -286,7 +290,7 @@ Result<RepairProblem> BuildRepairProblem(
   DBREPAIR_ASSIGN_OR_RETURN(
       problem.fixes,
       GenerateCandidateFixes(db, ics, distance, problem.violations,
-                             /*vid_offset=*/0, num_threads, pool.get()));
+                             /*vid_offset=*/0, num_threads, pool));
 
   // ---- Definition 3.1: the pure MWSCP view. ----
   problem.instance.num_elements = problem.violations.size();
@@ -307,6 +311,16 @@ Result<RepairProblem> BuildRepairProblem(
           " is solvable by no mono-local fix; the IC set is not local "
           "(run EnsureLocal to diagnose)");
     }
+  }
+
+  // ---- Conflict components: one union-find pass over the links just
+  // merged, while they are still cache-hot. Labels feed the sharded solve
+  // phase and the repair.components decomposition gauge. ----
+  {
+    obs::Span components_span(&obs.tracer, "components");
+    problem.components = ComponentIndex::Build(problem.instance);
+    obs.metrics.GetGauge("repair.components")
+        ->Set(static_cast<double>(problem.components.num_components()));
   }
   return problem;
 }

@@ -4,11 +4,13 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "constraints/ast.h"
 #include "constraints/violation.h"
 #include "constraints/violation_engine.h"
 #include "repair/distance.h"
 #include "repair/mono_local_fix.h"
+#include "repair/setcover/components.h"
 #include "repair/setcover/instance.h"
 #include "storage/column_view.h"
 #include "storage/database.h"
@@ -24,6 +26,11 @@ struct RepairProblem {
   std::vector<CandidateFix> fixes;
   SetCoverInstance instance;
   DegreeInfo degrees;
+  /// Conflict components of `instance` (the paper's locality decomposition:
+  /// violation sets linked by shared candidate fixes). Computed from the
+  /// freshly built element->set links; the repairer shards the solve phase
+  /// by component and a session keeps the index live across batches.
+  ComponentIndex components;
   /// The columnar snapshot the violation scan ran against (invalid when the
   /// columnar path was disabled or externally supplied). The repairer's
   /// verify phase Rebase()s it over the repaired clone instead of
@@ -80,9 +87,15 @@ Result<std::vector<CandidateFix>> GenerateCandidateFixes(
 ///
 /// Fails with Internal if some violation set ends up coverable by no fix —
 /// impossible for a local IC set, so callers should EnsureLocal first.
+///
+/// `pool` lets a caller that already owns a thread pool (the repairer's
+/// solve fan-out, a session) share it with the build phases instead of the
+/// builder spinning up a second one; nullptr keeps the old behaviour
+/// (an internal pool when `options.num_threads` > 1).
 Result<RepairProblem> BuildRepairProblem(
     const Database& db, const std::vector<BoundConstraint>& ics,
-    const DistanceFunction& distance, const BuildOptions& options = {});
+    const DistanceFunction& distance, const BuildOptions& options = {},
+    ThreadPool* pool = nullptr);
 
 }  // namespace dbrepair
 

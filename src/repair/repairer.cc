@@ -1,12 +1,15 @@
 #include "repair/repairer.h"
 
 #include <algorithm>
+#include <memory>
 
+#include "common/thread_pool.h"
 #include "constraints/locality.h"
 #include "constraints/violation_engine.h"
 #include "obs/context.h"
 #include "repair/inconsistency.h"
 #include "obs/trace.h"
+#include "repair/setcover/component_solve.h"
 #include "repair/setcover/csr_instance.h"
 #include "repair/setcover/prune.h"
 
@@ -27,13 +30,19 @@ Result<RepairOutcome> RepairBoundImpl(const Database& db,
   }
   const DistanceFunction distance(options.distance);
 
+  // One pool serves every parallel phase: the build shards (violation scan,
+  // fix generation, linking) and the per-component solve fan-out.
+  const size_t num_threads = ResolveNumThreads(options.num_threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
+
   obs::Span build_span(&obs.tracer, "build");
   BuildOptions build_options = options.build;
   build_options.num_threads = options.num_threads;
   build_options.use_columnar_scan = options.use_columnar_scan;
   DBREPAIR_ASSIGN_OR_RETURN(
       const RepairProblem problem,
-      BuildRepairProblem(db, ics, distance, build_options));
+      BuildRepairProblem(db, ics, distance, build_options, pool.get()));
   const double build_seconds = build_span.Finish();
 
   obs::Span solve_span(&obs.tracer, "solve");
@@ -41,8 +50,18 @@ Result<RepairOutcome> RepairBoundImpl(const Database& db,
   // loop then streams contiguous arenas. The cover is byte-identical to the
   // nested representation's.
   const CsrSetCoverInstance csr = CsrSetCoverInstance::Freeze(problem.instance);
-  DBREPAIR_ASSIGN_OR_RETURN(SetCoverSolution cover,
-                            SolveSetCover(options.solver, csr));
+  SetCoverSolution cover;
+  if (options.shard_components && SolverShardsByComponent(options.solver)) {
+    // Solve each conflict component independently and merge the covers on
+    // (pick key, set id) — byte-identical to the monolithic solve (see
+    // component_solve.h) but each task touches one component's arenas.
+    const ComponentPartition partition = problem.components.Partition();
+    DBREPAIR_ASSIGN_OR_RETURN(
+        cover,
+        SolveSetCoverSharded(options.solver, csr, partition, pool.get()));
+  } else {
+    DBREPAIR_ASSIGN_OR_RETURN(cover, SolveSetCover(options.solver, csr));
+  }
   if (options.prune_cover) {
     cover = PruneRedundantSets(csr, cover);
   }
@@ -102,6 +121,7 @@ Result<RepairOutcome> RepairBoundImpl(const Database& db,
   outcome.stats.num_chosen_fixes = cover.chosen.size();
   outcome.stats.num_updates = outcome.updates.size();
   outcome.stats.max_degree = problem.degrees.max_degree;
+  outcome.stats.num_components = problem.components.num_components();
   outcome.stats.cover_weight = cover.weight;
   DBREPAIR_ASSIGN_OR_RETURN(outcome.stats.distance,
                             distance.DatabaseDistance(db, outcome.repaired));

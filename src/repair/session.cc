@@ -99,11 +99,15 @@ Status RepairSession::Init() {
   BuildOptions build = options_.build;
   build.num_threads = options_.num_threads;
   build.use_columnar_scan = options_.use_columnar_scan;
-  DBREPAIR_ASSIGN_OR_RETURN(RepairProblem problem,
-                            BuildRepairProblem(db_, bound_, distance_, build));
+  DBREPAIR_ASSIGN_OR_RETURN(
+      RepairProblem problem,
+      BuildRepairProblem(db_, bound_, distance_, build, pool_.get()));
   violations_ = std::move(problem.violations);
   fixes_ = std::move(problem.fixes);
   instance_ = std::move(problem.instance);
+  components_ = std::move(problem.components);
+  component_count_.store(components_.num_components(),
+                         std::memory_order_relaxed);
   snapshot_ = std::move(problem.snapshot);
 
   fix_ids_.reserve(fixes_.size());
@@ -393,6 +397,10 @@ void RepairSession::RecordBatchTelemetry(uint64_t batch_id,
   record.updates = batch.num_updates;
   record.csr_arena_bytes = csr_.arena_bytes();
   record.csr_dead_slots = csr_.dead_slots();
+  record.components = components_.num_components();
+  record.components_touched = batch.components_touched;
+  record.components_merged = batch.components_merged;
+  component_count_.store(record.components, std::memory_order_relaxed);
   record.detect_seconds = batch.detect_seconds;
   record.patch_seconds = batch.patch_seconds;
   record.solve_seconds = batch.solve_seconds;
@@ -428,8 +436,13 @@ void RepairSession::RecordBatchTelemetry(uint64_t batch_id,
   obs.metrics.GetHistogram("session.batch.total_us")
       ->Record(micros(batch.total_seconds));
 
+  obs.metrics.GetGauge("session.components")
+      ->Set(static_cast<double>(record.components));
+
   // Counter tracks: one sample per batch, so the trace viewer shows the
   // session's trend lines, not just final values.
+  obs.events.RecordCounter("session.components",
+                           static_cast<double>(record.components));
   obs.events.RecordCounter("session.cover_weight", stats_.cover_weight);
   obs.events.RecordCounter("session.distance", cumulative_distance_);
   obs.events.RecordCounter("session.inconsistency", record.inconsistency);
@@ -464,6 +477,11 @@ obs::Json RepairSession::TelemetryToJson() const {
     entry.Set("csr_arena_bytes",
               Json(static_cast<uint64_t>(r.csr_arena_bytes)));
     entry.Set("csr_dead_slots", Json(static_cast<uint64_t>(r.csr_dead_slots)));
+    entry.Set("components", Json(static_cast<uint64_t>(r.components)));
+    entry.Set("components_touched",
+              Json(static_cast<uint64_t>(r.components_touched)));
+    entry.Set("components_merged",
+              Json(static_cast<uint64_t>(r.components_merged)));
     entry.Set("detect_seconds", Json(r.detect_seconds));
     entry.Set("patch_seconds", Json(r.patch_seconds));
     entry.Set("solve_seconds", Json(r.solve_seconds));
@@ -485,6 +503,8 @@ obs::Json RepairSession::TelemetryToJson() const {
   totals.Set("total_fixes", Json(static_cast<uint64_t>(stats_.total_fixes)));
   totals.Set("total_updates",
              Json(static_cast<uint64_t>(stats_.total_updates)));
+  totals.Set("components",
+             Json(static_cast<uint64_t>(components_.num_components())));
   totals.Set("cover_weight", Json(stats_.cover_weight));
   totals.Set("cumulative_distance", Json(cumulative_distance_));
   totals.Set("inconsistency", Json(inconsistency().normalized));
@@ -504,6 +524,7 @@ Status RepairSession::PatchInstance(std::vector<ViolationSet> new_violations,
   delta.new_elements = new_violations.size();
   delta.first_new_set = static_cast<uint32_t>(instance_.num_sets());
   instance_.AddElements(new_violations.size());
+  components_.AddElements(new_violations.size());
 
   // Phase 1: patch the mutable instance (the patch log), recording what
   // changed. Solver callbacks wait until phase 3, after the frozen view
@@ -526,12 +547,14 @@ Status RepairSession::PatchInstance(std::vector<ViolationSet> new_violations,
         reweighted = true;
       }
       DBREPAIR_RETURN_IF_ERROR(instance_.ExtendSet(set_id, fix.solved));
+      stats->components_merged += components_.ExtendSet(set_id, fix.solved);
       delta.extended.push_back({set_id, old_size, reweighted});
       fixes_[set_id].solved.insert(fixes_[set_id].solved.end(),
                                    fix.solved.begin(), fix.solved.end());
       stats->num_extended_fixes += 1;
     } else {
       const uint32_t set_id = instance_.AddSet(fix.weight, fix.solved);
+      stats->components_merged += components_.AddSet(fix.solved);
       fix_ids_.emplace(key, set_id);
       fixes_.push_back(std::move(fix));
       stats->num_new_fixes += 1;
@@ -568,6 +591,14 @@ Status RepairSession::PatchInstance(std::vector<ViolationSet> new_violations,
           " is solvable by no mono-local fix; the IC set is not local");
     }
   }
+
+  // The delta's locality footprint: how many (post-merge) components this
+  // batch's fresh violation sets were routed to.
+  std::vector<uint32_t> new_elements(violations_.size() - vid_offset);
+  for (size_t e = vid_offset; e < violations_.size(); ++e) {
+    new_elements[e - vid_offset] = static_cast<uint32_t>(e);
+  }
+  stats->components_touched = components_.CountDistinctComponents(new_elements);
   return Status::OK();
 }
 

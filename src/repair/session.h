@@ -21,6 +21,7 @@
 #include "repair/inconsistency.h"
 #include "repair/repair_builder.h"
 #include "repair/repairer.h"
+#include "repair/setcover/components.h"
 #include "repair/setcover/csr_instance.h"
 #include "repair/setcover/incremental.h"
 #include "repair/setcover/instance.h"
@@ -44,6 +45,12 @@ struct BatchStats {
   size_t num_extended_fixes = 0;  ///< existing columns that gained elements
   size_t num_chosen_fixes = 0;    ///< sets this batch's delta solve picked
   size_t num_updates = 0;         ///< cell updates applied to the instance
+  /// Distinct conflict components this batch's new violation sets landed in
+  /// (after the batch's merges) — the delta's locality footprint.
+  size_t components_touched = 0;
+  /// Component merges this batch's fixes caused: each counts two previously
+  /// independent solve shards united by a shared candidate fix.
+  size_t components_merged = 0;
   /// The cell updates themselves, in deterministic (tuple, attribute)
   /// order — the incremental analogue of RepairOutcome::updates.
   std::vector<AppliedUpdate> updates;
@@ -73,6 +80,9 @@ struct BatchTelemetry {
   size_t updates = 0;
   size_t csr_arena_bytes = 0;  ///< frozen-view footprint after the append
   size_t csr_dead_slots = 0;   ///< relocation slack after the append
+  size_t components = 0;          ///< live conflict components after the batch
+  size_t components_touched = 0;  ///< components this batch's delta landed in
+  size_t components_merged = 0;   ///< merges this batch's fixes caused
   double detect_seconds = 0.0;
   double patch_seconds = 0.0;
   double solve_seconds = 0.0;
@@ -218,6 +228,19 @@ class RepairSession {
   /// and diagnostics.
   const CsrSetCoverInstance& frozen_instance() const { return csr_; }
 
+  /// The live conflict-component index over instance(): adopted from the
+  /// initial build and maintained incrementally as each batch's delta
+  /// appends elements and adds/extends sets (a batch only ever merges
+  /// components, never splits them). Exposed for tests and diagnostics.
+  const ComponentIndex& components() const { return components_; }
+
+  /// Conflict components of the current instance. Lock-free: readable by
+  /// another thread (the server's STATS path) while a batch is in flight;
+  /// the value is the count as of the last completed batch.
+  size_t num_components() const {
+    return component_count_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct FixKey {
     uint64_t tuple_packed = 0;
@@ -278,6 +301,10 @@ class RepairSession {
   std::unordered_map<FixKey, uint32_t, FixKeyHash> fix_ids_;
   SetCoverInstance instance_;       // the mutable patch log
   CsrSetCoverInstance csr_;         // frozen view; one AppendEpoch per batch
+  ComponentIndex components_;       // live index; mutated next to instance_
+  // Published copy of components_.num_components() for lock-free STATS
+  // reads; stored after Open and after each completed batch.
+  std::atomic<size_t> component_count_{0};
   std::unique_ptr<IncrementalGreedySolver> solver_;  // reads csr_
 
   // Records one completed batch into the rolling window, the latency

@@ -34,10 +34,10 @@ Result<SetCoverSolution> ModifiedGreedyImpl(const View& view) {
           "empty (infeasible instance)");
     }
     const auto [chosen, eff] = heap.Top();
-    (void)eff;
     heap.Pop();
     ++heap_pops;
     solution.chosen.push_back(chosen);
+    solution.pick_keys.push_back(eff);
     solution.weight += view.weight(chosen);
 
     for (const uint32_t e : view.elements_of(chosen)) {

@@ -262,6 +262,8 @@ std::string RepairServer::ExecuteOpen(const Command& command) {
     return FormatError(session.status());
   }
   tenant->session = std::move(*session);
+  tenant->component_count.store(tenant->session->num_components(),
+                                std::memory_order_relaxed);
   char detail[160];
   std::snprintf(detail, sizeof(detail),
                 "opened %s tuples=%zu open_updates=%zu inconsistency=%.6g",
@@ -293,6 +295,8 @@ std::string RepairServer::ExecuteBatch(
   }
   auto stats = tenant.session->ApplyBatch(rows);
   if (!stats.ok()) return FormatError(stats.status());
+  tenant.component_count.store(tenant.session->num_components(),
+                               std::memory_order_relaxed);
   char detail[200];
   std::snprintf(detail, sizeof(detail),
                 "batch=%zu rows=%zu new_violations=%zu chosen=%zu "
@@ -306,11 +310,22 @@ std::string RepairServer::ExecuteBatch(
 
 std::string RepairServer::ExecuteStats(const Command& command) {
   if (command.tenant.empty()) {
-    // Server-wide view: admission state plus the live tenant roster.
+    // Server-wide view: admission state plus the live tenant roster and
+    // each tenant's conflict-component count (atomic mirrors — no tenant
+    // op_mu is taken, so a long-running batch never stalls this reply).
     obs::Json tenants = obs::Json::MakeArray();
-    for (const std::string& name : registry_.Names()) tenants.Append(name);
+    obs::Json tenant_components = obs::Json::MakeObject();
+    for (const std::string& name : registry_.Names()) {
+      tenants.Append(name);
+      if (auto live = registry_.Find(name); live.ok()) {
+        tenant_components.Set(
+            name, static_cast<int64_t>((*live)->component_count.load(
+                      std::memory_order_relaxed)));
+      }
+    }
     obs::Json server = obs::Json::MakeObject();
     server.Set("tenants", std::move(tenants));
+    server.Set("tenant_components", std::move(tenant_components));
     server.Set("max_tenants", static_cast<int64_t>(options_.max_tenants));
     server.Set("max_pending", static_cast<int64_t>(options_.max_pending));
     server.Set("pending",

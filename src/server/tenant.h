@@ -1,6 +1,7 @@
 #ifndef DBREPAIR_SERVER_TENANT_H_
 #define DBREPAIR_SERVER_TENANT_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -39,6 +40,13 @@ struct Tenant {
   /// Guarded by op_mu.
   std::unique_ptr<RepairSession> session;
   Status open_error;  ///< why `session` is null after a failed open
+
+  /// Conflict components of the tenant's instance, published after OPEN and
+  /// after every completed BATCH. An atomic mirror of the session's count so
+  /// the server-wide STATS reply can report it without taking op_mu (and
+  /// without touching `session`, which a concurrent OPEN may still be
+  /// assigning). 0 while no session is open.
+  std::atomic<size_t> component_count{0};
 
   /// The tenant's own metrics/trace/log sink; installed (ScopedObs) around
   /// every session call.

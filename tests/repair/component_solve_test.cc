@@ -1,0 +1,421 @@
+// Differential tests for the component-sharded solve: the conflict-component
+// index (union-find over the element->set links), the deterministic dense
+// partition, and SolveSetCoverSharded — which must produce a byte-identical
+// cover (same chosen ids in the same order, bit-equal weight) to the
+// monolithic solver at every thread count. The suite drives every solver
+// kind across pools of 1/2/4/8 workers on multi-component instances with
+// interleaved global ids and tie-prone integer weights, exercises the
+// session epoch path (appends that merge components, checked against a
+// from-scratch rebuild of the index), and runs end-to-end repairs with
+// sharding on vs off.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "gen/client_buy.h"
+#include "repair/api.h"
+#include "repair/setcover/component_solve.h"
+#include "repair/setcover/components.h"
+#include "repair/setcover/csr_instance.h"
+#include "repair/setcover/solvers.h"
+
+namespace dbrepair {
+namespace {
+
+constexpr SolverKind kAllSolvers[] = {
+    SolverKind::kGreedy,     SolverKind::kModifiedGreedy,
+    SolverKind::kLazyGreedy, SolverKind::kLayer,
+    SolverKind::kModifiedLayer, SolverKind::kExact,
+};
+
+// A multi-component instance whose global ids interleave across components:
+// element e belongs to block e % blocks, sets are generated round-robin over
+// the blocks and only ever pick elements of their own block. Interleaving is
+// the adversarial layout for the merge — consecutive global ids live in
+// different shards, so any renumbering slip or merge-order bug flips the
+// output. Integer weights maximise exact effective-weight ties, stressing
+// the cross-component smaller-id tie-break.
+SetCoverInstance InterleavedBlocks(size_t elements, size_t blocks,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  SetCoverInstance instance;
+  instance.num_elements = elements;
+  std::vector<bool> covered(elements, false);
+  // Per block, its element ids (ascending by construction).
+  std::vector<std::vector<uint32_t>> members(blocks);
+  for (uint32_t e = 0; e < elements; ++e) members[e % blocks].push_back(e);
+  const size_t sets = elements * 2;
+  for (size_t s = 0; s < sets; ++s) {
+    const std::vector<uint32_t>& pool = members[s % blocks];
+    std::vector<uint32_t> elems;
+    const size_t size = 1 + rng.Uniform(4);
+    for (size_t i = 0; i < size; ++i) {
+      elems.push_back(pool[rng.Uniform(pool.size())]);
+    }
+    std::sort(elems.begin(), elems.end());
+    elems.erase(std::unique(elems.begin(), elems.end()), elems.end());
+    for (const uint32_t e : elems) covered[e] = true;
+    instance.sets.push_back(std::move(elems));
+    instance.weights.push_back(1.0 + static_cast<double>(rng.Uniform(8)));
+  }
+  for (uint32_t e = 0; e < elements; ++e) {
+    if (!covered[e]) {
+      instance.sets.push_back({e});
+      instance.weights.push_back(4.0);
+    }
+  }
+  instance.BuildLinks();
+  return instance;
+}
+
+// ---- ComponentIndex ----
+
+TEST(ComponentIndexTest, BuildLabelsIndependentBlocks) {
+  SetCoverInstance instance;
+  instance.num_elements = 6;
+  instance.sets = {{0, 1}, {1, 2}, {3}, {4, 5}};
+  instance.weights = {1.0, 1.0, 1.0, 1.0};
+  instance.BuildLinks();
+
+  const ComponentIndex index = ComponentIndex::Build(instance);
+  EXPECT_EQ(index.num_components(), 3u);
+  EXPECT_EQ(index.num_sets(), 4u);
+  EXPECT_EQ(index.num_elements(), 6u);
+  // Sets 0 and 1 share element 1; the others stand alone.
+  EXPECT_EQ(index.Find(0), index.Find(1));
+  EXPECT_NE(index.Find(0), index.Find(2));
+  EXPECT_NE(index.Find(2), index.Find(3));
+
+  const ComponentPartition part = index.Partition();
+  ASSERT_EQ(part.num_components(), 3u);
+  // Dense ids in ascending smallest-element order.
+  EXPECT_EQ(part.elements[0], (std::vector<uint32_t>{0, 1, 2}));
+  EXPECT_EQ(part.elements[1], (std::vector<uint32_t>{3}));
+  EXPECT_EQ(part.elements[2], (std::vector<uint32_t>{4, 5}));
+  EXPECT_EQ(part.sets[0], (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(part.sets[1], (std::vector<uint32_t>{2}));
+  EXPECT_EQ(part.sets[2], (std::vector<uint32_t>{3}));
+  EXPECT_EQ(part.elem_component,
+            (std::vector<uint32_t>{0, 0, 0, 1, 2, 2}));
+  EXPECT_EQ(part.elem_local, (std::vector<uint32_t>{0, 1, 2, 0, 0, 1}));
+  EXPECT_EQ(part.set_local, (std::vector<uint32_t>{0, 1, 0, 0}));
+}
+
+TEST(ComponentIndexTest, AddAndExtendReportMerges) {
+  SetCoverInstance instance;
+  instance.num_elements = 4;
+  instance.sets = {{0}, {1}, {2}, {3}};
+  instance.weights = {1.0, 1.0, 1.0, 1.0};
+  instance.BuildLinks();
+  ComponentIndex index = ComponentIndex::Build(instance);
+  EXPECT_EQ(index.num_components(), 4u);
+
+  // A new set spanning elements 0 and 1 unions its own fresh component with
+  // each of theirs: two union operations, net component count 4 -> 3.
+  EXPECT_EQ(index.AddSet(std::vector<uint32_t>{0, 1}), 2u);
+  EXPECT_EQ(index.num_components(), 3u);
+  // Extending it across 2 merges a third in.
+  EXPECT_EQ(index.ExtendSet(4, std::vector<uint32_t>{2}), 1u);
+  EXPECT_EQ(index.num_components(), 2u);
+  // Re-touching already-joined elements merges nothing.
+  EXPECT_EQ(index.ExtendSet(4, std::vector<uint32_t>{0, 2}), 0u);
+  EXPECT_EQ(index.num_components(), 2u);
+
+  EXPECT_EQ(index.CountDistinctComponents(std::vector<uint32_t>{0, 1, 2}),
+            1u);
+  EXPECT_EQ(index.CountDistinctComponents(std::vector<uint32_t>{0, 3}), 2u);
+}
+
+TEST(ComponentIndexTest, EmptySetsAndUncoveredElements) {
+  SetCoverInstance instance;
+  instance.num_elements = 2;
+  instance.sets = {{0}, {}};  // element 1 uncovered, set 1 empty
+  instance.weights = {1.0, 1.0};
+  instance.BuildLinks();
+  const ComponentIndex index = ComponentIndex::Build(instance);
+  // Only the attached component counts; the uncovered element is transient
+  // mid-patch state and not a component until a set covers it.
+  EXPECT_EQ(index.num_components(), 1u);
+
+  const ComponentPartition part = index.Partition();
+  // The partition *does* materialise the uncovered element as a singleton
+  // (no sets), so a sharded solve hits the monolithic infeasibility.
+  ASSERT_EQ(part.num_components(), 2u);
+  EXPECT_EQ(part.sets[1].size(), 0u);
+  EXPECT_EQ(part.elements[1], (std::vector<uint32_t>{1}));
+  EXPECT_EQ(part.set_local[1], ComponentPartition::kNone);
+}
+
+// Mutation histories and from-scratch builds of the same instance must
+// partition identically (the labels are a pure function of the instance).
+TEST(ComponentIndexTest, IncrementalMatchesFromScratchRebuild) {
+  Rng rng(77);
+  SetCoverInstance instance;
+  instance.num_elements = 40;
+  ComponentIndex live;
+  live.AddElements(40);
+  std::vector<bool> covered(40, false);
+  for (size_t s = 0; s < 30; ++s) {
+    std::vector<uint32_t> elems;
+    for (size_t i = 0, n = 1 + rng.Uniform(3); i < n; ++i) {
+      elems.push_back(static_cast<uint32_t>(rng.Uniform(instance.num_elements)));
+    }
+    std::sort(elems.begin(), elems.end());
+    elems.erase(std::unique(elems.begin(), elems.end()), elems.end());
+    for (const uint32_t e : elems) covered[e] = true;
+    instance.weights.push_back(1.0);
+    instance.sets.push_back(elems);
+    live.AddSet(elems);
+  }
+  for (uint32_t e = 0; e < instance.num_elements; ++e) {
+    if (!covered[e]) {
+      instance.sets.push_back({e});
+      instance.weights.push_back(1.0);
+      live.AddSet(std::vector<uint32_t>{e});
+    }
+  }
+
+  // Three epochs of appends: new elements, new sets, extensions of old sets.
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    const uint32_t first_new = static_cast<uint32_t>(instance.num_elements);
+    instance.num_elements += 10;
+    live.AddElements(10);
+    for (uint32_t e = first_new; e < instance.num_elements; ++e) {
+      if (rng.Bernoulli(0.5) && !instance.sets.empty()) {
+        const uint32_t victim =
+            static_cast<uint32_t>(rng.Uniform(instance.sets.size()));
+        instance.sets[victim].push_back(e);  // fresh ids extend ascending
+        live.ExtendSet(victim, std::vector<uint32_t>{e});
+      } else {
+        const std::vector<uint32_t> elems{e};
+        instance.sets.push_back(elems);
+        instance.weights.push_back(1.0);
+        live.AddSet(elems);
+      }
+    }
+  }
+  instance.BuildLinks();
+
+  const ComponentIndex rebuilt = ComponentIndex::Build(instance);
+  EXPECT_EQ(live.num_components(), rebuilt.num_components());
+  const ComponentPartition a = live.Partition();
+  const ComponentPartition b = rebuilt.Partition();
+  EXPECT_EQ(a.sets, b.sets);
+  EXPECT_EQ(a.elements, b.elements);
+  EXPECT_EQ(a.set_local, b.set_local);
+  EXPECT_EQ(a.elem_local, b.elem_local);
+  EXPECT_EQ(a.elem_component, b.elem_component);
+}
+
+// ---- Sharded vs monolithic, every solver, every pool size ----
+
+void ExpectByteIdentical(const SetCoverSolution& sharded,
+                         const SetCoverSolution& mono,
+                         const std::string& label) {
+  EXPECT_EQ(sharded.chosen, mono.chosen) << label;
+  // Bit-equality, not tolerance: the merge re-sums the weights in the
+  // monolithic pick order, so even the floating-point accumulation matches.
+  EXPECT_EQ(sharded.weight, mono.weight) << label;
+}
+
+TEST(ComponentSolveTest, ShardedMatchesMonolithicAcrossSolversAndPools) {
+  // Small enough for exact's branch-and-bound; 5 interleaved blocks.
+  const SetCoverInstance small = InterleavedBlocks(30, 5, 11);
+  const CsrSetCoverInstance csr = CsrSetCoverInstance::Freeze(small);
+  const ComponentIndex index = ComponentIndex::Build(small);
+  const ComponentPartition partition = index.Partition();
+  ASSERT_GT(partition.num_components(), 1u);
+
+  for (const SolverKind kind : kAllSolvers) {
+    auto mono = SolveSetCover(kind, csr);
+    ASSERT_TRUE(mono.ok()) << mono.status().ToString();
+    for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+      std::unique_ptr<ThreadPool> pool;
+      if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+      ShardedSolveStats stats;
+      auto sharded =
+          SolveSetCoverSharded(kind, csr, partition, pool.get(), &stats);
+      ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+      const std::string label = std::string(SolverKindName(kind)) +
+                                " threads=" + std::to_string(threads);
+      ExpectByteIdentical(*sharded, *mono, label);
+      if (SolverShardsByComponent(kind)) {
+        EXPECT_EQ(stats.components, partition.num_components()) << label;
+      } else {
+        EXPECT_EQ(stats.components, 0u) << label;  // monolithic fallback
+      }
+    }
+  }
+}
+
+TEST(ComponentSolveTest, GreedyFamilyMatchesOnLargerTieProneInstances) {
+  for (const uint64_t seed : {3u, 29u, 101u}) {
+    const SetCoverInstance big = InterleavedBlocks(600, 24, seed);
+    const CsrSetCoverInstance csr = CsrSetCoverInstance::Freeze(big);
+    const ComponentPartition partition =
+        ComponentIndex::Build(big).Partition();
+    ASSERT_GT(partition.num_components(), 8u);
+    for (const SolverKind kind :
+         {SolverKind::kGreedy, SolverKind::kModifiedGreedy,
+          SolverKind::kLazyGreedy}) {
+      auto mono = SolveSetCover(kind, csr);
+      ASSERT_TRUE(mono.ok());
+      ASSERT_EQ(mono->pick_keys.size(), mono->chosen.size());
+      for (const size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+        std::unique_ptr<ThreadPool> pool;
+        if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+        auto sharded = SolveSetCoverSharded(kind, csr, partition, pool.get());
+        ASSERT_TRUE(sharded.ok());
+        ExpectByteIdentical(*sharded, *mono,
+                            std::string(SolverKindName(kind)) + " seed=" +
+                                std::to_string(seed) + " threads=" +
+                                std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST(ComponentSolveTest, InfeasibleShardFailsLikeMonolithic) {
+  SetCoverInstance instance;
+  instance.num_elements = 3;
+  instance.sets = {{0}, {2}};  // element 1 uncovered
+  instance.weights = {1.0, 1.0};
+  instance.BuildLinks();
+  const CsrSetCoverInstance csr = CsrSetCoverInstance::Freeze(instance);
+  const ComponentPartition partition =
+      ComponentIndex::Build(instance).Partition();
+
+  const auto mono = SolveSetCover(SolverKind::kGreedy, csr);
+  ASSERT_FALSE(mono.ok());
+  ThreadPool pool(2);
+  const auto sharded =
+      SolveSetCoverSharded(SolverKind::kGreedy, csr, partition, &pool);
+  ASSERT_FALSE(sharded.ok());
+  EXPECT_EQ(sharded.status().code(), mono.status().code());
+}
+
+// ---- Session epochs: live index vs rebuild, merge telemetry ----
+
+TEST(SessionComponentsTest, EpochAppendsTrackComponentsAndMerges) {
+  ClientBuyOptions gen;
+  gen.num_clients = 120;
+  gen.inconsistency_ratio = 0.3;
+  gen.seed = 5;
+  auto workload = GenerateClientBuy(gen);
+  ASSERT_TRUE(workload.ok());
+
+  // Stream every row through a session in 6 batches over an empty base.
+  std::vector<BatchRow> rows;
+  const Database& source = workload->db;
+  size_t max_rows = 0;
+  for (size_t r = 0; r < source.relation_count(); ++r) {
+    max_rows = std::max(max_rows, source.table(r).size());
+  }
+  for (size_t i = 0; i < max_rows; ++i) {
+    for (size_t r = 0; r < source.relation_count(); ++r) {
+      if (i >= source.table(r).size()) continue;
+      rows.push_back(BatchRow{source.schema().relations()[r].name(),
+                              source.table(r).row(i).values()});
+    }
+  }
+  const Database empty(source.schema_ptr());
+  RepairOptions options;
+  options.num_threads = 4;
+  auto session = RepairSession::Open(empty, workload->ics, options);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  const size_t chunk = (rows.size() + 5) / 6;
+  for (size_t start = 0; start < rows.size(); start += chunk) {
+    const size_t end = std::min(rows.size(), start + chunk);
+    auto batch = (*session)->ApplyBatch(
+        std::vector<BatchRow>(rows.begin() + start, rows.begin() + end));
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+
+    // The live index must agree with a from-scratch rebuild of the patched
+    // instance — same count, identical partition.
+    SetCoverInstance copy = (*session)->instance();
+    copy.BuildLinks();
+    const ComponentIndex rebuilt = ComponentIndex::Build(copy);
+    ASSERT_EQ((*session)->components().num_components(),
+              rebuilt.num_components());
+    const ComponentPartition live = (*session)->components().Partition();
+    const ComponentPartition scratch = rebuilt.Partition();
+    ASSERT_EQ(live.sets, scratch.sets);
+    ASSERT_EQ(live.elements, scratch.elements);
+
+    // Published count and telemetry mirror the live index.
+    EXPECT_EQ((*session)->num_components(),
+              (*session)->components().num_components());
+    ASSERT_FALSE((*session)->telemetry().empty());
+    const BatchTelemetry& last = (*session)->telemetry().back();
+    EXPECT_EQ(last.components, (*session)->num_components());
+    EXPECT_EQ(last.components_touched, batch->components_touched);
+    EXPECT_EQ(last.components_merged, batch->components_merged);
+    if (batch->num_new_violations > 0) {
+      EXPECT_GE(batch->components_touched, 1u);
+      EXPECT_LE(batch->components_touched, batch->num_new_violations);
+    }
+  }
+  EXPECT_GT((*session)->num_components(), 0u);
+}
+
+// ---- End-to-end: sharding on vs off is byte-identical ----
+
+void ExpectSameDatabase(const Database& a, const Database& b,
+                        const std::string& label) {
+  ASSERT_EQ(a.relation_count(), b.relation_count()) << label;
+  for (uint32_t r = 0; r < a.relation_count(); ++r) {
+    ASSERT_EQ(a.table(r).size(), b.table(r).size()) << label;
+    for (size_t row = 0; row < a.table(r).size(); ++row) {
+      ASSERT_TRUE(a.table(r).row(row) == b.table(r).row(row))
+          << label << " relation " << r << " row " << row;
+    }
+  }
+}
+
+TEST(ComponentPipelineTest, ShardOnOffByteIdenticalAtAnyThreadCount) {
+  ClientBuyOptions gen;
+  gen.num_clients = 150;
+  gen.inconsistency_ratio = 0.35;
+  gen.seed = 13;
+  auto workload = GenerateClientBuy(gen);
+  ASSERT_TRUE(workload.ok());
+
+  for (const SolverKind kind :
+       {SolverKind::kGreedy, SolverKind::kModifiedGreedy,
+        SolverKind::kLazyGreedy, SolverKind::kLayer}) {
+    SCOPED_TRACE(SolverKindName(kind));
+    RepairOptions off;
+    off.solver = kind;
+    off.shard_components = false;
+    off.num_threads = 1;
+    auto baseline = RepairDatabase(workload->db, workload->ics, off);
+    ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+    EXPECT_GT(baseline->stats.num_components, 1u);
+
+    for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+      RepairOptions on;
+      on.solver = kind;
+      on.shard_components = true;
+      on.num_threads = threads;
+      auto sharded = RepairDatabase(workload->db, workload->ics, on);
+      ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+      const std::string label = std::string(SolverKindName(kind)) +
+                                " threads=" + std::to_string(threads);
+      ExpectSameDatabase(baseline->repaired, sharded->repaired, label);
+      EXPECT_EQ(baseline->stats.cover_weight, sharded->stats.cover_weight)
+          << label;
+      EXPECT_EQ(baseline->stats.num_components, sharded->stats.num_components)
+          << label;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbrepair
